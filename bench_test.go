@@ -1,0 +1,458 @@
+// Benchmarks, one per reproduced table/figure (see DESIGN.md section 4).
+// Each benchmark regenerates its experiment's data series and reports the
+// headline numbers as custom metrics, so `go test -bench=.` doubles as
+// the experiment harness. The scatter experiments (Fig 13/14) run on
+// reduced populations here; use cmd/figures -nets 300 for the full
+// paper-scale run.
+package main
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"strconv"
+	"testing"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/lsim"
+	"repro/internal/mna"
+	"repro/internal/mor"
+	"repro/internal/netlist"
+	"repro/internal/repro"
+	"repro/internal/waveform"
+	"repro/internal/workload"
+)
+
+// benchNets returns the population size for scatter benchmarks,
+// overridable with REPRO_NETS for full-scale runs.
+func benchNets(def int) int {
+	if s := os.Getenv("REPRO_NETS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return def
+}
+
+func BenchmarkFig02TheveninNoise(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig02(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.TheveninPeak/r.GoldenPeak, "thev-peak-%")
+		b.ReportMetric(100*r.RtrPeak/r.GoldenPeak, "rtr-peak-%")
+		b.ReportMetric(r.Rtr/r.Rth, "Rtr/Rth")
+	}
+}
+
+func BenchmarkFig03ReceiverObjective(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig03(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.InputObjNoise*1e12, "input-obj-ps")
+		b.ReportMetric(r.OutputObjNoise*1e12, "output-obj-ps")
+		b.ReportMetric(r.RecvOutNoisePkV*1e3, "glitch-mV")
+	}
+}
+
+func BenchmarkFig05TransientHoldingR(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig02(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Figure 5's claim: the Rtr noise waveform tracks the nonlinear
+		// one; report the residual peak error of both models.
+		b.ReportMetric(100*math.Abs(1-r.RtrPeak/r.GoldenPeak), "rtr-err-%")
+		b.ReportMetric(100*math.Abs(1-r.TheveninPeak/r.GoldenPeak), "thev-err-%")
+	}
+}
+
+func BenchmarkFig06AggressorAlignment(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig06(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.SmallAlignedErr*1e12, "small-load-err-ps")
+		b.ReportMetric(r.LargeAlignedErr*1e12, "large-load-err-ps")
+	}
+}
+
+func BenchmarkFig07aLoadSweep(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig07(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// Alignment sensitivity: delay spread of the smallest vs largest
+		// load curve.
+		small := seriesSpread(r.Loads[0])
+		large := seriesSpread(r.Loads[len(r.Loads)-1])
+		b.ReportMetric(small*1e12, "small-load-spread-ps")
+		b.ReportMetric(large*1e12, "large-load-spread-ps")
+	}
+}
+
+func BenchmarkFig07bSlewSweep(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig07(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Slews)), "curves")
+	}
+}
+
+func BenchmarkFig08AlignmentVoltage(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig08(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(len(r.Widths)+len(r.Heights)), "curves")
+	}
+}
+
+func BenchmarkFig09aPredictionError(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig09(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.WorstSlewLoadErr, "worst-err-%")
+	}
+}
+
+func BenchmarkFig09bPredictionError(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig09(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.WorstWidthHeightErr, "worst-err-%")
+	}
+}
+
+func BenchmarkFig13DriverModelAccuracy(b *testing.B) {
+	ctx := repro.NewContext().Quick(benchNets(8))
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig13(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.Thevenin.MeanRelErr, "thev-err-%")
+		b.ReportMetric(100*r.Rtr.MeanRelErr, "rtr-err-%")
+		b.ReportMetric(float64(r.Thevenin.UnderestimateN), "thev-under")
+	}
+}
+
+func BenchmarkFig14AlignmentAccuracy(b *testing.B) {
+	ctx := repro.NewContext().Quick(benchNets(4))
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Fig14(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(r.Ours.WorstAbsErr*1e12, "ours-worst-ps")
+		b.ReportMetric(r.Baseline.WorstAbsErr*1e12, "baseline-worst-ps")
+	}
+}
+
+func BenchmarkTextAlignedPeakError(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.AlignedPeakError(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*r.WorstErr, "worst-err-%")
+	}
+}
+
+func BenchmarkTextConvergence(b *testing.B) {
+	ctx := repro.NewContext().Quick(benchNets(8))
+	for i := 0; i < b.N; i++ {
+		r, err := repro.Convergence(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		within2 := r.Iterations[1] + r.Iterations[2]
+		b.ReportMetric(100*float64(within2)/float64(r.Nets), "within-2-iters-%")
+	}
+}
+
+func BenchmarkTextPrecharBudget(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.PrecharBudget(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Points), "points")
+		b.ReportMetric(100*r.WorstErr, "worst-err-%")
+	}
+}
+
+func BenchmarkSTAWindowIteration(b *testing.B) {
+	ctx := repro.NewContext()
+	for i := 0; i < b.N; i++ {
+		r, err := repro.WindowIteration(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(r.Iterations), "iterations")
+	}
+}
+
+// BenchmarkAblationHoldingModels isolates the holding-resistance choice
+// on a single representative net: the error of each model against the
+// nonlinear reference at the same alignment.
+func BenchmarkAblationHoldingModels(b *testing.B) {
+	ctx := repro.NewContext()
+	gen := workload.NewGenerator(ctx.Lib, workload.DefaultProfile(), ctx.Seed)
+	c, err := gen.Next(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		rtr, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold: delaynoise.HoldTransient, Align: delaynoise.AlignExhaustive,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		thev, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold: delaynoise.HoldThevenin, Align: delaynoise.AlignExhaustive,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		golden, err := delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(rtr.NoisePeakTimes, rtr.TPeak))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*math.Abs(1-thev.DelayNoise/golden.DelayNoise), "thev-err-%")
+		b.ReportMetric(100*math.Abs(1-rtr.DelayNoise/golden.DelayNoise), "rtr-err-%")
+	}
+}
+
+// BenchmarkAblationPRIMA compares the linear flow with and without
+// model-order reduction (accuracy delta reported; time visible in ns/op
+// across the two sub-benchmarks).
+func BenchmarkAblationPRIMA(b *testing.B) {
+	ctx := repro.NewContext()
+	gen := workload.NewGenerator(ctx.Lib, workload.DefaultProfile(), ctx.Seed)
+	c, err := gen.Next(1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := delaynoise.Analyze(c, delaynoise.Options{Align: delaynoise.AlignReceiverInput})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := delaynoise.Analyze(c, delaynoise.Options{Align: delaynoise.AlignReceiverInput}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prima8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			r, err := delaynoise.Analyze(c, delaynoise.Options{
+				Align: delaynoise.AlignReceiverInput, PRIMAOrder: 8,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(math.Abs(r.DelayNoise-full.DelayNoise)*1e12, "delta-ps")
+		}
+	})
+}
+
+// BenchmarkLinearTransient is a micro-benchmark of the linear simulator
+// on a reduced and a full interconnect (the efficiency argument for
+// PRIMA in Section 1).
+func BenchmarkLinearTransient(b *testing.B) {
+	ctx := repro.NewContext()
+	gen := workload.NewGenerator(ctx.Lib, workload.DefaultProfile(), ctx.Seed)
+	c, err := gen.Next(2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ckt := c.Net.Circuit.Clone()
+	ckt.AddDriver("d", c.Net.VictimIn, waveform.Ramp(2e-10, 2e-10, 0, ctx.Tech.Vdd), 1000)
+	for k, aggIn := range c.Net.AggIn {
+		ckt.AddDriver(fmt.Sprintf("h%d", k), aggIn, waveform.Constant(ctx.Tech.Vdd), 500)
+	}
+	sys, err := mna.Build(ckt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := lsim.Options{TStop: 3e-9, Step: 1e-12, InitDC: true}
+	b.Run("full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsim.Run(sys, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	rom, err := mor.Reduce(sys, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("prima8", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := rom.Run(opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+func seriesSpread(s repro.Series) float64 {
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, y := range s.Y {
+		lo = math.Min(lo, y)
+		hi = math.Max(hi, y)
+	}
+	return hi - lo
+}
+
+// BenchmarkLargeNetSolvers exercises the "thousands of elements" regime
+// the paper motivates: a long coupled line solved with the prefactored
+// dense path vs the sparse warm-started CG path.
+func BenchmarkLargeNetSolvers(b *testing.B) {
+	ckt := netlist.NewCircuit()
+	const segs = 400
+	ckt.AddDriver("agg", "a0", waveform.Ramp(2e-10, 1e-10, 1.8, 0), 300)
+	ckt.AddDriver("vic", "v0", waveform.Constant(0), 900)
+	for i := 1; i <= segs; i++ {
+		ckt.AddR(fmt.Sprintf("ra%d", i), fmt.Sprintf("a%d", i-1), fmt.Sprintf("a%d", i), 2)
+		ckt.AddC(fmt.Sprintf("ca%d", i), fmt.Sprintf("a%d", i), "0", 0.2e-15)
+		ckt.AddR(fmt.Sprintf("rv%d", i), fmt.Sprintf("v%d", i-1), fmt.Sprintf("v%d", i), 2)
+		ckt.AddC(fmt.Sprintf("cv%d", i), fmt.Sprintf("v%d", i), "0", 0.2e-15)
+		ckt.AddC(fmt.Sprintf("cc%d", i), fmt.Sprintf("v%d", i), fmt.Sprintf("a%d", i), 0.1e-15)
+	}
+	sys, err := mna.Build(ckt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := lsim.Options{TStop: 1e-9, Step: 2e-12, InitDC: true}
+	b.Run("denseLU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsim.Run(sys, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	cg := opt
+	cg.Solver = lsim.SolverCG
+	b.Run("sparseCG", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsim.Run(sys, cg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	banded := opt
+	banded.Solver = lsim.SolverBanded
+	b.Run("bandedRCM", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsim.Run(sys, banded); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationCorners re-runs the single-net holding-model
+// comparison at the fast and slow process corners: the paper's
+// conclusion (Rtr beats the Thevenin holding resistance) should be
+// process-robust.
+func BenchmarkAblationCorners(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tech *device.Technology
+	}{
+		{"tt", device.Default180()},
+		{"ff", device.Fast180()},
+		{"ss", device.Slow180()},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			lib := device.NewLibrary(tc.tech)
+			gen := workload.NewGenerator(lib, workload.DefaultProfile(), 20010618)
+			c, err := gen.Next(0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < b.N; i++ {
+				rtr, err := delaynoise.Analyze(c, delaynoise.Options{
+					Hold: delaynoise.HoldTransient, Align: delaynoise.AlignExhaustive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				thev, err := delaynoise.Analyze(c, delaynoise.Options{
+					Hold: delaynoise.HoldThevenin, Align: delaynoise.AlignExhaustive,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				golden, err := delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(rtr.NoisePeakTimes, rtr.TPeak))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(100*math.Abs(1-thev.DelayNoise/golden.DelayNoise), "thev-err-%")
+				b.ReportMetric(100*math.Abs(1-rtr.DelayNoise/golden.DelayNoise), "rtr-err-%")
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAggressorTransient measures the paper's sketched
+// extension (transient holding resistances for the shorted aggressor
+// drivers) against the plain flow.
+func BenchmarkAblationAggressorTransient(b *testing.B) {
+	ctx := repro.NewContext()
+	gen := workload.NewGenerator(ctx.Lib, workload.DefaultProfile(), ctx.Seed+7)
+	c, err := gen.Next(0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		plain, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold: delaynoise.HoldTransient, Align: delaynoise.AlignExhaustive,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ext, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold: delaynoise.HoldTransient, Align: delaynoise.AlignExhaustive,
+			AggressorTransient: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		golden, err := delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(ext.NoisePeakTimes, ext.TPeak))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(100*math.Abs(1-plain.DelayNoise/golden.DelayNoise), "plain-err-%")
+		b.ReportMetric(100*math.Abs(1-ext.DelayNoise/golden.DelayNoise), "ext-err-%")
+	}
+}

@@ -1,0 +1,89 @@
+// Command clarinet runs the delay-noise analysis over a JSON case file
+// produced by netgen, reproducing the per-net flow of the paper's
+// industrial tool: C-effective + Thevenin characterization, linear
+// superposition with the transient holding resistance, and worst-case
+// aggressor alignment.
+//
+// Usage:
+//
+//	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar] [-workers 2]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/funcnoise"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clarinet: ")
+	in := flag.String("i", "nets.json", "input case file (from netgen)")
+	mode := flag.String("mode", "delay", "analysis mode: delay | func")
+	holdFlag := flag.String("hold", "transient", "victim holding model: thevenin | transient")
+	alignFlag := flag.String("align", "exhaustive", "alignment method: exhaustive | input | prechar")
+	workers := flag.Int("workers", 2, "parallel analysis workers")
+	flag.Parse()
+
+	var hold delaynoise.HoldModel
+	switch *holdFlag {
+	case "thevenin":
+		hold = delaynoise.HoldThevenin
+	case "transient":
+		hold = delaynoise.HoldTransient
+	default:
+		log.Fatalf("unknown hold model %q", *holdFlag)
+	}
+	var alignMethod delaynoise.AlignMethod
+	switch *alignFlag {
+	case "exhaustive":
+		alignMethod = delaynoise.AlignExhaustive
+	case "input":
+		alignMethod = delaynoise.AlignReceiverInput
+	case "prechar":
+		alignMethod = delaynoise.AlignPrechar
+	default:
+		log.Fatalf("unknown alignment method %q", *alignFlag)
+	}
+
+	lib := device.NewLibrary(device.Default180())
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, cases, err := workload.Load(f, lib)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("loaded %d nets from %s", len(cases), *in)
+
+	tool := clarinet.New(lib, clarinet.Config{
+		Hold:    hold,
+		Align:   alignMethod,
+		Workers: *workers,
+	})
+	start := time.Now()
+	switch *mode {
+	case "delay":
+		reports := tool.AnalyzeAll(names, cases)
+		clarinet.WriteReport(os.Stdout, reports)
+		fmt.Printf("\nanalyzed %d nets in %v (%s hold, %s alignment)\n",
+			len(cases), time.Since(start).Round(time.Millisecond), hold, alignMethod)
+	case "func":
+		reports := tool.FunctionalAll(names, cases, funcnoise.Options{})
+		clarinet.WriteFuncReport(os.Stdout, reports)
+		fmt.Printf("\nfunctional-noise analysis of %d nets in %v\n",
+			len(cases), time.Since(start).Round(time.Millisecond))
+	default:
+		log.Fatalf("unknown mode %q", *mode)
+	}
+}

@@ -1,0 +1,160 @@
+// Command figures regenerates the paper's evaluation figures as text
+// data series (see DESIGN.md section 4 for the experiment index).
+//
+// Usage:
+//
+//	figures [-nets 300] [-only fig13,fig14] [-quick]
+//
+// -quick shrinks the scatter populations so the full set finishes in a
+// few minutes; the full -nets 300 run matches the paper's population.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/repro"
+)
+
+type figure struct {
+	name string
+	run  func(ctx *repro.Context) error
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("figures: ")
+	nets := flag.Int("nets", 300, "population size for fig13/fig14")
+	only := flag.String("only", "", "comma-separated subset (e.g. fig02,fig13)")
+	quick := flag.Bool("quick", false, "shrink populations for a fast smoke run")
+	flag.Parse()
+
+	ctx := repro.NewContext()
+	ctx.Nets = *nets
+	if *quick {
+		ctx = ctx.Quick(12)
+	}
+	out := os.Stdout
+
+	figures := []figure{
+		{"fig02", func(ctx *repro.Context) error {
+			r, err := repro.Fig02(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig03", func(ctx *repro.Context) error {
+			r, err := repro.Fig03(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig05", func(ctx *repro.Context) error {
+			r, err := repro.Fig02(ctx)
+			if err != nil {
+				return err
+			}
+			r.PrintFig05(out)
+			return nil
+		}},
+		{"fig06", func(ctx *repro.Context) error {
+			r, err := repro.Fig06(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig07", func(ctx *repro.Context) error {
+			r, err := repro.Fig07(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig08", func(ctx *repro.Context) error {
+			r, err := repro.Fig08(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig09", func(ctx *repro.Context) error {
+			r, err := repro.Fig09(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig13", func(ctx *repro.Context) error {
+			r, err := repro.Fig13(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"fig14", func(ctx *repro.Context) error {
+			r, err := repro.Fig14(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"alignedpeaks", func(ctx *repro.Context) error {
+			r, err := repro.AlignedPeakError(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"convergence", func(ctx *repro.Context) error {
+			r, err := repro.Convergence(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+		{"precharbudget", func(ctx *repro.Context) error {
+			r, err := repro.PrecharBudget(ctx)
+			if err != nil {
+				return err
+			}
+			r.Print(out)
+			return nil
+		}},
+	}
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+	}
+	for _, f := range figures {
+		if len(want) > 0 && !want[f.name] {
+			continue
+		}
+		fmt.Fprintf(out, "\n================ %s ================\n", f.name)
+		start := time.Now()
+		if err := f.run(ctx); err != nil {
+			log.Printf("%s failed: %v", f.name, err)
+			continue
+		}
+		fmt.Fprintf(out, "[%s done in %v]\n", f.name, time.Since(start).Round(time.Millisecond))
+	}
+}

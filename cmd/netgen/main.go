@@ -1,0 +1,75 @@
+// Command netgen generates synthetic coupled-net workloads (the stand-in
+// for the paper's 300 industrial nets) and writes them as a JSON case
+// file plus, optionally, one mini-SPEF parasitic file per net.
+//
+// Usage:
+//
+//	netgen -n 300 -seed 20010618 -o nets.json [-spefdir dir]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"repro/internal/device"
+	"repro/internal/spef"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("netgen: ")
+	n := flag.Int("n", 300, "number of nets to generate")
+	seed := flag.Int64("seed", 20010618, "random seed")
+	out := flag.String("o", "nets.json", "output case file")
+	spefDir := flag.String("spefdir", "", "optional directory for per-net mini-SPEF files")
+	flag.Parse()
+
+	tech := device.Default180()
+	lib := device.NewLibrary(tech)
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), *seed)
+	cases, err := gen.Population(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names := make([]string, *n)
+	for i := range names {
+		names[i] = fmt.Sprintf("net%04d", i)
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := workload.Save(f, tech.Name, names, cases); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %d cases to %s", *n, *out)
+
+	if *spefDir != "" {
+		if err := os.MkdirAll(*spefDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+		for i, c := range cases {
+			path := filepath.Join(*spefDir, names[i]+".spef")
+			sf, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := spef.Write(sf, names[i], c.Net.Circuit); err != nil {
+				log.Fatal(err)
+			}
+			if err := sf.Close(); err != nil {
+				log.Fatal(err)
+			}
+		}
+		log.Printf("wrote %d SPEF files to %s", len(cases), *spefDir)
+	}
+}

@@ -1,0 +1,84 @@
+// Command sweep runs a sensitivity analysis on one net from a case file:
+// it varies a single parameter across a range and tabulates the delay
+// noise under both driver models (optionally with the nonlinear
+// reference).
+//
+// Usage:
+//
+//	sweep -i nets.json -net net0000 -param coupling -from 0.5 -to 2 -n 6 [-golden]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/device"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("sweep: ")
+	in := flag.String("i", "nets.json", "input case file (from netgen)")
+	netName := flag.String("net", "", "net name (default: first)")
+	paramFlag := flag.String("param", "coupling", "parameter: coupling | vslew | aslew | load")
+	from := flag.Float64("from", 0.5, "range start (ratio, or seconds/farads)")
+	to := flag.Float64("to", 2.0, "range end")
+	n := flag.Int("n", 6, "number of points")
+	golden := flag.Bool("golden", false, "run the nonlinear reference per point")
+	flag.Parse()
+
+	var param sweep.Param
+	switch *paramFlag {
+	case "coupling":
+		param = sweep.CouplingRatio
+	case "vslew":
+		param = sweep.VictimSlew
+	case "aslew":
+		param = sweep.AggressorSlew
+	case "load":
+		param = sweep.ReceiverLoad
+	default:
+		log.Fatalf("unknown parameter %q", *paramFlag)
+	}
+	if *n < 2 || *to <= *from {
+		log.Fatalf("need n >= 2 and to > from")
+	}
+
+	lib := device.NewLibrary(device.Default180())
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, cases, err := workload.Load(f, lib)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := 0
+	if *netName != "" {
+		idx = -1
+		for i, name := range names {
+			if name == *netName {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			log.Fatalf("no net %q in %s", *netName, *in)
+		}
+	}
+
+	values := make([]float64, *n)
+	for i := range values {
+		values[i] = *from + (*to-*from)*float64(i)/float64(*n-1)
+	}
+	res, err := sweep.Run(cases[idx], param, values, sweep.Options{Golden: *golden})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("net %s", names[idx])
+	res.Print(os.Stdout)
+}

@@ -1,0 +1,97 @@
+// Command waveview dumps the key waveforms of one net's analysis as CSV
+// for plotting: the noiseless victim transition at the receiver input,
+// the per-aggressor noise pulses, the worst-aligned composite, the noisy
+// waveform, and the full nonlinear reference.
+//
+// Usage:
+//
+//	waveview -i nets.json -net net0000 [-o waves.csv] [-points 800]
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"repro/internal/align"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/waveform"
+	"repro/internal/workload"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("waveview: ")
+	in := flag.String("i", "nets.json", "input case file (from netgen)")
+	netName := flag.String("net", "", "net name to dump (default: first)")
+	out := flag.String("o", "", "output CSV (default: stdout)")
+	points := flag.Int("points", 800, "samples per waveform")
+	flag.Parse()
+
+	lib := device.NewLibrary(device.Default180())
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	names, cases, err := workload.Load(f, lib)
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	idx := 0
+	if *netName != "" {
+		idx = -1
+		for i, n := range names {
+			if n == *netName {
+				idx = i
+				break
+			}
+		}
+		if idx < 0 {
+			log.Fatalf("no net %q in %s", *netName, *in)
+		}
+	}
+	c := cases[idx]
+
+	res, err := delaynoise.Analyze(c, delaynoise.Options{
+		Hold: delaynoise.HoldTransient, Align: delaynoise.AlignExhaustive,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	goldenNoisy, goldenQuiet, err := delaynoise.GoldenWaveforms(c,
+		delaynoise.PeakShifts(res.NoisePeakTimes, res.TPeak))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	cols := []waveform.Column{
+		{Name: "noiseless_linear", W: res.NoiselessRecvIn},
+		{Name: "noisy_linear", W: align.NoisyInput(res.NoiselessRecvIn, res.Composite, res.TPeak)},
+		{Name: "composite_noise", W: res.Composite.Shift(res.TPeak)},
+		{Name: "noiseless_nonlinear", W: goldenQuiet},
+		{Name: "noisy_nonlinear", W: goldenNoisy},
+	}
+	for k, p := range res.NoisePulses {
+		cols = append(cols, waveform.Column{
+			Name: "aggressor_" + string(rune('a'+k)), W: p,
+		})
+	}
+
+	w := os.Stdout
+	if *out != "" {
+		file, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer file.Close()
+		w = file
+	}
+	t0, t1 := waveform.Span(cols)
+	if err := waveform.WriteCSV(w, t0, t1, *points, cols); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("net %s: delay noise %.2f ps at tpeak %.1f ps (Rth %.0f -> Rtr %.0f ohm)",
+		names[idx], res.DelayNoise*1e12, res.TPeak*1e12, res.VictimRth, res.VictimRtr)
+}

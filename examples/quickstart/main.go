@@ -1,0 +1,81 @@
+// Quickstart: analyze the delay noise of one victim net with two
+// aggressors, comparing the traditional Thevenin holding resistance
+// against the paper's transient holding resistance, and validating both
+// against a full nonlinear simulation.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/rcnet"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	// 1. Technology and cell library (generic 0.18um-class, Vdd = 1.8 V).
+	tech := device.Default180()
+	lib := device.NewLibrary(tech)
+	cell := func(name string) *device.Cell {
+		c, err := lib.Cell(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+
+	// 2. Coupled interconnect: a victim line crossed by two aggressors
+	//    (the structure of the paper's Figure 1(a)).
+	net := rcnet.Build(rcnet.CoupledSpec{
+		Victim: rcnet.LineSpec{Name: "v", Segments: 6, RTotal: 400, CGround: 40e-15},
+		Aggressors: []rcnet.AggressorSpec{
+			{Line: rcnet.LineSpec{Name: "a0", Segments: 6, RTotal: 300, CGround: 30e-15},
+				CCouple: 25e-15, From: 0, To: 1},
+			{Line: rcnet.LineSpec{Name: "a1", Segments: 6, RTotal: 350, CGround: 35e-15},
+				CCouple: 18e-15, From: 0.4, To: 1},
+		},
+	})
+
+	// 3. Drivers and receiver: a moderate victim driver with a slow edge,
+	//    strong fast aggressors switching the opposite way.
+	c := &delaynoise.Case{
+		Net: net,
+		Victim: delaynoise.DriverSpec{
+			Cell: cell("INVX2"), InputSlew: 400e-12,
+			OutputRising: true, InputStart: 200e-12,
+		},
+		Aggressors: []delaynoise.DriverSpec{
+			{Cell: cell("INVX8"), InputSlew: 80e-12, OutputRising: false, InputStart: 450e-12},
+			{Cell: cell("INVX16"), InputSlew: 60e-12, OutputRising: false, InputStart: 520e-12},
+		},
+		Receiver:     cell("INVX2"),
+		ReceiverLoad: 15e-15,
+	}
+
+	// 4. Run the analysis with both holding models.
+	for _, hold := range []delaynoise.HoldModel{delaynoise.HoldThevenin, delaynoise.HoldTransient} {
+		res, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold:  hold,
+			Align: delaynoise.AlignExhaustive,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s hold: Rhold %6.0f ohm  pulse %.3f V / %.0f ps  delay noise %6.2f ps (quiet delay %.2f ps)\n",
+			hold, res.VictimRtr, res.Pulse.Height, res.Pulse.Width*1e12,
+			res.DelayNoise*1e12, res.QuietCombinedDelay*1e12)
+
+		// 5. Validate against the full nonlinear circuit at the same
+		//    aggressor alignment.
+		shifts := delaynoise.PeakShifts(res.NoisePeakTimes, res.TPeak)
+		golden, err := delaynoise.GoldenAtShifts(c, shifts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s       nonlinear reference at the same alignment: %6.2f ps\n",
+			"", golden.DelayNoise*1e12)
+	}
+}

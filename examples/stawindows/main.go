@@ -1,0 +1,79 @@
+// STA windows: the timing-window interaction of the paper's Section 1
+// (refs [8][9]). A three-net block is analyzed with the window/noise
+// fixpoint: the aggressor of net2 is gated by net0's switching window,
+// delay noise widens the windows, and the loop converges in a few
+// iterations.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/rcnet"
+	"repro/internal/sta"
+)
+
+func main() {
+	log.SetFlags(0)
+	tech := device.Default180()
+	lib := device.NewLibrary(tech)
+	cell := func(name string) *device.Cell {
+		c, err := lib.Cell(name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return c
+	}
+	mkCase := func(prefix, victim, agg, recv string) *delaynoise.Case {
+		net := rcnet.Build(rcnet.CoupledSpec{
+			Victim: rcnet.LineSpec{Name: prefix + ".v", Segments: 5, RTotal: 350, CGround: 35e-15},
+			Aggressors: []rcnet.AggressorSpec{
+				{Line: rcnet.LineSpec{Name: prefix + ".a", Segments: 5, RTotal: 250, CGround: 30e-15},
+					CCouple: 28e-15, From: 0, To: 1},
+			},
+		})
+		return &delaynoise.Case{
+			Net: net,
+			Victim: delaynoise.DriverSpec{Cell: cell(victim), InputSlew: 300e-12,
+				OutputRising: true, InputStart: 200e-12},
+			Aggressors: []delaynoise.DriverSpec{
+				{Cell: cell(agg), InputSlew: 80e-12, OutputRising: false, InputStart: 400e-12},
+			},
+			Receiver:     cell(recv),
+			ReceiverLoad: 10e-15,
+		}
+	}
+
+	block := &sta.Block{Nets: []sta.NetDef{
+		{
+			Name: "n0", Case: mkCase("n0", "INVX2", "INVX8", "INVX2"),
+			FanIn: -1, InputWindow: sta.Window{Lo: 200e-12, Hi: 320e-12},
+			AggWindows: []int{-1},
+		},
+		{
+			Name: "n1", Case: mkCase("n1", "INVX2", "INVX16", "INVX4"),
+			FanIn: 0, AggWindows: []int{-1},
+		},
+		{
+			Name: "n2", Case: mkCase("n2", "INVX4", "INVX16", "INVX2"),
+			FanIn: 1, AggWindows: []int{0}, // gated by n0's window
+		},
+	}}
+
+	res, err := sta.Analyze(block, sta.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("window/noise fixpoint: converged=%v after %d iterations (paper: very few needed)\n\n",
+		res.Converged, res.Iterations)
+	fmt.Printf("%-6s %-24s %-24s %-12s %-12s %-12s\n",
+		"net", "in window (ps)", "out window (ps)", "base(ps)", "noise(ps)", "constrained")
+	for _, n := range res.Nets {
+		fmt.Printf("%-6s [%8.1f, %8.1f]     [%8.1f, %8.1f]     %-12.2f %-12.2f %v\n",
+			n.Name, n.Window.Lo*1e12, n.Window.Hi*1e12,
+			n.OutWindow.Lo*1e12, n.OutWindow.Hi*1e12,
+			n.BaseDelay*1e12, n.DelayNoise*1e12, n.Constrained)
+	}
+}

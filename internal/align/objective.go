@@ -1,0 +1,259 @@
+package align
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/gatesim"
+	"repro/internal/waveform"
+)
+
+// Objective evaluates the paper's alignment objective: the delay through
+// the victim receiver gate, measured at the receiver *output* 50%
+// crossing. The receiver is simulated nonlinearly with the noisy
+// superposed waveform prescribed at its input (Figure 1(d)).
+type Objective struct {
+	Receiver *device.Cell
+	Load     float64 // receiver output load capacitance, F
+	// VictimRising is the direction of the noiseless victim transition at
+	// the receiver input; the output direction follows the receiver
+	// cell's polarity.
+	VictimRising bool
+}
+
+// outputRising returns the receiver output transition direction.
+func (o Objective) outputRising() bool {
+	return o.Receiver.OutputRisingFor(o.VictimRising)
+}
+
+// Vdd returns the supply of the receiver's technology.
+func (o Objective) Vdd() float64 { return o.Receiver.Tech.Vdd }
+
+// Output simulates the receiver with input waveform in and returns the
+// receiver output waveform.
+func (o Objective) Output(in *waveform.PWL) (*waveform.PWL, error) {
+	return gatesim.Receive(o.Receiver, in, o.Load, gatesim.Options{})
+}
+
+// OutputCross simulates the receiver with input waveform in and returns
+// the time of the final 50% crossing of the output transition.
+func (o Objective) OutputCross(in *waveform.PWL) (float64, error) {
+	out, err := o.Output(in)
+	if err != nil {
+		return 0, err
+	}
+	half := o.Vdd() / 2
+	if o.outputRising() {
+		return out.LastCrossRising(half)
+	}
+	// Delay is set by the last crossing: noise can cause multiple.
+	return out.LastCrossFalling(half)
+}
+
+// NoisyInput positions the noise pulse (peak at t = 0 by convention) so
+// its peak occurs at tPeak and superposes it on the noiseless input.
+func NoisyInput(noiseless, noise *waveform.PWL, tPeak float64) *waveform.PWL {
+	return waveform.Sum(noiseless, noise.Shift(tPeak))
+}
+
+// InputCross returns the final 50% crossing of the noisy waveform at the
+// receiver *input* — the interconnect-only delay objective the paper
+// argues against (used by the Fig 3 and Fig 14 baselines).
+func (o Objective) InputCross(in *waveform.PWL) (float64, error) {
+	half := o.Vdd() / 2
+	if o.VictimRising {
+		return in.LastCrossRising(half)
+	}
+	return in.LastCrossFalling(half)
+}
+
+// SearchWindow is the sweep range for exhaustive alignment searches,
+// derived from the noiseless transition and the pulse width.
+func SearchWindow(noiseless, noise *waveform.PWL, vdd float64, rising bool) (lo, hi float64, err error) {
+	var t5, t95 float64
+	if rising {
+		t5, err = noiseless.CrossRising(0.05 * vdd)
+		if err == nil {
+			t95, err = noiseless.CrossRising(0.95 * vdd)
+		}
+	} else {
+		t5, err = noiseless.CrossFalling(0.95 * vdd)
+		if err == nil {
+			t95, err = noiseless.CrossFalling(0.05 * vdd)
+		}
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("align: noiseless waveform has no full transition: %w", err)
+	}
+	p, err := Params(noise)
+	if err != nil {
+		return 0, 0, err
+	}
+	pad := 2 * p.Width
+	return t5 - pad, t95 + 2*pad, nil
+}
+
+// WorstResult is the outcome of an exhaustive alignment search.
+type WorstResult struct {
+	TPeak float64 // pulse-peak time of the worst case
+	TOut  float64 // receiver output 50% crossing at the worst case
+	// Va is the alignment voltage: the noiseless receiver-input value at
+	// TPeak (the quantity the pre-characterization tables store).
+	Va float64
+}
+
+// ExhaustiveWorst sweeps the pulse peak over the search window with nGrid
+// points plus two 5-point refinement passes, maximizing the receiver
+// output crossing time. This is the expensive search the paper's
+// pre-characterization replaces.
+func (o Objective) ExhaustiveWorst(noiseless, noise *waveform.PWL, nGrid int) (WorstResult, error) {
+	if nGrid < 5 {
+		nGrid = 5
+	}
+	lo, hi, err := SearchWindow(noiseless, noise, o.Vdd(), o.VictimRising)
+	if err != nil {
+		return WorstResult{}, err
+	}
+	eval := func(tp float64) (float64, error) {
+		return o.OutputCross(NoisyInput(noiseless, noise, tp))
+	}
+	bestT, bestOut := lo, math.Inf(-1)
+	var lastErr error
+	step := (hi - lo) / float64(nGrid-1)
+	for i := 0; i < nGrid; i++ {
+		tp := lo + float64(i)*step
+		out, err := eval(tp)
+		if err != nil {
+			lastErr = err // some alignments may never cross (pathological noise)
+			continue
+		}
+		if out > bestOut {
+			bestT, bestOut = tp, out
+		}
+	}
+	if math.IsInf(bestOut, -1) {
+		return WorstResult{}, fmt.Errorf("align: no alignment produced an output crossing (last: %w)", lastErr)
+	}
+	// Two refinement passes around the incumbent.
+	for pass := 0; pass < 2; pass++ {
+		step /= 2.5
+		for _, tp := range []float64{bestT - 2*step, bestT - step, bestT + step, bestT + 2*step} {
+			out, err := eval(tp)
+			if err != nil {
+				continue
+			}
+			if out > bestOut {
+				bestT, bestOut = tp, out
+			}
+		}
+	}
+	return WorstResult{TPeak: bestT, TOut: bestOut, Va: noiseless.At(bestT)}, nil
+}
+
+// ExhaustiveBest is the speed-up dual of ExhaustiveWorst: it sweeps the
+// pulse peak to *minimize* the receiver output crossing time. Same-
+// direction aggressors accelerate the victim transition; the minimum
+// bounds the early edge of downstream timing windows.
+func (o Objective) ExhaustiveBest(noiseless, noise *waveform.PWL, nGrid int) (WorstResult, error) {
+	if nGrid < 5 {
+		nGrid = 5
+	}
+	lo, hi, err := SearchWindow(noiseless, noise, o.Vdd(), o.VictimRising)
+	if err != nil {
+		return WorstResult{}, err
+	}
+	eval := func(tp float64) (float64, error) {
+		return o.OutputCross(NoisyInput(noiseless, noise, tp))
+	}
+	bestT, bestOut := lo, math.Inf(1)
+	var lastErr error
+	step := (hi - lo) / float64(nGrid-1)
+	for i := 0; i < nGrid; i++ {
+		tp := lo + float64(i)*step
+		out, err := eval(tp)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if out < bestOut {
+			bestT, bestOut = tp, out
+		}
+	}
+	if math.IsInf(bestOut, 1) {
+		return WorstResult{}, fmt.Errorf("align: no alignment produced an output crossing (last: %w)", lastErr)
+	}
+	for pass := 0; pass < 2; pass++ {
+		step /= 2.5
+		for _, tp := range []float64{bestT - 2*step, bestT - step, bestT + step, bestT + 2*step} {
+			out, err := eval(tp)
+			if err != nil {
+				continue
+			}
+			if out < bestOut {
+				bestT, bestOut = tp, out
+			}
+		}
+	}
+	return WorstResult{TPeak: bestT, TOut: bestOut, Va: noiseless.At(bestT)}, nil
+}
+
+// ReceiverInputSpeedup is the speed-up analog of ReceiverInputAlignment:
+// the pulse peak is placed where the noiseless transition reaches
+// Vdd/2 - Vp (rising victim, helping pulse), which maximizes the
+// interconnect-delay *decrease*.
+func ReceiverInputSpeedup(noiseless *waveform.PWL, height, vdd float64, rising bool) (float64, error) {
+	vp := math.Abs(height)
+	if rising {
+		target := vdd/2 - vp
+		_, min := noiseless.Min()
+		if target <= min {
+			target = min + 1e-9
+		}
+		return noiseless.CrossRising(target)
+	}
+	target := vdd/2 + vp
+	_, max := noiseless.Max()
+	if target >= max {
+		target = max - 1e-9
+	}
+	return noiseless.CrossFalling(target)
+}
+
+// ReceiverInputAlignment is the baseline alignment of refs [5][6]: the
+// composite pulse peak is placed where the noiseless transition reaches
+// Vdd/2 + Vp (rising victim; Vdd/2 - Vp falling), which maximizes the
+// *interconnect* delay alone. height is the signed pulse peak.
+func ReceiverInputAlignment(noiseless *waveform.PWL, height, vdd float64, rising bool) (float64, error) {
+	vp := math.Abs(height)
+	if rising {
+		target := vdd/2 + vp
+		_, max := noiseless.Max()
+		if target >= max {
+			// The pulse is taller than the remaining swing; latest useful
+			// point is just before the transition completes.
+			target = max - 1e-9
+		}
+		return noiseless.CrossRising(target)
+	}
+	target := vdd/2 - vp
+	_, min := noiseless.Min()
+	if target <= min {
+		target = min + 1e-9
+	}
+	return noiseless.CrossFalling(target)
+}
+
+// DelayNoise evaluates the extra combined delay caused by the noise pulse
+// at a given alignment: output crossing with noise minus without.
+func (o Objective) DelayNoise(noiseless, noise *waveform.PWL, tPeak float64) (float64, error) {
+	quiet, err := o.OutputCross(noiseless)
+	if err != nil {
+		return 0, fmt.Errorf("align: noiseless receiver sim: %w", err)
+	}
+	noisy, err := o.OutputCross(NoisyInput(noiseless, noise, tPeak))
+	if err != nil {
+		return 0, fmt.Errorf("align: noisy receiver sim: %w", err)
+	}
+	return noisy - quiet, nil
+}

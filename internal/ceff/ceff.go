@@ -1,0 +1,134 @@
+// Package ceff implements effective-capacitance iterations (paper refs
+// [3][4]): the lumped load a driver "sees" is reduced below the total net
+// capacitance by resistive shielding. The iteration alternates between
+// fitting a Thevenin model at the current Ceff and matching the charge
+// the model delivers into the real RC network against the charge it would
+// deliver into the lumped load, up to the driver-output 50% crossing.
+package ceff
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/lsim"
+	"repro/internal/mna"
+	"repro/internal/netlist"
+	"repro/internal/thevenin"
+)
+
+// Result bundles the converged effective load and its Thevenin model.
+type Result struct {
+	Ceff       float64
+	Model      thevenin.Model
+	CTotal     float64
+	Iterations int
+}
+
+// Options tune the iteration.
+type Options struct {
+	Tol     float64 // relative Ceff convergence tolerance (default 1%)
+	MaxIter int     // iteration cap (default 10)
+}
+
+func (o *Options) defaults() {
+	if o.Tol == 0 {
+		o.Tol = 0.01
+	}
+	if o.MaxIter == 0 {
+		o.MaxIter = 10
+	}
+}
+
+// Compute runs C-effective iterations for cell driving the net at
+// driveNode with the given input slew/direction. The net must not contain
+// a driver at driveNode (the Thevenin model is added internally).
+func Compute(cell *device.Cell, inSlew float64, inRising bool, net *netlist.Circuit, driveNode string, opt Options) (Result, error) {
+	opt.defaults()
+	cTotal := totalNetCap(net)
+	if cTotal <= 0 {
+		return Result{}, fmt.Errorf("ceff: net has no capacitance")
+	}
+	vdd := cell.Tech.Vdd
+	ceff := cTotal
+	var model thevenin.Model
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		m, _, err := thevenin.Fit(cell, inSlew, inRising, ceff)
+		if err != nil {
+			return Result{}, fmt.Errorf("ceff: iteration %d: %w", iter, err)
+		}
+		model = m
+		// Simulate the Thevenin model driving the full net and measure
+		// the charge delivered up to the driver-output 50% crossing.
+		ckt := net.Clone()
+		ckt.AddDriver("__drv", driveNode, m.SourceWaveform(), m.Rth)
+		sys, err := mna.Build(ckt)
+		if err != nil {
+			return Result{}, fmt.Errorf("ceff: %w", err)
+		}
+		horizon := m.T0 + m.Dt + 30*m.Rth*cTotal
+		res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: horizon / 3000, InitDC: true})
+		if err != nil {
+			return Result{}, fmt.Errorf("ceff: %w", err)
+		}
+		vOut, err := res.Voltage(driveNode)
+		if err != nil {
+			return Result{}, err
+		}
+		var t50 float64
+		if m.Rising {
+			t50, err = vOut.CrossRising(vdd / 2)
+		} else {
+			t50, err = vOut.CrossFalling(vdd / 2)
+		}
+		if err != nil {
+			// The driver never got the net to 50%: no shielding estimate
+			// possible; keep the total cap.
+			ceff = cTotal
+			break
+		}
+		// Charge into the net through Rth up to t50: integral of
+		// (Vsrc - Vout)/Rth. For a falling output the delivered charge is
+		// negative; use its magnitude.
+		src := m.SourceWaveform()
+		diff := src.Resample(res.Times[0], t50, 1500)
+		q := 0.0
+		for i := 1; i < diff.Len(); i++ {
+			tA, tB := diff.T[i-1], diff.T[i]
+			iA := (diff.V[i-1] - vOut.At(tA)) / m.Rth
+			iB := (diff.V[i] - vOut.At(tB)) / m.Rth
+			q += 0.5 * (iA + iB) * (tB - tA)
+		}
+		// The lumped model at its own 50% crossing has delivered
+		// Ceff * Vdd/2 of charge (plus the same sign convention).
+		next := math.Abs(q) / (vdd / 2)
+		if next > cTotal {
+			next = cTotal
+		}
+		if next < 1e-18 {
+			next = 1e-18
+		}
+		if math.Abs(next-ceff) <= opt.Tol*ceff {
+			return Result{Ceff: next, Model: model, CTotal: cTotal, Iterations: iter}, nil
+		}
+		ceff = next
+	}
+	// Return the last iterate even if the tolerance was not met: the
+	// remaining error is small in practice and the caller's flow iterates
+	// further anyway.
+	m, _, err := thevenin.Fit(cell, inSlew, inRising, ceff)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Ceff: ceff, Model: m, CTotal: cTotal, Iterations: opt.MaxIter}, nil
+}
+
+// totalNetCap sums all capacitance in the net (grounded and coupling),
+// the standard pessimistic lumped value used to start the iteration.
+func totalNetCap(net *netlist.Circuit) float64 {
+	s := 0.0
+	for _, c := range net.Capacitors {
+		s += c.C
+	}
+	return s
+}

@@ -1,0 +1,146 @@
+package clarinet
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/funcnoise"
+	"repro/internal/workload"
+)
+
+func population(t *testing.T, n int) ([]string, []*delaynoise.Case, *device.Library) {
+	t.Helper()
+	lib := device.NewLibrary(device.Default180())
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), 31)
+	cases, err := gen.Population(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = workload.FromCase("", cases[i]).Name // placeholder
+		names[i] = "net" + string(rune('a'+i))
+	}
+	return names, cases, lib
+}
+
+func TestAnalyzeAllOrderAndReport(t *testing.T) {
+	names, cases, lib := population(t, 4)
+	tool := New(lib, Config{
+		Hold:  delaynoise.HoldTransient,
+		Align: delaynoise.AlignReceiverInput,
+	})
+	reports := tool.AnalyzeAll(names, cases)
+	if len(reports) != 4 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for i, r := range reports {
+		if r.Name != names[i] {
+			t.Fatalf("report %d order broken: %s vs %s", i, r.Name, names[i])
+		}
+		if r.Err != nil {
+			t.Fatalf("net %s failed: %v", r.Name, r.Err)
+		}
+		if r.Res.DelayNoise == 0 {
+			t.Errorf("net %s has zero delay noise", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, reports)
+	out := buf.String()
+	if !strings.Contains(out, "net") || !strings.Contains(out, "Rtr") {
+		t.Fatalf("report missing columns:\n%s", out)
+	}
+	for _, n := range names {
+		if !strings.Contains(out, n) {
+			t.Fatalf("report missing net %s", n)
+		}
+	}
+}
+
+func TestPrecharTableCache(t *testing.T) {
+	names, cases, lib := population(t, 2)
+	// Force both cases to the same receiver so the table is shared.
+	cases[1].Receiver = cases[0].Receiver
+	cases[1].Victim.OutputRising = cases[0].Victim.OutputRising
+	cases[1].Aggressors[0].OutputRising = !cases[1].Victim.OutputRising
+	tool := New(lib, Config{
+		Hold:  delaynoise.HoldTransient,
+		Align: delaynoise.AlignPrechar,
+		// Small grid to keep the test fast.
+		PrecharGrid: 9,
+	})
+	reports := tool.AnalyzeAll(names[:2], cases[:2])
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("net %s: %v", r.Name, r.Err)
+		}
+	}
+	if len(tool.tables) != 1 {
+		t.Fatalf("expected 1 cached table, got %d", len(tool.tables))
+	}
+}
+
+func TestJSONRoundTripThroughTool(t *testing.T) {
+	names, cases, lib := population(t, 2)
+	var buf bytes.Buffer
+	if err := workload.Save(&buf, "generic-180nm", names, cases); err != nil {
+		t.Fatal(err)
+	}
+	names2, cases2, err := workload.Load(&buf, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cases2) != 2 || names2[0] != names[0] {
+		t.Fatal("round trip lost cases")
+	}
+	if cases2[0].Victim.Cell.Name != cases[0].Victim.Cell.Name {
+		t.Fatal("victim cell changed")
+	}
+	if cases2[0].Net.VictimIn != cases[0].Net.VictimIn {
+		t.Fatal("interconnect changed")
+	}
+}
+
+func TestWriteReportWithFailures(t *testing.T) {
+	reports := []NetReport{
+		{Name: "bad", Err: context.DeadlineExceeded},
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, reports)
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Fatalf("failure not reported:\n%s", buf.String())
+	}
+}
+
+func TestFunctionalAllAndReport(t *testing.T) {
+	names, cases, lib := population(t, 2)
+	tool := New(lib, Config{})
+	reports := tool.FunctionalAll(names, cases, funcnoise.Options{})
+	if len(reports) != 2 {
+		t.Fatalf("got %d reports", len(reports))
+	}
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+		if r.Res.RHold <= 0 {
+			t.Fatalf("%s: bad hold resistance", r.Name)
+		}
+	}
+	var buf bytes.Buffer
+	WriteFuncReport(&buf, reports)
+	out := buf.String()
+	if !strings.Contains(out, "glitch") || !strings.Contains(out, names[0]) {
+		t.Fatalf("func report malformed:\n%s", out)
+	}
+	// Error rendering.
+	WriteFuncReport(&buf, []FuncReport{{Name: "x", Err: context.Canceled}})
+	if !strings.Contains(buf.String(), "ERROR") {
+		t.Fatal("func report missing error line")
+	}
+}

@@ -1,0 +1,106 @@
+// Package core is the top-level entry point of the library: a facade
+// over the paper's primary contribution (the transient holding
+// resistance of Section 2 and the worst-case alignment of Section 3,
+// implemented in internal/holdres, internal/align and orchestrated by
+// internal/delaynoise) with the defaults a downstream user wants.
+//
+// The underlying packages remain fully usable for fine-grained control;
+// this package only removes boilerplate for the common flows:
+//
+//	an := core.NewAnalyzer(nil)          // default 0.18um technology
+//	res, err := an.DelayNoise(c)         // paper's full flow on one net
+//	gold, err := an.Reference(c, res)    // nonlinear validation
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/align"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+)
+
+// Analyzer bundles a technology, its cell library, the default analysis
+// options, and a cache of alignment tables.
+type Analyzer struct {
+	Tech *device.Technology
+	Lib  *device.Library
+	Opt  delaynoise.Options
+
+	mu     sync.Mutex
+	tables map[string]*align.Table
+}
+
+// NewAnalyzer builds an analyzer. A nil technology selects the default
+// 0.18 um-class process. The default options run the paper's flow: the
+// transient holding resistance with exhaustive receiver-output alignment.
+func NewAnalyzer(tech *device.Technology) *Analyzer {
+	if tech == nil {
+		tech = device.Default180()
+	}
+	return &Analyzer{
+		Tech: tech,
+		Lib:  device.NewLibrary(tech),
+		Opt: delaynoise.Options{
+			Hold:  delaynoise.HoldTransient,
+			Align: delaynoise.AlignExhaustive,
+		},
+		tables: map[string]*align.Table{},
+	}
+}
+
+// Cell resolves a library cell by name.
+func (a *Analyzer) Cell(name string) (*device.Cell, error) {
+	return a.Lib.Cell(name)
+}
+
+// DelayNoise runs the paper's full per-net flow: driver characterization
+// (C-effective + Thevenin), linear superposition with the transient
+// holding resistance, and worst-case aggressor alignment against the
+// combined interconnect + receiver delay.
+func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
+	opt := a.Opt
+	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
+		tab, err := a.Table(c.Receiver, c.Victim.OutputRising)
+		if err != nil {
+			return nil, err
+		}
+		opt.Table = tab
+	}
+	return delaynoise.Analyze(c, opt)
+}
+
+// Baseline runs the traditional flow (Thevenin holding resistance) for
+// comparison.
+func (a *Analyzer) Baseline(c *delaynoise.Case) (*delaynoise.Result, error) {
+	opt := a.Opt
+	opt.Hold = delaynoise.HoldThevenin
+	return delaynoise.Analyze(c, opt)
+}
+
+// Reference validates an analysis against the full nonlinear circuit at
+// the alignment the analysis chose.
+func (a *Analyzer) Reference(c *delaynoise.Case, res *delaynoise.Result) (*delaynoise.GoldenResult, error) {
+	return delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(res.NoisePeakTimes, res.TPeak))
+}
+
+// Table returns (building and caching on first use) the 8-point
+// alignment pre-characterization of a receiver cell.
+func (a *Analyzer) Table(recv *device.Cell, victimRising bool) (*align.Table, error) {
+	key := fmt.Sprintf("%s/%v", recv.Name, victimRising)
+	a.mu.Lock()
+	tab, ok := a.tables[key]
+	a.mu.Unlock()
+	if ok {
+		return tab, nil
+	}
+	tab, err := align.Precharacterize(recv, victimRising, align.DefaultConfig(recv.Tech))
+	if err != nil {
+		return nil, err
+	}
+	a.mu.Lock()
+	a.tables[key] = tab
+	a.mu.Unlock()
+	return tab, nil
+}

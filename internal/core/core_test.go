@@ -1,0 +1,107 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/delaynoise"
+	"repro/internal/rcnet"
+)
+
+func smallCase(t *testing.T, a *Analyzer) *delaynoise.Case {
+	t.Helper()
+	cell := func(n string) *delaynoise.DriverSpec {
+		c, err := a.Cell(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &delaynoise.DriverSpec{Cell: c}
+	}
+	net := rcnet.Build(rcnet.CoupledSpec{
+		Victim: rcnet.LineSpec{Name: "v", Segments: 4, RTotal: 350, CGround: 30e-15},
+		Aggressors: []rcnet.AggressorSpec{
+			{Line: rcnet.LineSpec{Name: "a", Segments: 4, RTotal: 250, CGround: 25e-15}, CCouple: 28e-15, From: 0, To: 1},
+		},
+	})
+	vic := cell("INVX2")
+	vic.InputSlew, vic.OutputRising, vic.InputStart = 300e-12, true, 200e-12
+	agg := cell("INVX8")
+	agg.InputSlew, agg.OutputRising, agg.InputStart = 80e-12, false, 400e-12
+	recv, err := a.Cell("INVX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &delaynoise.Case{
+		Net:          net,
+		Victim:       *vic,
+		Aggressors:   []delaynoise.DriverSpec{*agg},
+		Receiver:     recv,
+		ReceiverLoad: 10e-15,
+	}
+}
+
+func TestAnalyzerDefaults(t *testing.T) {
+	a := NewAnalyzer(nil)
+	if a.Tech.Vdd != 1.8 {
+		t.Fatalf("default Vdd = %v", a.Tech.Vdd)
+	}
+	if a.Opt.Hold != delaynoise.HoldTransient || a.Opt.Align != delaynoise.AlignExhaustive {
+		t.Fatal("defaults should run the paper's flow")
+	}
+	if _, err := a.Cell("INVX4"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Cell("NOPE"); err == nil {
+		t.Fatal("expected error for unknown cell")
+	}
+}
+
+func TestDelayNoiseVsBaselineVsReference(t *testing.T) {
+	a := NewAnalyzer(nil)
+	c := smallCase(t, a)
+	ours, err := a.DelayNoise(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := a.Baseline(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.VictimRtr != base.VictimRth {
+		t.Fatal("baseline must keep the Thevenin holding resistance")
+	}
+	gold, err := a.Reference(c, ours)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gold.DelayNoise <= 0 {
+		t.Fatalf("reference delay noise %v", gold.DelayNoise)
+	}
+	errOurs := math.Abs(ours.DelayNoise - gold.DelayNoise)
+	errBase := math.Abs(base.DelayNoise - gold.DelayNoise)
+	if errOurs > errBase {
+		t.Errorf("facade flow (%v) should not be worse than baseline (%v)", errOurs, errBase)
+	}
+}
+
+func TestTableCache(t *testing.T) {
+	a := NewAnalyzer(nil)
+	recv, err := a.Cell("INVX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t1, err := a.Table(recv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t2, err := a.Table(recv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if t1 != t2 {
+		t.Fatal("table not cached")
+	}
+	if t1.NumPoints() != 8 {
+		t.Fatalf("table has %d points", t1.NumPoints())
+	}
+}

@@ -1,0 +1,283 @@
+package delaynoise
+
+import (
+	"fmt"
+
+	"repro/internal/ceff"
+	"repro/internal/gatesim"
+	"repro/internal/holdres"
+	"repro/internal/lsim"
+	"repro/internal/mna"
+	"repro/internal/mor"
+	"repro/internal/netlist"
+	"repro/internal/thevenin"
+	"repro/internal/waveform"
+)
+
+// driverChar is a characterized driver: its effective load and Thevenin
+// model, with the model's time base shifted to the driver's actual input
+// start time.
+type driverChar struct {
+	spec  DriverSpec
+	ceff  float64
+	model thevenin.Model
+}
+
+// engine carries the per-case state of one analysis.
+type engine struct {
+	c   *Case
+	opt Options
+
+	interconnect *netlist.Circuit // loaded with receiver caps
+	victim       driverChar
+	aggs         []driverChar
+
+	horizon float64
+	step    float64
+}
+
+// newEngine validates the case and runs the two-pass driver
+// characterization: a rough lumped-load Thevenin fit for every driver,
+// then C-effective iterations for each driver with all other drivers
+// held by their rough resistances.
+func newEngine(c *Case, opt Options) (*engine, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	e := &engine{c: c, opt: opt, interconnect: c.loadedInterconnect()}
+
+	// Pass 1: rough lumped fits.
+	type rough struct {
+		rth  float64
+		lump float64
+	}
+	vdd := c.vdd()
+	roughOf := func(spec DriverSpec, lump float64) (rough, error) {
+		m, _, err := thevenin.Fit(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), lump)
+		if err != nil {
+			return rough{}, err
+		}
+		return rough{rth: m.Rth, lump: lump}, nil
+	}
+	vLump := c.Net.VictimTotalCap() + c.Receiver.InputCap()
+	vRough, err := roughOf(c.Victim, vLump)
+	if err != nil {
+		return nil, fmt.Errorf("delaynoise: victim rough fit: %w", err)
+	}
+	aRough := make([]rough, len(c.Aggressors))
+	for k, a := range c.Aggressors {
+		spec := c.Net.Spec.Aggressors[k]
+		lump := spec.Line.CGround + spec.CCouple + c.aggLoad()
+		aRough[k], err = roughOf(a, lump)
+		if err != nil {
+			return nil, fmt.Errorf("delaynoise: aggressor %d rough fit: %w", k, err)
+		}
+	}
+
+	// Pass 2: C-effective per driver with the others held.
+	holdOthers := func(skipVictim bool, skipAgg int) *netlist.Circuit {
+		ckt := e.interconnect.Clone()
+		if !skipVictim {
+			ckt.AddDriver("__holdv", c.Net.VictimIn,
+				waveform.Constant(c.Victim.initialOutput(vdd)), vRough.rth)
+		}
+		for k := range c.Aggressors {
+			if k == skipAgg {
+				continue
+			}
+			ckt.AddDriver(fmt.Sprintf("__holda%d", k), c.Net.AggIn[k],
+				waveform.Constant(c.Aggressors[k].initialOutput(vdd)), aRough[k].rth)
+		}
+		return ckt
+	}
+	charOf := func(spec DriverSpec, net *netlist.Circuit, node string) (driverChar, error) {
+		res, err := ceff.Compute(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), net, node, ceff.Options{})
+		if err != nil {
+			return driverChar{}, err
+		}
+		m := res.Model
+		// Shift the model time base from the characterization frame to
+		// the driver's actual input start.
+		m.T0 += spec.InputStart - gatesim.InputStart
+		return driverChar{spec: spec, ceff: res.Ceff, model: m}, nil
+	}
+	e.victim, err = charOf(c.Victim, holdOthers(true, -1), c.Net.VictimIn)
+	if err != nil {
+		return nil, fmt.Errorf("delaynoise: victim characterization: %w", err)
+	}
+	e.aggs = make([]driverChar, len(c.Aggressors))
+	for k, a := range c.Aggressors {
+		e.aggs[k], err = charOf(a, holdOthers(false, k), c.Net.AggIn[k])
+		if err != nil {
+			return nil, fmt.Errorf("delaynoise: aggressor %d characterization: %w", k, err)
+		}
+	}
+
+	// Simulation horizon: past every transition plus a settling tail.
+	end := e.victim.model.T0 + e.victim.model.Dt
+	for _, a := range e.aggs {
+		if t := a.model.T0 + a.model.Dt; t > end {
+			end = t
+		}
+	}
+	tail := 25 * e.victim.model.Rth * vLump
+	if tail < 1.5e-9 {
+		tail = 1.5e-9
+	}
+	e.horizon = end + tail
+	e.step = opt.Step
+	return e, nil
+}
+
+// probeSet is the list of nodes every linear run records.
+func (e *engine) probes() []string {
+	return []string{e.c.Net.VictimIn, e.c.sink()}
+}
+
+// runLinear simulates a fully assembled linear circuit and returns the
+// waveforms at the standard probe nodes, optionally through a PRIMA
+// reduction.
+func (e *engine) runLinear(ckt *netlist.Circuit) (map[string]*waveform.PWL, error) {
+	return e.runLinearProbes(ckt, e.probes())
+}
+
+// runLinearProbes is runLinear with an explicit probe list.
+func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[string]*waveform.PWL, error) {
+	sys, err := mna.Build(ckt)
+	if err != nil {
+		return nil, err
+	}
+	opt := lsim.Options{TStop: e.horizon, Step: e.step, InitDC: true}
+	out := map[string]*waveform.PWL{}
+	if q := e.opt.PRIMAOrder; q > 0 && q < sys.NumStates() {
+		rom, err := mor.Reduce(sys, q)
+		if err != nil {
+			return nil, err
+		}
+		// PRIMA matches the first block moment, so the DC point of the
+		// reduced system projects exactly onto the full DC solution; the
+		// reduced InitDC start is therefore exact for these circuits.
+		res, err := rom.Run(opt)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range probes {
+			w, err := res.Voltage(p)
+			if err != nil {
+				return nil, err
+			}
+			out[p] = w
+		}
+		return out, nil
+	}
+	res, err := lsim.Run(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	for _, p := range probes {
+		w, err := res.Voltage(p)
+		if err != nil {
+			return nil, err
+		}
+		out[p] = w
+	}
+	return out, nil
+}
+
+// aggressorNoise runs the superposition simulation for aggressor k: its
+// Thevenin source transitions while the victim is held by rHoldVictim and
+// every other aggressor by its own Thevenin resistance. It returns the
+// noise (deviation from DC) at the receiver input and the victim driver
+// output.
+func (e *engine) aggressorNoise(k int, rHoldVictim float64) (recvIn, drvOut *waveform.PWL, err error) {
+	c := e.c
+	vdd := c.vdd()
+	ckt := e.interconnect.Clone()
+	ckt.AddDriver("__agg", c.Net.AggIn[k], e.aggs[k].model.SourceWaveform(), e.aggs[k].model.Rth)
+	ckt.AddDriver("__vic", c.Net.VictimIn,
+		waveform.Constant(c.Victim.initialOutput(vdd)), rHoldVictim)
+	for j := range e.aggs {
+		if j == k {
+			continue
+		}
+		ckt.AddDriver(fmt.Sprintf("__hold%d", j), c.Net.AggIn[j],
+			waveform.Constant(c.Aggressors[j].initialOutput(vdd)), e.aggs[j].model.Rth)
+	}
+	ws, err := e.runLinear(ckt)
+	if err != nil {
+		return nil, nil, fmt.Errorf("delaynoise: aggressor %d sim: %w", k, err)
+	}
+	recvIn = deviation(ws[c.sink()])
+	drvOut = deviation(ws[c.Net.VictimIn])
+	return recvIn, drvOut, nil
+}
+
+// victimNoiseless runs the victim-switching superposition simulation (all
+// aggressors held) and returns the noiseless waveforms at the receiver
+// input and victim driver output. With Options.AggressorTransient set,
+// the aggressor holding resistances are upgraded to transient values —
+// the extension the paper sketches at the end of Section 1 ("the
+// proposed approach can also be extended to the shorted aggressor driver
+// models"): the victim's own transition injects noise on the aggressor
+// nets, and the aggregate Thevenin resistance misrepresents how the
+// aggressor drivers absorb it, which feeds back into the victim waveform
+// through the coupling.
+func (e *engine) victimNoiseless() (recvIn, drvOut *waveform.PWL, err error) {
+	rHolds := make([]float64, len(e.aggs))
+	for j := range e.aggs {
+		rHolds[j] = e.aggs[j].model.Rth
+	}
+	recvIn, drvOut, aggOuts, err := e.victimNoiselessWith(rHolds)
+	if err != nil {
+		return nil, nil, err
+	}
+	if !e.opt.AggressorTransient {
+		return recvIn, drvOut, nil
+	}
+	// Upgrade each aggressor's holding resistance from the noise the
+	// victim injected on it, then re-run once (the same single extra
+	// iteration the victim-side flow uses).
+	for j := range e.aggs {
+		spec := e.aggs[j].spec
+		vn := aggOuts[j].Shift(gatesim.InputStart - spec.InputStart)
+		hr, err := holdres.Compute(spec.Cell, spec.InputSlew,
+			spec.Cell.InputRisingFor(spec.OutputRising),
+			e.aggs[j].ceff, e.aggs[j].model.Rth, vn)
+		if err != nil {
+			return nil, nil, fmt.Errorf("delaynoise: aggressor %d transient hold: %w", j, err)
+		}
+		rHolds[j] = hr.Rtr
+	}
+	recvIn, drvOut, _, err = e.victimNoiselessWith(rHolds)
+	return recvIn, drvOut, err
+}
+
+// victimNoiselessWith runs the victim-switching simulation with explicit
+// aggressor holding resistances and additionally returns the noise each
+// aggressor driver output sees (deviation waveforms, one per aggressor).
+func (e *engine) victimNoiselessWith(rHolds []float64) (recvIn, drvOut *waveform.PWL, aggOuts []*waveform.PWL, err error) {
+	c := e.c
+	vdd := c.vdd()
+	ckt := e.interconnect.Clone()
+	ckt.AddDriver("__vic", c.Net.VictimIn, e.victim.model.SourceWaveform(), e.victim.model.Rth)
+	for j := range e.aggs {
+		ckt.AddDriver(fmt.Sprintf("__hold%d", j), c.Net.AggIn[j],
+			waveform.Constant(c.Aggressors[j].initialOutput(vdd)), rHolds[j])
+	}
+	ws, err := e.runLinearProbes(ckt, append(e.probes(), c.Net.AggIn...))
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("delaynoise: victim sim: %w", err)
+	}
+	aggOuts = make([]*waveform.PWL, len(c.Net.AggIn))
+	for j, node := range c.Net.AggIn {
+		aggOuts[j] = deviation(ws[node])
+	}
+	return ws[c.sink()], ws[c.Net.VictimIn], aggOuts, nil
+}
+
+// deviation subtracts the waveform's initial value, turning an
+// absolute-level simulation into a noise (delta) waveform.
+func deviation(w *waveform.PWL) *waveform.PWL {
+	return w.Offset(-w.At(w.Start()))
+}

@@ -1,0 +1,78 @@
+package delaynoise
+
+import (
+	"math"
+	"testing"
+)
+
+// speedupCase is the testCase with the aggressor switching the SAME
+// direction as the victim, so its pulse accelerates the transition.
+func speedupCase(t testing.TB) *Case {
+	c := testCase(t)
+	c.Aggressors[0].OutputRising = c.Victim.OutputRising
+	return c
+}
+
+func TestSpeedupNoiseNegative(t *testing.T) {
+	c := speedupCase(t)
+	res, err := Analyze(c, Options{
+		Hold: HoldThevenin, Align: AlignExhaustive, Minimize: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.DelayNoise >= 0 {
+		t.Fatalf("speed-up delay noise %v must be negative", res.DelayNoise)
+	}
+	// The helping pulse has the victim's polarity.
+	if res.Pulse.Height <= 0 {
+		t.Fatalf("helping pulse height %v should be positive on a rising victim", res.Pulse.Height)
+	}
+	// Golden validation at the same alignment.
+	golden, err := GoldenAtShifts(c, PeakShifts(res.NoisePeakTimes, res.TPeak))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if golden.DelayNoise >= 0 {
+		t.Fatalf("golden speed-up %v must be negative", golden.DelayNoise)
+	}
+}
+
+func TestSpeedupBaselineNotBetterThanExhaustive(t *testing.T) {
+	c := speedupCase(t)
+	exh, err := Analyze(c, Options{Hold: HoldThevenin, Align: AlignExhaustive, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := Analyze(c, Options{Hold: HoldThevenin, Align: AlignReceiverInput, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Exhaustive minimization must find at least as much speed-up.
+	if base.DelayNoise < exh.DelayNoise-1e-13 {
+		t.Fatalf("baseline speed-up (%v) beat exhaustive (%v)", base.DelayNoise, exh.DelayNoise)
+	}
+}
+
+func TestSpeedupMagnitudeComparableToSlowdown(t *testing.T) {
+	slow, err := Analyze(testCase(t), Options{Hold: HoldThevenin, Align: AlignExhaustive})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := Analyze(speedupCase(t), Options{Hold: HoldThevenin, Align: AlignExhaustive, Minimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := math.Abs(fast.DelayNoise) / slow.DelayNoise
+	if ratio < 0.2 || ratio > 3 {
+		t.Fatalf("speed-up/slow-down ratio %v implausible (%v vs %v)",
+			ratio, fast.DelayNoise, slow.DelayNoise)
+	}
+}
+
+func TestPrecharRejectsMinimize(t *testing.T) {
+	c := speedupCase(t)
+	if _, err := Analyze(c, Options{Align: AlignPrechar, Minimize: true}); err == nil {
+		t.Fatal("expected error for prechar + minimize")
+	}
+}

@@ -1,0 +1,133 @@
+package device
+
+import (
+	"testing"
+)
+
+func TestLibraryContents(t *testing.T) {
+	lib := NewLibrary(Default180())
+	for _, name := range []string{"INVX1", "INVX4", "NAND2X1", "NOR2X1", "INVX2P"} {
+		if _, err := lib.Cell(name); err != nil {
+			t.Errorf("missing cell %s: %v", name, err)
+		}
+	}
+	if _, err := lib.Cell("XYZ"); err == nil {
+		t.Error("expected error for unknown cell")
+	}
+	names := lib.Names()
+	if len(names) != len(lib.Cells) {
+		t.Fatalf("Names() returned %d, have %d cells", len(names), len(lib.Cells))
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Fatal("Names() not sorted")
+		}
+	}
+}
+
+func TestInverterTopology(t *testing.T) {
+	tech := Default180()
+	inv := Inverter(tech, "inv", 1e-6, 2e-6)
+	if len(inv.FETs) != 2 {
+		t.Fatalf("inverter has %d FETs", len(inv.FETs))
+	}
+	if n := inv.InternalNodes(); len(n) != 0 {
+		t.Fatalf("inverter should have no internal nodes, got %v", n)
+	}
+	// Input cap = (Wn + Wp) * CgPerW.
+	want := tech.N.CgPerW*1e-6 + tech.P.CgPerW*2e-6
+	if got := inv.InputCap(); got != want {
+		t.Fatalf("InputCap = %g, want %g", got, want)
+	}
+	if inv.OutputCap() <= 0 {
+		t.Fatal("OutputCap must be positive")
+	}
+}
+
+func TestNAND2Topology(t *testing.T) {
+	tech := Default180()
+	nd := NAND2(tech, "nd", 1e-6, 1e-6)
+	if len(nd.FETs) != 4 {
+		t.Fatalf("NAND2 has %d FETs", len(nd.FETs))
+	}
+	internals := nd.InternalNodes()
+	if len(internals) != 1 || internals[0] != "mid" {
+		t.Fatalf("NAND2 internal nodes = %v", internals)
+	}
+	// Only the switching input's gate cap counts toward InputCap.
+	want := tech.N.CgPerW*1e-6 + tech.P.CgPerW*1e-6
+	if got := nd.InputCap(); got != want {
+		t.Fatalf("InputCap = %g, want %g", got, want)
+	}
+}
+
+func TestNOR2Topology(t *testing.T) {
+	tech := Default180()
+	nr := NOR2(tech, "nr", 1e-6, 4e-6)
+	if len(nr.FETs) != 4 {
+		t.Fatalf("NOR2 has %d FETs", len(nr.FETs))
+	}
+	if internals := nr.InternalNodes(); len(internals) != 1 {
+		t.Fatalf("NOR2 internal nodes = %v", internals)
+	}
+}
+
+func TestLibraryDriveStrengthOrdering(t *testing.T) {
+	lib := NewLibrary(Default180())
+	x1, _ := lib.Cell("INVX1")
+	x4, _ := lib.Cell("INVX4")
+	if x4.InputCap() <= x1.InputCap() {
+		t.Fatal("INVX4 should present more input cap than INVX1")
+	}
+	if x4.FETs[0].W <= x1.FETs[0].W {
+		t.Fatal("INVX4 devices should be wider")
+	}
+}
+
+func TestBufferPolarity(t *testing.T) {
+	tech := Default180()
+	buf := Buffer(tech, "buf", 1e-6, 2e-6, 4e-6, 8e-6)
+	if buf.IsInverting() {
+		t.Fatal("buffer must be non-inverting")
+	}
+	if !buf.OutputRisingFor(true) || buf.OutputRisingFor(false) {
+		t.Fatal("buffer output must follow input")
+	}
+	if !buf.InputRisingFor(true) {
+		t.Fatal("buffer input direction must follow output")
+	}
+	if n := buf.InternalNodes(); len(n) != 1 || n[0] != "x" {
+		t.Fatalf("buffer internal nodes = %v", n)
+	}
+}
+
+func TestInverterPolarityHelpers(t *testing.T) {
+	tech := Default180()
+	inv := Inverter(tech, "inv", 1e-6, 2e-6)
+	if !inv.IsInverting() {
+		t.Fatal("inverter must invert")
+	}
+	if inv.OutputRisingFor(true) || !inv.OutputRisingFor(false) {
+		t.Fatal("inverter output must oppose input")
+	}
+	if inv.InputRisingFor(true) {
+		t.Fatal("rising inverter output needs falling input")
+	}
+}
+
+func TestComplexGatesInLibrary(t *testing.T) {
+	lib := NewLibrary(Default180())
+	for _, name := range []string{"BUFX4", "AOI21X1", "OAI21X1"} {
+		c, err := lib.Cell(name)
+		if err != nil {
+			t.Fatalf("%s missing: %v", name, err)
+		}
+		if c.InputCap() <= 0 {
+			t.Fatalf("%s has no input cap", name)
+		}
+	}
+	aoi, _ := lib.Cell("AOI21X1")
+	if !aoi.IsInverting() {
+		t.Fatal("AOI21 must invert")
+	}
+}

@@ -1,0 +1,184 @@
+package device
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultTechValidates(t *testing.T) {
+	if err := Default180().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	base := Default180().N
+	cases := map[string]func(*MOSParams){
+		"Vth":   func(p *MOSParams) { p.Vth = 0 },
+		"Alpha": func(p *MOSParams) { p.Alpha = 3 },
+		"K":     func(p *MOSParams) { p.K = -1 },
+		"Kv":    func(p *MOSParams) { p.Kv = 0 },
+		"Vs":    func(p *MOSParams) { p.Vs = 0 },
+		"Sat":   func(p *MOSParams) { p.Sat = 0 },
+	}
+	for name, mut := range cases {
+		p := base
+		mut(&p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: expected validation error", name)
+		}
+	}
+	bad := Default180()
+	bad.Vdd = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("expected Vdd validation error")
+	}
+}
+
+func TestIdsCutoff(t *testing.T) {
+	p := Default180().N
+	id, _, gds := p.Ids(1e-6, 0.0, 1.0) // well below Vth
+	// Only the gmin leakage path conducts.
+	if math.Abs(id) > 2*p.Gmin*1e-6*1.0+1e-12 {
+		t.Fatalf("cutoff current %g too large", id)
+	}
+	if gds <= 0 {
+		t.Fatal("gds must stay positive (gmin)")
+	}
+}
+
+func TestIdsSaturationValue(t *testing.T) {
+	p := Default180().N
+	w := 1e-6
+	// Deep saturation: vds far above Vdsat.
+	id, _, _ := p.Ids(w, 1.8, 1.8)
+	vgst := 1.8 - p.Vth
+	want := p.K * w * math.Pow(vgst, p.Alpha)
+	if math.Abs(id-want) > 0.02*want {
+		t.Fatalf("saturation current %g, want ~%g", id, want)
+	}
+}
+
+func TestIdsLinearRegionConductance(t *testing.T) {
+	p := Default180().N
+	w := 1e-6
+	// Tiny vds: conductance should approach K*w*Vgst^Alpha*Sat / Vdsat.
+	vgs := 1.8
+	vgst := vgs - p.Vth
+	vdsat := p.Kv * math.Pow(vgst, 0.5*p.Alpha)
+	gLin := p.K * w * math.Pow(vgst, p.Alpha) * p.Sat / vdsat
+	id, _, gds := p.Ids(w, vgs, 1e-4)
+	if math.Abs(id/1e-4-gLin) > 0.05*gLin {
+		t.Fatalf("linear-region conductance %g, want ~%g", id/1e-4, gLin)
+	}
+	if math.Abs(gds-gLin) > 0.1*gLin {
+		t.Fatalf("gds %g, want ~%g", gds, gLin)
+	}
+}
+
+func TestIdsMonotonicInVgsAndVds(t *testing.T) {
+	p := Default180().N
+	w := 2e-6
+	prev := -1.0
+	for vgs := 0.0; vgs <= 1.8; vgs += 0.05 {
+		id, _, _ := p.Ids(w, vgs, 0.9)
+		if id < prev {
+			t.Fatalf("Ids not monotone in vgs at %g", vgs)
+		}
+		prev = id
+	}
+	prev = -1.0
+	for vds := 0.0; vds <= 1.8; vds += 0.05 {
+		id, _, _ := p.Ids(w, 1.2, vds)
+		if id < prev {
+			t.Fatalf("Ids not monotone in vds at %g", vds)
+		}
+		prev = id
+	}
+}
+
+func TestIdsReverseSymmetry(t *testing.T) {
+	p := Default180().N
+	idF, _, gdsF := p.Ids(1e-6, 1.0, 0.5)
+	idR, _, gdsR := p.Ids(1e-6, 1.0, -0.5)
+	if math.Abs(idF+idR) > 1e-15 {
+		t.Fatalf("reverse current not mirrored: %g vs %g", idF, idR)
+	}
+	if math.Abs(gdsF-gdsR) > 1e-15 {
+		t.Fatal("gds must be even in vds")
+	}
+}
+
+// TestIdsDerivativesMatchFiniteDifference is the property test anchoring
+// the Newton solver: analytic gm/gds must match numeric differentiation.
+func TestIdsDerivativesMatchFiniteDifference(t *testing.T) {
+	for _, p := range []MOSParams{Default180().N, Default180().P} {
+		p := p
+		f := func(seed int64) bool {
+			rng := rand.New(rand.NewSource(seed))
+			w := 1e-6 * (0.5 + 4*rng.Float64())
+			vgs := -0.2 + 2.2*rng.Float64()
+			vds := 0.01 + 1.8*rng.Float64()
+			const h = 1e-6
+			_, gm, gds := p.Ids(w, vgs, vds)
+			idP, _, _ := p.Ids(w, vgs+h, vds)
+			idM, _, _ := p.Ids(w, vgs-h, vds)
+			gmNum := (idP - idM) / (2 * h)
+			idP, _, _ = p.Ids(w, vgs, vds+h)
+			idM, _, _ = p.Ids(w, vgs, vds-h)
+			gdsNum := (idP - idM) / (2 * h)
+			scale := p.K * w
+			return math.Abs(gm-gmNum) < 1e-4*scale+1e-3*math.Abs(gmNum) &&
+				math.Abs(gds-gdsNum) < 1e-4*scale+1e-3*math.Abs(gdsNum)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%s: %v", p.Type, err)
+		}
+	}
+}
+
+func TestIdsPanicsOnBadWidth(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for zero width")
+		}
+	}()
+	p := Default180().N
+	p.Ids(0, 1, 1)
+}
+
+func TestConductanceVariesOverTransition(t *testing.T) {
+	// The premise of the paper: the small-signal output conductance of a
+	// driver varies dramatically as its input sweeps through a transition.
+	p := Default180().N
+	w := 2e-6
+	gAtLow, gAtHigh := 0.0, 0.0
+	_, _, gAtLow = p.Ids(w, 0.3, 0.05) // input below Vth: device off
+	_, _, gAtHigh = p.Ids(w, 1.8, 0.05)
+	if gAtHigh < 100*gAtLow {
+		t.Fatalf("conductance swing too small: %g vs %g", gAtLow, gAtHigh)
+	}
+}
+
+func TestCorners(t *testing.T) {
+	typ, ff, ss := Default180(), Fast180(), Slow180()
+	for _, tech := range []*Technology{ff, ss} {
+		if err := tech.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// FF drives more current than TT than SS at identical bias.
+	idAt := func(tech *Technology) float64 {
+		id, _, _ := tech.N.Ids(1e-6, 1.8, 1.8)
+		return id
+	}
+	if !(idAt(ff) > idAt(typ) && idAt(typ) > idAt(ss)) {
+		t.Fatalf("corner ordering broken: %v / %v / %v", idAt(ff), idAt(typ), idAt(ss))
+	}
+	// Corner derivation must not mutate the base.
+	if typ.N.K != Default180().N.K {
+		t.Fatal("Corner mutated the base technology")
+	}
+}

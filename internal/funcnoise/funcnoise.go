@@ -1,0 +1,244 @@
+// Package funcnoise implements the functional-noise half of the
+// ClariNet-style tool: when the victim is *stable* while its aggressors
+// switch, the induced pulse can flip downstream logic (the paper's
+// Section 1 defines this failure mode; its delay-noise analysis is the
+// sibling flow in internal/delaynoise).
+//
+// The flow mirrors the delay-noise superposition: each aggressor's
+// Thevenin model injects noise into the coupled interconnect while the
+// quiet victim is held by its driver's quiescent output resistance; the
+// peak-aligned composite pulse is then propagated through the nonlinear
+// receiver and the output glitch compared against a failure threshold.
+package funcnoise
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/align"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/gatesim"
+	"repro/internal/lsim"
+	"repro/internal/mna"
+	"repro/internal/nlsim"
+	"repro/internal/thevenin"
+	"repro/internal/waveform"
+)
+
+// Options configure a functional-noise analysis.
+type Options struct {
+	// FailFraction is the receiver-output glitch magnitude, as a fraction
+	// of Vdd, above which the net is reported as a functional failure
+	// (default 0.5: the glitch propagates as a wrong logic level).
+	FailFraction float64
+	// Step is the linear-simulation time step (default 1 ps).
+	Step float64
+}
+
+func (o *Options) defaults() {
+	if o.FailFraction == 0 {
+		o.FailFraction = 0.5
+	}
+	if o.Step == 0 {
+		o.Step = 1e-12
+	}
+}
+
+// Result is the outcome of one net's functional-noise analysis.
+type Result struct {
+	// VictimHigh reports the analyzed victim state (true: held at Vdd,
+	// aggressors falling pull it down; false: held at ground, aggressors
+	// rising push it up).
+	VictimHigh bool
+	RHold      float64 // quiescent victim holding resistance, ohm
+
+	InputPulse   align.Pulse   // composite noise at the receiver input
+	InputNoise   *waveform.PWL // the composite waveform
+	OutputGlitch float64       // receiver output glitch magnitude, V
+	Failed       bool
+}
+
+// QuiescentResistance measures a driver's small-signal output resistance
+// while it statically holds its output at a rail: a small probe current
+// is injected at the output and the DC deviation measured. This is the
+// correct holding resistance for a *quiet* victim (for a switching
+// victim, package holdres computes the transient value instead).
+func QuiescentResistance(cell *device.Cell, outputHigh bool) (float64, error) {
+	tech := cell.Tech
+	// Input level that holds the output at the requested rail.
+	vin := 0.0
+	if cell.InputRisingFor(outputHigh) {
+		vin = tech.Vdd
+	}
+	build := func(probe float64) (*nlsim.Circuit, nlsim.Ref) {
+		c := nlsim.NewCircuit()
+		in := c.Fixed("in", waveform.Constant(vin))
+		out := c.Node("out")
+		c.AddCell(cell, "u", in, out)
+		if probe != 0 {
+			c.AddI(out, waveform.Constant(probe))
+		}
+		return c, out
+	}
+	solve := func(probe float64) (float64, error) {
+		c, out := build(probe)
+		x, err := nlsim.DC(c, 0, nil)
+		if err != nil {
+			return 0, err
+		}
+		v, err := nlsim.StateOf(c, x, out)
+		if err != nil {
+			return 0, err
+		}
+		return v, nil
+	}
+	v0, err := solve(0)
+	if err != nil {
+		return 0, fmt.Errorf("funcnoise: quiescent point: %w", err)
+	}
+	// Probe with a current that perturbs the output by a few tens of mV.
+	probe := -20e-6
+	if !outputHigh {
+		probe = 20e-6
+	}
+	v1, err := solve(probe)
+	if err != nil {
+		return 0, fmt.Errorf("funcnoise: probed point: %w", err)
+	}
+	r := (v1 - v0) / probe
+	if r <= 0 {
+		return 0, fmt.Errorf("funcnoise: non-positive quiescent resistance %g", r)
+	}
+	return r, nil
+}
+
+// Analyze runs the functional-noise flow on a case. The victim's
+// DriverSpec fields other than Cell are ignored (the victim is quiet);
+// aggressor directions determine the pulse polarity. The analyzed victim
+// state opposes the aggressors: falling aggressors attack a high victim.
+func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	opt.defaults()
+	tech := c.Victim.Cell.Tech
+	// The vulnerable victim state is the one the aggressors pull away
+	// from; use the first aggressor's direction (mixed-direction cases
+	// analyze the majority polarity).
+	falling := 0
+	for _, a := range c.Aggressors {
+		if !a.OutputRising {
+			falling++
+		}
+	}
+	victimHigh := falling*2 >= len(c.Aggressors)
+
+	rHold, err := QuiescentResistance(c.Victim.Cell, victimHigh)
+	if err != nil {
+		return nil, err
+	}
+
+	// Superpose the aggressor noise pulses at the receiver input with the
+	// victim held by its quiescent resistance.
+	vRail := 0.0
+	if victimHigh {
+		vRail = tech.Vdd
+	}
+	var noises []*waveform.PWL
+	horizon := 0.0
+	for k, a := range c.Aggressors {
+		m, _, err := thevenin.Fit(a.Cell, a.InputSlew, a.Cell.InputRisingFor(a.OutputRising), aggLumpedCap(c, k))
+		if err != nil {
+			return nil, fmt.Errorf("funcnoise: aggressor %d fit: %w", k, err)
+		}
+		m.T0 += a.InputStart - gatesim.InputStart
+		if t := m.T0 + m.Dt; t > horizon {
+			horizon = t
+		}
+		n, err := aggressorNoise(c, k, m, rHold, vRail, opt.Step)
+		if err != nil {
+			return nil, err
+		}
+		noises = append(noises, n)
+	}
+	comp, err := align.Composite(noises...)
+	if err != nil {
+		return nil, fmt.Errorf("funcnoise: composite: %w", err)
+	}
+	pulse, err := align.Params(comp)
+	if err != nil {
+		return nil, fmt.Errorf("funcnoise: pulse params: %w", err)
+	}
+
+	// Propagate through the receiver: input = rail + composite.
+	tp, _ := comp.Peak()
+	in := comp.Shift(0.3e-9 - tp).Offset(vRail)
+	out, err := gatesim.Receive(c.Receiver, in, c.ReceiverLoad, gatesim.Options{})
+	if err != nil {
+		return nil, fmt.Errorf("funcnoise: receiver sim: %w", err)
+	}
+	// Glitch: deviation of the output from its quiescent level.
+	quiescent := out.At(out.Start())
+	glitch := 0.0
+	for i := range out.T {
+		if d := math.Abs(out.V[i] - quiescent); d > glitch {
+			glitch = d
+		}
+	}
+	return &Result{
+		VictimHigh:   victimHigh,
+		RHold:        rHold,
+		InputPulse:   pulse,
+		InputNoise:   comp,
+		OutputGlitch: glitch,
+		Failed:       glitch >= opt.FailFraction*tech.Vdd,
+	}, nil
+}
+
+// aggLumpedCap returns the rough lumped load of aggressor k.
+func aggLumpedCap(c *delaynoise.Case, k int) float64 {
+	spec := c.Net.Spec.Aggressors[k]
+	load := c.AggLoad
+	if load == 0 {
+		load = 5e-15
+	}
+	return spec.Line.CGround + spec.CCouple + load
+}
+
+// aggressorNoise runs one linear superposition simulation with the quiet
+// victim held at its rail.
+func aggressorNoise(c *delaynoise.Case, k int, m thevenin.Model, rHold, vRail, step float64) (*waveform.PWL, error) {
+	ckt := c.Net.Circuit.Clone()
+	if cin := c.Receiver.InputCap(); cin > 0 {
+		ckt.AddC("__recvin", c.Net.VictimOut, "0", cin)
+	}
+	ckt.AddDriver("__agg", c.Net.AggIn[k], m.SourceWaveform(), m.Rth)
+	ckt.AddDriver("__vic", c.Net.VictimIn, waveform.Constant(vRail), rHold)
+	for j := range c.Aggressors {
+		if j == k {
+			continue
+		}
+		// Other aggressors hold their pre-transition rail; a rough
+		// resistance suffices for holding.
+		rail := c.Aggressors[j].Cell.Tech.Vdd
+		if c.Aggressors[j].OutputRising {
+			rail = 0
+		}
+		ckt.AddDriver(fmt.Sprintf("__hold%d", j), c.Net.AggIn[j], waveform.Constant(rail), 500)
+	}
+	sys, err := mna.Build(ckt)
+	if err != nil {
+		return nil, err
+	}
+	horizon := m.T0 + m.Dt + 2e-9
+	res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: step, InitDC: true})
+	if err != nil {
+		return nil, fmt.Errorf("funcnoise: aggressor %d sim: %w", k, err)
+	}
+	v, err := res.Voltage(c.Net.VictimOut)
+	if err != nil {
+		return nil, err
+	}
+	return v.Offset(-v.At(v.Start())), nil
+}

@@ -1,0 +1,142 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ladderSPD builds a two-rail coupled RC-style conductance matrix with
+// node numbering that puts the rails far apart (worst case for naive
+// banding, easy for RCM).
+func ladderSPD(n int) (*Sparse, *Matrix) {
+	total := 2 * n
+	d := NewMatrix(total, total)
+	b := NewSparseBuilder(total)
+	stamp := func(i, j int, g float64) {
+		d.Add(i, i, g)
+		d.Add(j, j, g)
+		d.Add(i, j, -g)
+		d.Add(j, i, -g)
+		b.Add(i, i, g)
+		b.Add(j, j, g)
+		b.Add(i, j, -g)
+		b.Add(j, i, -g)
+	}
+	for i := 0; i < n-1; i++ {
+		stamp(i, i+1, 1)     // rail A chain
+		stamp(n+i, n+i+1, 1) // rail B chain
+	}
+	for i := 0; i < n; i++ {
+		stamp(i, n+i, 0.5) // rung coupling: bandwidth n when unpermuted
+		d.Add(i, i, 0.1)
+		b.Add(i, i, 0.1)
+		d.Add(n+i, n+i, 0.1)
+		b.Add(n+i, n+i, 0.1)
+	}
+	return b.Build(), d
+}
+
+func TestRCMShrinksBandwidth(t *testing.T) {
+	s, _ := ladderSPD(50)
+	identity := make([]int, s.N)
+	for i := range identity {
+		identity[i] = i
+	}
+	before := s.Bandwidth(identity)
+	perm := s.RCM()
+	after := s.Bandwidth(perm)
+	if before < 40 {
+		t.Fatalf("test premise broken: natural bandwidth %d too small", before)
+	}
+	if after > 6 {
+		t.Fatalf("RCM bandwidth %d, want a small constant (was %d)", after, before)
+	}
+	// perm must be a permutation.
+	seen := make([]bool, s.N)
+	for _, v := range perm {
+		if v < 0 || v >= s.N || seen[v] {
+			t.Fatal("RCM output is not a permutation")
+		}
+		seen[v] = true
+	}
+}
+
+func TestBandedCholMatchesLU(t *testing.T) {
+	s, d := ladderSPD(30)
+	f, err := FactorBandedChol(s, s.RCM())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := make([]float64, s.N)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	want, err := Solve(d, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := f.Solve(b)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9*(1+math.Abs(want[i])) {
+			t.Fatalf("mismatch at %d: %v vs %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestBandedCholIdentityPermutation(t *testing.T) {
+	s, d := randomSPDSparse(rand.New(rand.NewSource(2)), 12)
+	f, err := FactorBandedChol(s, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, 12)
+	for i := range b {
+		b[i] = float64(i) - 5
+	}
+	want, _ := Solve(d, b)
+	got := f.Solve(b)
+	for i := range got {
+		if math.Abs(got[i]-want[i]) > 1e-9 {
+			t.Fatalf("mismatch at %d", i)
+		}
+	}
+}
+
+func TestBandedCholRejectsIndefinite(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(1, 1, -1)
+	if _, err := FactorBandedChol(b.Build(), nil); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestBandedCholProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 4 + rng.Intn(30)
+		s, d := randomSPDSparse(rng, n)
+		fac, err := FactorBandedChol(s, s.RCM())
+		if err != nil {
+			return false
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x := fac.Solve(b)
+		r := d.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-8 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,68 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+)
+
+// Cholesky is the lower-triangular Cholesky factor of a symmetric
+// positive-definite matrix: A = L*L^T.
+type Cholesky struct {
+	L *Matrix
+	n int
+}
+
+// FactorCholesky computes the Cholesky factorization of the symmetric
+// positive-definite matrix a. Only the lower triangle of a is read.
+// Returns ErrSingular if a is not positive definite to working precision.
+func FactorCholesky(a *Matrix) (*Cholesky, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	l := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			s := a.At(i, j)
+			for k := 0; k < j; k++ {
+				s -= l.At(i, k) * l.At(j, k)
+			}
+			if i == j {
+				if s <= 0 {
+					return nil, ErrSingular
+				}
+				l.Set(i, i, math.Sqrt(s))
+			} else {
+				l.Set(i, j, s/l.At(j, j))
+			}
+		}
+	}
+	return &Cholesky{L: l, n: n}, nil
+}
+
+// Solve solves A*x = b using the factorization.
+func (c *Cholesky) Solve(b []float64) []float64 {
+	if len(b) != c.n {
+		panic("linalg: Cholesky solve rhs length mismatch")
+	}
+	n := c.n
+	x := make([]float64, n)
+	copy(x, b)
+	// Forward: L*y = b.
+	for i := 0; i < n; i++ {
+		s := x[i]
+		for j := 0; j < i; j++ {
+			s -= c.L.At(i, j) * x[j]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	// Backward: L^T*x = y.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		for j := i + 1; j < n; j++ {
+			s -= c.L.At(j, i) * x[j]
+		}
+		x[i] = s / c.L.At(i, i)
+	}
+	return x
+}

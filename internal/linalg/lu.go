@@ -1,0 +1,168 @@
+package linalg
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrSingular is returned when a factorization encounters a pivot that is
+// numerically zero.
+var ErrSingular = errors.New("linalg: matrix is singular to working precision")
+
+// LU is an LU factorization with partial pivoting: P*A = L*U, stored
+// packed (L unit-lower, U upper) with the row permutation in Piv.
+type LU struct {
+	lu  *Matrix
+	Piv []int
+	n   int
+}
+
+// FactorLU computes the LU factorization of the square matrix a.
+// a is not modified.
+func FactorLU(a *Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
+	}
+	n := a.Rows
+	lu := a.Clone()
+	piv := make([]int, n)
+	for i := range piv {
+		piv[i] = i
+	}
+	d := lu.Data
+	for k := 0; k < n; k++ {
+		// Partial pivoting: find the row with the largest magnitude in
+		// column k at or below the diagonal.
+		p := k
+		max := math.Abs(d[k*n+k])
+		for i := k + 1; i < n; i++ {
+			if a := math.Abs(d[i*n+k]); a > max {
+				max, p = a, i
+			}
+		}
+		if max == 0 {
+			return nil, ErrSingular
+		}
+		if p != k {
+			rowK := d[k*n : (k+1)*n]
+			rowP := d[p*n : (p+1)*n]
+			for j := range rowK {
+				rowK[j], rowP[j] = rowP[j], rowK[j]
+			}
+			piv[k], piv[p] = piv[p], piv[k]
+		}
+		pivot := d[k*n+k]
+		for i := k + 1; i < n; i++ {
+			m := d[i*n+k] / pivot
+			d[i*n+k] = m
+			if m == 0 {
+				continue
+			}
+			rowI := d[i*n+k+1 : (i+1)*n]
+			rowK := d[k*n+k+1 : (k+1)*n]
+			for j := range rowK {
+				rowI[j] -= m * rowK[j]
+			}
+		}
+	}
+	return &LU{lu: lu, Piv: piv, n: n}, nil
+}
+
+// Solve solves A*x = b for a single right-hand side. b is not modified.
+func (f *LU) Solve(b []float64) []float64 {
+	if len(b) != f.n {
+		panic(fmt.Sprintf("linalg: LU solve rhs length %d, want %d", len(b), f.n))
+	}
+	n := f.n
+	x := make([]float64, n)
+	for i, p := range f.Piv {
+		x[i] = b[p]
+	}
+	f.SolveInPlace(x)
+	return x
+}
+
+// SolveInPlace solves A*x = b where b is already permuted by Piv and is
+// overwritten with the solution. Most callers want Solve; this entry point
+// avoids allocation in tight simulation loops where the caller applies the
+// permutation itself.
+func (f *LU) SolveInPlace(x []float64) {
+	n := f.n
+	d := f.lu.Data
+	// Forward substitution with unit-lower L.
+	for i := 1; i < n; i++ {
+		s := x[i]
+		row := d[i*n : i*n+i]
+		for j, m := range row {
+			s -= m * x[j]
+		}
+		x[i] = s
+	}
+	// Back substitution with U.
+	for i := n - 1; i >= 0; i-- {
+		s := x[i]
+		row := d[i*n+i+1 : (i+1)*n]
+		for j, u := range row {
+			s -= u * x[i+1+j]
+		}
+		x[i] = s / d[i*n+i]
+	}
+}
+
+// SolveMatrix solves A*X = B column by column.
+func (f *LU) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != f.n {
+		panic("linalg: LU SolveMatrix shape mismatch")
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	for c := 0; c < b.Cols; c++ {
+		out.SetCol(c, f.Solve(b.Col(c)))
+	}
+	return out
+}
+
+// Det returns the determinant of the factored matrix.
+func (f *LU) Det() float64 {
+	det := 1.0
+	n := f.n
+	for i := 0; i < n; i++ {
+		det *= f.lu.Data[i*n+i]
+	}
+	// Sign of the permutation.
+	seen := make([]bool, n)
+	for i := 0; i < n; i++ {
+		if seen[i] {
+			continue
+		}
+		// Count cycle length.
+		l := 0
+		for j := i; !seen[j]; j = f.Piv[j] {
+			seen[j] = true
+			l++
+		}
+		if l%2 == 0 {
+			det = -det
+		}
+	}
+	return det
+}
+
+// Solve is a convenience wrapper: factor a and solve a*x = b.
+func Solve(a *Matrix, b []float64) ([]float64, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b), nil
+}
+
+// Inverse returns a^-1 (for small matrices and tests; simulation code
+// keeps factorizations instead).
+func Inverse(a *Matrix) (*Matrix, error) {
+	f, err := FactorLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.SolveMatrix(Identity(a.Rows)), nil
+}

@@ -1,0 +1,207 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestLUSolveKnown(t *testing.T) {
+	a := NewMatrixFrom([][]float64{
+		{2, 1, 1},
+		{4, -6, 0},
+		{-2, 7, 2},
+	})
+	b := []float64{5, -2, 9}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 1, 2}
+	for i := range want {
+		if !almostEq(x[i], want[i], 1e-12) {
+			t.Fatalf("x = %v, want %v", x, want)
+		}
+	}
+}
+
+func TestLUSingular(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 4}})
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("expected ErrSingular")
+	}
+}
+
+func TestLUNonSquare(t *testing.T) {
+	a := NewMatrix(2, 3)
+	if _, err := FactorLU(a); err == nil {
+		t.Fatal("expected error for non-square matrix")
+	}
+}
+
+func TestLUResidualProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(20)
+		a := NewMatrix(n, n)
+		for i := range a.Data {
+			a.Data[i] = rng.NormFloat64()
+		}
+		// Diagonal dominance guarantees nonsingularity.
+		for i := 0; i < n; i++ {
+			a.Add(i, i, float64(n)+1)
+		}
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		x, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		r := a.MulVec(x)
+		for i := range r {
+			if math.Abs(r[i]-b[i]) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLUPivoting(t *testing.T) {
+	// Zero leading pivot forces a row swap.
+	a := NewMatrixFrom([][]float64{{0, 1}, {1, 0}})
+	x, err := Solve(a, []float64{3, 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x[0] != 7 || x[1] != 3 {
+		t.Fatalf("x = %v, want [7 3]", x)
+	}
+}
+
+func TestLUSolveMatrixInverse(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{4, 7}, {2, 6}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := a.Mul(inv)
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if !almostEq(id.At(i, j), want, 1e-12) {
+				t.Fatalf("A*A^-1 = %v", id)
+			}
+		}
+	}
+}
+
+func TestLUDet(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{3, 8}, {4, 6}})
+	f, err := FactorLU(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(f.Det(), -14, 1e-12) {
+		t.Fatalf("det = %v, want -14", f.Det())
+	}
+	// Permutation-heavy case.
+	b := NewMatrixFrom([][]float64{{0, 1, 0}, {0, 0, 2}, {3, 0, 0}})
+	fb, err := FactorLU(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almostEq(fb.Det(), 6, 1e-12) {
+		t.Fatalf("det = %v, want 6", fb.Det())
+	}
+}
+
+func TestCholeskySPD(t *testing.T) {
+	// A = M^T M + I is SPD.
+	rng := rand.New(rand.NewSource(42))
+	n := 8
+	m := NewMatrix(n, n)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	a := m.Transpose().Mul(m)
+	for i := 0; i < n; i++ {
+		a.Add(i, i, 1)
+	}
+	ch, err := FactorCholesky(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x := ch.Solve(b)
+	r := a.MulVec(x)
+	for i := range r {
+		if math.Abs(r[i]-b[i]) > 1e-9 {
+			t.Fatalf("residual %v too large at %d", r[i]-b[i], i)
+		}
+	}
+	// L*L^T reconstructs A.
+	rec := ch.L.Mul(ch.L.Transpose())
+	if rec.SubMatrix(a).MaxAbs() > 1e-9 {
+		t.Fatal("L L^T != A")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrixFrom([][]float64{{1, 2}, {2, 1}}) // eigenvalues 3, -1
+	if _, err := FactorCholesky(a); err == nil {
+		t.Fatal("expected ErrSingular for indefinite matrix")
+	}
+}
+
+func TestOrthonormalizeMGS(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := NewMatrix(10, 4)
+	for i := range a.Data {
+		a.Data[i] = rng.NormFloat64()
+	}
+	k := OrthonormalizeMGS(a, 1e-12)
+	if k != 4 {
+		t.Fatalf("kept %d columns, want 4", k)
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j <= i; j++ {
+			d := Dot(a.Col(i), a.Col(j))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(d-want) > 1e-10 {
+				t.Fatalf("q%d . q%d = %v, want %v", i, j, d, want)
+			}
+		}
+	}
+}
+
+func TestOrthonormalizeDropsDependent(t *testing.T) {
+	a := NewMatrix(5, 3)
+	v := []float64{1, 2, 3, 4, 5}
+	a.SetCol(0, v)
+	a.SetCol(1, v) // duplicate column
+	a.SetCol(2, []float64{1, 0, 0, 0, 0})
+	k := OrthonormalizeMGS(a, 1e-10)
+	if k != 2 {
+		t.Fatalf("kept %d, want 2 (duplicate dropped)", k)
+	}
+	q := SubColumns(a, k)
+	if q.Cols != 2 || q.Rows != 5 {
+		t.Fatalf("SubColumns shape %dx%d", q.Rows, q.Cols)
+	}
+}

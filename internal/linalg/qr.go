@@ -1,0 +1,61 @@
+package linalg
+
+// OrthonormalizeMGS orthonormalizes the columns of a in place using
+// modified Gram-Schmidt with one reorthogonalization pass, returning the
+// number of columns kept. Columns whose norm after projection falls below
+// tol times their original norm are considered linearly dependent and are
+// dropped (the kept columns are compacted to the left).
+//
+// This is the kernel used by the PRIMA block-Arnoldi iteration, which
+// needs a numerically robust orthonormal basis far more than it needs the
+// R factor of a full QR decomposition.
+func OrthonormalizeMGS(a *Matrix, tol float64) int {
+	if tol <= 0 {
+		tol = 1e-12
+	}
+	kept := 0
+	for c := 0; c < a.Cols; c++ {
+		v := a.Col(c)
+		orig := Norm2(v)
+		if orig == 0 {
+			continue
+		}
+		// Two passes of projection against previously kept columns for
+		// numerical robustness (classic "twice is enough").
+		for pass := 0; pass < 2; pass++ {
+			for k := 0; k < kept; k++ {
+				q := a.Col(k)
+				d := Dot(q, v)
+				for i := range v {
+					v[i] -= d * q[i]
+				}
+			}
+		}
+		n := Norm2(v)
+		if n <= tol*orig {
+			continue // linearly dependent; drop
+		}
+		inv := 1 / n
+		for i := range v {
+			v[i] *= inv
+		}
+		a.SetCol(kept, v)
+		kept++
+	}
+	// Zero any dropped trailing columns so the caller can truncate safely.
+	for c := kept; c < a.Cols; c++ {
+		for r := 0; r < a.Rows; r++ {
+			a.Set(r, c, 0)
+		}
+	}
+	return kept
+}
+
+// SubColumns returns a new matrix containing columns [0, k) of a.
+func SubColumns(a *Matrix, k int) *Matrix {
+	out := NewMatrix(a.Rows, k)
+	for r := 0; r < a.Rows; r++ {
+		copy(out.Data[r*k:(r+1)*k], a.Data[r*a.Cols:r*a.Cols+k])
+	}
+	return out
+}

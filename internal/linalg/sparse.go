@@ -1,0 +1,213 @@
+package linalg
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Sparse is a compressed-sparse-row matrix, built through a coordinate
+// accumulator. It backs the conjugate-gradient path of the linear
+// simulator for nets too large for dense factorization (the paper's
+// motivation: a single victim cluster can carry thousands of RC
+// elements).
+type Sparse struct {
+	N       int
+	rowPtr  []int
+	colIdx  []int
+	values  []float64
+	diagIdx []int // index into values of each diagonal entry (-1 if absent)
+}
+
+// SparseBuilder accumulates coordinate triplets; duplicates sum.
+type SparseBuilder struct {
+	n    int
+	rows [][]coo
+}
+
+type coo struct {
+	col int
+	val float64
+}
+
+// NewSparseBuilder prepares an n x n accumulation.
+func NewSparseBuilder(n int) *SparseBuilder {
+	return &SparseBuilder{n: n, rows: make([][]coo, n)}
+}
+
+// Add accumulates v at (r, c).
+func (b *SparseBuilder) Add(r, c int, v float64) {
+	if r < 0 || r >= b.n || c < 0 || c >= b.n {
+		panic(fmt.Sprintf("linalg: sparse add (%d, %d) outside %d", r, c, b.n))
+	}
+	b.rows[r] = append(b.rows[r], coo{col: c, val: v})
+}
+
+// Build compacts the accumulator into CSR form.
+func (b *SparseBuilder) Build() *Sparse {
+	s := &Sparse{
+		N:       b.n,
+		rowPtr:  make([]int, b.n+1),
+		diagIdx: make([]int, b.n),
+	}
+	for r := range b.rows {
+		row := b.rows[r]
+		sort.Slice(row, func(i, j int) bool { return row[i].col < row[j].col })
+		s.diagIdx[r] = -1
+		for i := 0; i < len(row); {
+			c := row[i].col
+			v := 0.0
+			for ; i < len(row) && row[i].col == c; i++ {
+				v += row[i].val
+			}
+			if v == 0 && c != r {
+				continue
+			}
+			if c == r {
+				s.diagIdx[r] = len(s.values)
+			}
+			s.colIdx = append(s.colIdx, c)
+			s.values = append(s.values, v)
+		}
+		s.rowPtr[r+1] = len(s.values)
+	}
+	return s
+}
+
+// NNZ returns the number of stored entries.
+func (s *Sparse) NNZ() int { return len(s.values) }
+
+// MulVec computes y = A*x.
+func (s *Sparse) MulVec(x, y []float64) {
+	if len(x) != s.N || len(y) != s.N {
+		panic("linalg: sparse mulvec dimension mismatch")
+	}
+	for r := 0; r < s.N; r++ {
+		sum := 0.0
+		for i := s.rowPtr[r]; i < s.rowPtr[r+1]; i++ {
+			sum += s.values[i] * x[s.colIdx[i]]
+		}
+		y[r] = sum
+	}
+}
+
+// Diag returns a copy of the diagonal (zeros where absent).
+func (s *Sparse) Diag() []float64 {
+	d := make([]float64, s.N)
+	for r, i := range s.diagIdx {
+		if i >= 0 {
+			d[r] = s.values[i]
+		}
+	}
+	return d
+}
+
+// CGOptions tune the conjugate-gradient solver.
+type CGOptions struct {
+	Tol     float64 // relative residual tolerance (default 1e-10)
+	MaxIter int     // default 4*N
+}
+
+// SolveCG solves A*x = b for a symmetric positive-definite sparse A with
+// Jacobi-preconditioned conjugate gradients. x0 (may be nil) seeds the
+// iteration — warm starts across simulator time steps cut the iteration
+// count dramatically. It returns the solution and the iterations used.
+func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error) {
+	if len(b) != s.N {
+		return nil, 0, fmt.Errorf("linalg: CG rhs has %d entries, want %d", len(b), s.N)
+	}
+	if opt.Tol == 0 {
+		opt.Tol = 1e-10
+	}
+	if opt.MaxIter == 0 {
+		opt.MaxIter = 4 * s.N
+	}
+	x := make([]float64, s.N)
+	if x0 != nil {
+		copy(x, x0)
+	}
+	r := make([]float64, s.N)
+	s.MulVec(x, r)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	bNorm := Norm2(b)
+	if bNorm == 0 {
+		return x, 0, nil // b = 0 and A SPD: x stays at the seed's homogeneous solution 0
+	}
+	// Jacobi preconditioner.
+	invD := s.Diag()
+	for i, d := range invD {
+		if d <= 0 {
+			return nil, 0, fmt.Errorf("linalg: CG needs positive diagonal (row %d has %g)", i, d)
+		}
+		invD[i] = 1 / d
+	}
+	z := make([]float64, s.N)
+	p := make([]float64, s.N)
+	ap := make([]float64, s.N)
+	for i := range z {
+		z[i] = invD[i] * r[i]
+	}
+	copy(p, z)
+	rz := Dot(r, z)
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		s.MulVec(p, ap)
+		pap := Dot(p, ap)
+		if pap <= 0 {
+			return nil, iter, fmt.Errorf("linalg: CG breakdown (matrix not SPD?)")
+		}
+		alpha := rz / pap
+		for i := range x {
+			x[i] += alpha * p[i]
+			r[i] -= alpha * ap[i]
+		}
+		if Norm2(r) <= opt.Tol*bNorm {
+			return x, iter, nil
+		}
+		for i := range z {
+			z[i] = invD[i] * r[i]
+		}
+		rzNew := Dot(r, z)
+		beta := rzNew / rz
+		rz = rzNew
+		for i := range p {
+			p[i] = z[i] + beta*p[i]
+		}
+	}
+	return nil, opt.MaxIter, fmt.Errorf("linalg: CG did not converge in %d iterations (residual %g)",
+		opt.MaxIter, Norm2(r)/bNorm)
+}
+
+// FromDense converts a dense matrix (dropping exact zeros).
+func FromDense(m *Matrix) *Sparse {
+	b := NewSparseBuilder(m.Rows)
+	for r := 0; r < m.Rows; r++ {
+		for c := 0; c < m.Cols; c++ {
+			if v := m.At(r, c); v != 0 {
+				b.Add(r, c, v)
+			}
+		}
+	}
+	return b.Build()
+}
+
+// MaxAbsDiffDense compares against a dense matrix (test helper).
+func (s *Sparse) MaxAbsDiffDense(m *Matrix) float64 {
+	max := 0.0
+	for r := 0; r < s.N; r++ {
+		for c := 0; c < s.N; c++ {
+			v := 0.0
+			for i := s.rowPtr[r]; i < s.rowPtr[r+1]; i++ {
+				if s.colIdx[i] == c {
+					v = s.values[i]
+					break
+				}
+			}
+			if d := math.Abs(v - m.At(r, c)); d > max {
+				max = d
+			}
+		}
+	}
+	return max
+}

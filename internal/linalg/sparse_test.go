@@ -1,0 +1,182 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// randomSPDSparse builds a random diagonally dominant (hence SPD)
+// symmetric sparse matrix resembling an RC conductance stamp.
+func randomSPDSparse(rng *rand.Rand, n int) (*Sparse, *Matrix) {
+	dense := NewMatrix(n, n)
+	b := NewSparseBuilder(n)
+	stamp := func(i, j int, g float64) {
+		dense.Add(i, i, g)
+		dense.Add(j, j, g)
+		dense.Add(i, j, -g)
+		dense.Add(j, i, -g)
+		b.Add(i, i, g)
+		b.Add(j, j, g)
+		b.Add(i, j, -g)
+		b.Add(j, i, -g)
+	}
+	for i := 0; i < n-1; i++ {
+		stamp(i, i+1, 0.1+rng.Float64())
+	}
+	for k := 0; k < n; k++ {
+		i, j := rng.Intn(n), rng.Intn(n)
+		if i != j {
+			stamp(i, j, 0.1+rng.Float64())
+		}
+	}
+	// Ground conductances make it strictly SPD.
+	for i := 0; i < n; i++ {
+		g := 0.05 + rng.Float64()
+		dense.Add(i, i, g)
+		b.Add(i, i, g)
+	}
+	return b.Build(), dense
+}
+
+func TestSparseBuildMatchesDense(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	s, d := randomSPDSparse(rng, 20)
+	if diff := s.MaxAbsDiffDense(d); diff > 1e-12 {
+		t.Fatalf("sparse/dense mismatch %v", diff)
+	}
+	if s.NNZ() == 0 || s.NNZ() > 20*20 {
+		t.Fatalf("implausible nnz %d", s.NNZ())
+	}
+}
+
+func TestSparseMulVec(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	s, d := randomSPDSparse(rng, 15)
+	x := make([]float64, 15)
+	for i := range x {
+		x[i] = rng.NormFloat64()
+	}
+	y := make([]float64, 15)
+	s.MulVec(x, y)
+	want := d.MulVec(x)
+	for i := range y {
+		if math.Abs(y[i]-want[i]) > 1e-12 {
+			t.Fatalf("mulvec mismatch at %d: %v vs %v", i, y[i], want[i])
+		}
+	}
+}
+
+func TestSparseDuplicatesSum(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	b.Add(0, 0, 2)
+	b.Add(0, 1, -1)
+	b.Add(1, 1, 5)
+	s := b.Build()
+	x := []float64{1, 1}
+	y := make([]float64, 2)
+	s.MulVec(x, y)
+	if y[0] != 2 || y[1] != 5 {
+		t.Fatalf("y = %v", y)
+	}
+}
+
+func TestSparseAddPanicsOutOfRange(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSparseBuilder(2).Add(2, 0, 1)
+}
+
+func TestCGMatchesLU(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 5 + rng.Intn(40)
+		s, d := randomSPDSparse(rng, n)
+		b := make([]float64, n)
+		for i := range b {
+			b[i] = rng.NormFloat64()
+		}
+		want, err := Solve(d, b)
+		if err != nil {
+			return false
+		}
+		got, _, err := s.SolveCG(b, nil, CGOptions{})
+		if err != nil {
+			return false
+		}
+		for i := range got {
+			if math.Abs(got[i]-want[i]) > 1e-6*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCGWarmStart(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s, _ := randomSPDSparse(rng, 200)
+	b := make([]float64, 200)
+	for i := range b {
+		b[i] = rng.NormFloat64()
+	}
+	x, coldIters, err := s.SolveCG(b, nil, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb b slightly and re-solve from the previous solution.
+	for i := range b {
+		b[i] *= 1.001
+	}
+	_, warmIters, err := s.SolveCG(b, x, CGOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warmIters >= coldIters {
+		t.Fatalf("warm start (%d iters) should beat cold start (%d)", warmIters, coldIters)
+	}
+}
+
+func TestCGZeroRHS(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	s, _ := randomSPDSparse(rng, 10)
+	x, iters, err := s.SolveCG(make([]float64, 10), nil, CGOptions{})
+	if err != nil || iters != 0 {
+		t.Fatalf("zero rhs: %v, %d iters", err, iters)
+	}
+	for _, v := range x {
+		if v != 0 {
+			t.Fatal("zero rhs should give zero solution")
+		}
+	}
+}
+
+func TestCGRejectsBadDiagonal(t *testing.T) {
+	b := NewSparseBuilder(2)
+	b.Add(0, 0, 1)
+	// Row 1 has no diagonal.
+	b.Add(1, 0, 1)
+	s := b.Build()
+	if _, _, err := s.SolveCG([]float64{1, 1}, nil, CGOptions{}); err == nil {
+		t.Fatal("expected error for missing diagonal")
+	}
+}
+
+func TestFromDense(t *testing.T) {
+	d := NewMatrixFrom([][]float64{{2, -1}, {-1, 2}})
+	s := FromDense(d)
+	if s.NNZ() != 4 {
+		t.Fatalf("nnz = %d", s.NNZ())
+	}
+	if s.MaxAbsDiffDense(d) != 0 {
+		t.Fatal("conversion mismatch")
+	}
+}

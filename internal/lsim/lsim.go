@@ -1,0 +1,184 @@
+// Package lsim is the linear transient simulator of the superposition
+// flow. It integrates the MNA system G x + C x' = B u(t) with the
+// trapezoidal rule on a fixed time step, prefactoring the system matrix
+// once per run.
+package lsim
+
+import (
+	"fmt"
+
+	"repro/internal/linalg"
+	"repro/internal/mna"
+	"repro/internal/waveform"
+)
+
+// Options configure a transient run.
+type Options struct {
+	TStart float64 // first time point (default 0)
+	TStop  float64 // last time point (required, > TStart)
+	Step   float64 // fixed step (required, > 0)
+	X0     []float64
+	// InitDC solves the DC operating point at TStart for the initial
+	// condition when X0 is nil. When false and X0 is nil, the run starts
+	// from the zero state.
+	InitDC bool
+	// Solver selects the inner linear solver (see Solver).
+	Solver Solver
+}
+
+// Solver identifies the linear-solve strategy of the trapezoidal step.
+type Solver int
+
+const (
+	// SolverDense prefactors a dense LU once; right for small systems
+	// and for reduced-order models.
+	SolverDense Solver = iota
+	// SolverBanded reorders with reverse Cuthill-McKee and prefactors a
+	// banded Cholesky. RC interconnect matrices have tiny bandwidth after
+	// RCM, making this an O(n)-per-step direct solver — the right choice
+	// for the "thousands of elements" nets the paper targets.
+	SolverBanded
+	// SolverCG steps with Jacobi-preconditioned conjugate gradients,
+	// warm-started from the previous step. Useful for structures whose
+	// bandwidth does not collapse (meshes); on chain-like RC nets the
+	// banded solver is faster.
+	SolverCG
+)
+
+// Result holds the simulated node voltages.
+type Result struct {
+	Times  []float64
+	States *linalg.Matrix // len(Times) x NumStates
+	sys    *mna.System
+}
+
+// Run integrates the system over [TStart, TStop].
+func Run(sys *mna.System, opt Options) (*Result, error) {
+	if opt.Step <= 0 {
+		return nil, fmt.Errorf("lsim: step must be positive, got %g", opt.Step)
+	}
+	if opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("lsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+	}
+	n := sys.NumStates()
+	steps := int((opt.TStop-opt.TStart)/opt.Step + 0.5)
+	if steps < 1 {
+		steps = 1
+	}
+	h := opt.Step
+
+	x := make([]float64, n)
+	switch {
+	case opt.X0 != nil:
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("lsim: X0 has %d entries, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	case opt.InitDC:
+		dc, err := sys.DC(opt.TStart)
+		if err != nil {
+			return nil, err
+		}
+		copy(x, dc)
+	}
+
+	// Trapezoidal: (C/h + G/2) x_{k+1} = (C/h - G/2) x_k + B (u_k + u_{k+1})/2.
+	a := sys.C.Clone().Scale(1 / h)
+	a.AXPY(0.5, sys.G)
+	m := sys.C.Clone().Scale(1 / h)
+	m.AXPY(-0.5, sys.G)
+
+	var lu *linalg.LU
+	var banded *linalg.BandedChol
+	var sp, spM *linalg.Sparse
+	switch opt.Solver {
+	case SolverCG:
+		sp = linalg.FromDense(a)
+		spM = linalg.FromDense(m)
+	case SolverBanded:
+		sa := linalg.FromDense(a)
+		spM = linalg.FromDense(m)
+		var err error
+		banded, err = linalg.FactorBandedChol(sa, sa.RCM())
+		if err != nil {
+			return nil, fmt.Errorf("lsim: banded factorization failed (matrix not SPD?): %w", err)
+		}
+	default:
+		var err error
+		lu, err = linalg.FactorLU(a)
+		if err != nil {
+			return nil, fmt.Errorf("lsim: trapezoidal matrix singular: %w", err)
+		}
+	}
+
+	times := make([]float64, steps+1)
+	states := linalg.NewMatrix(steps+1, n)
+	times[0] = opt.TStart
+	copy(states.Data[:n], x)
+
+	rhs := make([]float64, n)
+	uPrev := sys.InputAt(opt.TStart)
+	for k := 1; k <= steps; k++ {
+		t := opt.TStart + float64(k)*h
+		uNow := sys.InputAt(t)
+		uMid := make([]float64, len(uNow))
+		for i := range uMid {
+			uMid[i] = 0.5 * (uPrev[i] + uNow[i])
+		}
+		if spM != nil {
+			spM.MulVec(x, rhs)
+		} else {
+			copy(rhs, m.MulVec(x))
+		}
+		bu := sys.B.MulVec(uMid)
+		for i := range rhs {
+			rhs[i] += bu[i]
+		}
+		switch opt.Solver {
+		case SolverCG:
+			// Warm-start from the previous step's solution: consecutive
+			// states differ little, so CG converges in a handful of
+			// iterations.
+			xNew, _, err := sp.SolveCG(rhs, x, linalg.CGOptions{Tol: 1e-9})
+			if err != nil {
+				return nil, fmt.Errorf("lsim: CG step at t=%g: %w", t, err)
+			}
+			x = xNew
+		case SolverBanded:
+			x = banded.Solve(rhs)
+		default:
+			x = lu.Solve(rhs)
+		}
+		times[k] = t
+		copy(states.Data[k*n:(k+1)*n], x)
+		uPrev = uNow
+	}
+	return &Result{Times: times, States: states, sys: sys}, nil
+}
+
+// Voltage returns the waveform at the named node.
+func (r *Result) Voltage(node string) (*waveform.PWL, error) {
+	i, err := r.sys.NodeIndex(node)
+	if err != nil {
+		return nil, err
+	}
+	return r.StateWaveform(i), nil
+}
+
+// StateWaveform returns the waveform of state index i.
+func (r *Result) StateWaveform(i int) *waveform.PWL {
+	v := make([]float64, len(r.Times))
+	for k := range r.Times {
+		v[k] = r.States.At(k, i)
+	}
+	return waveform.New(append([]float64(nil), r.Times...), v)
+}
+
+// Final returns the last state vector.
+func (r *Result) Final() []float64 {
+	n := r.States.Cols
+	k := len(r.Times) - 1
+	out := make([]float64, n)
+	copy(out, r.States.Data[k*n:(k+1)*n])
+	return out
+}

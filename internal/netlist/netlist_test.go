@@ -1,0 +1,102 @@
+package netlist
+
+import (
+	"testing"
+
+	"repro/internal/waveform"
+)
+
+func TestIsGround(t *testing.T) {
+	for _, g := range []string{"0", "gnd", "GND"} {
+		if !IsGround(g) {
+			t.Errorf("IsGround(%q) = false", g)
+		}
+	}
+	if IsGround("n1") {
+		t.Error("IsGround(n1) = true")
+	}
+}
+
+func TestNodesSortedAndGroundExcluded(t *testing.T) {
+	c := NewCircuit()
+	c.AddR("r1", "b", "a", 100)
+	c.AddC("c1", "a", "0", 1e-15)
+	c.AddC("c2", "b", "gnd", 1e-15)
+	nodes := c.Nodes()
+	if len(nodes) != 2 || nodes[0] != "a" || nodes[1] != "b" {
+		t.Fatalf("nodes = %v", nodes)
+	}
+	if c.NumNodes() != 2 {
+		t.Fatalf("NumNodes = %d", c.NumNodes())
+	}
+}
+
+func TestTotalCapAt(t *testing.T) {
+	c := NewCircuit()
+	c.AddC("cg", "v1", "0", 2e-15)
+	c.AddC("cc", "v1", "a1", 3e-15)
+	c.AddC("far", "a1", "a2", 1e-15)
+	if got := c.TotalCapAt("v1"); got != 5e-15 {
+		t.Fatalf("TotalCapAt(v1) = %g", got)
+	}
+	if got := c.TotalCapAt("a1"); got != 4e-15 {
+		t.Fatalf("TotalCapAt(a1) = %g", got)
+	}
+}
+
+func TestDriverReplace(t *testing.T) {
+	c := NewCircuit()
+	c.AddDriver("vic", "n1", waveform.Ramp(0, 1e-10, 0, 1.8), 1200)
+	d := c.Driver("vic")
+	if d == nil || d.R != 1200 {
+		t.Fatal("driver lookup failed")
+	}
+	c.ReplaceDriver("vic", waveform.Constant(0), 1463)
+	if c.Driver("vic").R != 1463 {
+		t.Fatal("ReplaceDriver did not update resistance")
+	}
+	if c.Driver("missing") != nil {
+		t.Fatal("expected nil for missing driver")
+	}
+}
+
+func TestReplaceMissingDriverPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewCircuit().ReplaceDriver("nope", waveform.Constant(0), 1)
+}
+
+func TestInvalidElementsPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"zero R":     func() { NewCircuit().AddR("r", "a", "b", 0) },
+		"negative C": func() { NewCircuit().AddC("c", "a", "0", -1) },
+		"zero Rdrv":  func() { NewCircuit().AddDriver("d", "a", waveform.Constant(0), 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: expected panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	c := NewCircuit()
+	c.AddR("r1", "a", "0", 100)
+	c.AddDriver("d", "a", waveform.Constant(1), 50)
+	cl := c.Clone()
+	cl.AddR("r2", "b", "0", 10)
+	cl.ReplaceDriver("d", waveform.Constant(2), 99)
+	if c.NumNodes() != 1 {
+		t.Fatal("clone leaked node into original")
+	}
+	if c.Driver("d").R != 50 {
+		t.Fatal("clone shares driver storage with original")
+	}
+}

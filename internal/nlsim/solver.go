@@ -1,0 +1,421 @@
+package nlsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/device"
+	"repro/internal/linalg"
+	"repro/internal/waveform"
+)
+
+// Options configure a nonlinear transient run.
+type Options struct {
+	TStart float64 // first time point (default 0)
+	TStop  float64 // last time point (required)
+	Step   float64 // fixed integration step (required)
+
+	X0 []float64 // initial state; nil means DC operating point at TStart
+
+	MaxNewton int     // Newton iteration cap per step (default 60)
+	VTol      float64 // Newton convergence tolerance, volts (default 1 uV)
+	Damp      float64 // max Newton update per iteration, volts (default 0.4)
+
+	// Adaptive enables Newton-effort step control: steps that converge in
+	// few iterations grow the step (up to MaxStep), steps that converge
+	// slowly or fail shrink it and retry (down to MinStep). Step is used
+	// as the initial and maximum step when MaxStep is zero.
+	Adaptive bool
+	MinStep  float64 // smallest adaptive step (default Step/64)
+	MaxStep  float64 // largest adaptive step (default Step)
+}
+
+func (o *Options) defaults() {
+	if o.MaxNewton == 0 {
+		o.MaxNewton = 60
+	}
+	if o.VTol == 0 {
+		o.VTol = 1e-6
+	}
+	if o.Damp == 0 {
+		o.Damp = 0.4
+	}
+}
+
+// Result holds the simulated voltages of a nonlinear run.
+type Result struct {
+	Times  []float64
+	States *linalg.Matrix
+	ckt    *Circuit
+}
+
+// solver carries the per-run scratch buffers.
+type solver struct {
+	ckt *Circuit
+	n   int
+
+	jac        *linalg.Matrix
+	cmat       *linalg.Matrix // dQ/dx, constant for linear capacitors
+	ist        []float64
+	q0, q1     []float64
+	f          []float64
+	perm       []float64
+	fixedCache []float64 // voltage of every node at current eval time
+}
+
+func newSolver(c *Circuit) *solver {
+	c.seal()
+	n := c.numStates
+	s := &solver{
+		ckt:        c,
+		n:          n,
+		jac:        linalg.NewMatrix(n, n),
+		cmat:       linalg.NewMatrix(n, n),
+		ist:        make([]float64, n),
+		q0:         make([]float64, n),
+		q1:         make([]float64, n),
+		f:          make([]float64, n),
+		perm:       make([]float64, n),
+		fixedCache: make([]float64, len(c.nodes)),
+	}
+	// The capacitance matrix over unknown nodes is constant.
+	for _, cp := range c.caps {
+		sa, sb := s.stateOf(cp.a), s.stateOf(cp.b)
+		if sa >= 0 {
+			s.cmat.Add(sa, sa, cp.c)
+		}
+		if sb >= 0 {
+			s.cmat.Add(sb, sb, cp.c)
+		}
+		if sa >= 0 && sb >= 0 {
+			s.cmat.Add(sa, sb, -cp.c)
+			s.cmat.Add(sb, sa, -cp.c)
+		}
+	}
+	return s
+}
+
+// stateOf returns the state index of a ref, or -1 for ground/fixed nodes.
+func (s *solver) stateOf(r Ref) int {
+	if r == Ground {
+		return -1
+	}
+	return s.ckt.nodes[r].state
+}
+
+// loadFixed caches the prescribed voltages at time t.
+func (s *solver) loadFixed(t float64) {
+	for i := range s.ckt.nodes {
+		if w := s.ckt.nodes[i].fixed; w != nil {
+			s.fixedCache[i] = w.At(t)
+		}
+	}
+}
+
+// volt returns the voltage of ref r given state x (loadFixed must have
+// been called for the evaluation time).
+func (s *solver) volt(r Ref, x []float64) float64 {
+	if r == Ground {
+		return 0
+	}
+	n := &s.ckt.nodes[r]
+	if n.fixed != nil {
+		return s.fixedCache[r]
+	}
+	return x[n.state]
+}
+
+// charge fills q with the capacitor charge at each unknown node for state
+// x at the already-loaded fixed time.
+func (s *solver) charge(x []float64, q []float64) {
+	for i := range q {
+		q[i] = 0
+	}
+	for _, cp := range s.ckt.caps {
+		va, vb := s.volt(cp.a, x), s.volt(cp.b, x)
+		dq := cp.c * (va - vb)
+		if sa := s.stateOf(cp.a); sa >= 0 {
+			q[sa] += dq
+		}
+		if sb := s.stateOf(cp.b); sb >= 0 {
+			q[sb] -= dq
+		}
+	}
+}
+
+// static fills ist with the net static current *leaving* each unknown
+// node (resistors, FETs, minus injected sources) at time t with state x.
+// When jac is non-nil it also accumulates d(ist)/dx into it.
+func (s *solver) static(x []float64, t float64, jac *linalg.Matrix) {
+	for i := range s.ist {
+		s.ist[i] = 0
+	}
+	if jac != nil {
+		jac.Zero()
+	}
+	addJ := func(row, col int, v float64) {
+		if row >= 0 && col >= 0 {
+			jac.Add(row, col, v)
+		}
+	}
+	for _, r := range s.ckt.res {
+		va, vb := s.volt(r.a, x), s.volt(r.b, x)
+		i := r.g * (va - vb)
+		sa, sb := s.stateOf(r.a), s.stateOf(r.b)
+		if sa >= 0 {
+			s.ist[sa] += i
+		}
+		if sb >= 0 {
+			s.ist[sb] -= i
+		}
+		if jac != nil {
+			addJ(sa, sa, r.g)
+			addJ(sb, sb, r.g)
+			addJ(sa, sb, -r.g)
+			addJ(sb, sa, -r.g)
+		}
+	}
+	for _, src := range s.ckt.isrcs {
+		if sa := s.stateOf(src.a); sa >= 0 {
+			s.ist[sa] -= src.w.At(t)
+		}
+	}
+	for _, f := range s.ckt.fets {
+		vd, vg, vs := s.volt(f.d, x), s.volt(f.g, x), s.volt(f.s, x)
+		// id is the current leaving the drain node; gm = d(id)/dVg and
+		// gds = d(id)/dVd. For both polarities d(id)/dVs = -(gm+gds).
+		var id, gm, gds float64
+		if f.p.Type == device.NMOS {
+			id, gm, gds = f.p.Ids(f.w, vg-vs, vd-vs)
+		} else {
+			// PMOS conducts in the source-to-drain sense: evaluate with
+			// (vsg, vsd) and flip the current. The chain rule flips the
+			// inner derivatives too, so gm and gds come out unchanged:
+			// d(-ip)/dVg = -gmp * d(vsg)/dVg = gmp, and likewise for gds.
+			ip, gmp, gdsp := f.p.Ids(f.w, vs-vg, vs-vd)
+			id, gm, gds = -ip, gmp, gdsp
+		}
+		sd, sg, ss := s.stateOf(f.d), s.stateOf(f.g), s.stateOf(f.s)
+		if sd >= 0 {
+			s.ist[sd] += id
+		}
+		if ss >= 0 {
+			s.ist[ss] -= id
+		}
+		if jac == nil {
+			continue
+		}
+		addJ(sd, sd, gds)
+		addJ(sd, sg, gm)
+		addJ(sd, ss, -(gm + gds))
+		addJ(ss, sd, -gds)
+		addJ(ss, sg, -gm)
+		addJ(ss, ss, gm+gds)
+	}
+}
+
+// DC solves the static operating point at time t by damped Newton
+// iteration starting from x0 (or zeros when x0 is nil).
+func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
+	s := newSolver(c)
+	x := make([]float64, s.n)
+	if x0 != nil {
+		if len(x0) != s.n {
+			return nil, fmt.Errorf("nlsim: DC x0 has %d entries, want %d", len(x0), s.n)
+		}
+		copy(x, x0)
+	}
+	s.loadFixed(t)
+	const maxIter = 400
+	for iter := 0; iter < maxIter; iter++ {
+		s.static(x, t, s.jac)
+		// Regularize with a tiny conductance to ground on every node so
+		// isolated capacitive nodes have a defined DC solution.
+		for i := 0; i < s.n; i++ {
+			s.jac.Add(i, i, 1e-12)
+		}
+		f, err := linalg.FactorLU(s.jac)
+		if err != nil {
+			return nil, fmt.Errorf("nlsim: DC Jacobian singular: %w", err)
+		}
+		dx := f.Solve(s.ist)
+		worst := 0.0
+		for i := range dx {
+			d := dx[i]
+			if d > 0.4 {
+				d = 0.4
+			} else if d < -0.4 {
+				d = -0.4
+			}
+			x[i] -= d
+			if a := math.Abs(d); a > worst {
+				worst = a
+			}
+		}
+		if worst < 1e-9 {
+			return x, nil
+		}
+	}
+	return nil, fmt.Errorf("nlsim: DC did not converge in %d iterations", maxIter)
+}
+
+// Run integrates the circuit over [TStart, TStop].
+func Run(c *Circuit, opt Options) (*Result, error) {
+	opt.defaults()
+	if opt.Step <= 0 {
+		return nil, fmt.Errorf("nlsim: step must be positive, got %g", opt.Step)
+	}
+	if opt.TStop <= opt.TStart {
+		return nil, fmt.Errorf("nlsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+	}
+	s := newSolver(c)
+	n := s.n
+	x := make([]float64, n)
+	if opt.X0 != nil {
+		if len(opt.X0) != n {
+			return nil, fmt.Errorf("nlsim: X0 has %d entries, want %d", len(opt.X0), n)
+		}
+		copy(x, opt.X0)
+	} else {
+		dc, err := DC(c, opt.TStart, nil)
+		if err != nil {
+			return nil, err
+		}
+		copy(x, dc)
+	}
+
+	hMax := opt.Step
+	if opt.Adaptive && opt.MaxStep > 0 {
+		hMax = opt.MaxStep
+	}
+	hMin := hMax
+	if opt.Adaptive {
+		hMin = opt.MinStep
+		if hMin <= 0 {
+			hMin = hMax / 64
+		}
+	}
+
+	times := []float64{opt.TStart}
+	statesBuf := append([]float64(nil), x...)
+
+	ist0 := make([]float64, n)
+	xNew := make([]float64, n)
+
+	// Previous-step charge and static current.
+	s.loadFixed(opt.TStart)
+	s.charge(x, s.q0)
+	s.static(x, opt.TStart, nil)
+	copy(ist0, s.ist)
+
+	// step attempts one trapezoidal step of size h to time t; it returns
+	// the Newton iteration count and whether it converged.
+	step := func(t, h float64) (int, bool, error) {
+		s.loadFixed(t)
+		copy(xNew, x) // previous solution as the Newton seed
+		for iter := 1; iter <= opt.MaxNewton; iter++ {
+			s.static(xNew, t, s.jac)
+			s.charge(xNew, s.q1)
+			// F = (q1 - q0)/h + (ist1 + ist0)/2
+			for i := 0; i < n; i++ {
+				s.f[i] = (s.q1[i]-s.q0[i])/h + 0.5*(s.ist[i]+ist0[i])
+			}
+			// J = C/h + J_static/2
+			s.jac.Scale(0.5)
+			s.jac.AXPY(1/h, s.cmat)
+			lu, err := linalg.FactorLU(s.jac)
+			if err != nil {
+				return iter, false, fmt.Errorf("nlsim: Newton Jacobian singular at t=%g: %w", t, err)
+			}
+			dx := lu.Solve(s.f)
+			worst := 0.0
+			for i := range dx {
+				d := dx[i]
+				if d > opt.Damp {
+					d = opt.Damp
+				} else if d < -opt.Damp {
+					d = -opt.Damp
+				}
+				xNew[i] -= d
+				if a := math.Abs(d); a > worst {
+					worst = a
+				}
+			}
+			if worst < opt.VTol {
+				return iter, true, nil
+			}
+		}
+		return opt.MaxNewton, false, nil
+	}
+	commit := func(t float64) {
+		copy(x, xNew)
+		s.loadFixed(t)
+		s.charge(x, s.q0)
+		s.static(x, t, nil)
+		copy(ist0, s.ist)
+		times = append(times, t)
+		statesBuf = append(statesBuf, x...)
+	}
+
+	h := hMax
+	t := opt.TStart
+	for t < opt.TStop-1e-24 {
+		if t+h > opt.TStop {
+			h = opt.TStop - t
+		}
+		iters, ok, err := step(t+h, h)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			if !opt.Adaptive || h <= hMin*1.0001 {
+				return nil, fmt.Errorf("nlsim: Newton did not converge at t=%g", t+h)
+			}
+			h = math.Max(h/4, hMin)
+			continue
+		}
+		t += h
+		commit(t)
+		if opt.Adaptive {
+			switch {
+			case iters <= 3:
+				h = math.Min(h*1.6, hMax)
+			case iters > 10:
+				h = math.Max(h/2, hMin)
+			}
+		}
+	}
+	states := linalg.NewMatrix(len(times), n)
+	copy(states.Data, statesBuf)
+	return &Result{Times: times, States: states, ckt: c}, nil
+}
+
+// Voltage returns the waveform of the named node. Fixed nodes return
+// their prescribed waveform sampled at the run's time points.
+func (r *Result) Voltage(name string) (*waveform.PWL, error) {
+	ref, ok := r.ckt.names[name]
+	if !ok {
+		return nil, fmt.Errorf("nlsim: unknown node %q", name)
+	}
+	nd := &r.ckt.nodes[ref]
+	v := make([]float64, len(r.Times))
+	if nd.fixed != nil {
+		for k, t := range r.Times {
+			v[k] = nd.fixed.At(t)
+		}
+	} else {
+		for k := range r.Times {
+			v[k] = r.States.At(k, nd.state)
+		}
+	}
+	return waveform.New(append([]float64(nil), r.Times...), v), nil
+}
+
+// Final returns the final state vector.
+func (r *Result) Final() []float64 {
+	n := r.States.Cols
+	k := len(r.Times) - 1
+	out := make([]float64, n)
+	copy(out, r.States.Data[k*n:(k+1)*n])
+	return out
+}

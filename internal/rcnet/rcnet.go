@@ -1,0 +1,185 @@
+// Package rcnet builds the coupled RC interconnect topologies the
+// experiments use: distributed RC lines with neighbor coupling, matching
+// the victim/aggressor structure of the paper's Figure 1(a).
+package rcnet
+
+import (
+	"fmt"
+
+	"repro/internal/netlist"
+)
+
+// LineSpec describes one distributed RC line.
+type LineSpec struct {
+	Name     string  // node-name prefix, e.g. "v" or "a0"
+	Segments int     // number of RC segments (>= 1)
+	RTotal   float64 // total line resistance, ohm
+	CGround  float64 // total line-to-ground capacitance, F
+}
+
+// Line adds a distributed RC line to the circuit as a ladder of Segments
+// pi-segments. Node names are "<Name>.0" (near end, driver side) through
+// "<Name>.<Segments>" (far end, receiver side). It returns the node names
+// in order.
+func Line(ckt *netlist.Circuit, spec LineSpec) []string {
+	if spec.Segments < 1 {
+		panic(fmt.Sprintf("rcnet: line %q needs >= 1 segment", spec.Name))
+	}
+	n := spec.Segments
+	rSeg := spec.RTotal / float64(n)
+	// Pi model: half the segment capacitance at each segment boundary.
+	nodes := make([]string, n+1)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("%s.%d", spec.Name, i)
+	}
+	for i := 0; i < n; i++ {
+		ckt.AddR(fmt.Sprintf("%s.r%d", spec.Name, i), nodes[i], nodes[i+1], rSeg)
+	}
+	cNode := spec.CGround / float64(n)
+	for i, node := range nodes {
+		c := cNode
+		if i == 0 || i == n {
+			c = cNode / 2
+		}
+		if c > 0 {
+			ckt.AddC(fmt.Sprintf("%s.c%d", spec.Name, i), node, netlist.Ground, c)
+		}
+	}
+	return nodes
+}
+
+// Couple adds coupling capacitance CC between two lines over the segment
+// span [from, to) expressed as fractions of the line length (0 <= from <
+// to <= 1). The total coupling capacitance is distributed uniformly over
+// the spanned victim nodes; both lines must have been built with the same
+// number of segments for physical plausibility, but any node lists work.
+func Couple(ckt *netlist.Circuit, name string, a, b []string, cc, from, to float64) {
+	if from < 0 || to > 1 || from >= to {
+		panic(fmt.Sprintf("rcnet: invalid coupling span [%g, %g)", from, to))
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	lo := int(from * float64(n-1))
+	hi := int(to*float64(n-1) + 0.5)
+	if hi <= lo {
+		hi = lo + 1
+	}
+	if hi > n-1 {
+		hi = n - 1
+	}
+	count := hi - lo + 1
+	per := cc / float64(count)
+	for i := lo; i <= hi; i++ {
+		ckt.AddC(fmt.Sprintf("%s.cc%d", name, i), a[i], b[i], per)
+	}
+}
+
+// AggressorSpec describes one aggressor line coupled to the victim.
+type AggressorSpec struct {
+	Line     LineSpec
+	CCouple  float64 // total coupling capacitance to the victim, F
+	From, To float64 // coupled span as fractions of line length
+}
+
+// CoupledSpec describes a full victim/aggressor cluster.
+type CoupledSpec struct {
+	Victim     LineSpec
+	Aggressors []AggressorSpec
+}
+
+// CoupledNet is the built interconnect: the circuit (no drivers), the
+// victim end points and the aggressor drive points.
+type CoupledNet struct {
+	Circuit   *netlist.Circuit
+	VictimIn  string   // victim driver output node
+	VictimOut string   // victim receiver input node
+	AggIn     []string // aggressor driver output nodes
+	AggOut    []string // aggressor far-end nodes
+	Spec      CoupledSpec
+}
+
+// Build constructs the coupled interconnect network.
+func Build(spec CoupledSpec) *CoupledNet {
+	ckt := netlist.NewCircuit()
+	vNodes := Line(ckt, spec.Victim)
+	net := &CoupledNet{
+		Circuit:   ckt,
+		VictimIn:  vNodes[0],
+		VictimOut: vNodes[len(vNodes)-1],
+		Spec:      spec,
+	}
+	for i, agg := range spec.Aggressors {
+		aNodes := Line(ckt, agg.Line)
+		Couple(ckt, fmt.Sprintf("x%d", i), vNodes, aNodes, agg.CCouple, agg.From, agg.To)
+		net.AggIn = append(net.AggIn, aNodes[0])
+		net.AggOut = append(net.AggOut, aNodes[len(aNodes)-1])
+	}
+	return net
+}
+
+// BranchSpec describes one side branch of a tree-shaped victim net.
+type BranchSpec struct {
+	// At is the trunk position the branch taps, as a fraction of the
+	// trunk length in [0, 1].
+	At   float64
+	Line LineSpec
+}
+
+// TreeSpec describes a branching victim net: a trunk (the CoupledSpec
+// victim line, with its aggressors coupled to the trunk) plus side
+// branches, each ending in its own sink.
+type TreeSpec struct {
+	Coupled  CoupledSpec
+	Branches []BranchSpec
+}
+
+// TreeNet is a built tree: the trunk cluster plus the branch sinks.
+type TreeNet struct {
+	*CoupledNet
+	// BranchOut lists the far-end node of each branch, in spec order.
+	// The trunk's own far end remains CoupledNet.VictimOut.
+	BranchOut []string
+}
+
+// BuildTree constructs a branching victim net. Branch k's near end is
+// merged onto the trunk node closest to Branches[k].At.
+func BuildTree(spec TreeSpec) *TreeNet {
+	base := Build(spec.Coupled)
+	tree := &TreeNet{CoupledNet: base}
+	segs := spec.Coupled.Victim.Segments
+	for k, br := range spec.Branches {
+		if br.At < 0 || br.At > 1 {
+			panic(fmt.Sprintf("rcnet: branch %d tap %g outside [0, 1]", k, br.At))
+		}
+		tap := fmt.Sprintf("%s.%d", spec.Coupled.Victim.Name, int(br.At*float64(segs)+0.5))
+		nodes := Line(base.Circuit, br.Line)
+		// Merge the branch's near end onto the trunk tap with a tiny via
+		// resistance (a zero-resistance merge would need node aliasing).
+		base.Circuit.AddR(fmt.Sprintf("%s.tap", br.Line.Name), tap, nodes[0], 0.1)
+		tree.BranchOut = append(tree.BranchOut, nodes[len(nodes)-1])
+	}
+	return tree
+}
+
+// Sinks returns every receiver-side node of the tree: the trunk far end
+// followed by the branch far ends.
+func (t *TreeNet) Sinks() []string {
+	return append([]string{t.VictimOut}, t.BranchOut...)
+}
+
+// TotalCouplingCap returns the total victim coupling capacitance.
+func (n *CoupledNet) TotalCouplingCap() float64 {
+	s := 0.0
+	for _, a := range n.Spec.Aggressors {
+		s += a.CCouple
+	}
+	return s
+}
+
+// VictimTotalCap returns the victim's total capacitance (ground +
+// coupling), the starting point for C-effective iterations.
+func (n *CoupledNet) VictimTotalCap() float64 {
+	return n.Spec.Victim.CGround + n.TotalCouplingCap()
+}

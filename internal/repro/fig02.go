@@ -1,0 +1,149 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/rcnet"
+	"repro/internal/waveform"
+)
+
+// Fig02Result compares the noise injected on a switching victim as seen
+// by (a) the full nonlinear simulation, (b) the linear superposition flow
+// with the Thevenin holding resistance, and (c) with the transient
+// holding resistance (Figure 2 shows (a) vs (b); Figure 5 adds (c)).
+type Fig02Result struct {
+	// Waveforms at the victim receiver input (noisy minus noiseless).
+	GoldenNoise   *waveform.PWL
+	TheveninNoise *waveform.PWL
+	RtrNoise      *waveform.PWL
+
+	// Full noisy victim transitions at the receiver input (Figure 5's
+	// overlay): the linear noiseless transition plus each model's noise,
+	// against the nonlinear noisy waveform.
+	GoldenNoisy   *waveform.PWL
+	TheveninNoisy *waveform.PWL
+	RtrNoisy      *waveform.PWL
+
+	// Peak noise magnitudes, V.
+	GoldenPeak, TheveninPeak, RtrPeak float64
+
+	Rth, Rtr float64
+}
+
+// fig02Case is the fixed demonstration circuit of Figures 2 and 5: a
+// weak victim crossed by one strong, fast aggressor whose transition
+// lands mid-victim-transition.
+func fig02Case(ctx *Context) (*delaynoise.Case, error) {
+	cellOf := func(name string) (*device.Cell, error) { return ctx.Lib.Cell(name) }
+	vic, err := cellOf("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	agg, err := cellOf("INVX16")
+	if err != nil {
+		return nil, err
+	}
+	recv, err := cellOf("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	net := rcnet.Build(rcnet.CoupledSpec{
+		Victim: rcnet.LineSpec{Name: "v", Segments: 6, RTotal: 350, CGround: 45e-15},
+		Aggressors: []rcnet.AggressorSpec{
+			{Line: rcnet.LineSpec{Name: "a0", Segments: 6, RTotal: 250, CGround: 35e-15}, CCouple: 45e-15, From: 0, To: 1},
+		},
+	})
+	return &delaynoise.Case{
+		Net:    net,
+		Victim: delaynoise.DriverSpec{Cell: vic, InputSlew: 450e-12, OutputRising: true, InputStart: 200e-12},
+		Aggressors: []delaynoise.DriverSpec{
+			{Cell: agg, InputSlew: 60e-12, OutputRising: false, InputStart: 500e-12},
+		},
+		Receiver:     recv,
+		ReceiverLoad: 12e-15,
+	}, nil
+}
+
+// Fig02 runs the Figure 2/5 comparison at the nominal aggressor timing.
+func Fig02(ctx *Context) (*Fig02Result, error) {
+	c, err := fig02Case(ctx)
+	if err != nil {
+		return nil, err
+	}
+	// Linear flows at nominal timing: pull the per-aggressor noise pulse
+	// directly (it is the composite for a single aggressor, at nominal
+	// position rather than peak-at-zero).
+	thev, err := delaynoise.Analyze(c, delaynoise.Options{
+		Hold: delaynoise.HoldThevenin, Align: delaynoise.AlignReceiverInput,
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Pin the transient-holding analysis to the nominal alignment so the
+	// Rtr is computed for exactly the pulse position shown in the figure.
+	nominal := thev.NoisePeakTimes[0]
+	rtr, err := delaynoise.Analyze(c, delaynoise.Options{
+		Hold: delaynoise.HoldTransient, Align: delaynoise.AlignReceiverInput,
+		Window: &delaynoise.Window{Lo: nominal, Hi: nominal},
+	})
+	if err != nil {
+		return nil, err
+	}
+	// Golden: noisy and quiet receiver-input waveforms at nominal timing.
+	goldenNoisy, goldenQuiet, err := delaynoise.GoldenWaveforms(c, make([]float64, 1))
+	if err != nil {
+		return nil, err
+	}
+	goldenNoise := waveform.Sub(goldenNoisy, goldenQuiet)
+	res := &Fig02Result{
+		GoldenNoise:   goldenNoise,
+		TheveninNoise: thev.NoisePulses[0],
+		RtrNoise:      rtr.NoisePulses[0],
+		GoldenNoisy:   goldenNoisy,
+		TheveninNoisy: waveform.Sum(thev.NoiselessRecvIn, thev.NoisePulses[0]),
+		RtrNoisy:      waveform.Sum(rtr.NoiselessRecvIn, rtr.NoisePulses[0]),
+		Rth:           thev.VictimRth,
+		Rtr:           rtr.VictimRtr,
+	}
+	_, res.GoldenPeak = goldenNoise.Peak()
+	_, res.TheveninPeak = res.TheveninNoise.Peak()
+	_, res.RtrPeak = res.RtrNoise.Peak()
+	return res, nil
+}
+
+// PrintFig05 renders the Figure 5 overlay: the full noisy victim
+// transitions at the receiver input for the nonlinear reference and both
+// linear driver models.
+func (r *Fig02Result) PrintFig05(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 5: linear noise simulation using Rtr vs full non-linear")
+	fmt.Fprintf(w, "Rth = %.0f ohm, Rtr = %.0f ohm (paper flavor: 1203 -> 1463)\n", r.Rth, r.Rtr)
+	t0, t1 := r.GoldenNoisy.Start(), r.GoldenNoisy.End()
+	fmt.Fprintf(w, "%-12s %-14s %-14s %-14s\n", "t(ps)", "nonlinear(V)", "thevenin(V)", "rtr(V)")
+	const n = 60
+	for i := 0; i <= n; i++ {
+		t := t0 + (t1-t0)*float64(i)/n
+		fmt.Fprintf(w, "%-12.1f %-14.4f %-14.4f %-14.4f\n",
+			t*1e12, r.GoldenNoisy.At(t), r.TheveninNoisy.At(t), r.RtrNoisy.At(t))
+	}
+}
+
+// Print renders the three noise waveforms resampled on a common grid.
+func (r *Fig02Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 2/5: noise on a switching victim, linear models vs non-linear")
+	fmt.Fprintf(w, "Rth = %.0f ohm, Rtr = %.0f ohm\n", r.Rth, r.Rtr)
+	fmt.Fprintf(w, "peak noise: golden %.3f V, thevenin %.3f V (%.0f%% of golden), rtr %.3f V (%.0f%% of golden)\n",
+		r.GoldenPeak, r.TheveninPeak, 100*r.TheveninPeak/r.GoldenPeak,
+		r.RtrPeak, 100*r.RtrPeak/r.GoldenPeak)
+	t0 := r.GoldenNoise.Start()
+	t1 := r.GoldenNoise.End()
+	fmt.Fprintf(w, "%-12s %-12s %-12s %-12s\n", "t(ps)", "golden(V)", "thevenin(V)", "rtr(V)")
+	const n = 60
+	for i := 0; i <= n; i++ {
+		t := t0 + (t1-t0)*float64(i)/n
+		fmt.Fprintf(w, "%-12.1f %-12.4f %-12.4f %-12.4f\n",
+			t*1e12, r.GoldenNoise.At(t), r.TheveninNoise.At(t), r.RtrNoise.At(t))
+	}
+}

@@ -1,0 +1,91 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/align"
+	"repro/internal/waveform"
+)
+
+// Fig07Result holds the delay-vs-alignment families of Figure 7:
+// (a) one curve per receiver output load, and (b) one per victim slew
+// with the alignment axis measured from the victim's 50% crossing.
+type Fig07Result struct {
+	Loads []Series // Fig 7(a)
+	Slews []Series // Fig 7(b)
+}
+
+// Fig07 sweeps the composite-pulse alignment for several receiver loads
+// (a) and victim edge rates (b). The paper's observations: small loads
+// are sharply alignment-sensitive, large loads flat; and in the
+// 50%-crossing-relative coordinate the worst alignment moves nearly
+// linearly with the victim transition time.
+func Fig07(ctx *Context) (*Fig07Result, error) {
+	recv, err := ctx.Lib.Cell("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	vdd := ctx.Tech.Vdd
+	noise := align.Pulse{Height: -0.45, Width: 100e-12}.Waveform()
+	res := &Fig07Result{}
+
+	// (a) Load sweep at a fixed victim edge.
+	slewA := 300e-12
+	noiselessA := waveform.Ramp(200e-12, slewA, 0, vdd)
+	t50A, err := noiselessA.CrossRising(vdd / 2)
+	if err != nil {
+		return nil, err
+	}
+	for _, load := range []float64{2e-15, 10e-15, 40e-15, 120e-15} {
+		obj := align.Objective{Receiver: recv, Load: load, VictimRising: true}
+		quiet, err := obj.OutputCross(noiselessA)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: fmt.Sprintf("load=%.0ffF", load*1e15)}
+		for d := -250e-12; d <= 400e-12+1e-15; d += 25e-12 {
+			out, err := obj.OutputCross(align.NoisyInput(noiselessA, noise, t50A+d))
+			if err != nil {
+				continue
+			}
+			s.X = append(s.X, d)
+			s.Y = append(s.Y, out-quiet)
+		}
+		res.Loads = append(res.Loads, s)
+	}
+
+	// (b) Victim slew sweep at minimal load, alignment measured from the
+	// victim's own 50% crossing.
+	obj := align.Objective{Receiver: recv, Load: 3e-15, VictimRising: true}
+	for _, slew := range []float64{120e-12, 240e-12, 420e-12} {
+		noiseless := waveform.Ramp(200e-12, slew, 0, vdd)
+		t50, err := noiseless.CrossRising(vdd / 2)
+		if err != nil {
+			return nil, err
+		}
+		quiet, err := obj.OutputCross(noiseless)
+		if err != nil {
+			return nil, err
+		}
+		s := Series{Name: fmt.Sprintf("slew=%.0fps", slew*1e12)}
+		for d := -250e-12; d <= 400e-12+1e-15; d += 25e-12 {
+			out, err := obj.OutputCross(align.NoisyInput(noiseless, noise, t50+d))
+			if err != nil {
+				continue
+			}
+			s.X = append(s.X, d)
+			s.Y = append(s.Y, out-quiet)
+		}
+		res.Slews = append(res.Slews, s)
+	}
+	return res, nil
+}
+
+// Print renders both families.
+func (r *Fig07Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 7(a): delay noise vs alignment (offset from victim 50% crossing) for receiver loads")
+	printSeries(w, "offset(ps)", "delaynoise(ps)", 1e12, 1e12, r.Loads...)
+	fmt.Fprintln(w, "# Figure 7(b): delay noise vs alignment for victim slews (minimal load)")
+	printSeries(w, "offset(ps)", "delaynoise(ps)", 1e12, 1e12, r.Slews...)
+}

@@ -1,0 +1,104 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/align"
+	"repro/internal/waveform"
+)
+
+// Fig08Result holds delay noise as a function of the *alignment voltage*
+// (the noiseless receiver-input value at the pulse peak time) for pulse
+// width and height sweeps — the coordinate in which the worst case moves
+// nearly linearly, justifying the paper's 2-point interpolation per axis.
+type Fig08Result struct {
+	Widths  []Series // Fig 8(a): one curve per pulse width
+	Heights []Series // Fig 8(b): one curve per pulse height
+
+	// WorstVa are the alignment voltages of the per-curve maxima, used by
+	// the linearity check in EXPERIMENTS.md.
+	WidthWorstVa  []float64
+	HeightWorstVa []float64
+}
+
+// Fig08 sweeps the alignment voltage for several pulse widths (a) and
+// heights (b) at minimal receiver load.
+func Fig08(ctx *Context) (*Fig08Result, error) {
+	recv, err := ctx.Lib.Cell("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	vdd := ctx.Tech.Vdd
+	slew := 300e-12
+	noiseless := waveform.Ramp(200e-12, slew, 0, vdd)
+	obj := align.Objective{Receiver: recv, Load: 3e-15, VictimRising: true}
+	quiet, err := obj.OutputCross(noiseless)
+	if err != nil {
+		return nil, err
+	}
+
+	curve := func(p align.Pulse) (Series, float64, error) {
+		noise := p.Waveform()
+		s := Series{Name: fmt.Sprintf("h=%.2fV w=%.0fps", -p.Height, p.Width*1e12)}
+		worstVa, worstNoise := 0.0, -1.0
+		for frac := 0.05; frac <= 0.95; frac += 0.05 {
+			va := frac * vdd
+			tp, err := noiseless.CrossRising(va)
+			if err != nil {
+				continue
+			}
+			out, err := obj.OutputCross(align.NoisyInput(noiseless, noise, tp))
+			if err != nil {
+				continue
+			}
+			dn := out - quiet
+			s.X = append(s.X, va)
+			s.Y = append(s.Y, dn)
+			if dn > worstNoise {
+				worstVa, worstNoise = va, dn
+			}
+		}
+		if len(s.X) == 0 {
+			return s, 0, fmt.Errorf("repro: fig08 curve %s is empty", s.Name)
+		}
+		return s, worstVa, nil
+	}
+
+	res := &Fig08Result{}
+	for _, w := range []float64{60e-12, 120e-12, 240e-12} {
+		s, va, err := curve(align.Pulse{Height: -0.35, Width: w})
+		if err != nil {
+			return nil, err
+		}
+		res.Widths = append(res.Widths, s)
+		res.WidthWorstVa = append(res.WidthWorstVa, va)
+	}
+	for _, h := range []float64{0.2, 0.35, 0.5} {
+		s, va, err := curve(align.Pulse{Height: -h, Width: 120e-12})
+		if err != nil {
+			return nil, err
+		}
+		res.Heights = append(res.Heights, s)
+		res.HeightWorstVa = append(res.HeightWorstVa, va)
+	}
+	return res, nil
+}
+
+// Print renders both families.
+func (r *Fig08Result) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Figure 8(a): delay noise vs alignment voltage for pulse widths")
+	printSeries(w, "Va(V)", "delaynoise(ps)", 1, 1e12, r.Widths...)
+	fmt.Fprintln(w, "# Figure 8(b): delay noise vs alignment voltage for pulse heights")
+	printSeries(w, "Va(V)", "delaynoise(ps)", 1, 1e12, r.Heights...)
+	fmt.Fprintf(w, "worst-case Va by width:  %v\n", fmtVolts(r.WidthWorstVa))
+	fmt.Fprintf(w, "worst-case Va by height: %v\n", fmtVolts(r.HeightWorstVa))
+}
+
+func fmtVolts(vs []float64) []string {
+	out := make([]string, len(vs))
+	for i, v := range vs {
+		out[i] = fmt.Sprintf("%.2fV", v)
+	}
+	return out
+}

@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/align"
+	"repro/internal/waveform"
+)
+
+// Fig09Point is one grid cell of the prediction-error plots.
+type Fig09Point struct {
+	A, B       float64 // grid coordinates (slew/load or width/height)
+	Exhaustive float64 // worst-case delay noise from exhaustive search, s
+	Predicted  float64 // delay noise at the table-predicted alignment, s
+	RelErr     float64 // 1 - Predicted/Exhaustive
+}
+
+// Fig09Result holds both error grids of Figure 9.
+type Fig09Result struct {
+	CellName string
+	// SlewLoad is Fig 9(a): victim slew x receiver load, using the
+	// 2-point slew interpolation at min-load characterization.
+	SlewLoad []Fig09Point
+	// WidthHeight is Fig 9(b): pulse width x height, using the 4-corner
+	// alignment-voltage interpolation.
+	WidthHeight []Fig09Point
+
+	WorstSlewLoadErr    float64
+	WorstWidthHeightErr float64
+}
+
+// Fig09 measures the delay error of the 8-point pre-characterization
+// across off-corner conditions. The paper reports < 7% over slew x load
+// and < 8% over width x height.
+func Fig09(ctx *Context) (*Fig09Result, error) {
+	recv, err := ctx.Lib.Cell("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	cfg := align.DefaultConfig(ctx.Tech)
+	tab, err := align.Precharacterize(recv, true, cfg)
+	if err != nil {
+		return nil, err
+	}
+	vdd := ctx.Tech.Vdd
+	res := &Fig09Result{CellName: recv.Name}
+
+	eval := func(slew, load, width, height float64) (Fig09Point, error) {
+		noiseless := waveform.Ramp(200e-12, slew, 0, vdd)
+		noise := align.Pulse{Height: -height, Width: width}.Waveform()
+		obj := align.Objective{Receiver: recv, Load: load, VictimRising: true}
+		quiet, err := obj.OutputCross(noiseless)
+		if err != nil {
+			return Fig09Point{}, err
+		}
+		worst, err := obj.ExhaustiveWorst(noiseless, noise, 25)
+		if err != nil {
+			return Fig09Point{}, err
+		}
+		tp, err := tab.PredictPeakTime(noiseless, slew, width, height, load)
+		if err != nil {
+			return Fig09Point{}, err
+		}
+		pred, err := obj.OutputCross(align.NoisyInput(noiseless, noise, tp))
+		if err != nil {
+			return Fig09Point{}, err
+		}
+		exh := worst.TOut - quiet
+		prd := pred - quiet
+		rel := 0.0
+		if exh > 1e-15 {
+			rel = 1 - prd/exh
+		}
+		return Fig09Point{Exhaustive: exh, Predicted: prd, RelErr: rel}, nil
+	}
+
+	// (a) slew x load grid at mid width/height.
+	for _, slew := range []float64{100e-12, 200e-12, 350e-12, 500e-12} {
+		for _, load := range []float64{3e-15, 15e-15, 60e-15} {
+			p, err := eval(slew, load, 150e-12, 0.3)
+			if err != nil {
+				return nil, fmt.Errorf("repro: fig09a slew=%g load=%g: %w", slew, load, err)
+			}
+			p.A, p.B = slew, load
+			res.SlewLoad = append(res.SlewLoad, p)
+			if e := math.Abs(p.RelErr); e > res.WorstSlewLoadErr {
+				res.WorstSlewLoadErr = e
+			}
+		}
+	}
+	// (b) width x height grid at mid slew, min load.
+	for _, width := range []float64{60e-12, 150e-12, 300e-12} {
+		for _, height := range []float64{0.2, 0.35, 0.55} {
+			p, err := eval(250e-12, cfg.MinLoad, width, height)
+			if err != nil {
+				return nil, fmt.Errorf("repro: fig09b w=%g h=%g: %w", width, height, err)
+			}
+			p.A, p.B = width, height
+			res.WidthHeight = append(res.WidthHeight, p)
+			if e := math.Abs(p.RelErr); e > res.WorstWidthHeightErr {
+				res.WorstWidthHeightErr = e
+			}
+		}
+	}
+	return res, nil
+}
+
+// Print renders both error grids.
+func (r *Fig09Result) Print(w io.Writer) {
+	fmt.Fprintf(w, "# Figure 9: alignment-prediction error for %s (8-point table)\n", r.CellName)
+	fmt.Fprintln(w, "# (a) victim slew x receiver load")
+	fmt.Fprintf(w, "%-12s %-12s %-14s %-14s %-8s\n", "slew(ps)", "load(fF)", "exhaust(ps)", "predict(ps)", "err(%)")
+	for _, p := range r.SlewLoad {
+		fmt.Fprintf(w, "%-12.0f %-12.1f %-14.2f %-14.2f %-8.2f\n",
+			p.A*1e12, p.B*1e15, p.Exhaustive*1e12, p.Predicted*1e12, p.RelErr*100)
+	}
+	fmt.Fprintf(w, "worst error: %.2f%% (paper: < 7%%)\n\n", r.WorstSlewLoadErr*100)
+	fmt.Fprintln(w, "# (b) pulse width x height")
+	fmt.Fprintf(w, "%-12s %-12s %-14s %-14s %-8s\n", "width(ps)", "height(V)", "exhaust(ps)", "predict(ps)", "err(%)")
+	for _, p := range r.WidthHeight {
+		fmt.Fprintf(w, "%-12.0f %-12.2f %-14.2f %-14.2f %-8.2f\n",
+			p.A*1e12, p.B, p.Exhaustive*1e12, p.Predicted*1e12, p.RelErr*100)
+	}
+	fmt.Fprintf(w, "worst error: %.2f%% (paper: < 8%%)\n", r.WorstWidthHeightErr*100)
+}

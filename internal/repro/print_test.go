@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/align"
+	"repro/internal/stats"
+	"repro/internal/waveform"
+)
+
+// The Print methods render experiment results for cmd/figures; these
+// tests pin their format on synthetic data without re-running the
+// experiments.
+
+func TestFig13Print(t *testing.T) {
+	r := &Fig13Result{
+		Points: []Fig13Point{
+			{Net: 0, Golden: 100e-12, Thevenin: 70e-12, Rtr: 95e-12, RthValue: 1200, RtrValue: 1500},
+		},
+		Thevenin: stats.ErrorSummary{N: 1, MeanRelErr: 0.3},
+		Rtr:      stats.ErrorSummary{N: 1, MeanRelErr: 0.05},
+		Skipped:  2,
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 13", "100.00", "70.00", "95.00", "skipped nets: 2", "48.63%"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig14Print(t *testing.T) {
+	r := &Fig14Result{
+		Points: []Fig14Point{
+			{Net: 3, Exhaustive: 120e-12, Ours: 110e-12, Baseline: 80e-12},
+		},
+		Ours:     stats.ErrorSummary{N: 1, WorstAbsErr: 10e-12},
+		Baseline: stats.ErrorSummary{N: 1, WorstAbsErr: 40e-12},
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 14", "120.00", "110.00", "80.00", "15 ps"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestFig06Fig07Fig08Print(t *testing.T) {
+	s := Series{Name: "x", X: []float64{0, 1e-12}, Y: []float64{1e-12, 2e-12}}
+	f6 := &Fig06Result{SmallLoad: s, LargeLoad: s, SmallAlignedErr: 1e-12, LargeAlignedErr: 2e-12}
+	f7 := &Fig07Result{Loads: []Series{s}, Slews: []Series{s}}
+	f8 := &Fig08Result{Widths: []Series{s}, Heights: []Series{s},
+		WidthWorstVa: []float64{1.2}, HeightWorstVa: []float64{1.3}}
+	var buf bytes.Buffer
+	f6.Print(&buf)
+	f7.Print(&buf)
+	f8.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 6", "Figure 7(a)", "Figure 7(b)", "Figure 8(a)", "1.20V"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig09AndClaimsPrint(t *testing.T) {
+	f9 := &Fig09Result{
+		CellName:            "INVX2",
+		SlewLoad:            []Fig09Point{{A: 1e-10, B: 1e-14, Exhaustive: 5e-11, Predicted: 4.8e-11, RelErr: 0.04}},
+		WidthHeight:         []Fig09Point{{A: 1e-10, B: 0.3, Exhaustive: 5e-11, Predicted: 4.9e-11, RelErr: 0.02}},
+		WorstSlewLoadErr:    0.04,
+		WorstWidthHeightErr: 0.02,
+	}
+	ap := &AlignedPeakResult{Cases: 10, WorstErr: 0.01, MeanErr: 0.002}
+	cv := &ConvergenceResult{Iterations: map[int]int{2: 5}, Nets: 5}
+	pb := &PrecharBudgetResult{Points: 8, NaivePoints: 10000, WorstErr: 0.05, CharacterizedAt: "INVX2"}
+	var buf bytes.Buffer
+	f9.Print(&buf)
+	ap.Print(&buf)
+	cv.Print(&buf)
+	pb.Print(&buf)
+	out := buf.String()
+	for _, want := range []string{"Figure 9", "aligned", "fixpoint converges", "8 pre-characterization points", "converged after 2 iterations: 5/5"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q", want)
+		}
+	}
+}
+
+func TestFig02PrintUnits(t *testing.T) {
+	w := waveform.Ramp(0, 1e-10, 0, 1.8)
+	p := align.Pulse{Height: -0.3, Width: 5e-11}.Waveform()
+	r := &Fig02Result{
+		GoldenNoise: p, TheveninNoise: p, RtrNoise: p,
+		GoldenNoisy: w, TheveninNoisy: w, RtrNoisy: w,
+		GoldenPeak: -0.3, TheveninPeak: -0.21, RtrPeak: -0.29,
+		Rth: 1200, Rtr: 1500,
+	}
+	var buf bytes.Buffer
+	r.Print(&buf)
+	r.PrintFig05(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "70% of golden") {
+		t.Errorf("peak percentage missing:\n%s", out)
+	}
+	if !strings.Contains(out, "1203 -> 1463") {
+		t.Error("paper flavor line missing")
+	}
+}

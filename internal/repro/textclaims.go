@@ -1,0 +1,166 @@
+package repro
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/align"
+	"repro/internal/delaynoise"
+	"repro/internal/waveform"
+	"repro/internal/workload"
+)
+
+// AlignedPeakResult quantifies the §3.1 claim: using peak-aligned
+// aggressors instead of searching their relative stagger costs < 5% of
+// the worst-case delay noise.
+type AlignedPeakResult struct {
+	Cases    int
+	WorstErr float64 // worst relative error of the aligned-peak approximation
+	MeanErr  float64
+}
+
+// AlignedPeakError sweeps two-aggressor pulse pairs across receiver loads
+// and victim slews, comparing the worst delay noise over (stagger,
+// alignment) against the aligned-peak (stagger = 0) worst case.
+func AlignedPeakError(ctx *Context) (*AlignedPeakResult, error) {
+	recv, err := ctx.Lib.Cell("INVX2")
+	if err != nil {
+		return nil, err
+	}
+	vdd := ctx.Tech.Vdd
+	res := &AlignedPeakResult{}
+	for _, load := range []float64{3e-15, 40e-15, 120e-15} {
+		for _, slew := range []float64{150e-12, 350e-12} {
+			for _, widths := range [][2]float64{{60e-12, 60e-12}, {60e-12, 180e-12}} {
+				noiseless := waveform.Ramp(200e-12, slew, 0, vdd)
+				p1 := align.Pulse{Height: -0.25, Width: widths[0]}.Waveform()
+				p2 := align.Pulse{Height: -0.25, Width: widths[1]}.Waveform()
+				obj := align.Objective{Receiver: recv, Load: load, VictimRising: true}
+				quiet, err := obj.OutputCross(noiseless)
+				if err != nil {
+					return nil, err
+				}
+				worst, aligned := math.Inf(-1), 0.0
+				for i := -3; i <= 3; i++ {
+					d := float64(i) * 50e-12
+					comp, err := align.CompositeAt([]*waveform.PWL{p1, p2}, []float64{0, d})
+					if err != nil {
+						return nil, err
+					}
+					w, err := obj.ExhaustiveWorst(noiseless, comp, 13)
+					if err != nil {
+						return nil, err
+					}
+					noise := w.TOut - quiet
+					if noise > worst {
+						worst = noise
+					}
+					if i == 0 {
+						aligned = noise
+					}
+				}
+				if worst <= 1e-15 {
+					continue
+				}
+				res.Cases++
+				e := (worst - aligned) / worst
+				res.MeanErr += e
+				if e > res.WorstErr {
+					res.WorstErr = e
+				}
+			}
+		}
+	}
+	if res.Cases > 0 {
+		res.MeanErr /= float64(res.Cases)
+	}
+	return res, nil
+}
+
+// Print renders the aligned-peak approximation error.
+func (r *AlignedPeakResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Text claim (3.1): aligned aggressor peaks are a safe approximation")
+	fmt.Fprintf(w, "cases %d, mean error %.2f%%, worst error %.2f%% (paper: < 5%%)\n",
+		r.Cases, r.MeanErr*100, r.WorstErr*100)
+}
+
+// ConvergenceResult records the linear-model/alignment fixpoint behaviour
+// over a population (paper: one or two iterations suffice).
+type ConvergenceResult struct {
+	Iterations map[int]int // iteration count -> number of nets
+	MaxRelStep float64     // worst final relative Rtr change observed
+	Nets       int
+}
+
+// Convergence runs the transient-holding flow over a population and
+// tabulates how many fixpoint iterations each net needed.
+func Convergence(ctx *Context) (*ConvergenceResult, error) {
+	gen := workload.NewGenerator(ctx.Lib, workload.DefaultProfile(), ctx.Seed+2)
+	res := &ConvergenceResult{Iterations: map[int]int{}}
+	for i := 0; i < ctx.Nets; i++ {
+		c, err := gen.Next(i)
+		if err != nil {
+			return nil, err
+		}
+		r, err := delaynoise.Analyze(c, delaynoise.Options{
+			Hold: delaynoise.HoldTransient, Align: delaynoise.AlignReceiverInput,
+			MaxIterations: 6,
+		})
+		if err != nil {
+			continue
+		}
+		res.Nets++
+		res.Iterations[r.Iterations]++
+	}
+	if res.Nets == 0 {
+		return nil, fmt.Errorf("repro: convergence produced no valid nets")
+	}
+	return res, nil
+}
+
+// Print renders the iteration histogram.
+func (r *ConvergenceResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Text claim (2): the Rtr/alignment fixpoint converges in 1-2 extra iterations")
+	for it := 1; it <= 8; it++ {
+		if n := r.Iterations[it]; n > 0 {
+			fmt.Fprintf(w, "converged after %d iterations: %d/%d nets\n", it, n, r.Nets)
+		}
+	}
+	fmt.Fprintln(w, "(iteration 1 computes the noise with Rth; the count includes the mandatory Rtr re-run)")
+}
+
+// PrecharBudgetResult backs the §3.2 claim that 8 points suffice versus a
+// naive dense table.
+type PrecharBudgetResult struct {
+	Points          int     // characterization points used (8)
+	NaivePoints     int     // the paper's strawman (10^4)
+	WorstErr        float64 // worst delay error of the 8-point prediction
+	GridPerCorner   int
+	CharacterizedAt string
+}
+
+// PrecharBudget re-uses the Figure 9 grids to bound the 8-point table's
+// error and contrasts the table sizes.
+func PrecharBudget(ctx *Context) (*PrecharBudgetResult, error) {
+	f9, err := Fig09(ctx)
+	if err != nil {
+		return nil, err
+	}
+	worst := math.Max(f9.WorstSlewLoadErr, f9.WorstWidthHeightErr)
+	return &PrecharBudgetResult{
+		Points:          8,
+		NaivePoints:     10000,
+		WorstErr:        worst,
+		GridPerCorner:   10,
+		CharacterizedAt: f9.CellName,
+	}, nil
+}
+
+// Print renders the budget comparison.
+func (r *PrecharBudgetResult) Print(w io.Writer) {
+	fmt.Fprintln(w, "# Text claim (3.2): 8 pre-characterization points suffice")
+	fmt.Fprintf(w, "cell %s: %d points vs naive %d (10 per axis in 4 dimensions)\n",
+		r.CharacterizedAt, r.Points, r.NaivePoints)
+	fmt.Fprintf(w, "worst delay error of the 8-point prediction: %.2f%% (paper: within 10%%)\n", r.WorstErr*100)
+}

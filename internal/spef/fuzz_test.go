@@ -1,0 +1,36 @@
+package spef
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// FuzzParse drives the mini-SPEF parser with arbitrary input: it must
+// never panic, and anything it accepts must survive a write/parse round
+// trip with identical element counts.
+func FuzzParse(f *testing.F) {
+	f.Add("*SPEF mini\n*DESIGN d\n*RES\nr1 a b 100\n*CAP\nc1 b 0 1e-15\n*END\n")
+	f.Add("*SPEF mini\n*RES\nr1 a b -5\n")
+	f.Add("# comment only\n")
+	f.Add("*SPEF mini\n*CAP\nc1 n1 gnd 2e-15\n")
+	f.Add("*SPEF\n*RES\nbad line\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		res, err := Parse(strings.NewReader(in))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, res.Design, res.Circuit); err != nil {
+			t.Fatalf("accepted circuit failed to serialize: %v", err)
+		}
+		again, err := Parse(&buf)
+		if err != nil {
+			t.Fatalf("round trip failed: %v\ninput: %q", err, in)
+		}
+		if len(again.Circuit.Resistors) != len(res.Circuit.Resistors) ||
+			len(again.Circuit.Capacitors) != len(res.Circuit.Capacitors) {
+			t.Fatalf("round trip changed element counts for %q", in)
+		}
+	})
+}

@@ -1,0 +1,149 @@
+package spef
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netlist"
+	"repro/internal/rcnet"
+)
+
+func TestRoundTrip(t *testing.T) {
+	net := rcnet.Build(rcnet.CoupledSpec{
+		Victim: rcnet.LineSpec{Name: "v", Segments: 4, RTotal: 400, CGround: 20e-15},
+		Aggressors: []rcnet.AggressorSpec{
+			{Line: rcnet.LineSpec{Name: "a0", Segments: 4, RTotal: 300, CGround: 15e-15}, CCouple: 10e-15, From: 0, To: 1},
+		},
+	})
+	var buf bytes.Buffer
+	if err := Write(&buf, "testnet", net.Circuit); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Parse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Design != "testnet" {
+		t.Fatalf("design = %q", got.Design)
+	}
+	if len(got.Circuit.Resistors) != len(net.Circuit.Resistors) {
+		t.Fatalf("resistors %d vs %d", len(got.Circuit.Resistors), len(net.Circuit.Resistors))
+	}
+	if len(got.Circuit.Capacitors) != len(net.Circuit.Capacitors) {
+		t.Fatalf("capacitors %d vs %d", len(got.Circuit.Capacitors), len(net.Circuit.Capacitors))
+	}
+	// Total values preserved.
+	sumC := func(c *netlist.Circuit) float64 {
+		s := 0.0
+		for _, cap := range c.Capacitors {
+			s += cap.C
+		}
+		return s
+	}
+	if math.Abs(sumC(got.Circuit)-sumC(net.Circuit)) > 1e-21 {
+		t.Fatal("total capacitance changed in round trip")
+	}
+	// Node sets preserved.
+	a := strings.Join(net.Circuit.Nodes(), ",")
+	b := strings.Join(got.Circuit.Nodes(), ",")
+	if a != b {
+		t.Fatalf("node sets differ:\n%s\n%s", a, b)
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	in := `*SPEF mini
+# comment
+// another
+*DESIGN d
+*RES
+r1 a b 100
+*CAP
+c1 b 0 1e-15
+*END
+`
+	res, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Circuit.Resistors) != 1 || len(res.Circuit.Capacitors) != 1 {
+		t.Fatal("elements missing")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := map[string]string{
+		"no header":         "*RES\nr1 a b 100\n",
+		"bad directive":     "*SPEF mini\n*BOGUS\n",
+		"outside section":   "*SPEF mini\nr1 a b 100\n",
+		"wrong field count": "*SPEF mini\n*RES\nr1 a b\n",
+		"bad value":         "*SPEF mini\n*RES\nr1 a b xyz\n",
+		"zero resistance":   "*SPEF mini\n*RES\nr1 a b 0\n",
+		"negative cap":      "*SPEF mini\n*CAP\nc1 a 0 -1e-15\n",
+	}
+	for name, in := range cases {
+		if _, err := Parse(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: expected error", name)
+		}
+	}
+}
+
+func TestParseGroundAliases(t *testing.T) {
+	in := "*SPEF mini\n*CAP\nc1 n1 0 1e-15\nc2 n2 gnd 2e-15\n*END\n"
+	res, err := Parse(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	nodes := res.Circuit.Nodes()
+	if len(nodes) != 2 {
+		t.Fatalf("nodes = %v (ground leaked in?)", nodes)
+	}
+}
+
+// TestRoundTripProperty: random circuits survive write/parse unchanged.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		c := netlist.NewCircuit()
+		n := 2 + rng.Intn(20)
+		for i := 0; i < n; i++ {
+			a := fmt.Sprintf("n%d", rng.Intn(8))
+			b := fmt.Sprintf("n%d", rng.Intn(8))
+			if a == b {
+				b = "0"
+			}
+			if rng.Intn(2) == 0 {
+				c.AddR(fmt.Sprintf("r%d", i), a, b, 1+1000*rng.Float64())
+			} else {
+				c.AddC(fmt.Sprintf("c%d", i), a, b, 1e-16+1e-13*rng.Float64())
+			}
+		}
+		var buf bytes.Buffer
+		if err := Write(&buf, "p", c); err != nil {
+			return false
+		}
+		got, err := Parse(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Circuit.Resistors) != len(c.Resistors) ||
+			len(got.Circuit.Capacitors) != len(c.Capacitors) {
+			return false
+		}
+		for i, r := range c.Resistors {
+			g := got.Circuit.Resistors[i]
+			if g.Name != r.Name || g.A != r.A || g.B != r.B || math.Abs(g.R-r.R) > 1e-6*r.R {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,124 @@
+// Package table provides the characterization-table containers the tool
+// persists between runs: rectangular grids with bilinear interpolation
+// and clamping, plus JSON round-tripping. The Thevenin driver tables
+// (slew x load -> t0/dt/Rth) and the alignment tables of package align
+// are stored through these.
+package table
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Grid2D is a rectangular lookup table z(x, y) with linear interpolation
+// and edge clamping.
+type Grid2D struct {
+	Name string      `json:"name"`
+	Xs   []float64   `json:"xs"` // strictly increasing
+	Ys   []float64   `json:"ys"` // strictly increasing
+	Z    [][]float64 `json:"z"`  // Z[i][j] = z(Xs[i], Ys[j])
+}
+
+// NewGrid2D validates and constructs a grid.
+func NewGrid2D(name string, xs, ys []float64, z [][]float64) (*Grid2D, error) {
+	if len(xs) < 2 || len(ys) < 2 {
+		return nil, fmt.Errorf("table: grid %q needs at least 2 points per axis", name)
+	}
+	if !strictlyIncreasing(xs) || !strictlyIncreasing(ys) {
+		return nil, fmt.Errorf("table: grid %q axes must be strictly increasing", name)
+	}
+	if len(z) != len(xs) {
+		return nil, fmt.Errorf("table: grid %q has %d rows for %d x-points", name, len(z), len(xs))
+	}
+	for i, row := range z {
+		if len(row) != len(ys) {
+			return nil, fmt.Errorf("table: grid %q row %d has %d cols for %d y-points", name, i, len(row), len(ys))
+		}
+	}
+	return &Grid2D{Name: name, Xs: xs, Ys: ys, Z: z}, nil
+}
+
+func strictlyIncreasing(v []float64) bool {
+	for i := 1; i < len(v); i++ {
+		if v[i] <= v[i-1] {
+			return false
+		}
+	}
+	return true
+}
+
+// locate returns the cell index and normalized coordinate for value v on
+// axis, clamping outside the table range.
+func locate(axis []float64, v float64) (int, float64) {
+	n := len(axis)
+	if v <= axis[0] {
+		return 0, 0
+	}
+	if v >= axis[n-1] {
+		return n - 2, 1
+	}
+	i := sort.SearchFloat64s(axis, v)
+	if i > 0 && axis[i] != v {
+		i--
+	}
+	if i >= n-1 {
+		i = n - 2
+	}
+	return i, (v - axis[i]) / (axis[i+1] - axis[i])
+}
+
+// At interpolates the table at (x, y), clamping outside the grid.
+func (g *Grid2D) At(x, y float64) float64 {
+	i, u := locate(g.Xs, x)
+	j, v := locate(g.Ys, y)
+	z00 := g.Z[i][j]
+	z01 := g.Z[i][j+1]
+	z10 := g.Z[i+1][j]
+	z11 := g.Z[i+1][j+1]
+	return z00*(1-u)*(1-v) + z10*u*(1-v) + z01*(1-u)*v + z11*u*v
+}
+
+// Write serializes the grid as indented JSON.
+func (g *Grid2D) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(g)
+}
+
+// ReadGrid2D parses and validates a grid from JSON.
+func ReadGrid2D(r io.Reader) (*Grid2D, error) {
+	var g Grid2D
+	if err := json.NewDecoder(r).Decode(&g); err != nil {
+		return nil, fmt.Errorf("table: decode: %w", err)
+	}
+	return NewGrid2D(g.Name, g.Xs, g.Ys, g.Z)
+}
+
+// Curve1D is a monotone-x lookup with linear interpolation and clamping.
+type Curve1D struct {
+	Name string    `json:"name"`
+	Xs   []float64 `json:"xs"`
+	Ys   []float64 `json:"ys"`
+}
+
+// NewCurve1D validates and constructs a curve.
+func NewCurve1D(name string, xs, ys []float64) (*Curve1D, error) {
+	if len(xs) < 2 {
+		return nil, fmt.Errorf("table: curve %q needs at least 2 points", name)
+	}
+	if len(xs) != len(ys) {
+		return nil, fmt.Errorf("table: curve %q has %d xs and %d ys", name, len(xs), len(ys))
+	}
+	if !strictlyIncreasing(xs) {
+		return nil, fmt.Errorf("table: curve %q x-axis must be strictly increasing", name)
+	}
+	return &Curve1D{Name: name, Xs: xs, Ys: ys}, nil
+}
+
+// At interpolates the curve at x with edge clamping.
+func (c *Curve1D) At(x float64) float64 {
+	i, u := locate(c.Xs, x)
+	return c.Ys[i]*(1-u) + c.Ys[i+1]*u
+}

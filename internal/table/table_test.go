@@ -1,0 +1,143 @@
+package table
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func grid(t *testing.T) *Grid2D {
+	t.Helper()
+	g, err := NewGrid2D("t", []float64{0, 1, 2}, []float64{0, 10},
+		[][]float64{{0, 10}, {1, 11}, {2, 12}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestGridCorners(t *testing.T) {
+	g := grid(t)
+	cases := []struct{ x, y, want float64 }{
+		{0, 0, 0}, {2, 0, 2}, {0, 10, 10}, {2, 10, 12},
+	}
+	for _, c := range cases {
+		if got := g.At(c.x, c.y); got != c.want {
+			t.Errorf("At(%v,%v) = %v, want %v", c.x, c.y, got, c.want)
+		}
+	}
+}
+
+func TestGridInterpolation(t *testing.T) {
+	g := grid(t)
+	if got := g.At(0.5, 5); got != 5.5 {
+		t.Fatalf("bilinear midpoint = %v, want 5.5", got)
+	}
+	if got := g.At(1.5, 0); got != 1.5 {
+		t.Fatalf("x interp = %v, want 1.5", got)
+	}
+}
+
+func TestGridClamping(t *testing.T) {
+	g := grid(t)
+	if g.At(-5, -5) != 0 || g.At(100, 100) != 12 {
+		t.Fatal("clamping wrong")
+	}
+}
+
+func TestGridValidation(t *testing.T) {
+	if _, err := NewGrid2D("t", []float64{0}, []float64{0, 1}, nil); err == nil {
+		t.Error("expected error for short axis")
+	}
+	if _, err := NewGrid2D("t", []float64{0, 0}, []float64{0, 1}, [][]float64{{0, 0}, {0, 0}}); err == nil {
+		t.Error("expected error for non-increasing axis")
+	}
+	if _, err := NewGrid2D("t", []float64{0, 1}, []float64{0, 1}, [][]float64{{0, 0}}); err == nil {
+		t.Error("expected error for row count")
+	}
+	if _, err := NewGrid2D("t", []float64{0, 1}, []float64{0, 1}, [][]float64{{0}, {0, 0}}); err == nil {
+		t.Error("expected error for ragged rows")
+	}
+}
+
+func TestGridJSONRoundTrip(t *testing.T) {
+	g := grid(t)
+	var buf bytes.Buffer
+	if err := g.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ReadGrid2D(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.At(0.5, 5) != g.At(0.5, 5) || g2.Name != g.Name {
+		t.Fatal("round trip changed the table")
+	}
+}
+
+func TestReadGrid2DRejectsInvalid(t *testing.T) {
+	if _, err := ReadGrid2D(bytes.NewBufferString(`{"name":"x","xs":[0],"ys":[0,1],"z":[[1,2]]}`)); err == nil {
+		t.Fatal("expected validation error")
+	}
+	if _, err := ReadGrid2D(bytes.NewBufferString(`not json`)); err == nil {
+		t.Fatal("expected decode error")
+	}
+}
+
+// TestGridReproducesBilinearFunctions: any function of the form
+// a + b*x + c*y + d*x*y is reproduced exactly inside the grid.
+func TestGridReproducesBilinearFunctions(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a, b, c, d := rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64(), rng.NormFloat64()
+		fn := func(x, y float64) float64 { return a + b*x + c*y + d*x*y }
+		xs := []float64{0, 0.7, 1.3, 2}
+		ys := []float64{-1, 0.5, 2}
+		z := make([][]float64, len(xs))
+		for i, x := range xs {
+			z[i] = make([]float64, len(ys))
+			for j, y := range ys {
+				z[i][j] = fn(x, y)
+			}
+		}
+		g, err := NewGrid2D("f", xs, ys, z)
+		if err != nil {
+			return false
+		}
+		for k := 0; k < 10; k++ {
+			x := 2 * rng.Float64()
+			y := -1 + 3*rng.Float64()
+			if math.Abs(g.At(x, y)-fn(x, y)) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCurve1D(t *testing.T) {
+	c, err := NewCurve1D("c", []float64{0, 1, 3}, []float64{0, 10, 30})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.At(0.5) != 5 || c.At(2) != 20 {
+		t.Fatalf("interp wrong: %v %v", c.At(0.5), c.At(2))
+	}
+	if c.At(-1) != 0 || c.At(10) != 30 {
+		t.Fatal("clamping wrong")
+	}
+	if _, err := NewCurve1D("c", []float64{0}, []float64{0}); err == nil {
+		t.Error("expected error for single point")
+	}
+	if _, err := NewCurve1D("c", []float64{0, 1}, []float64{0}); err == nil {
+		t.Error("expected error for length mismatch")
+	}
+	if _, err := NewCurve1D("c", []float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Error("expected error for non-increasing axis")
+	}
+}

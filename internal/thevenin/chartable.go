@@ -1,0 +1,103 @@
+package thevenin
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/device"
+	"repro/internal/table"
+)
+
+// CharTable is a pre-characterized Thevenin model of one cell and output
+// direction over a slew x load grid — the stored form the paper's tool
+// uses instead of fitting at analysis time ("it can be precharacterized
+// and stored in a table similar to that for the Thevenin model").
+// T0 is stored relative to the characterization input start
+// (gatesim.InputStart); callers re-base it onto their own input timing.
+type CharTable struct {
+	CellName string        `json:"cell"`
+	Rising   bool          `json:"output_rising"`
+	Vdd      float64       `json:"vdd"`
+	Rth      *table.Grid2D `json:"rth"`
+	Dt       *table.Grid2D `json:"dt"`
+	T0       *table.Grid2D `json:"t0"`
+}
+
+// Characterize fits the cell at every (slew, load) grid point.
+func Characterize(cell *device.Cell, outRising bool, slews, loads []float64) (*CharTable, error) {
+	if len(slews) < 2 || len(loads) < 2 {
+		return nil, fmt.Errorf("thevenin: characterization needs >= 2 points per axis")
+	}
+	rth := make([][]float64, len(slews))
+	dt := make([][]float64, len(slews))
+	t0 := make([][]float64, len(slews))
+	inRising := cell.InputRisingFor(outRising)
+	for i, slew := range slews {
+		rth[i] = make([]float64, len(loads))
+		dt[i] = make([]float64, len(loads))
+		t0[i] = make([]float64, len(loads))
+		for j, load := range loads {
+			m, _, err := Fit(cell, slew, inRising, load)
+			if err != nil {
+				return nil, fmt.Errorf("thevenin: characterize %s slew=%g load=%g: %w",
+					cell.Name, slew, load, err)
+			}
+			rth[i][j] = m.Rth
+			dt[i][j] = m.Dt
+			t0[i][j] = m.T0
+		}
+	}
+	gRth, err := table.NewGrid2D(cell.Name+".rth", slews, loads, rth)
+	if err != nil {
+		return nil, err
+	}
+	gDt, err := table.NewGrid2D(cell.Name+".dt", slews, loads, dt)
+	if err != nil {
+		return nil, err
+	}
+	gT0, err := table.NewGrid2D(cell.Name+".t0", slews, loads, t0)
+	if err != nil {
+		return nil, err
+	}
+	return &CharTable{
+		CellName: cell.Name, Rising: outRising, Vdd: cell.Tech.Vdd,
+		Rth: gRth, Dt: gDt, T0: gT0,
+	}, nil
+}
+
+// Lookup interpolates a Thevenin model at (slew, load), clamped to the
+// characterized ranges.
+func (t *CharTable) Lookup(slew, load float64) Model {
+	return Model{
+		T0:     t.T0.At(slew, load),
+		Dt:     t.Dt.At(slew, load),
+		Rth:    t.Rth.At(slew, load),
+		Vdd:    t.Vdd,
+		Rising: t.Rising,
+	}
+}
+
+// Write serializes the table as indented JSON.
+func (t *CharTable) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(t)
+}
+
+// ReadCharTable parses and validates a characterization table.
+func ReadCharTable(r io.Reader) (*CharTable, error) {
+	var t CharTable
+	if err := json.NewDecoder(r).Decode(&t); err != nil {
+		return nil, fmt.Errorf("thevenin: decode char table: %w", err)
+	}
+	for _, g := range []*table.Grid2D{t.Rth, t.Dt, t.T0} {
+		if g == nil {
+			return nil, fmt.Errorf("thevenin: char table %q missing a grid", t.CellName)
+		}
+		if _, err := table.NewGrid2D(g.Name, g.Xs, g.Ys, g.Z); err != nil {
+			return nil, err
+		}
+	}
+	return &t, nil
+}

@@ -1,0 +1,91 @@
+package thevenin
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestCharacterizeAndLookup(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	cell, _ := lib.Cell("INVX2")
+	// Rth varies strongly with slew, so production tables are dense in
+	// that axis; the test grid mirrors that.
+	slews := []float64{100e-12, 160e-12, 250e-12, 400e-12, 600e-12}
+	loads := []float64{10e-15, 25e-15, 60e-15, 120e-15}
+	tab, err := Characterize(cell, false, slews, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Grid corners match direct fits exactly.
+	m, _, err := Fit(cell, 100e-12, cell.InputRisingFor(false), 10e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := tab.Lookup(100e-12, 10e-15)
+	if math.Abs(got.Rth-m.Rth) > 1e-9 {
+		t.Fatalf("corner Rth %v vs fit %v", got.Rth, m.Rth)
+	}
+	// Off-grid lookup stays close to a direct fit.
+	direct, _, err := Fit(cell, 200e-12, cell.InputRisingFor(false), 40e-15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	interp := tab.Lookup(200e-12, 40e-15)
+	if math.Abs(interp.Rth-direct.Rth) > 0.2*direct.Rth {
+		t.Fatalf("interpolated Rth %v vs direct %v", interp.Rth, direct.Rth)
+	}
+	if math.Abs(interp.Dt-direct.Dt) > 0.3*direct.Dt {
+		t.Fatalf("interpolated Dt %v vs direct %v", interp.Dt, direct.Dt)
+	}
+	if interp.Rising {
+		t.Fatal("direction lost")
+	}
+}
+
+func TestCharTableRthTrends(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	cell, _ := lib.Cell("INVX4")
+	tab, err := Characterize(cell, true, []float64{100e-12, 400e-12}, []float64{10e-15, 80e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slower input edge -> larger effective Thevenin resistance.
+	if tab.Lookup(400e-12, 10e-15).Rth <= tab.Lookup(100e-12, 10e-15).Rth {
+		t.Fatal("Rth should grow with input slew")
+	}
+}
+
+func TestCharTableJSONRoundTrip(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	cell, _ := lib.Cell("INVX1")
+	tab, err := Characterize(cell, true, []float64{100e-12, 300e-12}, []float64{10e-15, 50e-15})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCharTable(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.CellName != tab.CellName || got.Lookup(2e-10, 3e-14) != tab.Lookup(2e-10, 3e-14) {
+		t.Fatal("round trip changed the table")
+	}
+	// Corrupt table rejected.
+	if _, err := ReadCharTable(bytes.NewBufferString(`{"cell":"x"}`)); err == nil {
+		t.Fatal("expected error for missing grids")
+	}
+}
+
+func TestCharacterizeValidation(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	cell, _ := lib.Cell("INVX1")
+	if _, err := Characterize(cell, true, []float64{1e-10}, []float64{1e-14, 2e-14}); err == nil {
+		t.Fatal("expected error for short axis")
+	}
+}

@@ -1,0 +1,64 @@
+package waveform
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// Column pairs a label with a waveform for tabular export.
+type Column struct {
+	Name string
+	W    *PWL
+}
+
+// WriteCSV samples the columns on a uniform n-point grid over [t0, t1]
+// and writes them as CSV with a leading time column (seconds). Plotting
+// tools consume this directly; the sampling is lossy only below the grid
+// resolution.
+func WriteCSV(w io.Writer, t0, t1 float64, n int, cols []Column) error {
+	if n < 2 {
+		return fmt.Errorf("waveform: WriteCSV needs at least 2 samples")
+	}
+	if t1 <= t0 {
+		return fmt.Errorf("waveform: WriteCSV needs t1 > t0")
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "t")
+	for _, c := range cols {
+		fmt.Fprintf(bw, ",%s", c.Name)
+	}
+	fmt.Fprintln(bw)
+	dt := (t1 - t0) / float64(n-1)
+	for i := 0; i < n; i++ {
+		t := t0 + float64(i)*dt
+		fmt.Fprintf(bw, "%.6e", t)
+		for _, c := range cols {
+			fmt.Fprintf(bw, ",%.6e", c.W.At(t))
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// Span returns the union time span of the columns (0, 0 when empty).
+func Span(cols []Column) (t0, t1 float64) {
+	first := true
+	for _, c := range cols {
+		if c.W.Len() == 0 {
+			continue
+		}
+		if first {
+			t0, t1 = c.W.Start(), c.W.End()
+			first = false
+			continue
+		}
+		if s := c.W.Start(); s < t0 {
+			t0 = s
+		}
+		if e := c.W.End(); e > t1 {
+			t1 = e
+		}
+	}
+	return t0, t1
+}

@@ -1,0 +1,56 @@
+package waveform
+
+// Simplify returns a waveform with a reduced breakpoint set whose linear
+// interpolation never deviates from the original by more than tol volts
+// (Douglas-Peucker). Simulator outputs carry one point per time step;
+// simplification shrinks them by 1-2 orders of magnitude before storage
+// or superposition-heavy post-processing without moving any threshold
+// crossing by more than tol of voltage.
+func (w *PWL) Simplify(tol float64) *PWL {
+	n := len(w.T)
+	if n <= 2 || tol <= 0 {
+		return w.Clone()
+	}
+	keep := make([]bool, n)
+	keep[0], keep[n-1] = true, true
+	// Iterative Douglas-Peucker over index ranges (explicit stack to
+	// avoid recursion depth on long traces).
+	type span struct{ lo, hi int }
+	stack := []span{{0, n - 1}}
+	for len(stack) > 0 {
+		s := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if s.hi-s.lo < 2 {
+			continue
+		}
+		// Find the interior point farthest (in value) from the chord.
+		t0, v0 := w.T[s.lo], w.V[s.lo]
+		t1, v1 := w.T[s.hi], w.V[s.hi]
+		slope := (v1 - v0) / (t1 - t0)
+		worstIdx, worstDev := -1, tol
+		for i := s.lo + 1; i < s.hi; i++ {
+			chord := v0 + slope*(w.T[i]-t0)
+			dev := w.V[i] - chord
+			if dev < 0 {
+				dev = -dev
+			}
+			if dev > worstDev {
+				worstIdx, worstDev = i, dev
+			}
+		}
+		if worstIdx < 0 {
+			continue // chord approximates the whole span within tol
+		}
+		keep[worstIdx] = true
+		stack = append(stack, span{s.lo, worstIdx}, span{worstIdx, s.hi})
+	}
+	t := make([]float64, 0, n/8)
+	v := make([]float64, 0, n/8)
+	for i := 0; i < n; i++ {
+		if keep[i] {
+			t = append(t, w.T[i])
+			v = append(v, w.V[i])
+		}
+	}
+	return New(t, v)
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"testing"
+
+	"repro/internal/device"
+)
+
+func TestDeterminism(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	g1 := NewGenerator(lib, DefaultProfile(), 42)
+	g2 := NewGenerator(lib, DefaultProfile(), 42)
+	for i := 0; i < 10; i++ {
+		a, err := g1.Next(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := g2.Next(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Victim.Cell.Name != b.Victim.Cell.Name ||
+			a.Victim.InputSlew != b.Victim.InputSlew ||
+			len(a.Aggressors) != len(b.Aggressors) ||
+			a.ReceiverLoad != b.ReceiverLoad {
+			t.Fatalf("case %d differs between identical seeds", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	g1 := NewGenerator(lib, DefaultProfile(), 1)
+	g2 := NewGenerator(lib, DefaultProfile(), 2)
+	same := 0
+	for i := 0; i < 10; i++ {
+		a, _ := g1.Next(i)
+		b, _ := g2.Next(i)
+		if a.Victim.InputSlew == b.Victim.InputSlew {
+			same++
+		}
+	}
+	if same == 10 {
+		t.Fatal("different seeds produced identical populations")
+	}
+}
+
+func TestPopulationValidAndVaried(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	g := NewGenerator(lib, DefaultProfile(), 7)
+	pop, err := g.Population(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pop) != 30 {
+		t.Fatalf("population size %d", len(pop))
+	}
+	aggCounts := map[int]bool{}
+	cells := map[string]bool{}
+	rising := map[bool]bool{}
+	for i, c := range pop {
+		if err := c.Validate(); err != nil {
+			t.Fatalf("case %d invalid: %v", i, err)
+		}
+		aggCounts[len(c.Aggressors)] = true
+		cells[c.Victim.Cell.Name] = true
+		rising[c.Victim.OutputRising] = true
+		for _, a := range c.Aggressors {
+			if a.OutputRising == c.Victim.OutputRising {
+				t.Fatalf("case %d: aggressor switches with the victim", i)
+			}
+		}
+		if c.Net.TotalCouplingCap() <= 0 {
+			t.Fatalf("case %d has no coupling", i)
+		}
+	}
+	if len(aggCounts) < 2 {
+		t.Error("aggressor counts show no variety")
+	}
+	if len(cells) < 3 {
+		t.Error("victim cells show no variety")
+	}
+	if len(rising) != 2 {
+		t.Error("victim directions show no variety")
+	}
+}
+
+func TestProfileBoundsRespected(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	p := DefaultProfile()
+	g := NewGenerator(lib, p, 99)
+	pop, err := g.Population(25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range pop {
+		if c.Victim.InputSlew < p.SlewMin || c.Victim.InputSlew > p.SlewMax {
+			t.Fatalf("case %d slew %v outside bounds", i, c.Victim.InputSlew)
+		}
+		if n := len(c.Aggressors); n < p.AggressorsMin || n > p.AggressorsMax {
+			t.Fatalf("case %d has %d aggressors", i, n)
+		}
+		if c.ReceiverLoad < p.RecvLoadMin || c.ReceiverLoad > p.RecvLoadMax {
+			t.Fatalf("case %d load %v outside bounds", i, c.ReceiverLoad)
+		}
+		spec := c.Net.Spec
+		if spec.Victim.RTotal < p.VictimRMin || spec.Victim.RTotal > p.VictimRMax {
+			t.Fatalf("case %d victim R %v outside bounds", i, spec.Victim.RTotal)
+		}
+	}
+}
+
+func TestAlternativeProfiles(t *testing.T) {
+	lib := device.NewLibrary(device.Default180())
+	for name, p := range map[string]Profile{
+		"bus":  BusProfile(),
+		"long": LongRouteProfile(),
+	} {
+		gen := NewGenerator(lib, p, 3)
+		pop, err := gen.Population(5)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for i, c := range pop {
+			if err := c.Validate(); err != nil {
+				t.Fatalf("%s case %d: %v", name, i, err)
+			}
+		}
+	}
+	// Bus nets always carry exactly two aggressors.
+	gen := NewGenerator(lib, BusProfile(), 4)
+	pop, _ := gen.Population(6)
+	for i, c := range pop {
+		if len(c.Aggressors) != 2 {
+			t.Fatalf("bus case %d has %d aggressors", i, len(c.Aggressors))
+		}
+	}
+	// Long routes are resistive.
+	gen = NewGenerator(lib, LongRouteProfile(), 4)
+	pop, _ = gen.Population(6)
+	for i, c := range pop {
+		if c.Net.Spec.Victim.RTotal < 800 {
+			t.Fatalf("long-route case %d R=%v", i, c.Net.Spec.Victim.RTotal)
+		}
+	}
+}
