@@ -1,0 +1,28 @@
+# Development targets mirroring .github/workflows/ci.yml.
+
+GO ?= go
+
+.PHONY: build test race lint bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Race-detector pass over the concurrent packages (the worker pool and
+# the shared caches live here); CI runs the same set.
+race:
+	$(GO) test -race ./internal/clarinet/... ./internal/core/...
+
+lint:
+	$(GO) vet ./...
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet
+# batch metrics JSON.
+bench:
+	REPRO_METRICS_OUT=$(CURDIR)/clarinet-metrics.json \
+		$(GO) test -bench=. -benchtime=1x -run='^$$' ./...

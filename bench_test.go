@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"testing"
 
+	"repro/internal/clarinet"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
 	"repro/internal/lsim"
@@ -322,6 +323,69 @@ func BenchmarkLinearTransient(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkClarinetBatch times the tool-level batch flow on a bus-style
+// workload (each generated net appears three times, as repeated
+// structures do on real buses). The "seed" sub-benchmark pins the original shipped
+// configuration — two workers, no shared caches — while "parallel" runs
+// the current defaults: one worker per core plus the single-flight
+// characterization and PRIMA caches. Comparing ns/op between the two
+// gives the engine speedup. When REPRO_METRICS_OUT is set, the parallel
+// run writes its metrics snapshot (cache hits/misses, simulation
+// counts, stage timers) to that path as JSON.
+func BenchmarkClarinetBatch(b *testing.B) {
+	lib := device.NewLibrary(device.Default180())
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), 31)
+	base, err := gen.Population(benchNets(8))
+	if err != nil {
+		b.Fatal(err)
+	}
+	var names []string
+	var cases []*delaynoise.Case
+	for rep := 0; rep < 3; rep++ {
+		for i, c := range base {
+			names = append(names, fmt.Sprintf("net%04d_%d", i, rep))
+			cases = append(cases, c)
+		}
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  clarinet.Config
+	}{
+		{"seed", clarinet.Config{Workers: 2, CharCacheRes: -1, DisableROMCache: true}},
+		{"parallel", clarinet.Config{}},
+	} {
+		tc.cfg.Hold = delaynoise.HoldTransient
+		tc.cfg.Align = delaynoise.AlignReceiverInput
+		b.Run(tc.name, func(b *testing.B) {
+			var tool *clarinet.Tool
+			for i := 0; i < b.N; i++ {
+				tool = clarinet.MustNew(lib, tc.cfg)
+				for _, r := range tool.AnalyzeAll(names, cases) {
+					if r.Err != nil {
+						b.Fatalf("%s: %v", r.Name, r.Err)
+					}
+				}
+			}
+			s := tool.Metrics().Snapshot()
+			hits, misses, _ := s.CacheRatio("cache.char.full")
+			b.ReportMetric(float64(hits), "char-hits")
+			b.ReportMetric(float64(misses), "char-misses")
+			if out := os.Getenv("REPRO_METRICS_OUT"); out != "" && tc.name == "parallel" {
+				f, err := os.Create(out)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if err := s.WriteJSON(f); err != nil {
+					b.Fatal(err)
+				}
+				if err := f.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 func seriesSpread(s repro.Series) float64 {

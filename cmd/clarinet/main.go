@@ -2,14 +2,23 @@
 // produced by netgen, reproducing the per-net flow of the paper's
 // industrial tool: C-effective + Thevenin characterization, linear
 // superposition with the transient holding resistance, and worst-case
-// aggressor alignment.
+// aggressor alignment. Nets are analyzed in parallel across a worker
+// pool with shared single-flight caches for receiver alignment tables,
+// driver characterizations, and PRIMA reduced-order models.
 //
 // Usage:
 //
-//	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar] [-workers 2]
+//	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar]
+//	         [-workers N] [-timeout 30s] [-metrics run.json]
+//
+// -workers 0 (the default) uses one worker per available core
+// (runtime.GOMAXPROCS); negative values are rejected. -char-cache-res
+// tunes the relative bucket resolution of the shared driver
+// characterization cache; a negative value disables that cache.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -30,7 +39,10 @@ func main() {
 	mode := flag.String("mode", "delay", "analysis mode: delay | func")
 	holdFlag := flag.String("hold", "transient", "victim holding model: thevenin | transient")
 	alignFlag := flag.String("align", "exhaustive", "alignment method: exhaustive | input | prechar")
-	workers := flag.Int("workers", 2, "parallel analysis workers")
+	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per core, negative rejected)")
+	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")
+	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
+	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	flag.Parse()
 
 	var hold delaynoise.HoldModel
@@ -66,24 +78,52 @@ func main() {
 	}
 	log.Printf("loaded %d nets from %s", len(cases), *in)
 
-	tool := clarinet.New(lib, clarinet.Config{
-		Hold:    hold,
-		Align:   alignMethod,
-		Workers: *workers,
+	tool, err := clarinet.New(lib, clarinet.Config{
+		Hold:         hold,
+		Align:        alignMethod,
+		Workers:      *workers,
+		CharCacheRes: *charRes,
 	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	start := time.Now()
 	switch *mode {
 	case "delay":
-		reports := tool.AnalyzeAll(names, cases)
+		reports := tool.AnalyzeAllContext(ctx, names, cases)
 		clarinet.WriteReport(os.Stdout, reports)
 		fmt.Printf("\nanalyzed %d nets in %v (%s hold, %s alignment)\n",
 			len(cases), time.Since(start).Round(time.Millisecond), hold, alignMethod)
 	case "func":
-		reports := tool.FunctionalAll(names, cases, funcnoise.Options{})
+		reports := tool.FunctionalAllContext(ctx, names, cases, funcnoise.Options{})
 		clarinet.WriteFuncReport(os.Stdout, reports)
 		fmt.Printf("\nfunctional-noise analysis of %d nets in %v\n",
 			len(cases), time.Since(start).Round(time.Millisecond))
 	default:
 		log.Fatalf("unknown mode %q", *mode)
+	}
+	clarinet.WriteMetricsSummary(os.Stdout, tool)
+	if err := ctx.Err(); err != nil {
+		log.Printf("batch interrupted: %v", err)
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := tool.Metrics().Snapshot().WriteJSON(mf); err != nil {
+			log.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics written to %s", *metricsOut)
 	}
 }

@@ -6,6 +6,12 @@
 // Usage:
 //
 //	sweep -i nets.json -net net0000 -param coupling -from 0.5 -to 2 -n 6 [-golden]
+//	      [-metrics run.json]
+//
+// Sweep points share the tool-wide driver-characterization and PRIMA
+// model caches, so neighboring points reuse each other's work; -metrics
+// exports the run counters (cache hits/misses, simulation counts,
+// per-stage timers) as JSON.
 package main
 
 import (
@@ -13,7 +19,9 @@ import (
 	"log"
 	"os"
 
+	"repro/internal/delaynoise"
 	"repro/internal/device"
+	"repro/internal/metrics"
 	"repro/internal/sweep"
 	"repro/internal/workload"
 )
@@ -28,6 +36,7 @@ func main() {
 	to := flag.Float64("to", 2.0, "range end")
 	n := flag.Int("n", 6, "number of points")
 	golden := flag.Bool("golden", false, "run the nonlinear reference per point")
+	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	flag.Parse()
 
 	var param sweep.Param
@@ -75,10 +84,34 @@ func main() {
 	for i := range values {
 		values[i] = *from + (*to-*from)*float64(i)/float64(*n-1)
 	}
-	res, err := sweep.Run(cases[idx], param, values, sweep.Options{Golden: *golden})
+	reg := metrics.NewRegistry()
+	opt := sweep.Options{Golden: *golden}
+	opt.Analysis.Metrics = reg
+	opt.Analysis.Chars = delaynoise.NewCharCache(0, reg)
+	opt.Analysis.ROMs = delaynoise.NewROMCache(reg)
+	res, err := sweep.Run(cases[idx], param, values, opt)
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("net %s", names[idx])
 	res.Print(os.Stdout)
+
+	s := reg.Snapshot()
+	if hits, misses, ratio := s.CacheRatio("cache.char.full"); hits+misses > 0 {
+		log.Printf("driver characterization cache: %d hits / %d misses (%.0f%%)",
+			hits, misses, 100*ratio)
+	}
+	if *metricsOut != "" {
+		mf, err := os.Create(*metricsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := s.WriteJSON(mf); err != nil {
+			log.Fatal(err)
+		}
+		if err := mf.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("metrics written to %s", *metricsOut)
+	}
 }

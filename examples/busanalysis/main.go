@@ -74,7 +74,7 @@ func main() {
 		names = append(names, fmt.Sprintf("bus[%d]", bit))
 	}
 
-	tool := clarinet.New(lib, clarinet.Config{
+	tool := clarinet.MustNew(lib, clarinet.Config{
 		Hold:  delaynoise.HoldTransient,
 		Align: delaynoise.AlignExhaustive,
 	})

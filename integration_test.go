@@ -58,7 +58,7 @@ func TestPipelineEndToEnd(t *testing.T) {
 	}
 
 	// Batch delay-noise analysis (paper flow) + report.
-	tool := clarinet.New(lib, clarinet.Config{
+	tool := clarinet.MustNew(lib, clarinet.Config{
 		Hold:  delaynoise.HoldTransient,
 		Align: delaynoise.AlignExhaustive,
 	})

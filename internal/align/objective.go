@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/gatesim"
+	"repro/internal/metrics"
 	"repro/internal/waveform"
 )
 
@@ -20,6 +21,10 @@ type Objective struct {
 	// the receiver input; the output direction follows the receiver
 	// cell's polarity.
 	VictimRising bool
+	// Sims, when non-nil, is incremented once per nonlinear receiver
+	// simulation (every exhaustive-search grid point and delay
+	// evaluation funnels through Output).
+	Sims *metrics.Counter
 }
 
 // outputRising returns the receiver output transition direction.
@@ -33,6 +38,7 @@ func (o Objective) Vdd() float64 { return o.Receiver.Tech.Vdd }
 // Output simulates the receiver with input waveform in and returns the
 // receiver output waveform.
 func (o Objective) Output(in *waveform.PWL) (*waveform.PWL, error) {
+	o.Sims.Inc()
 	return gatesim.Receive(o.Receiver, in, o.Load, gatesim.Options{})
 }
 

@@ -1,19 +1,20 @@
 // Package clarinet is the tool-level API of the reproduction, named
 // after the Motorola noise-analysis tool the paper's methods shipped in
-// (ref [7]). It batches per-net delay-noise analyses over a design,
-// caches receiver pre-characterization tables, and renders reports.
+// (ref [7]). It fans per-net delay-noise analyses across a worker pool,
+// shares characterization work between nets through single-flight
+// caches, instruments the run with counters and timers, and renders
+// reports.
 package clarinet
 
 import (
 	"fmt"
-	"io"
-	"sort"
-	"sync"
+	"runtime"
 
 	"repro/internal/align"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
-	"repro/internal/funcnoise"
+	"repro/internal/memo"
+	"repro/internal/metrics"
 )
 
 // Config selects the analysis variant for a run.
@@ -24,9 +25,25 @@ type Config struct {
 	// alignment tables on demand (default 17).
 	PrecharGrid int
 	// Analysis carries the remaining knobs (step, iterations, PRIMA).
+	// Its Chars/ROMs/Metrics fields are managed by the tool.
 	Analysis delaynoise.Options
-	// Workers bounds the analysis parallelism (default: 2).
+	// Workers bounds the analysis parallelism. Zero selects
+	// runtime.GOMAXPROCS(0) — every available core. Negative values are
+	// rejected by New.
 	Workers int
+	// CharCacheRes is the relative bucket resolution of the shared
+	// driver-characterization cache (zero selects
+	// delaynoise.DefaultCharBucketRes). Negative disables the cache:
+	// every net then characterizes its drivers from scratch, exactly as
+	// a standalone delaynoise.Analyze call would.
+	CharCacheRes float64
+	// DisableROMCache turns off PRIMA reduced-order-model sharing. Only
+	// meaningful when Analysis.PRIMAOrder is positive.
+	DisableROMCache bool
+	// Metrics receives run instrumentation (nets analyzed, cache
+	// hit/miss counts, simulation counters, per-stage timers). New
+	// installs a fresh registry when nil.
+	Metrics *metrics.Registry
 }
 
 func (c *Config) defaults() {
@@ -34,7 +51,10 @@ func (c *Config) defaults() {
 		c.PrecharGrid = 17
 	}
 	if c.Workers == 0 {
-		c.Workers = 2
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.Metrics == nil {
+		c.Metrics = metrics.NewRegistry()
 	}
 }
 
@@ -45,165 +65,90 @@ type NetReport struct {
 	Err  error
 }
 
-// Tool is a configured analyzer with its table cache.
+// tableKey identifies one receiver pre-characterization.
+type tableKey struct {
+	cell   string
+	rising bool
+}
+
+// Tool is a configured analyzer with its shared caches.
 type Tool struct {
 	Lib *device.Library
 	Cfg Config
 
-	mu     sync.Mutex
-	tables map[string]*align.Table
+	metrics *metrics.Registry
+	tables  *memo.Cache[tableKey, *align.Table]
+	chars   *delaynoise.CharCache
+	roms    *delaynoise.ROMCache
 }
 
-// New builds a tool around a cell library.
-func New(lib *device.Library, cfg Config) *Tool {
+// New builds a tool around a cell library. It rejects negative worker
+// counts; zero workers means one per available core.
+func New(lib *device.Library, cfg Config) (*Tool, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("clarinet: negative worker count %d", cfg.Workers)
+	}
 	cfg.defaults()
-	return &Tool{Lib: lib, Cfg: cfg, tables: map[string]*align.Table{}}
+	t := &Tool{
+		Lib:     lib,
+		Cfg:     cfg,
+		metrics: cfg.Metrics,
+		tables:  memo.New[tableKey, *align.Table](),
+	}
+	if cfg.CharCacheRes >= 0 {
+		t.chars = delaynoise.NewCharCache(cfg.CharCacheRes, t.metrics)
+	}
+	if !cfg.DisableROMCache {
+		t.roms = delaynoise.NewROMCache(t.metrics)
+	}
+	return t, nil
 }
 
-// tableFor returns (building on first use) the alignment table of a
-// receiver cell and victim direction.
-func (t *Tool) tableFor(cell *device.Cell, victimRising bool) (*align.Table, error) {
-	key := fmt.Sprintf("%s/%v", cell.Name, victimRising)
-	t.mu.Lock()
-	tab, ok := t.tables[key]
-	t.mu.Unlock()
-	if ok {
-		return tab, nil
-	}
-	cfg := align.DefaultConfig(cell.Tech)
-	cfg.Grid = t.Cfg.PrecharGrid
-	tab, err := align.Precharacterize(cell, victimRising, cfg)
+// MustNew is New for callers with a known-good configuration (tests,
+// examples); it panics on error.
+func MustNew(lib *device.Library, cfg Config) *Tool {
+	t, err := New(lib, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("clarinet: pre-characterizing %s: %w", cell.Name, err)
+		panic(err)
 	}
-	t.mu.Lock()
-	t.tables[key] = tab
-	t.mu.Unlock()
-	return tab, nil
+	return t
 }
 
-// AnalyzeNet runs one net.
-func (t *Tool) AnalyzeNet(name string, c *delaynoise.Case) NetReport {
+// Metrics returns the run's instrumentation registry.
+func (t *Tool) Metrics() *metrics.Registry { return t.metrics }
+
+// Workers returns the resolved parallelism of the tool.
+func (t *Tool) Workers() int { return t.Cfg.Workers }
+
+// tableFor returns (building on first use, with single-flight semantics
+// under concurrency) the alignment table of a receiver cell and victim
+// direction.
+func (t *Tool) tableFor(cell *device.Cell, victimRising bool) (*align.Table, error) {
+	tab, hit, err := t.tables.Do(tableKey{cell.Name, victimRising}, func() (*align.Table, error) {
+		cfg := align.DefaultConfig(cell.Tech)
+		cfg.Grid = t.Cfg.PrecharGrid
+		tab, err := align.Precharacterize(cell, victimRising, cfg)
+		if err != nil {
+			return nil, fmt.Errorf("clarinet: pre-characterizing %s: %w", cell.Name, err)
+		}
+		return tab, nil
+	})
+	if hit {
+		t.metrics.Counter("cache.tables.hit").Inc()
+	} else {
+		t.metrics.Counter("cache.tables.miss").Inc()
+	}
+	return tab, err
+}
+
+// analysisOptions assembles the per-net options, wiring in the shared
+// caches and instrumentation.
+func (t *Tool) analysisOptions() delaynoise.Options {
 	opt := t.Cfg.Analysis
 	opt.Hold = t.Cfg.Hold
 	opt.Align = t.Cfg.Align
-	if opt.Align == delaynoise.AlignPrechar {
-		tab, err := t.tableFor(c.Receiver, c.Victim.OutputRising)
-		if err != nil {
-			return NetReport{Name: name, Err: err}
-		}
-		opt.Table = tab
-	}
-	res, err := delaynoise.Analyze(c, opt)
-	return NetReport{Name: name, Res: res, Err: err}
-}
-
-// AnalyzeAll runs every net, preserving input order, with bounded
-// parallelism.
-func (t *Tool) AnalyzeAll(names []string, cases []*delaynoise.Case) []NetReport {
-	reports := make([]NetReport, len(cases))
-	sem := make(chan struct{}, t.Cfg.Workers)
-	var wg sync.WaitGroup
-	for i := range cases {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			reports[i] = t.AnalyzeNet(names[i], cases[i])
-		}(i)
-	}
-	wg.Wait()
-	return reports
-}
-
-// FuncReport is the per-net outcome of a functional-noise run.
-type FuncReport struct {
-	Name string
-	Res  *funcnoise.Result
-	Err  error
-}
-
-// FunctionalAll runs the functional-noise flow on every net.
-func (t *Tool) FunctionalAll(names []string, cases []*delaynoise.Case, opt funcnoise.Options) []FuncReport {
-	reports := make([]FuncReport, len(cases))
-	sem := make(chan struct{}, t.Cfg.Workers)
-	var wg sync.WaitGroup
-	for i := range cases {
-		wg.Add(1)
-		go func(i int) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			res, err := funcnoise.Analyze(cases[i], opt)
-			reports[i] = FuncReport{Name: names[i], Res: res, Err: err}
-		}(i)
-	}
-	wg.Wait()
-	return reports
-}
-
-// WriteFuncReport renders the functional-noise outcome, failures and
-// biggest glitches first.
-func WriteFuncReport(w io.Writer, reports []FuncReport) {
-	ok := make([]FuncReport, 0, len(reports))
-	var failed []FuncReport
-	for _, r := range reports {
-		if r.Err != nil {
-			failed = append(failed, r)
-		} else {
-			ok = append(ok, r)
-		}
-	}
-	sort.Slice(ok, func(i, j int) bool {
-		return ok[i].Res.OutputGlitch > ok[j].Res.OutputGlitch
-	})
-	fmt.Fprintf(w, "%-16s %-8s %-10s %-10s %-12s %-12s %-8s\n",
-		"net", "state", "Rhold", "Vp(V)", "W(ps)", "glitch(mV)", "status")
-	for _, r := range ok {
-		res := r.Res
-		state := "low"
-		if res.VictimHigh {
-			state = "high"
-		}
-		status := "pass"
-		if res.Failed {
-			status = "FAIL"
-		}
-		fmt.Fprintf(w, "%-16s %-8s %-10.0f %-10.3f %-12.1f %-12.1f %-8s\n",
-			r.Name, state, res.RHold, res.InputPulse.Height,
-			res.InputPulse.Width*1e12, res.OutputGlitch*1e3, status)
-	}
-	for _, r := range failed {
-		fmt.Fprintf(w, "%-16s ERROR: %v\n", r.Name, r.Err)
-	}
-}
-
-// WriteReport renders the batch outcome as an aligned table, worst nets
-// first, followed by a failure list.
-func WriteReport(w io.Writer, reports []NetReport) {
-	ok := make([]NetReport, 0, len(reports))
-	var failed []NetReport
-	for _, r := range reports {
-		if r.Err != nil {
-			failed = append(failed, r)
-		} else {
-			ok = append(ok, r)
-		}
-	}
-	sort.Slice(ok, func(i, j int) bool {
-		return ok[i].Res.DelayNoise > ok[j].Res.DelayNoise
-	})
-	fmt.Fprintf(w, "%-16s %-12s %-12s %-10s %-10s %-10s %-10s %-6s\n",
-		"net", "quiet(ps)", "noise(ps)", "Vp(V)", "W(ps)", "Rth(ohm)", "Rtr(ohm)", "iters")
-	for _, r := range ok {
-		res := r.Res
-		fmt.Fprintf(w, "%-16s %-12.2f %-12.2f %-10.3f %-10.1f %-10.0f %-10.0f %-6d\n",
-			r.Name, res.QuietCombinedDelay*1e12, res.DelayNoise*1e12,
-			res.Pulse.Height, res.Pulse.Width*1e12,
-			res.VictimRth, res.VictimRtr, res.Iterations)
-	}
-	for _, r := range failed {
-		fmt.Fprintf(w, "%-16s FAILED: %v\n", r.Name, r.Err)
-	}
+	opt.Chars = t.chars
+	opt.ROMs = t.roms
+	opt.Metrics = t.metrics
+	return opt
 }

@@ -3,6 +3,8 @@ package clarinet
 import (
 	"bytes"
 	"context"
+	"errors"
+	"runtime"
 	"strings"
 	"testing"
 
@@ -22,17 +24,50 @@ func population(t *testing.T, n int) ([]string, []*delaynoise.Case, *device.Libr
 	}
 	names := make([]string, n)
 	for i := range names {
-		names[i] = workload.FromCase("", cases[i]).Name // placeholder
 		names[i] = "net" + string(rune('a'+i))
 	}
 	return names, cases, lib
 }
 
+func TestConfigDefaults(t *testing.T) {
+	_, _, lib := population(t, 0)
+	tool, err := New(lib, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tool.Workers(); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("default workers = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if tool.Metrics() == nil {
+		t.Fatal("tool must install a metrics registry")
+	}
+	if tool.chars == nil {
+		t.Fatal("characterization cache must be on by default")
+	}
+	if tool.roms == nil {
+		t.Fatal("ROM cache must be on by default")
+	}
+	if _, err := New(lib, Config{Workers: -1}); err == nil {
+		t.Fatal("negative worker count must be rejected")
+	}
+	off, err := New(lib, Config{CharCacheRes: -1, DisableROMCache: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.chars != nil || off.roms != nil {
+		t.Fatal("cache opt-outs ignored")
+	}
+}
+
+// TestAnalyzeAllOrderAndReport checks the core ordering guarantee: with
+// more workers than nets and nondeterministic completion order, reports
+// still come back in input order.
 func TestAnalyzeAllOrderAndReport(t *testing.T) {
 	names, cases, lib := population(t, 4)
-	tool := New(lib, Config{
-		Hold:  delaynoise.HoldTransient,
-		Align: delaynoise.AlignReceiverInput,
+	tool := MustNew(lib, Config{
+		Hold:    delaynoise.HoldTransient,
+		Align:   delaynoise.AlignReceiverInput,
+		Workers: 8,
 	})
 	reports := tool.AnalyzeAll(names, cases)
 	if len(reports) != 4 {
@@ -49,6 +84,9 @@ func TestAnalyzeAllOrderAndReport(t *testing.T) {
 			t.Errorf("net %s has zero delay noise", r.Name)
 		}
 	}
+	if got := tool.Metrics().Counter("nets.analyzed").Value(); got != 4 {
+		t.Fatalf("nets.analyzed = %d", got)
+	}
 	var buf bytes.Buffer
 	WriteReport(&buf, reports)
 	out := buf.String()
@@ -60,6 +98,135 @@ func TestAnalyzeAllOrderAndReport(t *testing.T) {
 			t.Fatalf("report missing net %s", n)
 		}
 	}
+	var mb bytes.Buffer
+	WriteMetricsSummary(&mb, tool)
+	if !strings.Contains(mb.String(), "nets analyzed: 4") {
+		t.Fatalf("metrics summary malformed:\n%s", mb.String())
+	}
+}
+
+// TestAnalyzeAllDeterministicAcrossWorkerCounts runs the same batch
+// serially and maximally parallel: the shared caches are evaluated at
+// bucket-canonical operating points, so scheduling must not change any
+// result.
+func TestAnalyzeAllDeterministicAcrossWorkerCounts(t *testing.T) {
+	names, cases, lib := population(t, 4)
+	cfg := Config{Hold: delaynoise.HoldTransient, Align: delaynoise.AlignReceiverInput}
+	cfg.Workers = 1
+	serial := MustNew(lib, cfg).AnalyzeAll(names, cases)
+	cfg.Workers = 8
+	parallel := MustNew(lib, cfg).AnalyzeAll(names, cases)
+	for i := range serial {
+		if serial[i].Err != nil || parallel[i].Err != nil {
+			t.Fatalf("net %d failed: %v / %v", i, serial[i].Err, parallel[i].Err)
+		}
+		if serial[i].Res.DelayNoise != parallel[i].Res.DelayNoise {
+			t.Fatalf("net %s depends on scheduling: %v vs %v",
+				names[i], serial[i].Res.DelayNoise, parallel[i].Res.DelayNoise)
+		}
+	}
+}
+
+// TestCancellationMidBatch cancels the context while the batch runs: the
+// batch must still return one report per net, with unstarted nets
+// carrying the context error.
+func TestCancellationMidBatch(t *testing.T) {
+	names, cases, lib := population(t, 4)
+	tool := MustNew(lib, Config{
+		Hold:    delaynoise.HoldTransient,
+		Align:   delaynoise.AlignReceiverInput,
+		Workers: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	got := 0
+	canceled := 0
+	for r := range tool.Stream(ctx, names, cases) {
+		got++
+		cancel() // fire after the first report lands
+		if errors.Is(r.Err, context.Canceled) {
+			canceled++
+		} else if r.Err != nil {
+			t.Fatalf("unexpected error: %v", r.Err)
+		}
+	}
+	if got != len(cases) {
+		t.Fatalf("stream delivered %d of %d reports", got, len(cases))
+	}
+	if canceled == 0 {
+		t.Fatal("no net observed the cancellation")
+	}
+
+	// A context canceled before the batch starts fails every net.
+	pre, preCancel := context.WithCancel(context.Background())
+	preCancel()
+	reports := tool.AnalyzeAllContext(pre, names, cases)
+	for i, r := range reports {
+		if r.Name != names[i] {
+			t.Fatalf("canceled batch lost ordering at %d", i)
+		}
+		if !errors.Is(r.Err, context.Canceled) {
+			t.Fatalf("net %s: err = %v, want context.Canceled", r.Name, r.Err)
+		}
+	}
+}
+
+// TestErrorInjectionDoesNotPoisonBatch makes one net structurally
+// invalid: it must fail alone while every other net completes.
+func TestErrorInjectionDoesNotPoisonBatch(t *testing.T) {
+	names, cases, lib := population(t, 3)
+	cases[1] = &delaynoise.Case{} // fails Validate: nil net
+	tool := MustNew(lib, Config{
+		Hold:    delaynoise.HoldTransient,
+		Align:   delaynoise.AlignReceiverInput,
+		Workers: 3,
+	})
+	reports := tool.AnalyzeAll(names, cases)
+	if reports[1].Err == nil {
+		t.Fatal("invalid net must fail")
+	}
+	for _, i := range []int{0, 2} {
+		if reports[i].Err != nil {
+			t.Fatalf("healthy net %s poisoned: %v", names[i], reports[i].Err)
+		}
+	}
+	if got := tool.Metrics().Counter("nets.failed").Value(); got != 1 {
+		t.Fatalf("nets.failed = %d", got)
+	}
+	var buf bytes.Buffer
+	WriteReport(&buf, reports)
+	if !strings.Contains(buf.String(), "FAILED") {
+		t.Fatal("failure missing from report")
+	}
+}
+
+// TestCacheHitAccounting analyzes a batch containing duplicated nets and
+// checks that the shared caches record hits in the tool metrics.
+func TestCacheHitAccounting(t *testing.T) {
+	names, cases, lib := population(t, 2)
+	// Duplicate both nets so characterizations repeat across the batch.
+	names = append(names, "dupA", "dupB")
+	cases = append(cases, cases[0], cases[1])
+	tool := MustNew(lib, Config{
+		Hold:    delaynoise.HoldTransient,
+		Align:   delaynoise.AlignReceiverInput,
+		Workers: 4,
+	})
+	reports := tool.AnalyzeAll(names, cases)
+	for _, r := range reports {
+		if r.Err != nil {
+			t.Fatalf("%s: %v", r.Name, r.Err)
+		}
+	}
+	s := tool.Metrics().Snapshot()
+	if hits, misses, _ := s.CacheRatio("cache.char.full"); hits == 0 || misses == 0 {
+		t.Fatalf("char cache hit/miss = %d/%d, want both nonzero (counters: %v)",
+			hits, misses, s.Counters)
+	}
+	// Duplicated nets must agree exactly with their originals.
+	if reports[0].Res.DelayNoise != reports[2].Res.DelayNoise {
+		t.Fatal("duplicate net diverged from original")
+	}
 }
 
 func TestPrecharTableCache(t *testing.T) {
@@ -68,7 +235,7 @@ func TestPrecharTableCache(t *testing.T) {
 	cases[1].Receiver = cases[0].Receiver
 	cases[1].Victim.OutputRising = cases[0].Victim.OutputRising
 	cases[1].Aggressors[0].OutputRising = !cases[1].Victim.OutputRising
-	tool := New(lib, Config{
+	tool := MustNew(lib, Config{
 		Hold:  delaynoise.HoldTransient,
 		Align: delaynoise.AlignPrechar,
 		// Small grid to keep the test fast.
@@ -80,8 +247,12 @@ func TestPrecharTableCache(t *testing.T) {
 			t.Fatalf("net %s: %v", r.Name, r.Err)
 		}
 	}
-	if len(tool.tables) != 1 {
-		t.Fatalf("expected 1 cached table, got %d", len(tool.tables))
+	if tool.tables.Len() != 1 {
+		t.Fatalf("expected 1 cached table, got %d", tool.tables.Len())
+	}
+	s := tool.Metrics().Snapshot()
+	if hits, misses, _ := s.CacheRatio("cache.tables"); hits != 1 || misses != 1 {
+		t.Fatalf("table cache hit/miss = %d/%d, want 1/1", hits, misses)
 	}
 }
 
@@ -119,7 +290,7 @@ func TestWriteReportWithFailures(t *testing.T) {
 
 func TestFunctionalAllAndReport(t *testing.T) {
 	names, cases, lib := population(t, 2)
-	tool := New(lib, Config{})
+	tool := MustNew(lib, Config{})
 	reports := tool.FunctionalAll(names, cases, funcnoise.Options{})
 	if len(reports) != 2 {
 		t.Fatalf("got %d reports", len(reports))

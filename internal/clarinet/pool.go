@@ -1,0 +1,148 @@
+package clarinet
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"repro/internal/delaynoise"
+	"repro/internal/funcnoise"
+)
+
+// AnalyzeNet runs one net. A canceled context fails fast; an in-flight
+// analysis is not interrupted.
+func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
+	if err := ctx.Err(); err != nil {
+		return NetReport{Name: name, Err: err}
+	}
+	start := time.Now()
+	opt := t.analysisOptions()
+	if opt.Align == delaynoise.AlignPrechar {
+		tab, err := t.tableFor(c.Receiver, c.Victim.OutputRising)
+		if err != nil {
+			t.metrics.Counter("nets.analyzed").Inc()
+			t.metrics.Counter("nets.failed").Inc()
+			return NetReport{Name: name, Err: err}
+		}
+		opt.Table = tab
+	}
+	res, err := delaynoise.Analyze(c, opt)
+	t.metrics.Observe("net.analyze", time.Since(start))
+	t.metrics.Counter("nets.analyzed").Inc()
+	if err != nil {
+		t.metrics.Counter("nets.failed").Inc()
+	}
+	return NetReport{Name: name, Res: res, Err: err}
+}
+
+// fanOut spreads f over every index i in [0, n) across the given number
+// of worker goroutines. Each index is handed to f exactly once; emit
+// receives (i, f(i)) from worker goroutines and must be safe for
+// concurrent use across distinct indices. Cancellation is f's job:
+// the per-net workers check their context before starting real work, so
+// a canceled batch drains quickly but still emits every index.
+func fanOut[R any](workers, n int, f func(int) R, emit func(int, R)) {
+	if workers > n {
+		workers = n
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				emit(i, f(i))
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}
+
+// checkBatch validates the batch invariants shared by every entry point.
+func checkBatch(names []string, cases []*delaynoise.Case) {
+	if len(names) != len(cases) {
+		panic("clarinet: names and cases length mismatch")
+	}
+}
+
+// AnalyzeAll runs every net, preserving input order, with bounded
+// parallelism.
+func (t *Tool) AnalyzeAll(names []string, cases []*delaynoise.Case) []NetReport {
+	return t.AnalyzeAllContext(context.Background(), names, cases)
+}
+
+// AnalyzeAllContext is AnalyzeAll with cancellation/deadline support.
+// The returned slice is always fully populated in input order: nets not
+// started when the context fires carry the context's error, and
+// in-flight nets run to completion. The report order is deterministic
+// regardless of worker count or completion order.
+func (t *Tool) AnalyzeAllContext(ctx context.Context, names []string, cases []*delaynoise.Case) []NetReport {
+	checkBatch(names, cases)
+	reports := make([]NetReport, len(cases))
+	fanOut(t.Cfg.Workers, len(cases),
+		func(i int) NetReport { return t.AnalyzeNet(ctx, names[i], cases[i]) },
+		func(i int, r NetReport) { reports[i] = r })
+	return reports
+}
+
+// Stream runs every net and delivers reports in completion order on the
+// returned channel, which is closed once the batch finishes. Use this
+// for progress display or incremental consumers; use AnalyzeAllContext
+// when input-ordered results matter. Cancellation drains the remaining
+// nets as error reports, so exactly len(cases) reports are always
+// delivered.
+func (t *Tool) Stream(ctx context.Context, names []string, cases []*delaynoise.Case) <-chan NetReport {
+	checkBatch(names, cases)
+	out := make(chan NetReport)
+	go func() {
+		defer close(out)
+		fanOut(t.Cfg.Workers, len(cases),
+			func(i int) NetReport { return t.AnalyzeNet(ctx, names[i], cases[i]) },
+			func(_ int, r NetReport) { out <- r })
+	}()
+	return out
+}
+
+// FuncReport is the per-net outcome of a functional-noise run.
+type FuncReport struct {
+	Name string
+	Res  *funcnoise.Result
+	Err  error
+}
+
+// FunctionalAll runs the functional-noise flow on every net.
+func (t *Tool) FunctionalAll(names []string, cases []*delaynoise.Case, opt funcnoise.Options) []FuncReport {
+	return t.FunctionalAllContext(context.Background(), names, cases, opt)
+}
+
+// FunctionalAllContext is FunctionalAll with cancellation/deadline
+// support, with the same ordering and drain guarantees as
+// AnalyzeAllContext.
+func (t *Tool) FunctionalAllContext(ctx context.Context, names []string, cases []*delaynoise.Case, opt funcnoise.Options) []FuncReport {
+	checkBatch(names, cases)
+	reports := make([]FuncReport, len(cases))
+	fanOut(t.Cfg.Workers, len(cases),
+		func(i int) FuncReport {
+			if err := ctx.Err(); err != nil {
+				return FuncReport{Name: names[i], Err: err}
+			}
+			start := time.Now()
+			res, err := funcnoise.Analyze(cases[i], opt)
+			t.metrics.Observe("net.functional", time.Since(start))
+			t.metrics.Counter("nets.analyzed").Inc()
+			if err != nil {
+				t.metrics.Counter("nets.failed").Inc()
+			}
+			return FuncReport{Name: names[i], Res: res, Err: err}
+		},
+		func(i int, r FuncReport) { reports[i] = r })
+	return reports
+}

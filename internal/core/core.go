@@ -10,26 +10,38 @@
 //	an := core.NewAnalyzer(nil)          // default 0.18um technology
 //	res, err := an.DelayNoise(c)         // paper's full flow on one net
 //	gold, err := an.Reference(c, res)    // nonlinear validation
+//
+// An Analyzer is safe for concurrent use: its alignment-table,
+// driver-characterization, and reduced-order-model caches are shared
+// across goroutines with single-flight semantics, and every run feeds
+// the registry returned by Metrics.
 package core
 
 import (
-	"fmt"
-	"sync"
-
 	"repro/internal/align"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
+	"repro/internal/memo"
+	"repro/internal/metrics"
 )
 
+// tableKey identifies one receiver pre-characterization.
+type tableKey struct {
+	cell   string
+	rising bool
+}
+
 // Analyzer bundles a technology, its cell library, the default analysis
-// options, and a cache of alignment tables.
+// options, and the caches shared across analyses.
 type Analyzer struct {
 	Tech *device.Technology
 	Lib  *device.Library
 	Opt  delaynoise.Options
 
-	mu     sync.Mutex
-	tables map[string]*align.Table
+	metrics *metrics.Registry
+	tables  *memo.Cache[tableKey, *align.Table]
+	chars   *delaynoise.CharCache
+	roms    *delaynoise.ROMCache
 }
 
 // NewAnalyzer builds an analyzer. A nil technology selects the default
@@ -39,6 +51,7 @@ func NewAnalyzer(tech *device.Technology) *Analyzer {
 	if tech == nil {
 		tech = device.Default180()
 	}
+	reg := metrics.NewRegistry()
 	return &Analyzer{
 		Tech: tech,
 		Lib:  device.NewLibrary(tech),
@@ -46,13 +59,29 @@ func NewAnalyzer(tech *device.Technology) *Analyzer {
 			Hold:  delaynoise.HoldTransient,
 			Align: delaynoise.AlignExhaustive,
 		},
-		tables: map[string]*align.Table{},
+		metrics: reg,
+		tables:  memo.New[tableKey, *align.Table](),
+		chars:   delaynoise.NewCharCache(0, reg),
+		roms:    delaynoise.NewROMCache(reg),
 	}
 }
+
+// Metrics returns the analyzer's instrumentation registry (cache
+// hit/miss counts, simulation counters, per-stage timers).
+func (a *Analyzer) Metrics() *metrics.Registry { return a.metrics }
 
 // Cell resolves a library cell by name.
 func (a *Analyzer) Cell(name string) (*device.Cell, error) {
 	return a.Lib.Cell(name)
+}
+
+// options assembles per-run options with the shared caches wired in.
+func (a *Analyzer) options() delaynoise.Options {
+	opt := a.Opt
+	opt.Chars = a.chars
+	opt.ROMs = a.roms
+	opt.Metrics = a.metrics
+	return opt
 }
 
 // DelayNoise runs the paper's full per-net flow: driver characterization
@@ -60,7 +89,7 @@ func (a *Analyzer) Cell(name string) (*device.Cell, error) {
 // holding resistance, and worst-case aggressor alignment against the
 // combined interconnect + receiver delay.
 func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
-	opt := a.Opt
+	opt := a.options()
 	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
 		tab, err := a.Table(c.Receiver, c.Victim.OutputRising)
 		if err != nil {
@@ -74,7 +103,7 @@ func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
 // Baseline runs the traditional flow (Thevenin holding resistance) for
 // comparison.
 func (a *Analyzer) Baseline(c *delaynoise.Case) (*delaynoise.Result, error) {
-	opt := a.Opt
+	opt := a.options()
 	opt.Hold = delaynoise.HoldThevenin
 	return delaynoise.Analyze(c, opt)
 }
@@ -85,22 +114,17 @@ func (a *Analyzer) Reference(c *delaynoise.Case, res *delaynoise.Result) (*delay
 	return delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(res.NoisePeakTimes, res.TPeak))
 }
 
-// Table returns (building and caching on first use) the 8-point
-// alignment pre-characterization of a receiver cell.
+// Table returns (building on first use, with single-flight semantics
+// under concurrency) the alignment pre-characterization of a receiver
+// cell.
 func (a *Analyzer) Table(recv *device.Cell, victimRising bool) (*align.Table, error) {
-	key := fmt.Sprintf("%s/%v", recv.Name, victimRising)
-	a.mu.Lock()
-	tab, ok := a.tables[key]
-	a.mu.Unlock()
-	if ok {
-		return tab, nil
+	tab, hit, err := a.tables.Do(tableKey{recv.Name, victimRising}, func() (*align.Table, error) {
+		return align.Precharacterize(recv, victimRising, align.DefaultConfig(recv.Tech))
+	})
+	if hit {
+		a.metrics.Counter("cache.tables.hit").Inc()
+	} else {
+		a.metrics.Counter("cache.tables.miss").Inc()
 	}
-	tab, err := align.Precharacterize(recv, victimRising, align.DefaultConfig(recv.Tech))
-	if err != nil {
-		return nil, err
-	}
-	a.mu.Lock()
-	a.tables[key] = tab
-	a.mu.Unlock()
-	return tab, nil
+	return tab, err
 }

@@ -3,10 +3,11 @@ package delaynoise
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/align"
 	"repro/internal/gatesim"
-	"repro/internal/holdres"
+	"repro/internal/metrics"
 	"repro/internal/waveform"
 )
 
@@ -95,6 +96,20 @@ type Options struct {
 	// downstream timing windows. DelayNoise then comes out negative.
 	// Only AlignExhaustive and AlignReceiverInput support it.
 	Minimize bool
+
+	// Chars, when non-nil, shares driver characterizations (rough
+	// Thevenin fits, C-effective iterations, transient holding
+	// resistances) across analyses with single-flight semantics. Batch
+	// engines set this; single-net callers can leave it nil.
+	Chars *CharCache
+	// ROMs, when non-nil, shares PRIMA reduced-order models across
+	// analyses, keyed by a content hash of the assembled linear system.
+	// Only consulted when PRIMAOrder is positive.
+	ROMs *ROMCache
+	// Metrics, when non-nil, receives engine instrumentation: linear and
+	// nonlinear simulation counts, per-stage wall time, and cache
+	// hit/miss counters.
+	Metrics *metrics.Registry
 }
 
 func (o *Options) defaults() {
@@ -143,10 +158,12 @@ type Result struct {
 // Analyze runs the full linear-model + alignment flow on one case.
 func Analyze(c *Case, opt Options) (*Result, error) {
 	opt.defaults()
+	charStart := time.Now()
 	e, err := newEngine(c, opt)
 	if err != nil {
 		return nil, err
 	}
+	opt.Metrics.Observe("stage.characterize", time.Since(charStart))
 	noiselessIn, noiselessDrv, err := e.victimNoiseless()
 	if err != nil {
 		return nil, err
@@ -162,6 +179,7 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		Receiver:     c.Receiver,
 		Load:         c.ReceiverLoad,
 		VictimRising: c.Victim.OutputRising,
+		Sims:         opt.Metrics.Counter("sim.nonlinear.receiver"),
 	}
 
 	rHold := e.victim.model.Rth
@@ -190,7 +208,9 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		}
 		res.Pulse = pulse
 
+		alignStart := time.Now()
 		tPeak, err = e.chooseAlignment(obj, noiselessIn, composite, pulse, opt)
+		opt.Metrics.Observe("stage.align", time.Since(alignStart))
 		if err != nil {
 			return nil, err
 		}
@@ -209,8 +229,10 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		// gatesim.InputStart, not at the case's victim input start).
 		vn := alignedDriverNoise(recvNoises, drvNoises, tPeak)
 		vn = vn.Shift(gatesim.InputStart - c.Victim.InputStart)
-		hr, err := holdres.Compute(c.Victim.Cell, c.Victim.InputSlew, c.Victim.Cell.InputRisingFor(c.Victim.OutputRising),
+		holdStart := time.Now()
+		hr, err := opt.Chars.HoldRes(c.Victim.Cell, c.Victim.InputSlew, c.Victim.Cell.InputRisingFor(c.Victim.OutputRising),
 			e.victim.ceff, e.victim.model.Rth, vn)
+		opt.Metrics.Observe("stage.holdres", time.Since(holdStart))
 		if err != nil {
 			return nil, fmt.Errorf("delaynoise: holding resistance: %w", err)
 		}
@@ -232,6 +254,8 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 	res.TPeak = tPeak
 
 	// Final delay evaluation with nonlinear receiver simulations.
+	verifyStart := time.Now()
+	defer func() { opt.Metrics.Observe("stage.verify", time.Since(verifyStart)) }()
 	noisyIn := align.NoisyInput(noiselessIn, composite, tPeak)
 	quietOut, err := obj.OutputCross(noiselessIn)
 	if err != nil {

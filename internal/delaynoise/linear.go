@@ -2,13 +2,11 @@ package delaynoise
 
 import (
 	"fmt"
+	"time"
 
-	"repro/internal/ceff"
 	"repro/internal/gatesim"
-	"repro/internal/holdres"
 	"repro/internal/lsim"
 	"repro/internal/mna"
-	"repro/internal/mor"
 	"repro/internal/netlist"
 	"repro/internal/thevenin"
 	"repro/internal/waveform"
@@ -54,7 +52,7 @@ func newEngine(c *Case, opt Options) (*engine, error) {
 	}
 	vdd := c.vdd()
 	roughOf := func(spec DriverSpec, lump float64) (rough, error) {
-		m, _, err := thevenin.Fit(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), lump)
+		m, err := opt.Chars.RoughFit(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), lump)
 		if err != nil {
 			return rough{}, err
 		}
@@ -92,7 +90,7 @@ func newEngine(c *Case, opt Options) (*engine, error) {
 		return ckt
 	}
 	charOf := func(spec DriverSpec, net *netlist.Circuit, node string) (driverChar, error) {
-		res, err := ceff.Compute(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), net, node, ceff.Options{})
+		res, err := opt.Chars.Characterize(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), net, node)
 		if err != nil {
 			return driverChar{}, err
 		}
@@ -144,6 +142,9 @@ func (e *engine) runLinear(ckt *netlist.Circuit) (map[string]*waveform.PWL, erro
 
 // runLinearProbes is runLinear with an explicit probe list.
 func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[string]*waveform.PWL, error) {
+	e.opt.Metrics.Counter("sim.linear").Inc()
+	start := time.Now()
+	defer func() { e.opt.Metrics.Observe("stage.linear", time.Since(start)) }()
 	sys, err := mna.Build(ckt)
 	if err != nil {
 		return nil, err
@@ -151,7 +152,7 @@ func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[str
 	opt := lsim.Options{TStop: e.horizon, Step: e.step, InitDC: true}
 	out := map[string]*waveform.PWL{}
 	if q := e.opt.PRIMAOrder; q > 0 && q < sys.NumStates() {
-		rom, err := mor.Reduce(sys, q)
+		rom, err := e.opt.ROMs.Reduce(sys, q)
 		if err != nil {
 			return nil, err
 		}
@@ -241,7 +242,7 @@ func (e *engine) victimNoiseless() (recvIn, drvOut *waveform.PWL, err error) {
 	for j := range e.aggs {
 		spec := e.aggs[j].spec
 		vn := aggOuts[j].Shift(gatesim.InputStart - spec.InputStart)
-		hr, err := holdres.Compute(spec.Cell, spec.InputSlew,
+		hr, err := e.opt.Chars.HoldRes(spec.Cell, spec.InputSlew,
 			spec.Cell.InputRisingFor(spec.OutputRising),
 			e.aggs[j].ceff, e.aggs[j].model.Rth, vn)
 		if err != nil {

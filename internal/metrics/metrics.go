@@ -1,0 +1,220 @@
+// Package metrics is the lightweight instrumentation layer of the
+// analysis engine: named atomic counters and timers collected in a
+// Registry, snapshotted into a stable, sortable form, and rendered as
+// JSON (for the bench trajectory and CI artifacts) or aligned text (for
+// CLI summaries).
+//
+// The package is allocation-light and safe for concurrent use. Every
+// method tolerates a nil receiver, so instrumented code can call
+//
+//	opt.Metrics.Counter("sim.linear").Add(1)
+//
+// unconditionally: with no registry configured the call is a no-op.
+package metrics
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically adjusted atomic count.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Add increments the counter by delta. Safe on a nil Counter.
+func (c *Counter) Add(delta int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(delta)
+}
+
+// Inc increments the counter by one. Safe on a nil Counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the current count. Safe on a nil Counter.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Timer accumulates a call count and total elapsed wall time.
+type Timer struct {
+	n  atomic.Int64
+	ns atomic.Int64
+}
+
+// Observe records one event of duration d. Safe on a nil Timer.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.n.Add(1)
+	t.ns.Add(int64(d))
+}
+
+// Time runs fn and records its wall time. Safe on a nil Timer.
+func (t *Timer) Time(fn func()) {
+	if t == nil {
+		fn()
+		return
+	}
+	start := time.Now()
+	fn()
+	t.Observe(time.Since(start))
+}
+
+// Count returns the number of observations. Safe on a nil Timer.
+func (t *Timer) Count() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.n.Load()
+}
+
+// Total returns the accumulated duration. Safe on a nil Timer.
+func (t *Timer) Total() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.ns.Load())
+}
+
+// Registry is a named collection of counters and timers.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	timers   map[string]*Timer
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns (creating on first use) the named counter. A nil
+// registry returns a nil counter, whose methods are no-ops.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Timer returns (creating on first use) the named timer. A nil registry
+// returns a nil timer, whose methods are no-ops.
+func (r *Registry) Timer(name string) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{}
+		r.timers[name] = t
+	}
+	return t
+}
+
+// Add is shorthand for Counter(name).Add(delta).
+func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
+
+// Observe is shorthand for Timer(name).Observe(d).
+func (r *Registry) Observe(name string, d time.Duration) { r.Timer(name).Observe(d) }
+
+// TimerStat is the snapshotted state of one timer.
+type TimerStat struct {
+	Count   int64   `json:"count"`
+	TotalNs int64   `json:"total_ns"`
+	MeanNs  float64 `json:"mean_ns"`
+}
+
+// Snapshot is a point-in-time copy of a registry, suitable for JSON
+// export and comparison.
+type Snapshot struct {
+	Counters map[string]int64     `json:"counters"`
+	Timers   map[string]TimerStat `json:"timers"`
+}
+
+// Snapshot copies the registry's current state. A nil registry yields an
+// empty (but usable) snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{Counters: map[string]int64{}, Timers: map[string]TimerStat{}}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		s.Counters[name] = c.Value()
+	}
+	for name, t := range r.timers {
+		n := t.Count()
+		ts := TimerStat{Count: n, TotalNs: int64(t.Total())}
+		if n > 0 {
+			ts.MeanNs = float64(ts.TotalNs) / float64(n)
+		}
+		s.Timers[name] = ts
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// WriteText renders the snapshot as an aligned, name-sorted summary.
+func (s Snapshot) WriteText(w io.Writer) {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-32s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Timers {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := s.Timers[name]
+		fmt.Fprintf(w, "%-32s %d calls, %v total, %v mean\n",
+			name, t.Count, time.Duration(t.TotalNs).Round(time.Microsecond),
+			time.Duration(t.MeanNs).Round(time.Microsecond))
+	}
+}
+
+// CacheRatio returns the hit count, miss count, and hit ratio of a cache
+// instrumented under the "<base>.hit"/"<base>.miss" convention.
+func (s Snapshot) CacheRatio(base string) (hits, misses int64, ratio float64) {
+	hits = s.Counters[base+".hit"]
+	misses = s.Counters[base+".miss"]
+	if total := hits + misses; total > 0 {
+		ratio = float64(hits) / float64(total)
+	}
+	return hits, misses, ratio
+}

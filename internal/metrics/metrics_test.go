@@ -1,0 +1,110 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAndTimers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a").Add(3)
+	r.Counter("a").Inc()
+	r.Add("b", 2)
+	r.Timer("t").Observe(10 * time.Millisecond)
+	r.Observe("t", 30*time.Millisecond)
+
+	if got := r.Counter("a").Value(); got != 4 {
+		t.Fatalf("counter a = %d", got)
+	}
+	if got := r.Timer("t").Count(); got != 2 {
+		t.Fatalf("timer count = %d", got)
+	}
+	if got := r.Timer("t").Total(); got != 40*time.Millisecond {
+		t.Fatalf("timer total = %v", got)
+	}
+}
+
+func TestConcurrentAccess(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				r.Counter("n").Inc()
+				r.Timer("t").Observe(time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("n").Value(); got != 8000 {
+		t.Fatalf("counter = %d, want 8000", got)
+	}
+	if got := r.Timer("t").Count(); got != 8000 {
+		t.Fatalf("timer count = %d, want 8000", got)
+	}
+}
+
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Add(1) // must not panic
+	r.Timer("y").Observe(time.Second)
+	r.Add("z", 1)
+	called := false
+	r.Timer("y").Time(func() { called = true })
+	if !called {
+		t.Fatal("nil timer must still run fn")
+	}
+	s := r.Snapshot()
+	if len(s.Counters) != 0 || len(s.Timers) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+}
+
+func TestSnapshotJSONAndText(t *testing.T) {
+	r := NewRegistry()
+	r.Add("cache.tables.hit", 7)
+	r.Add("cache.tables.miss", 3)
+	r.Timer("net.analyze").Observe(2 * time.Millisecond)
+	s := r.Snapshot()
+
+	hits, misses, ratio := s.CacheRatio("cache.tables")
+	if hits != 7 || misses != 3 || ratio != 0.7 {
+		t.Fatalf("cache ratio = %d/%d/%.2f", hits, misses, ratio)
+	}
+
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Counters["cache.tables.hit"] != 7 {
+		t.Fatalf("round trip lost counter: %+v", back)
+	}
+	if back.Timers["net.analyze"].Count != 1 {
+		t.Fatalf("round trip lost timer: %+v", back)
+	}
+
+	buf.Reset()
+	s.WriteText(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "cache.tables.hit") || !strings.Contains(out, "net.analyze") {
+		t.Fatalf("text summary malformed:\n%s", out)
+	}
+}
+
+func TestTimerTime(t *testing.T) {
+	r := NewRegistry()
+	r.Timer("t").Time(func() { time.Sleep(time.Millisecond) })
+	if r.Timer("t").Total() < time.Millisecond {
+		t.Fatalf("timed total = %v", r.Timer("t").Total())
+	}
+}

@@ -80,6 +80,30 @@ func Reduce(sys *mna.System, q int) (*ROM, error) {
 	return &ROM{Reduced: red, V: v, full: sys, Order: kept}, nil
 }
 
+// WithInputs returns a ROM sharing this model's projection basis and
+// reduced matrices but driving different source waveforms. The reduction
+// depends only on G, C, and B, so a ROM computed once for a circuit
+// topology can be rebound to the per-run sources — this is what lets the
+// analysis engine cache PRIMA reductions across simulations whose only
+// difference is the driver waveforms.
+func (r *ROM) WithInputs(inputs []*waveform.PWL) (*ROM, error) {
+	if len(inputs) != r.Reduced.NumInputs() {
+		return nil, fmt.Errorf("mor: %d inputs for a %d-input model",
+			len(inputs), r.Reduced.NumInputs())
+	}
+	red, err := mna.NewSystem(r.Reduced.G, r.Reduced.C, r.Reduced.B, inputs, r.Reduced.Nodes)
+	if err != nil {
+		return nil, err
+	}
+	full := r.full
+	if r.full == r.Reduced {
+		// Identity projection: the reduced system is the full system, so
+		// node recovery must index the rebound copy.
+		full = red
+	}
+	return &ROM{Reduced: red, V: r.V, full: full, Order: r.Order}, nil
+}
+
 // Run integrates the reduced model and returns a result from which node
 // voltages of the original network can be recovered.
 func (r *ROM) Run(opt lsim.Options) (*Result, error) {
