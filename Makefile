@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: build test race lint bench
+.PHONY: build test race lint staticcheck vuln bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,24 @@ lint:
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+# Static analysis beyond go vet; CI installs staticcheck on the runner,
+# locally the target degrades to a skip notice when the tool is absent.
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
+
+# Known-vulnerability scan. Advisory: CI marks the job
+# continue-on-error, and the target never fails the build locally.
+vuln:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./... || true; \
+	else \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
 	fi
 
 # One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet

@@ -9,16 +9,20 @@
 // Usage:
 //
 //	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar]
-//	         [-workers N] [-timeout 30s] [-metrics run.json]
+//	         [-workers N] [-timeout 30s] [-fallback] [-metrics run.json]
 //
 // -workers 0 (the default) uses one worker per available core
 // (runtime.GOMAXPROCS); negative values are rejected. -char-cache-res
 // tunes the relative bucket resolution of the shared driver
 // characterization cache; a negative value disables that cache.
+// -fallback retries nets whose exhaustive alignment search fails to
+// converge with the table-driven alignment instead of failing them.
+// The run aborts cleanly on SIGINT/SIGTERM or when -timeout fires:
+// in-flight nets stop at the next solver checkpoint and the partial
+// report is still written.
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -26,21 +30,20 @@ import (
 	"time"
 
 	"repro/internal/clarinet"
+	"repro/internal/cliutil"
 	"repro/internal/delaynoise"
-	"repro/internal/device"
 	"repro/internal/funcnoise"
-	"repro/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("clarinet: ")
+	cliutil.Init("clarinet")
 	in := flag.String("i", "nets.json", "input case file (from netgen)")
 	mode := flag.String("mode", "delay", "analysis mode: delay | func")
 	holdFlag := flag.String("hold", "transient", "victim holding model: thevenin | transient")
 	alignFlag := flag.String("align", "exhaustive", "alignment method: exhaustive | input | prechar")
 	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per core, negative rejected)")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")
+	fallback := flag.Bool("fallback", false, "fall back to prechar alignment when the exhaustive search fails to converge")
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	flag.Parse()
@@ -52,7 +55,7 @@ func main() {
 	case "transient":
 		hold = delaynoise.HoldTransient
 	default:
-		log.Fatalf("unknown hold model %q", *holdFlag)
+		cliutil.Usagef("unknown hold model %q", *holdFlag)
 	}
 	var alignMethod delaynoise.AlignMethod
 	switch *alignFlag {
@@ -63,36 +66,28 @@ func main() {
 	case "prechar":
 		alignMethod = delaynoise.AlignPrechar
 	default:
-		log.Fatalf("unknown alignment method %q", *alignFlag)
+		cliutil.Usagef("unknown alignment method %q", *alignFlag)
+	}
+	if *mode != "delay" && *mode != "func" {
+		cliutil.Usagef("unknown mode %q", *mode)
 	}
 
-	lib := device.NewLibrary(device.Default180())
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	names, cases, err := workload.Load(f, lib)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
+	lib := cliutil.Library()
+	names, cases := cliutil.MustLoadCases(*in, lib)
 	log.Printf("loaded %d nets from %s", len(cases), *in)
 
 	tool, err := clarinet.New(lib, clarinet.Config{
-		Hold:         hold,
-		Align:        alignMethod,
-		Workers:      *workers,
-		CharCacheRes: *charRes,
+		Hold:              hold,
+		Align:             alignMethod,
+		Workers:           *workers,
+		CharCacheRes:      *charRes,
+		FallbackToPrechar: *fallback,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	ctx := context.Background()
-	if *timeout > 0 {
-		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
-		defer cancel()
-	}
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
 
 	start := time.Now()
 	switch *mode {
@@ -107,23 +102,11 @@ func main() {
 		fmt.Printf("\nfunctional-noise analysis of %d nets in %v\n",
 			len(cases), time.Since(start).Round(time.Millisecond))
 	default:
-		log.Fatalf("unknown mode %q", *mode)
+		cliutil.Usagef("unknown mode %q", *mode)
 	}
 	clarinet.WriteMetricsSummary(os.Stdout, tool)
 	if err := ctx.Err(); err != nil {
 		log.Printf("batch interrupted: %v", err)
 	}
-	if *metricsOut != "" {
-		mf, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := tool.Metrics().Snapshot().WriteJSON(mf); err != nil {
-			log.Fatal(err)
-		}
-		if err := mf.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("metrics written to %s", *metricsOut)
-	}
+	cliutil.MustWriteMetrics(*metricsOut, tool.Metrics().Snapshot())
 }

@@ -17,6 +17,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/cliutil"
 	"repro/internal/repro"
 )
 
@@ -26,8 +27,7 @@ type figure struct {
 }
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("figures: ")
+	cliutil.Init("figures")
 	nets := flag.Int("nets", 300, "population size for fig13/fig14")
 	only := flag.String("only", "", "comma-separated subset (e.g. fig02,fig13)")
 	quick := flag.Bool("quick", false, "shrink populations for a fast smoke run")
@@ -139,10 +139,18 @@ func main() {
 		}},
 	}
 
+	known := map[string]bool{}
+	for _, f := range figures {
+		known[f.name] = true
+	}
 	want := map[string]bool{}
 	if *only != "" {
 		for _, n := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(n)] = true
+			n = strings.TrimSpace(n)
+			if !known[n] {
+				cliutil.Usagef("unknown figure %q", n)
+			}
+			want[n] = true
 		}
 	}
 	for _, f := range figures {

@@ -14,22 +14,24 @@ import (
 	"os"
 	"path/filepath"
 
-	"repro/internal/device"
+	"repro/internal/cliutil"
 	"repro/internal/spef"
 	"repro/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("netgen: ")
+	cliutil.Init("netgen")
 	n := flag.Int("n", 300, "number of nets to generate")
 	seed := flag.Int64("seed", 20010618, "random seed")
 	out := flag.String("o", "nets.json", "output case file")
 	spefDir := flag.String("spefdir", "", "optional directory for per-net mini-SPEF files")
 	flag.Parse()
+	if *n <= 0 {
+		cliutil.Usagef("need a positive net count, got %d", *n)
+	}
 
-	tech := device.Default180()
-	lib := device.NewLibrary(tech)
+	lib := cliutil.Library()
+	tech := lib.Tech
 	gen := workload.NewGenerator(lib, workload.DefaultProfile(), *seed)
 	cases, err := gen.Population(*n)
 	if err != nil {

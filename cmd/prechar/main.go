@@ -19,20 +19,22 @@ import (
 	"strings"
 
 	"repro/internal/align"
-	"repro/internal/device"
+	"repro/internal/cliutil"
 	"repro/internal/thevenin"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("prechar: ")
+	cliutil.Init("prechar")
 	cellsFlag := flag.String("cells", "", "comma-separated cell names (default: whole library)")
 	outDir := flag.String("o", "prechar", "output directory")
 	grid := flag.Int("grid", 25, "exhaustive-search grid per alignment corner")
 	flag.Parse()
+	if *grid < 5 {
+		cliutil.Usagef("need a grid of at least 5, got %d", *grid)
+	}
 
-	tech := device.Default180()
-	lib := device.NewLibrary(tech)
+	lib := cliutil.Library()
+	tech := lib.Tech
 	names := lib.Names()
 	if *cellsFlag != "" {
 		names = strings.Split(*cellsFlag, ",")
@@ -44,7 +46,7 @@ func main() {
 	for _, name := range names {
 		cell, err := lib.Cell(strings.TrimSpace(name))
 		if err != nil {
-			log.Fatal(err)
+			cliutil.Usagef("%v", err)
 		}
 		// Alignment tables, both victim directions.
 		for _, rising := range []bool{true, false} {

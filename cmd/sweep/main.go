@@ -8,7 +8,7 @@
 //	sweep -i nets.json -net net0000 -param coupling -from 0.5 -to 2 -n 6 [-golden]
 //	      [-metrics run.json]
 //
-// Sweep points share the tool-wide driver-characterization and PRIMA
+// Sweep points share the session-wide driver-characterization and PRIMA
 // model caches, so neighboring points reuse each other's work; -metrics
 // exports the run counters (cache hits/misses, simulation counts,
 // per-stage timers) as JSON.
@@ -19,16 +19,13 @@ import (
 	"log"
 	"os"
 
-	"repro/internal/delaynoise"
-	"repro/internal/device"
-	"repro/internal/metrics"
+	"repro/internal/cliutil"
+	"repro/internal/engine"
 	"repro/internal/sweep"
-	"repro/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("sweep: ")
+	cliutil.Init("sweep")
 	in := flag.String("i", "nets.json", "input case file (from netgen)")
 	netName := flag.String("net", "", "net name (default: first)")
 	paramFlag := flag.String("param", "coupling", "parameter: coupling | vslew | aslew | load")
@@ -50,45 +47,23 @@ func main() {
 	case "load":
 		param = sweep.ReceiverLoad
 	default:
-		log.Fatalf("unknown parameter %q", *paramFlag)
+		cliutil.Usagef("unknown parameter %q", *paramFlag)
 	}
 	if *n < 2 || *to <= *from {
-		log.Fatalf("need n >= 2 and to > from")
+		cliutil.Usagef("need n >= 2 and to > from")
 	}
 
-	lib := device.NewLibrary(device.Default180())
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	names, cases, err := workload.Load(f, lib)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	idx := 0
-	if *netName != "" {
-		idx = -1
-		for i, name := range names {
-			if name == *netName {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			log.Fatalf("no net %q in %s", *netName, *in)
-		}
-	}
+	lib := cliutil.Library()
+	names, cases := cliutil.MustLoadCases(*in, lib)
+	idx := cliutil.MustFindNet(names, *netName)
 
 	values := make([]float64, *n)
 	for i := range values {
 		values[i] = *from + (*to-*from)*float64(i)/float64(*n-1)
 	}
-	reg := metrics.NewRegistry()
+	session := engine.New(engine.Config{Lib: lib})
 	opt := sweep.Options{Golden: *golden}
-	opt.Analysis.Metrics = reg
-	opt.Analysis.Chars = delaynoise.NewCharCache(0, reg)
-	opt.Analysis.ROMs = delaynoise.NewROMCache(reg)
+	opt.Analysis = session.Bind(opt.Analysis)
 	res, err := sweep.Run(cases[idx], param, values, opt)
 	if err != nil {
 		log.Fatal(err)
@@ -96,22 +71,10 @@ func main() {
 	log.Printf("net %s", names[idx])
 	res.Print(os.Stdout)
 
-	s := reg.Snapshot()
+	s := session.Metrics().Snapshot()
 	if hits, misses, ratio := s.CacheRatio("cache.char.full"); hits+misses > 0 {
 		log.Printf("driver characterization cache: %d hits / %d misses (%.0f%%)",
 			hits, misses, 100*ratio)
 	}
-	if *metricsOut != "" {
-		mf, err := os.Create(*metricsOut)
-		if err != nil {
-			log.Fatal(err)
-		}
-		if err := s.WriteJSON(mf); err != nil {
-			log.Fatal(err)
-		}
-		if err := mf.Close(); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("metrics written to %s", *metricsOut)
-	}
+	cliutil.MustWriteMetrics(*metricsOut, s)
 }

@@ -14,44 +14,22 @@ import (
 	"os"
 
 	"repro/internal/align"
+	"repro/internal/cliutil"
 	"repro/internal/delaynoise"
-	"repro/internal/device"
 	"repro/internal/waveform"
-	"repro/internal/workload"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("waveview: ")
+	cliutil.Init("waveview")
 	in := flag.String("i", "nets.json", "input case file (from netgen)")
 	netName := flag.String("net", "", "net name to dump (default: first)")
 	out := flag.String("o", "", "output CSV (default: stdout)")
 	points := flag.Int("points", 800, "samples per waveform")
 	flag.Parse()
 
-	lib := device.NewLibrary(device.Default180())
-	f, err := os.Open(*in)
-	if err != nil {
-		log.Fatal(err)
-	}
-	names, cases, err := workload.Load(f, lib)
-	f.Close()
-	if err != nil {
-		log.Fatal(err)
-	}
-	idx := 0
-	if *netName != "" {
-		idx = -1
-		for i, n := range names {
-			if n == *netName {
-				idx = i
-				break
-			}
-		}
-		if idx < 0 {
-			log.Fatalf("no net %q in %s", *netName, *in)
-		}
-	}
+	lib := cliutil.Library()
+	names, cases := cliutil.MustLoadCases(*in, lib)
+	idx := cliutil.MustFindNet(names, *netName)
 	c := cases[idx]
 
 	res, err := delaynoise.Analyze(c, delaynoise.Options{

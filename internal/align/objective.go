@@ -1,12 +1,15 @@
 package align
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/device"
 	"repro/internal/gatesim"
 	"repro/internal/metrics"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -25,6 +28,9 @@ type Objective struct {
 	// simulation (every exhaustive-search grid point and delay
 	// evaluation funnels through Output).
 	Sims *metrics.Counter
+	// Ctx, when non-nil, cancels the receiver simulations and the
+	// exhaustive searches (checked at every grid point).
+	Ctx context.Context
 }
 
 // outputRising returns the receiver output transition direction.
@@ -39,7 +45,7 @@ func (o Objective) Vdd() float64 { return o.Receiver.Tech.Vdd }
 // receiver output waveform.
 func (o Objective) Output(in *waveform.PWL) (*waveform.PWL, error) {
 	o.Sims.Inc()
-	return gatesim.Receive(o.Receiver, in, o.Load, gatesim.Options{})
+	return gatesim.Receive(o.Receiver, in, o.Load, gatesim.Options{Ctx: o.Ctx})
 }
 
 // OutputCross simulates the receiver with input waveform in and returns
@@ -90,7 +96,7 @@ func SearchWindow(noiseless, noise *waveform.PWL, vdd float64, rising bool) (lo,
 		}
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("align: noiseless waveform has no full transition: %w", err)
+		return 0, 0, noiseerr.Numericalf("align: noiseless waveform has no full transition: %w", err)
 	}
 	p, err := Params(noise)
 	if err != nil {
@@ -128,9 +134,15 @@ func (o Objective) ExhaustiveWorst(noiseless, noise *waveform.PWL, nGrid int) (W
 	var lastErr error
 	step := (hi - lo) / float64(nGrid-1)
 	for i := 0; i < nGrid; i++ {
+		if err := o.canceled(); err != nil {
+			return WorstResult{}, err
+		}
 		tp := lo + float64(i)*step
 		out, err := eval(tp)
 		if err != nil {
+			if errors.Is(err, noiseerr.ErrCanceled) {
+				return WorstResult{}, err
+			}
 			lastErr = err // some alignments may never cross (pathological noise)
 			continue
 		}
@@ -139,14 +151,20 @@ func (o Objective) ExhaustiveWorst(noiseless, noise *waveform.PWL, nGrid int) (W
 		}
 	}
 	if math.IsInf(bestOut, -1) {
-		return WorstResult{}, fmt.Errorf("align: no alignment produced an output crossing (last: %w)", lastErr)
+		return WorstResult{}, noiseerr.Convergencef("align: no alignment produced an output crossing (last: %w)", lastErr)
 	}
 	// Two refinement passes around the incumbent.
 	for pass := 0; pass < 2; pass++ {
 		step /= 2.5
 		for _, tp := range []float64{bestT - 2*step, bestT - step, bestT + step, bestT + 2*step} {
+			if err := o.canceled(); err != nil {
+				return WorstResult{}, err
+			}
 			out, err := eval(tp)
 			if err != nil {
+				if errors.Is(err, noiseerr.ErrCanceled) {
+					return WorstResult{}, err
+				}
 				continue
 			}
 			if out > bestOut {
@@ -155,6 +173,17 @@ func (o Objective) ExhaustiveWorst(noiseless, noise *waveform.PWL, nGrid int) (W
 		}
 	}
 	return WorstResult{TPeak: bestT, TOut: bestOut, Va: noiseless.At(bestT)}, nil
+}
+
+// canceled converts a fired search context into a classified error.
+func (o Objective) canceled() error {
+	if o.Ctx == nil {
+		return nil
+	}
+	if err := o.Ctx.Err(); err != nil {
+		return noiseerr.Canceled(fmt.Errorf("align: search canceled: %w", err))
+	}
+	return nil
 }
 
 // ExhaustiveBest is the speed-up dual of ExhaustiveWorst: it sweeps the
@@ -176,9 +205,15 @@ func (o Objective) ExhaustiveBest(noiseless, noise *waveform.PWL, nGrid int) (Wo
 	var lastErr error
 	step := (hi - lo) / float64(nGrid-1)
 	for i := 0; i < nGrid; i++ {
+		if err := o.canceled(); err != nil {
+			return WorstResult{}, err
+		}
 		tp := lo + float64(i)*step
 		out, err := eval(tp)
 		if err != nil {
+			if errors.Is(err, noiseerr.ErrCanceled) {
+				return WorstResult{}, err
+			}
 			lastErr = err
 			continue
 		}
@@ -187,13 +222,19 @@ func (o Objective) ExhaustiveBest(noiseless, noise *waveform.PWL, nGrid int) (Wo
 		}
 	}
 	if math.IsInf(bestOut, 1) {
-		return WorstResult{}, fmt.Errorf("align: no alignment produced an output crossing (last: %w)", lastErr)
+		return WorstResult{}, noiseerr.Convergencef("align: no alignment produced an output crossing (last: %w)", lastErr)
 	}
 	for pass := 0; pass < 2; pass++ {
 		step /= 2.5
 		for _, tp := range []float64{bestT - 2*step, bestT - step, bestT + step, bestT + 2*step} {
+			if err := o.canceled(); err != nil {
+				return WorstResult{}, err
+			}
 			out, err := eval(tp)
 			if err != nil {
+				if errors.Is(err, noiseerr.ErrCanceled) {
+					return WorstResult{}, err
+				}
 				continue
 			}
 			if out < bestOut {

@@ -1,10 +1,12 @@
 package align
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/device"
 	"repro/internal/gatesim"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -49,13 +51,13 @@ func (c *Config) defaults() error {
 	}
 	switch {
 	case c.SlewMin <= 0 || c.SlewMax <= c.SlewMin:
-		return fmt.Errorf("align: invalid slew range [%g, %g]", c.SlewMin, c.SlewMax)
+		return noiseerr.Invalidf("align: invalid slew range [%g, %g]", c.SlewMin, c.SlewMax)
 	case c.WidthMin <= 0 || c.WidthMax <= c.WidthMin:
-		return fmt.Errorf("align: invalid width range [%g, %g]", c.WidthMin, c.WidthMax)
+		return noiseerr.Invalidf("align: invalid width range [%g, %g]", c.WidthMin, c.WidthMax)
 	case c.HeightMin <= 0 || c.HeightMax <= c.HeightMin:
-		return fmt.Errorf("align: invalid height range [%g, %g]", c.HeightMin, c.HeightMax)
+		return noiseerr.Invalidf("align: invalid height range [%g, %g]", c.HeightMin, c.HeightMax)
 	case c.MinLoad < 0:
-		return fmt.Errorf("align: negative MinLoad")
+		return noiseerr.Invalidf("align: negative MinLoad")
 	}
 	return nil
 }
@@ -97,6 +99,12 @@ func signedHeight(mag float64, victimRising bool) float64 {
 
 // Precharacterize runs the 8 corner searches for a receiver cell.
 func Precharacterize(recv *device.Cell, victimRising bool, cfg Config) (*Table, error) {
+	return PrecharacterizeContext(context.Background(), recv, victimRising, cfg)
+}
+
+// PrecharacterizeContext is Precharacterize with cancellation support,
+// threaded into every corner's exhaustive search.
+func PrecharacterizeContext(ctx context.Context, recv *device.Cell, victimRising bool, cfg Config) (*Table, error) {
 	if err := cfg.defaults(); err != nil {
 		return nil, err
 	}
@@ -110,12 +118,12 @@ func Precharacterize(recv *device.Cell, victimRising bool, cfg Config) (*Table, 
 		HeightMin: cfg.HeightMin, HeightMax: cfg.HeightMax,
 		MinLoad: cfg.MinLoad,
 	}
-	vm, err := gatesim.SwitchingThreshold(recv)
+	vm, err := gatesim.SwitchingThresholdContext(ctx, recv)
 	if err != nil {
 		return nil, fmt.Errorf("align: switching threshold of %s: %w", recv.Name, err)
 	}
 	tab.Vm = vm
-	obj := Objective{Receiver: recv, Load: cfg.MinLoad, VictimRising: victimRising}
+	obj := Objective{Receiver: recv, Load: cfg.MinLoad, VictimRising: victimRising, Ctx: ctx}
 	slews := [2]float64{cfg.SlewMin, cfg.SlewMax}
 	widths := [2]float64{cfg.WidthMin, cfg.WidthMax}
 	heights := [2]float64{cfg.HeightMin, cfg.HeightMax}

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -40,11 +41,11 @@ func (p Pulse) Waveform() *waveform.PWL {
 func Params(noise *waveform.PWL) (Pulse, error) {
 	_, h := noise.Peak()
 	if h == 0 {
-		return Pulse{}, fmt.Errorf("align: waveform has no excursion")
+		return Pulse{}, noiseerr.Numericalf("align: waveform has no excursion")
 	}
 	w, err := noise.WidthAt(0.5)
 	if err != nil {
-		return Pulse{}, fmt.Errorf("align: cannot measure pulse width: %w", err)
+		return Pulse{}, noiseerr.Numericalf("align: cannot measure pulse width: %w", err)
 	}
 	return Pulse{Height: h, Width: w}, nil
 }
@@ -55,13 +56,13 @@ func Params(noise *waveform.PWL) (Pulse, error) {
 // summation.
 func Composite(pulses ...*waveform.PWL) (*waveform.PWL, error) {
 	if len(pulses) == 0 {
-		return nil, fmt.Errorf("align: no pulses")
+		return nil, noiseerr.Invalidf("align: no pulses")
 	}
 	shifted := make([]*waveform.PWL, len(pulses))
 	for i, p := range pulses {
 		tp, v := p.Peak()
 		if v == 0 {
-			return nil, fmt.Errorf("align: pulse %d has no excursion", i)
+			return nil, noiseerr.Numericalf("align: pulse %d has no excursion", i)
 		}
 		shifted[i] = p.Shift(-tp)
 	}
@@ -72,13 +73,13 @@ func Composite(pulses ...*waveform.PWL) (*waveform.PWL, error) {
 // (relative positions used by the §3.1 staggered-alignment study).
 func CompositeAt(pulses []*waveform.PWL, offsets []float64) (*waveform.PWL, error) {
 	if len(pulses) != len(offsets) {
-		return nil, fmt.Errorf("align: %d pulses vs %d offsets", len(pulses), len(offsets))
+		return nil, noiseerr.Invalidf("align: %d pulses vs %d offsets", len(pulses), len(offsets))
 	}
 	shifted := make([]*waveform.PWL, len(pulses))
 	for i, p := range pulses {
 		tp, v := p.Peak()
 		if v == 0 {
-			return nil, fmt.Errorf("align: pulse %d has no excursion", i)
+			return nil, noiseerr.Numericalf("align: pulse %d has no excursion", i)
 		}
 		shifted[i] = p.Shift(offsets[i] - tp)
 	}
@@ -96,7 +97,7 @@ func EdgeRate(noiseless *waveform.PWL, vdd float64, rising bool) (float64, error
 		slew, err = noiseless.Slew(vdd, 0, 0.1, 0.9)
 	}
 	if err != nil {
-		return 0, fmt.Errorf("align: cannot measure edge rate: %w", err)
+		return 0, noiseerr.Numericalf("align: cannot measure edge rate: %w", err)
 	}
 	return slew / 0.8, nil
 }

@@ -7,6 +7,7 @@
 package ceff
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -14,6 +15,7 @@ import (
 	"repro/internal/lsim"
 	"repro/internal/mna"
 	"repro/internal/netlist"
+	"repro/internal/noiseerr"
 	"repro/internal/thevenin"
 )
 
@@ -44,16 +46,22 @@ func (o *Options) defaults() {
 // driveNode with the given input slew/direction. The net must not contain
 // a driver at driveNode (the Thevenin model is added internally).
 func Compute(cell *device.Cell, inSlew float64, inRising bool, net *netlist.Circuit, driveNode string, opt Options) (Result, error) {
+	return ComputeContext(context.Background(), cell, inSlew, inRising, net, driveNode, opt)
+}
+
+// ComputeContext is Compute with cancellation support, threaded into the
+// Thevenin fits and linear charge-matching runs of every iteration.
+func ComputeContext(ctx context.Context, cell *device.Cell, inSlew float64, inRising bool, net *netlist.Circuit, driveNode string, opt Options) (Result, error) {
 	opt.defaults()
 	cTotal := totalNetCap(net)
 	if cTotal <= 0 {
-		return Result{}, fmt.Errorf("ceff: net has no capacitance")
+		return Result{}, noiseerr.Invalidf("ceff: net has no capacitance")
 	}
 	vdd := cell.Tech.Vdd
 	ceff := cTotal
 	var model thevenin.Model
 	for iter := 1; iter <= opt.MaxIter; iter++ {
-		m, _, err := thevenin.Fit(cell, inSlew, inRising, ceff)
+		m, _, err := thevenin.FitContext(ctx, cell, inSlew, inRising, ceff)
 		if err != nil {
 			return Result{}, fmt.Errorf("ceff: iteration %d: %w", iter, err)
 		}
@@ -67,7 +75,7 @@ func Compute(cell *device.Cell, inSlew float64, inRising bool, net *netlist.Circ
 			return Result{}, fmt.Errorf("ceff: %w", err)
 		}
 		horizon := m.T0 + m.Dt + 30*m.Rth*cTotal
-		res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: horizon / 3000, InitDC: true})
+		res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: horizon / 3000, InitDC: true, Ctx: ctx})
 		if err != nil {
 			return Result{}, fmt.Errorf("ceff: %w", err)
 		}
@@ -116,7 +124,7 @@ func Compute(cell *device.Cell, inSlew float64, inRising bool, net *netlist.Circ
 	// Return the last iterate even if the tolerance was not met: the
 	// remaining error is small in practice and the caller's flow iterates
 	// further anyway.
-	m, _, err := thevenin.Fit(cell, inSlew, inRising, ceff)
+	m, _, err := thevenin.FitContext(ctx, cell, inSlew, inRising, ceff)
 	if err != nil {
 		return Result{}, err
 	}

@@ -1,19 +1,18 @@
 // Package clarinet is the tool-level API of the reproduction, named
 // after the Motorola noise-analysis tool the paper's methods shipped in
 // (ref [7]). It fans per-net delay-noise analyses across a worker pool,
-// shares characterization work between nets through single-flight
-// caches, instruments the run with counters and timers, and renders
-// reports.
+// shares characterization work between nets through the single-flight
+// caches of an internal/engine Session, instruments the run with
+// counters and timers, and renders reports.
 package clarinet
 
 import (
 	"fmt"
 	"runtime"
 
-	"repro/internal/align"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
-	"repro/internal/memo"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
@@ -25,12 +24,18 @@ type Config struct {
 	// alignment tables on demand (default 17).
 	PrecharGrid int
 	// Analysis carries the remaining knobs (step, iterations, PRIMA).
-	// Its Chars/ROMs/Metrics fields are managed by the tool.
+	// Its Chars/ROMs/Metrics fields are managed by the session.
 	Analysis delaynoise.Options
 	// Workers bounds the analysis parallelism. Zero selects
 	// runtime.GOMAXPROCS(0) — every available core. Negative values are
 	// rejected by New.
 	Workers int
+	// FallbackToPrechar degrades gracefully when the exhaustive
+	// alignment search fails to converge on a net: the net is retried
+	// with the table-driven pre-characterized alignment instead of
+	// failing. Only meaningful with Align == AlignExhaustive. Fallback
+	// retries are counted in the nets.fallback metric.
+	FallbackToPrechar bool
 	// CharCacheRes is the relative bucket resolution of the shared
 	// driver-characterization cache (zero selects
 	// delaynoise.DefaultCharBucketRes). Negative disables the cache:
@@ -42,8 +47,13 @@ type Config struct {
 	DisableROMCache bool
 	// Metrics receives run instrumentation (nets analyzed, cache
 	// hit/miss counts, simulation counters, per-stage timers). New
-	// installs a fresh registry when nil.
+	// installs a fresh registry when nil. Ignored when Session is set.
 	Metrics *metrics.Registry
+	// Session, when non-nil, backs the tool with an existing engine
+	// session instead of building a private one; the tool then shares
+	// the session's library, caches, and registry with every other view
+	// over it (e.g. a core.Analyzer). The cache knobs above are ignored.
+	Session *engine.Session
 }
 
 func (c *Config) defaults() {
@@ -52,9 +62,6 @@ func (c *Config) defaults() {
 	}
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
-	}
-	if c.Metrics == nil {
-		c.Metrics = metrics.NewRegistry()
 	}
 }
 
@@ -65,21 +72,12 @@ type NetReport struct {
 	Err  error
 }
 
-// tableKey identifies one receiver pre-characterization.
-type tableKey struct {
-	cell   string
-	rising bool
-}
-
-// Tool is a configured analyzer with its shared caches.
+// Tool is a worker-pool view over an engine session.
 type Tool struct {
 	Lib *device.Library
 	Cfg Config
 
-	metrics *metrics.Registry
-	tables  *memo.Cache[tableKey, *align.Table]
-	chars   *delaynoise.CharCache
-	roms    *delaynoise.ROMCache
+	session *engine.Session
 }
 
 // New builds a tool around a cell library. It rejects negative worker
@@ -89,19 +87,20 @@ func New(lib *device.Library, cfg Config) (*Tool, error) {
 		return nil, fmt.Errorf("clarinet: negative worker count %d", cfg.Workers)
 	}
 	cfg.defaults()
-	t := &Tool{
-		Lib:     lib,
-		Cfg:     cfg,
-		metrics: cfg.Metrics,
-		tables:  memo.New[tableKey, *align.Table](),
+	s := cfg.Session
+	if s == nil {
+		s = engine.New(engine.Config{
+			Lib:             lib,
+			Metrics:         cfg.Metrics,
+			PrecharGrid:     cfg.PrecharGrid,
+			CharCacheRes:    cfg.CharCacheRes,
+			DisableROMCache: cfg.DisableROMCache,
+		})
 	}
-	if cfg.CharCacheRes >= 0 {
-		t.chars = delaynoise.NewCharCache(cfg.CharCacheRes, t.metrics)
+	if lib == nil {
+		lib = s.Lib()
 	}
-	if !cfg.DisableROMCache {
-		t.roms = delaynoise.NewROMCache(t.metrics)
-	}
-	return t, nil
+	return &Tool{Lib: lib, Cfg: cfg, session: s}, nil
 }
 
 // MustNew is New for callers with a known-good configuration (tests,
@@ -114,41 +113,20 @@ func MustNew(lib *device.Library, cfg Config) *Tool {
 	return t
 }
 
+// Session returns the tool's underlying engine session.
+func (t *Tool) Session() *engine.Session { return t.session }
+
 // Metrics returns the run's instrumentation registry.
-func (t *Tool) Metrics() *metrics.Registry { return t.metrics }
+func (t *Tool) Metrics() *metrics.Registry { return t.session.Metrics() }
 
 // Workers returns the resolved parallelism of the tool.
 func (t *Tool) Workers() int { return t.Cfg.Workers }
 
-// tableFor returns (building on first use, with single-flight semantics
-// under concurrency) the alignment table of a receiver cell and victim
-// direction.
-func (t *Tool) tableFor(cell *device.Cell, victimRising bool) (*align.Table, error) {
-	tab, hit, err := t.tables.Do(tableKey{cell.Name, victimRising}, func() (*align.Table, error) {
-		cfg := align.DefaultConfig(cell.Tech)
-		cfg.Grid = t.Cfg.PrecharGrid
-		tab, err := align.Precharacterize(cell, victimRising, cfg)
-		if err != nil {
-			return nil, fmt.Errorf("clarinet: pre-characterizing %s: %w", cell.Name, err)
-		}
-		return tab, nil
-	})
-	if hit {
-		t.metrics.Counter("cache.tables.hit").Inc()
-	} else {
-		t.metrics.Counter("cache.tables.miss").Inc()
-	}
-	return tab, err
-}
-
-// analysisOptions assembles the per-net options, wiring in the shared
-// caches and instrumentation.
+// analysisOptions assembles the per-net options, wiring in the session's
+// shared caches and instrumentation.
 func (t *Tool) analysisOptions() delaynoise.Options {
-	opt := t.Cfg.Analysis
+	opt := t.session.Bind(t.Cfg.Analysis)
 	opt.Hold = t.Cfg.Hold
 	opt.Align = t.Cfg.Align
-	opt.Chars = t.chars
-	opt.ROMs = t.roms
-	opt.Metrics = t.metrics
 	return opt
 }

@@ -41,10 +41,10 @@ func TestConfigDefaults(t *testing.T) {
 	if tool.Metrics() == nil {
 		t.Fatal("tool must install a metrics registry")
 	}
-	if tool.chars == nil {
+	if tool.Session().Chars() == nil {
 		t.Fatal("characterization cache must be on by default")
 	}
-	if tool.roms == nil {
+	if tool.Session().ROMs() == nil {
 		t.Fatal("ROM cache must be on by default")
 	}
 	if _, err := New(lib, Config{Workers: -1}); err == nil {
@@ -54,7 +54,7 @@ func TestConfigDefaults(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if off.chars != nil || off.roms != nil {
+	if off.Session().Chars() != nil || off.Session().ROMs() != nil {
 		t.Fatal("cache opt-outs ignored")
 	}
 }
@@ -247,8 +247,8 @@ func TestPrecharTableCache(t *testing.T) {
 			t.Fatalf("net %s: %v", r.Name, r.Err)
 		}
 	}
-	if tool.tables.Len() != 1 {
-		t.Fatalf("expected 1 cached table, got %d", tool.tables.Len())
+	if tool.Session().TableCount() != 1 {
+		t.Fatalf("expected 1 cached table, got %d", tool.Session().TableCount())
 	}
 	s := tool.Metrics().Snapshot()
 	if hits, misses, _ := s.CacheRatio("cache.tables"); hits != 1 || misses != 1 {

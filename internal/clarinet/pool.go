@@ -2,35 +2,63 @@ package clarinet
 
 import (
 	"context"
+	"errors"
 	"sync"
 	"time"
 
 	"repro/internal/delaynoise"
 	"repro/internal/funcnoise"
+	"repro/internal/noiseerr"
+)
+
+// analyze and analyzeFunc are seams for tests that need to observe or
+// fail per-net analyses without building pathological circuits.
+var (
+	analyze     = delaynoise.AnalyzeContext
+	analyzeFunc = funcnoise.AnalyzeContext
 )
 
 // AnalyzeNet runs one net. A canceled context fails fast; an in-flight
-// analysis is not interrupted.
+// analysis is interrupted at the next solver checkpoint (see
+// lsim.CtxCheckInterval and nlsim.CtxCheckInterval). Every error is
+// attributed to the net and its pipeline stage via noiseerr.StageError.
 func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
 	if err := ctx.Err(); err != nil {
-		return NetReport{Name: name, Err: err}
+		return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.Canceled(err))}
 	}
 	start := time.Now()
+	m := t.session.Metrics()
 	opt := t.analysisOptions()
-	if opt.Align == delaynoise.AlignPrechar {
-		tab, err := t.tableFor(c.Receiver, c.Victim.OutputRising)
+	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
+		tab, err := t.session.Table(ctx, c.Receiver, c.Victim.OutputRising)
 		if err != nil {
-			t.metrics.Counter("nets.analyzed").Inc()
-			t.metrics.Counter("nets.failed").Inc()
-			return NetReport{Name: name, Err: err}
+			m.Counter("nets.analyzed").Inc()
+			m.Counter("nets.failed").Inc()
+			return NetReport{Name: name, Err: noiseerr.WithNet(name, err)}
 		}
 		opt.Table = tab
 	}
-	res, err := delaynoise.Analyze(c, opt)
-	t.metrics.Observe("net.analyze", time.Since(start))
-	t.metrics.Counter("nets.analyzed").Inc()
+	res, err := analyze(ctx, c, opt)
+	if err != nil && t.Cfg.FallbackToPrechar && opt.Align == delaynoise.AlignExhaustive &&
+		errors.Is(err, noiseerr.ErrConvergence) && ctx.Err() == nil {
+		// Graceful degradation: the exhaustive search found no output
+		// crossing; retry with the table-driven alignment, which places
+		// the pulse without searching.
+		if tab, terr := t.session.Table(ctx, c.Receiver, c.Victim.OutputRising); terr == nil {
+			fopt := opt
+			fopt.Align = delaynoise.AlignPrechar
+			fopt.Table = tab
+			if fres, ferr := analyze(ctx, c, fopt); ferr == nil {
+				m.Counter("nets.fallback").Inc()
+				res, err = fres, nil
+			}
+		}
+	}
+	m.Observe("net.analyze", time.Since(start))
+	m.Counter("nets.analyzed").Inc()
 	if err != nil {
-		t.metrics.Counter("nets.failed").Inc()
+		m.Counter("nets.failed").Inc()
+		err = noiseerr.WithNet(name, err)
 	}
 	return NetReport{Name: name, Res: res, Err: err}
 }
@@ -39,8 +67,9 @@ func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) 
 // of worker goroutines. Each index is handed to f exactly once; emit
 // receives (i, f(i)) from worker goroutines and must be safe for
 // concurrent use across distinct indices. Cancellation is f's job:
-// the per-net workers check their context before starting real work, so
-// a canceled batch drains quickly but still emits every index.
+// the per-net workers check their context before starting real work and
+// at solver checkpoints within it, so a canceled batch drains quickly
+// but still emits every index.
 func fanOut[R any](workers, n int, f func(int) R, emit func(int, R)) {
 	if workers > n {
 		workers = n
@@ -82,8 +111,8 @@ func (t *Tool) AnalyzeAll(names []string, cases []*delaynoise.Case) []NetReport 
 // AnalyzeAllContext is AnalyzeAll with cancellation/deadline support.
 // The returned slice is always fully populated in input order: nets not
 // started when the context fires carry the context's error, and
-// in-flight nets run to completion. The report order is deterministic
-// regardless of worker count or completion order.
+// in-flight nets abort at the next solver checkpoint. The report order
+// is deterministic regardless of worker count or completion order.
 func (t *Tool) AnalyzeAllContext(ctx context.Context, names []string, cases []*delaynoise.Case) []NetReport {
 	checkBatch(names, cases)
 	reports := make([]NetReport, len(cases))
@@ -128,18 +157,20 @@ func (t *Tool) FunctionalAll(names []string, cases []*delaynoise.Case, opt funcn
 // AnalyzeAllContext.
 func (t *Tool) FunctionalAllContext(ctx context.Context, names []string, cases []*delaynoise.Case, opt funcnoise.Options) []FuncReport {
 	checkBatch(names, cases)
+	m := t.session.Metrics()
 	reports := make([]FuncReport, len(cases))
 	fanOut(t.Cfg.Workers, len(cases),
 		func(i int) FuncReport {
 			if err := ctx.Err(); err != nil {
-				return FuncReport{Name: names[i], Err: err}
+				return FuncReport{Name: names[i], Err: noiseerr.WithNet(names[i], noiseerr.Canceled(err))}
 			}
 			start := time.Now()
-			res, err := funcnoise.Analyze(cases[i], opt)
-			t.metrics.Observe("net.functional", time.Since(start))
-			t.metrics.Counter("nets.analyzed").Inc()
+			res, err := analyzeFunc(ctx, cases[i], opt)
+			m.Observe("net.functional", time.Since(start))
+			m.Counter("nets.analyzed").Inc()
 			if err != nil {
-				t.metrics.Counter("nets.failed").Inc()
+				m.Counter("nets.failed").Inc()
+				err = noiseerr.WithNet(names[i], err)
 			}
 			return FuncReport{Name: names[i], Res: res, Err: err}
 		},

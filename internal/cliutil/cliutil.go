@@ -1,0 +1,126 @@
+// Package cliutil holds the setup boilerplate shared by the cmd/ tools:
+// logger configuration, consistent usage errors, the default library,
+// case-file loading, net lookup, metrics export, and signal-aware
+// run contexts. Every helper is a thin wrapper so the tools stay
+// scriptable: usage errors exit 2, runtime failures exit 1.
+package cliutil
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+// Init configures the standard logger for a tool: no timestamps and a
+// "name: " prefix, so every tool reports errors the same way.
+func Init(name string) {
+	log.SetFlags(0)
+	log.SetPrefix(name + ": ")
+}
+
+// Usagef reports a command-line usage error: the message and the flag
+// defaults go to stderr and the process exits with status 2 (the
+// conventional usage-error code, distinct from runtime failures' 1).
+func Usagef(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "%s%s\n", log.Prefix(), fmt.Sprintf(format, args...))
+	flag.Usage()
+	os.Exit(2)
+}
+
+// Library builds the default 0.18 um-class cell library every tool
+// analyzes against.
+func Library() *device.Library {
+	return device.NewLibrary(device.Default180())
+}
+
+// LoadCases reads a netgen case file against lib.
+func LoadCases(path string, lib *device.Library) (names []string, cases []*delaynoise.Case, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	return workload.Load(f, lib)
+}
+
+// MustLoadCases is LoadCases with a fatal exit on failure.
+func MustLoadCases(path string, lib *device.Library) (names []string, cases []*delaynoise.Case) {
+	names, cases, err := LoadCases(path, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return names, cases
+}
+
+// FindNet resolves a -net flag value to a case index. An empty name
+// selects the first net; an unknown name is an error.
+func FindNet(names []string, name string) (int, error) {
+	if name == "" {
+		if len(names) == 0 {
+			return 0, fmt.Errorf("case file has no nets")
+		}
+		return 0, nil
+	}
+	for i, n := range names {
+		if n == name {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("no net %q in case file", name)
+}
+
+// MustFindNet is FindNet with a usage-error exit on failure.
+func MustFindNet(names []string, name string) int {
+	idx, err := FindNet(names, name)
+	if err != nil {
+		Usagef("%v", err)
+	}
+	return idx
+}
+
+// WriteMetrics exports a metrics snapshot as JSON to path.
+func WriteMetrics(path string, s metrics.Snapshot) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := s.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// MustWriteMetrics writes a -metrics flag's output file when the flag
+// was given (path non-empty), exiting fatally on failure.
+func MustWriteMetrics(path string, s metrics.Snapshot) {
+	if path == "" {
+		return
+	}
+	if err := WriteMetrics(path, s); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("metrics written to %s", path)
+}
+
+// Context returns the run context for a batch tool: it is canceled by
+// SIGINT/SIGTERM (so an interrupted run still drains and reports), and
+// by the deadline when timeout is positive. Callers must defer cancel.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, cancel
+	}
+	tctx, tcancel := context.WithTimeout(ctx, timeout)
+	return tctx, func() { tcancel(); cancel() }
+}

@@ -1,0 +1,95 @@
+package cliutil
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func writeFile(path string, data []byte) error {
+	return os.WriteFile(path, data, 0o644)
+}
+
+func TestFindNet(t *testing.T) {
+	names := []string{"net0", "net1", "net2"}
+	if idx, err := FindNet(names, ""); err != nil || idx != 0 {
+		t.Fatalf("empty name: idx %d err %v, want 0 nil", idx, err)
+	}
+	if idx, err := FindNet(names, "net2"); err != nil || idx != 2 {
+		t.Fatalf("net2: idx %d err %v, want 2 nil", idx, err)
+	}
+	if _, err := FindNet(names, "missing"); err == nil {
+		t.Fatal("unknown net must error")
+	}
+	if _, err := FindNet(nil, ""); err == nil {
+		t.Fatal("empty case file must error")
+	}
+}
+
+func TestLoadCasesRoundTrip(t *testing.T) {
+	lib := Library()
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), 3)
+	cases, err := gen.Population(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := workload.Save(&buf, lib.Tech.Name, []string{"a", "b"}, cases); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "nets.json")
+	if err := writeFile(path, buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+	names, loaded, err := LoadCases(path, lib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loaded) != 2 || names[1] != "b" {
+		t.Fatalf("round trip lost cases: %v", names)
+	}
+	if _, _, err := LoadCases(filepath.Join(t.TempDir(), "absent.json"), lib); err == nil {
+		t.Fatal("missing file must error")
+	}
+}
+
+func TestWriteMetrics(t *testing.T) {
+	reg := metrics.NewRegistry()
+	reg.Counter("nets.analyzed").Add(3)
+	path := filepath.Join(t.TempDir(), "run.json")
+	if err := WriteMetrics(path, reg.Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	names, _, err := LoadCases(path, Library())
+	if err == nil && names != nil {
+		t.Fatal("metrics JSON must not parse as a case file")
+	}
+}
+
+func TestContextTimeout(t *testing.T) {
+	ctx, cancel := Context(time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("timeout context never fired")
+	}
+	if ctx.Err() != context.DeadlineExceeded {
+		t.Fatalf("err = %v, want DeadlineExceeded", ctx.Err())
+	}
+
+	plain, cancel2 := Context(0)
+	if plain.Err() != nil {
+		t.Fatalf("fresh signal context already done: %v", plain.Err())
+	}
+	cancel2()
+	if plain.Err() == nil {
+		t.Fatal("cancel must fire the context")
+	}
+}

@@ -11,77 +11,65 @@
 //	res, err := an.DelayNoise(c)         // paper's full flow on one net
 //	gold, err := an.Reference(c, res)    // nonlinear validation
 //
-// An Analyzer is safe for concurrent use: its alignment-table,
-// driver-characterization, and reduced-order-model caches are shared
-// across goroutines with single-flight semantics, and every run feeds
-// the registry returned by Metrics.
+// An Analyzer is a thin view over an internal/engine Session, which owns
+// the technology, the cell library, the metrics registry, and the
+// alignment-table, driver-characterization, and reduced-order-model
+// caches. An Analyzer is safe for concurrent use, and one Session can
+// back both an Analyzer and a clarinet.Tool — the two then share every
+// cache and counter.
 package core
 
 import (
+	"context"
+
 	"repro/internal/align"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
-	"repro/internal/memo"
+	"repro/internal/engine"
 	"repro/internal/metrics"
 )
 
-// tableKey identifies one receiver pre-characterization.
-type tableKey struct {
-	cell   string
-	rising bool
-}
-
-// Analyzer bundles a technology, its cell library, the default analysis
-// options, and the caches shared across analyses.
+// Analyzer binds an engine session to the paper's default per-net flow.
 type Analyzer struct {
 	Tech *device.Technology
 	Lib  *device.Library
 	Opt  delaynoise.Options
 
-	metrics *metrics.Registry
-	tables  *memo.Cache[tableKey, *align.Table]
-	chars   *delaynoise.CharCache
-	roms    *delaynoise.ROMCache
+	session *engine.Session
 }
 
-// NewAnalyzer builds an analyzer. A nil technology selects the default
-// 0.18 um-class process. The default options run the paper's flow: the
-// transient holding resistance with exhaustive receiver-output alignment.
+// NewAnalyzer builds an analyzer over a fresh session. A nil technology
+// selects the default 0.18 um-class process. The default options run the
+// paper's flow: the transient holding resistance with exhaustive
+// receiver-output alignment.
 func NewAnalyzer(tech *device.Technology) *Analyzer {
-	if tech == nil {
-		tech = device.Default180()
-	}
-	reg := metrics.NewRegistry()
+	return NewAnalyzerSession(engine.New(engine.Config{Tech: tech}))
+}
+
+// NewAnalyzerSession builds an analyzer view over an existing session,
+// sharing its library, caches, and instrumentation.
+func NewAnalyzerSession(s *engine.Session) *Analyzer {
 	return &Analyzer{
-		Tech: tech,
-		Lib:  device.NewLibrary(tech),
+		Tech: s.Tech(),
+		Lib:  s.Lib(),
 		Opt: delaynoise.Options{
 			Hold:  delaynoise.HoldTransient,
 			Align: delaynoise.AlignExhaustive,
 		},
-		metrics: reg,
-		tables:  memo.New[tableKey, *align.Table](),
-		chars:   delaynoise.NewCharCache(0, reg),
-		roms:    delaynoise.NewROMCache(reg),
+		session: s,
 	}
 }
 
+// Session returns the underlying engine session.
+func (a *Analyzer) Session() *engine.Session { return a.session }
+
 // Metrics returns the analyzer's instrumentation registry (cache
 // hit/miss counts, simulation counters, per-stage timers).
-func (a *Analyzer) Metrics() *metrics.Registry { return a.metrics }
+func (a *Analyzer) Metrics() *metrics.Registry { return a.session.Metrics() }
 
 // Cell resolves a library cell by name.
 func (a *Analyzer) Cell(name string) (*device.Cell, error) {
-	return a.Lib.Cell(name)
-}
-
-// options assembles per-run options with the shared caches wired in.
-func (a *Analyzer) options() delaynoise.Options {
-	opt := a.Opt
-	opt.Chars = a.chars
-	opt.ROMs = a.roms
-	opt.Metrics = a.metrics
-	return opt
+	return a.session.Cell(name)
 }
 
 // DelayNoise runs the paper's full per-net flow: driver characterization
@@ -89,7 +77,13 @@ func (a *Analyzer) options() delaynoise.Options {
 // holding resistance, and worst-case aggressor alignment against the
 // combined interconnect + receiver delay.
 func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
-	opt := a.options()
+	return a.DelayNoiseContext(context.Background(), c)
+}
+
+// DelayNoiseContext is DelayNoise with cancellation support, threaded
+// through characterization, simulation, and the alignment search.
+func (a *Analyzer) DelayNoiseContext(ctx context.Context, c *delaynoise.Case) (*delaynoise.Result, error) {
+	opt := a.session.Bind(a.Opt)
 	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
 		tab, err := a.Table(c.Receiver, c.Victim.OutputRising)
 		if err != nil {
@@ -97,13 +91,13 @@ func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
 		}
 		opt.Table = tab
 	}
-	return delaynoise.Analyze(c, opt)
+	return delaynoise.AnalyzeContext(ctx, c, opt)
 }
 
 // Baseline runs the traditional flow (Thevenin holding resistance) for
 // comparison.
 func (a *Analyzer) Baseline(c *delaynoise.Case) (*delaynoise.Result, error) {
-	opt := a.options()
+	opt := a.session.Bind(a.Opt)
 	opt.Hold = delaynoise.HoldThevenin
 	return delaynoise.Analyze(c, opt)
 }
@@ -118,13 +112,5 @@ func (a *Analyzer) Reference(c *delaynoise.Case, res *delaynoise.Result) (*delay
 // under concurrency) the alignment pre-characterization of a receiver
 // cell.
 func (a *Analyzer) Table(recv *device.Cell, victimRising bool) (*align.Table, error) {
-	tab, hit, err := a.tables.Do(tableKey{recv.Name, victimRising}, func() (*align.Table, error) {
-		return align.Precharacterize(recv, victimRising, align.DefaultConfig(recv.Tech))
-	})
-	if hit {
-		a.metrics.Counter("cache.tables.hit").Inc()
-	} else {
-		a.metrics.Counter("cache.tables.miss").Inc()
-	}
-	return tab, err
+	return a.session.Table(context.Background(), recv, victimRising)
 }

@@ -1,6 +1,7 @@
 package delaynoise
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"repro/internal/align"
 	"repro/internal/gatesim"
 	"repro/internal/metrics"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -157,16 +159,27 @@ type Result struct {
 
 // Analyze runs the full linear-model + alignment flow on one case.
 func Analyze(c *Case, opt Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), c, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation/deadline support: the
+// context is threaded through every characterization, linear and
+// nonlinear simulation, and alignment search, so a canceled analysis
+// aborts mid-simulation within a bounded number of solver steps. Errors
+// classify under internal/noiseerr (errors.Is against the sentinel
+// classes) and carry the failing pipeline stage in a
+// noiseerr.StageError.
+func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) {
 	opt.defaults()
 	charStart := time.Now()
-	e, err := newEngine(c, opt)
+	e, err := newEngine(ctx, c, opt)
 	if err != nil {
-		return nil, err
+		return nil, noiseerr.InStage(noiseerr.StageCharacterize, err)
 	}
 	opt.Metrics.Observe("stage.characterize", time.Since(charStart))
 	noiselessIn, noiselessDrv, err := e.victimNoiseless()
 	if err != nil {
-		return nil, err
+		return nil, noiseerr.InStage(noiseerr.StageSimulate, err)
 	}
 	res := &Result{
 		VictimCeff: e.victim.ceff,
@@ -180,6 +193,7 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		Load:         c.ReceiverLoad,
 		VictimRising: c.Victim.OutputRising,
 		Sims:         opt.Metrics.Counter("sim.nonlinear.receiver"),
+		Ctx:          ctx,
 	}
 
 	rHold := e.victim.model.Rth
@@ -193,18 +207,18 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		for k := range e.aggs {
 			rn, dn, err := e.aggressorNoise(k, rHold)
 			if err != nil {
-				return nil, err
+				return nil, noiseerr.InStage(noiseerr.StageSimulate, err)
 			}
 			recvNoises = append(recvNoises, rn)
 			drvNoises = append(drvNoises, dn)
 		}
 		composite, err = align.Composite(recvNoises...)
 		if err != nil {
-			return nil, fmt.Errorf("delaynoise: composite: %w", err)
+			return nil, noiseerr.InStage(noiseerr.StageAlign, fmt.Errorf("delaynoise: composite: %w", err))
 		}
 		pulse, err := align.Params(composite)
 		if err != nil {
-			return nil, fmt.Errorf("delaynoise: composite params: %w", err)
+			return nil, noiseerr.InStage(noiseerr.StageAlign, fmt.Errorf("delaynoise: composite params: %w", err))
 		}
 		res.Pulse = pulse
 
@@ -212,7 +226,7 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		tPeak, err = e.chooseAlignment(obj, noiselessIn, composite, pulse, opt)
 		opt.Metrics.Observe("stage.align", time.Since(alignStart))
 		if err != nil {
-			return nil, err
+			return nil, noiseerr.InStage(noiseerr.StageAlign, err)
 		}
 		if opt.Window != nil {
 			tPeak = math.Max(opt.Window.Lo, math.Min(opt.Window.Hi, tPeak))
@@ -230,11 +244,11 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 		vn := alignedDriverNoise(recvNoises, drvNoises, tPeak)
 		vn = vn.Shift(gatesim.InputStart - c.Victim.InputStart)
 		holdStart := time.Now()
-		hr, err := opt.Chars.HoldRes(c.Victim.Cell, c.Victim.InputSlew, c.Victim.Cell.InputRisingFor(c.Victim.OutputRising),
+		hr, err := opt.Chars.HoldRes(ctx, c.Victim.Cell, c.Victim.InputSlew, c.Victim.Cell.InputRisingFor(c.Victim.OutputRising),
 			e.victim.ceff, e.victim.model.Rth, vn)
 		opt.Metrics.Observe("stage.holdres", time.Since(holdStart))
 		if err != nil {
-			return nil, fmt.Errorf("delaynoise: holding resistance: %w", err)
+			return nil, noiseerr.InStage(noiseerr.StageCharacterize, fmt.Errorf("delaynoise: holding resistance: %w", err))
 		}
 		res.VictimRtr = hr.Rtr
 		// The loop must run at least twice so the computed Rtr is
@@ -254,20 +268,20 @@ func Analyze(c *Case, opt Options) (*Result, error) {
 	res.TPeak = tPeak
 
 	// Final delay evaluation with nonlinear receiver simulations.
-	verifyStart := time.Now()
-	defer func() { opt.Metrics.Observe("stage.verify", time.Since(verifyStart)) }()
+	reportStart := time.Now()
+	defer func() { opt.Metrics.Observe("stage.report", time.Since(reportStart)) }()
 	noisyIn := align.NoisyInput(noiselessIn, composite, tPeak)
 	quietOut, err := obj.OutputCross(noiselessIn)
 	if err != nil {
-		return nil, fmt.Errorf("delaynoise: noiseless receiver: %w", err)
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noiseless receiver: %w", err))
 	}
 	noisyOut, err := obj.OutputCross(noisyIn)
 	if err != nil {
-		return nil, fmt.Errorf("delaynoise: noisy receiver: %w", err)
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noisy receiver: %w", err))
 	}
 	drv50, err := cross50(noiselessDrv, c.vdd(), c.Victim.OutputRising)
 	if err != nil {
-		return nil, fmt.Errorf("delaynoise: victim driver output: %w", err)
+		return nil, noiseerr.InStage(noiseerr.StageReport, noiseerr.Numericalf("delaynoise: victim driver output: %w", err))
 	}
 	res.QuietCombinedDelay = quietOut - drv50
 	res.NoisyCombinedDelay = noisyOut - drv50
@@ -310,10 +324,10 @@ func (e *engine) chooseAlignment(obj align.Objective, noiseless, composite *wave
 		return tp, nil
 	case AlignPrechar:
 		if opt.Minimize {
-			return 0, fmt.Errorf("delaynoise: AlignPrechar does not support Minimize")
+			return 0, noiseerr.Invalidf("delaynoise: AlignPrechar does not support Minimize")
 		}
 		if opt.Table == nil {
-			return 0, fmt.Errorf("delaynoise: AlignPrechar requires Options.Table")
+			return 0, noiseerr.Invalidf("delaynoise: AlignPrechar requires Options.Table")
 		}
 		er, err := align.EdgeRate(noiseless, e.c.vdd(), e.c.Victim.OutputRising)
 		if err != nil {
@@ -325,7 +339,7 @@ func (e *engine) chooseAlignment(obj align.Objective, noiseless, composite *wave
 		}
 		return tp, nil
 	default:
-		return 0, fmt.Errorf("delaynoise: unknown alignment method %d", opt.Align)
+		return 0, noiseerr.Invalidf("delaynoise: unknown alignment method %d", opt.Align)
 	}
 }
 

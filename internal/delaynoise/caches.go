@@ -1,6 +1,7 @@
 package delaynoise
 
 import (
+	"context"
 	"math"
 
 	"repro/internal/ceff"
@@ -24,6 +25,12 @@ import (
 // (internal/memo): concurrent nets needing the same entry compute it
 // once. Every method tolerates a nil receiver and simply computes
 // uncached, so the engine code calls them unconditionally.
+//
+// Each method takes the calling net's context: under single flight the
+// in-flight computation runs on the first caller's context, and a
+// cancellation there surfaces to every waiter. Failed computations are
+// never cached (memo drops them), so a canceled entry does not poison
+// the cache — the next caller simply recomputes it.
 
 // DefaultCharBucketRes is the relative width of the geometric slew/load
 // buckets of CharCache's rough-fit cache.
@@ -113,15 +120,15 @@ func (cc *CharCache) count(base string, hit bool) {
 
 // RoughFit returns the lumped-load Thevenin model of a driver, evaluated
 // at the bucket-canonical (slew, load) point and shared across nets.
-func (cc *CharCache) RoughFit(cell *device.Cell, slew float64, inRising bool, lump float64) (thevenin.Model, error) {
+func (cc *CharCache) RoughFit(ctx context.Context, cell *device.Cell, slew float64, inRising bool, lump float64) (thevenin.Model, error) {
 	if cc == nil {
-		m, _, err := thevenin.Fit(cell, slew, inRising, lump)
+		m, _, err := thevenin.FitContext(ctx, cell, slew, inRising, lump)
 		return m, err
 	}
 	sb, sq := cc.bucket(slew)
 	lb, lq := cc.bucket(lump)
 	m, hit, err := cc.rough.Do(roughKey{cell.Name, inRising, sb, lb}, func() (thevenin.Model, error) {
-		m, _, err := thevenin.Fit(cell, sq, inRising, lq)
+		m, _, err := thevenin.FitContext(ctx, cell, sq, inRising, lq)
 		return m, err
 	})
 	cc.count("cache.char.rough", hit)
@@ -132,13 +139,13 @@ func (cc *CharCache) RoughFit(cell *device.Cell, slew float64, inRising bool, lu
 // against the held interconnect. Keys are exact (slew bits plus a
 // content hash of the circuit), so a hit reproduces the uncached result
 // and occurs only for duplicated net structures.
-func (cc *CharCache) Characterize(cell *device.Cell, slew float64, inRising bool, net *netlist.Circuit, node string) (ceff.Result, error) {
+func (cc *CharCache) Characterize(ctx context.Context, cell *device.Cell, slew float64, inRising bool, net *netlist.Circuit, node string) (ceff.Result, error) {
 	if cc == nil {
-		return ceff.Compute(cell, slew, inRising, net, node, ceff.Options{})
+		return ceff.ComputeContext(ctx, cell, slew, inRising, net, node, ceff.Options{})
 	}
 	key := fullKey{cell.Name, inRising, math.Float64bits(slew), node, hashCircuit(net)}
 	res, hit, err := cc.full.Do(key, func() (ceff.Result, error) {
-		return ceff.Compute(cell, slew, inRising, net, node, ceff.Options{})
+		return ceff.ComputeContext(ctx, cell, slew, inRising, net, node, ceff.Options{})
 	})
 	cc.count("cache.char.full", hit)
 	return res, err
@@ -146,9 +153,9 @@ func (cc *CharCache) Characterize(cell *device.Cell, slew float64, inRising bool
 
 // HoldRes returns the transient holding resistance of a driver under the
 // injected noise vn, keyed exactly (including the noise waveform).
-func (cc *CharCache) HoldRes(cell *device.Cell, slew float64, inRising bool, cEff, rth float64, vn *waveform.PWL) (*holdres.Result, error) {
+func (cc *CharCache) HoldRes(ctx context.Context, cell *device.Cell, slew float64, inRising bool, cEff, rth float64, vn *waveform.PWL) (*holdres.Result, error) {
 	if cc == nil {
-		return holdres.Compute(cell, slew, inRising, cEff, rth, vn)
+		return holdres.ComputeContext(ctx, cell, slew, inRising, cEff, rth, vn)
 	}
 	key := holdKey{
 		cell:   cell.Name,
@@ -159,7 +166,7 @@ func (cc *CharCache) HoldRes(cell *device.Cell, slew float64, inRising bool, cEf
 		noise:  hashPWL(vn),
 	}
 	res, hit, err := cc.hold.Do(key, func() (*holdres.Result, error) {
-		return holdres.Compute(cell, slew, inRising, cEff, rth, vn)
+		return holdres.ComputeContext(ctx, cell, slew, inRising, cEff, rth, vn)
 	})
 	cc.count("cache.holdres", hit)
 	return res, err
@@ -187,12 +194,12 @@ func NewROMCache(m *metrics.Registry) *ROMCache {
 
 // Reduce returns a PRIMA reduction of sys to order q, sharing the Krylov
 // projection across systems with identical matrices.
-func (rc *ROMCache) Reduce(sys *mna.System, q int) (*mor.ROM, error) {
+func (rc *ROMCache) Reduce(ctx context.Context, sys *mna.System, q int) (*mor.ROM, error) {
 	if rc == nil {
-		return mor.Reduce(sys, q)
+		return mor.ReduceContext(ctx, sys, q)
 	}
 	rom, hit, err := rc.roms.Do(romKey{hashSystem(sys), q}, func() (*mor.ROM, error) {
-		return mor.Reduce(sys, q)
+		return mor.ReduceContext(ctx, sys, q)
 	})
 	if hit {
 		rc.metrics.Counter("cache.rom.hit").Inc()

@@ -1,6 +1,7 @@
 package delaynoise
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -78,12 +79,12 @@ func TestCharCacheBucketSharing(t *testing.T) {
 	}
 	reg := metrics.NewRegistry()
 	cc := NewCharCache(0.05, reg)
-	a, err := cc.RoughFit(cell, 100e-12, true, 20e-15)
+	a, err := cc.RoughFit(context.Background(), cell, 100e-12, true, 20e-15)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// 1% away: same 5% bucket.
-	b, err := cc.RoughFit(cell, 101e-12, true, 20e-15)
+	b, err := cc.RoughFit(context.Background(), cell, 101e-12, true, 20e-15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -95,7 +96,7 @@ func TestCharCacheBucketSharing(t *testing.T) {
 		t.Fatalf("hit/miss = %d/%d, want 1/1", hits, misses)
 	}
 	// 40% away: different bucket, recomputed.
-	c, err := cc.RoughFit(cell, 140e-12, true, 20e-15)
+	c, err := cc.RoughFit(context.Background(), cell, 140e-12, true, 20e-15)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestROMCacheRebindsInputs(t *testing.T) {
 	opt := lsim.Options{TStop: 2e-9, Step: 1e-12, InitDC: true}
 
 	srcA := waveform.Ramp(2e-10, 1e-10, 0, 1.8)
-	romA, err := rc.Reduce(build(srcA), 2)
+	romA, err := rc.Reduce(context.Background(), build(srcA), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestROMCacheRebindsInputs(t *testing.T) {
 	// Same matrices, different source: must hit and rebind.
 	srcB := waveform.Ramp(4e-10, 2e-10, 1.8, 0)
 	sysB := build(srcB)
-	romB, err := rc.Reduce(sysB, 2)
+	romB, err := rc.Reduce(context.Background(), sysB, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestROMCacheRebindsInputs(t *testing.T) {
 		t.Fatal("rebound ROM ignored the new source waveform")
 	}
 	// And the rebound result matches a cold reduction of the same system.
-	coldROM, err := NewROMCache(nil).Reduce(build(srcB), 2)
+	coldROM, err := NewROMCache(nil).Reduce(context.Background(), build(srcB), 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -191,7 +192,7 @@ func TestNilCachesPassThrough(t *testing.T) {
 		t.Fatal(err)
 	}
 	var cc *CharCache
-	if _, err := cc.RoughFit(cell, 100e-12, true, 20e-15); err != nil {
+	if _, err := cc.RoughFit(context.Background(), cell, 100e-12, true, 20e-15); err != nil {
 		t.Fatal(err)
 	}
 	var rc *ROMCache
@@ -202,7 +203,7 @@ func TestNilCachesPassThrough(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := rc.Reduce(sys, 1); err != nil {
+	if _, err := rc.Reduce(context.Background(), sys, 1); err != nil {
 		t.Fatal(err)
 	}
 }

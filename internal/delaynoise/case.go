@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/netlist"
+	"repro/internal/noiseerr"
 	"repro/internal/rcnet"
 	"repro/internal/waveform"
 )
@@ -73,30 +74,30 @@ type Case struct {
 func (c *Case) Validate() error {
 	switch {
 	case c.Net == nil:
-		return fmt.Errorf("delaynoise: nil net")
+		return noiseerr.Invalidf("delaynoise: nil net")
 	case c.Victim.Cell == nil:
-		return fmt.Errorf("delaynoise: nil victim cell")
+		return noiseerr.Invalidf("delaynoise: nil victim cell")
 	case c.Receiver == nil:
-		return fmt.Errorf("delaynoise: nil receiver cell")
+		return noiseerr.Invalidf("delaynoise: nil receiver cell")
 	case len(c.Aggressors) != len(c.Net.AggIn):
-		return fmt.Errorf("delaynoise: %d aggressor drivers for %d aggressor nets",
+		return noiseerr.Invalidf("delaynoise: %d aggressor drivers for %d aggressor nets",
 			len(c.Aggressors), len(c.Net.AggIn))
 	case c.Victim.InputSlew <= 0:
-		return fmt.Errorf("delaynoise: victim input slew must be positive")
+		return noiseerr.Invalidf("delaynoise: victim input slew must be positive")
 	case c.ReceiverLoad < 0:
-		return fmt.Errorf("delaynoise: negative receiver load")
+		return noiseerr.Invalidf("delaynoise: negative receiver load")
 	}
 	for node, load := range c.ExtraLoads {
 		if load < 0 {
-			return fmt.Errorf("delaynoise: negative extra load at %q", node)
+			return noiseerr.Invalidf("delaynoise: negative extra load at %q", node)
 		}
 	}
 	for i, a := range c.Aggressors {
 		if a.Cell == nil {
-			return fmt.Errorf("delaynoise: aggressor %d has no cell", i)
+			return noiseerr.Invalidf("delaynoise: aggressor %d has no cell", i)
 		}
 		if a.InputSlew <= 0 {
-			return fmt.Errorf("delaynoise: aggressor %d input slew must be positive", i)
+			return noiseerr.Invalidf("delaynoise: aggressor %d input slew must be positive", i)
 		}
 	}
 	return nil

@@ -1,10 +1,13 @@
 package delaynoise
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"math"
 
 	"repro/internal/nlsim"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -66,12 +69,12 @@ func (c *Case) goldenCircuit(aggShifts []float64, aggOn bool) (*nlsim.Circuit, e
 // of the receiver-output crossing between noisy and quiet runs with the
 // victim input fixed; the driver-output crossing of the *quiet* run
 // anchors the combined-delay measurement.
-func (c *Case) goldenDelay(aggShifts []float64, aggOn bool, horizon, step float64) (drv50, out50 float64, err error) {
+func (c *Case) goldenDelay(ctx context.Context, aggShifts []float64, aggOn bool, horizon, step float64) (drv50, out50 float64, err error) {
 	ckt, err := c.goldenCircuit(aggShifts, aggOn)
 	if err != nil {
 		return 0, 0, err
 	}
-	res, err := nlsim.Run(ckt, nlsim.Options{TStop: horizon, Step: step})
+	res, err := nlsim.Run(ckt, nlsim.Options{TStop: horizon, Step: step, Ctx: ctx})
 	if err != nil {
 		return 0, 0, fmt.Errorf("delaynoise: golden sim: %w", err)
 	}
@@ -97,7 +100,7 @@ func (c *Case) goldenDelay(aggShifts []float64, aggOn bool, horizon, step float6
 		}
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("delaynoise: golden crossings: %w", err)
+		return 0, 0, noiseerr.Numericalf("delaynoise: golden crossings: %w", err)
 	}
 	return drv50, out50, nil
 }
@@ -120,11 +123,17 @@ func (c *Case) goldenHorizon(maxShift float64) (horizon, step float64) {
 // entries to move all aggressors together, or per-aggressor values to
 // realize a peak-aligned composite at a chosen time).
 func GoldenAtShifts(c *Case, shifts []float64) (*GoldenResult, error) {
+	return GoldenAtShiftsContext(context.Background(), c, shifts)
+}
+
+// GoldenAtShiftsContext is GoldenAtShifts with cancellation support for
+// the two full nonlinear simulations.
+func GoldenAtShiftsContext(ctx context.Context, c *Case, shifts []float64) (*GoldenResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	if len(shifts) != len(c.Aggressors) {
-		return nil, fmt.Errorf("delaynoise: %d shifts for %d aggressors", len(shifts), len(c.Aggressors))
+		return nil, noiseerr.Invalidf("delaynoise: %d shifts for %d aggressors", len(shifts), len(c.Aggressors))
 	}
 	maxShift := 0.0
 	for _, s := range shifts {
@@ -133,11 +142,11 @@ func GoldenAtShifts(c *Case, shifts []float64) (*GoldenResult, error) {
 		}
 	}
 	horizon, step := c.goldenHorizon(maxShift)
-	drvQ, outQ, err := c.goldenDelay(shifts, false, horizon, step)
+	drvQ, outQ, err := c.goldenDelay(ctx, shifts, false, horizon, step)
 	if err != nil {
 		return nil, err
 	}
-	_, outN, err := c.goldenDelay(shifts, true, horizon, step)
+	_, outN, err := c.goldenDelay(ctx, shifts, true, horizon, step)
 	if err != nil {
 		return nil, err
 	}
@@ -159,6 +168,12 @@ func GoldenAtShift(c *Case, shift float64) (*GoldenResult, error) {
 // search spans [-span, +span] around the nominal alignment with nGrid
 // points plus one refinement pass.
 func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
+	return GoldenWorstCaseContext(context.Background(), c, span, nGrid)
+}
+
+// GoldenWorstCaseContext is GoldenWorstCase with cancellation support,
+// checked at every search grid point and inside each simulation.
+func GoldenWorstCaseContext(ctx context.Context, c *Case, span float64, nGrid int) (*GoldenResult, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -166,7 +181,7 @@ func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
 		nGrid = 5
 	}
 	horizon, step := c.goldenHorizon(span)
-	drvQ, outQ, err := c.goldenDelay(make([]float64, len(c.Aggressors)), false, horizon, step)
+	drvQ, outQ, err := c.goldenDelay(ctx, make([]float64, len(c.Aggressors)), false, horizon, step)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +190,7 @@ func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
 		for k := range shifts {
 			shifts[k] = shift
 		}
-		_, outN, err := c.goldenDelay(shifts, true, horizon, step)
+		_, outN, err := c.goldenDelay(ctx, shifts, true, horizon, step)
 		if err != nil {
 			return 0, err
 		}
@@ -188,6 +203,9 @@ func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
 		shift := -span + float64(i)*stepSize
 		dn, err := eval(shift)
 		if err != nil {
+			if errors.Is(err, noiseerr.ErrCanceled) {
+				return nil, err
+			}
 			continue
 		}
 		res.Sweep = append(res.Sweep, GoldenPoint{Shift: shift, DelayNoise: dn})
@@ -196,11 +214,14 @@ func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
 		}
 	}
 	if math.IsInf(best, -1) {
-		return nil, fmt.Errorf("delaynoise: golden search found no valid alignment")
+		return nil, noiseerr.Convergencef("delaynoise: golden search found no valid alignment")
 	}
 	for _, shift := range []float64{bestShift - stepSize/2, bestShift + stepSize/2} {
 		dn, err := eval(shift)
 		if err != nil {
+			if errors.Is(err, noiseerr.ErrCanceled) {
+				return nil, err
+			}
 			continue
 		}
 		res.Sweep = append(res.Sweep, GoldenPoint{Shift: shift, DelayNoise: dn})
@@ -217,11 +238,16 @@ func GoldenWorstCase(c *Case, span float64, nGrid int) (*GoldenResult, error) {
 // switching at the given shifts, then quiet) and returns the noisy and
 // quiet receiver-input waveforms.
 func GoldenWaveforms(c *Case, shifts []float64) (noisy, quiet *waveform.PWL, err error) {
+	return GoldenWaveformsContext(context.Background(), c, shifts)
+}
+
+// GoldenWaveformsContext is GoldenWaveforms with cancellation support.
+func GoldenWaveformsContext(ctx context.Context, c *Case, shifts []float64) (noisy, quiet *waveform.PWL, err error) {
 	if err := c.Validate(); err != nil {
 		return nil, nil, err
 	}
 	if len(shifts) != len(c.Aggressors) {
-		return nil, nil, fmt.Errorf("delaynoise: %d shifts for %d aggressors", len(shifts), len(c.Aggressors))
+		return nil, nil, noiseerr.Invalidf("delaynoise: %d shifts for %d aggressors", len(shifts), len(c.Aggressors))
 	}
 	maxShift := 0.0
 	for _, s := range shifts {
@@ -235,7 +261,7 @@ func GoldenWaveforms(c *Case, shifts []float64) (noisy, quiet *waveform.PWL, err
 		if err != nil {
 			return nil, err
 		}
-		res, err := nlsim.Run(ckt, nlsim.Options{TStop: horizon, Step: step})
+		res, err := nlsim.Run(ckt, nlsim.Options{TStop: horizon, Step: step, Ctx: ctx})
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package delaynoise
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -8,6 +9,7 @@ import (
 	"repro/internal/lsim"
 	"repro/internal/mna"
 	"repro/internal/netlist"
+	"repro/internal/noiseerr"
 	"repro/internal/thevenin"
 	"repro/internal/waveform"
 )
@@ -23,6 +25,7 @@ type driverChar struct {
 
 // engine carries the per-case state of one analysis.
 type engine struct {
+	ctx context.Context
 	c   *Case
 	opt Options
 
@@ -38,12 +41,12 @@ type engine struct {
 // characterization: a rough lumped-load Thevenin fit for every driver,
 // then C-effective iterations for each driver with all other drivers
 // held by their rough resistances.
-func newEngine(c *Case, opt Options) (*engine, error) {
+func newEngine(ctx context.Context, c *Case, opt Options) (*engine, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
 	opt.defaults()
-	e := &engine{c: c, opt: opt, interconnect: c.loadedInterconnect()}
+	e := &engine{ctx: ctx, c: c, opt: opt, interconnect: c.loadedInterconnect()}
 
 	// Pass 1: rough lumped fits.
 	type rough struct {
@@ -52,7 +55,7 @@ func newEngine(c *Case, opt Options) (*engine, error) {
 	}
 	vdd := c.vdd()
 	roughOf := func(spec DriverSpec, lump float64) (rough, error) {
-		m, err := opt.Chars.RoughFit(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), lump)
+		m, err := opt.Chars.RoughFit(ctx, spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), lump)
 		if err != nil {
 			return rough{}, err
 		}
@@ -90,7 +93,7 @@ func newEngine(c *Case, opt Options) (*engine, error) {
 		return ckt
 	}
 	charOf := func(spec DriverSpec, net *netlist.Circuit, node string) (driverChar, error) {
-		res, err := opt.Chars.Characterize(spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), net, node)
+		res, err := opt.Chars.Characterize(ctx, spec.Cell, spec.InputSlew, spec.Cell.InputRisingFor(spec.OutputRising), net, node)
 		if err != nil {
 			return driverChar{}, err
 		}
@@ -144,17 +147,19 @@ func (e *engine) runLinear(ckt *netlist.Circuit) (map[string]*waveform.PWL, erro
 func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[string]*waveform.PWL, error) {
 	e.opt.Metrics.Counter("sim.linear").Inc()
 	start := time.Now()
-	defer func() { e.opt.Metrics.Observe("stage.linear", time.Since(start)) }()
+	defer func() { e.opt.Metrics.Observe("stage.simulate", time.Since(start)) }()
 	sys, err := mna.Build(ckt)
 	if err != nil {
 		return nil, err
 	}
-	opt := lsim.Options{TStop: e.horizon, Step: e.step, InitDC: true}
+	opt := lsim.Options{TStop: e.horizon, Step: e.step, InitDC: true, Ctx: e.ctx}
 	out := map[string]*waveform.PWL{}
 	if q := e.opt.PRIMAOrder; q > 0 && q < sys.NumStates() {
-		rom, err := e.opt.ROMs.Reduce(sys, q)
+		reduceStart := time.Now()
+		rom, err := e.opt.ROMs.Reduce(e.ctx, sys, q)
+		e.opt.Metrics.Observe("stage.reduce", time.Since(reduceStart))
 		if err != nil {
-			return nil, err
+			return nil, noiseerr.InStage(noiseerr.StageReduce, err)
 		}
 		// PRIMA matches the first block moment, so the DC point of the
 		// reduced system projects exactly onto the full DC solution; the
@@ -242,7 +247,7 @@ func (e *engine) victimNoiseless() (recvIn, drvOut *waveform.PWL, err error) {
 	for j := range e.aggs {
 		spec := e.aggs[j].spec
 		vn := aggOuts[j].Shift(gatesim.InputStart - spec.InputStart)
-		hr, err := e.opt.Chars.HoldRes(spec.Cell, spec.InputSlew,
+		hr, err := e.opt.Chars.HoldRes(e.ctx, spec.Cell, spec.InputSlew,
 			spec.Cell.InputRisingFor(spec.OutputRising),
 			e.aggs[j].ceff, e.aggs[j].model.Rth, vn)
 		if err != nil {

@@ -1,0 +1,108 @@
+package engine_test
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/clarinet"
+	"repro/internal/core"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/engine"
+	"repro/internal/metrics"
+	"repro/internal/workload"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	s := engine.New(engine.Config{})
+	if s.Tech() == nil || s.Tech().Name != device.Default180().Name {
+		t.Fatal("zero config must select the default technology")
+	}
+	if s.Lib() == nil || s.Metrics() == nil {
+		t.Fatal("zero config must install a library and registry")
+	}
+	if s.Chars() == nil || s.ROMs() == nil {
+		t.Fatal("caches must be on by default")
+	}
+	if _, err := s.Cell("INVX2"); err != nil {
+		t.Fatalf("cell lookup failed: %v", err)
+	}
+
+	off := engine.New(engine.Config{CharCacheRes: -1, DisableROMCache: true})
+	if off.Chars() != nil || off.ROMs() != nil {
+		t.Fatal("cache opt-outs ignored")
+	}
+
+	lib := device.NewLibrary(device.Default180())
+	reg := metrics.NewRegistry()
+	explicit := engine.New(engine.Config{Lib: lib, Metrics: reg})
+	if explicit.Lib() != lib || explicit.Metrics() != reg || explicit.Tech() != lib.Tech {
+		t.Fatal("explicit library/registry not honored")
+	}
+}
+
+func TestBindWiresCachesWithoutClobberingKnobs(t *testing.T) {
+	s := engine.New(engine.Config{})
+	opt := s.Bind(delaynoise.Options{Hold: delaynoise.HoldTransient, Align: delaynoise.AlignPrechar})
+	if opt.Chars != s.Chars() || opt.ROMs != s.ROMs() || opt.Metrics != s.Metrics() {
+		t.Fatal("Bind must wire the session caches and registry")
+	}
+	if opt.Hold != delaynoise.HoldTransient || opt.Align != delaynoise.AlignPrechar {
+		t.Fatal("Bind must not clobber analysis knobs")
+	}
+}
+
+// TestViewsShareOneSession is the tentpole invariant: a core.Analyzer
+// and a clarinet.Tool built over the same session share the library,
+// the registry, the characterization caches, and the alignment tables.
+func TestViewsShareOneSession(t *testing.T) {
+	s := engine.New(engine.Config{PrecharGrid: 5})
+	an := core.NewAnalyzerSession(s)
+	tool := clarinet.MustNew(nil, clarinet.Config{Session: s, Align: delaynoise.AlignReceiverInput})
+
+	if an.Session() != s || tool.Session() != s {
+		t.Fatal("views must expose the shared session")
+	}
+	if an.Metrics() != tool.Metrics() {
+		t.Fatal("views must share one metrics registry")
+	}
+	if an.Lib != tool.Lib {
+		t.Fatal("views must share one cell library")
+	}
+
+	// Work done through one view must be visible to the other: analyze a
+	// net with the tool and check the shared registry and caches moved.
+	gen := workload.NewGenerator(s.Lib(), workload.DefaultProfile(), 7)
+	cases, err := gen.Population(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := tool.AnalyzeNet(context.Background(), "shared0", cases[0])
+	if r.Err != nil {
+		t.Fatalf("analysis failed: %v", r.Err)
+	}
+	if got := an.Metrics().Counter("nets.analyzed").Value(); got != 1 {
+		t.Fatalf("core view sees nets.analyzed = %d, want 1", got)
+	}
+
+	// A table built through the session is shared by both views.
+	recv := cases[0].Receiver
+	tab1, err := s.Table(context.Background(), recv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab2, err := an.Table(recv, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab1 != tab2 {
+		t.Fatal("table not shared across views")
+	}
+	if s.TableCount() != 1 {
+		t.Fatalf("TableCount = %d, want 1", s.TableCount())
+	}
+	hits := an.Metrics().Counter("cache.tables.hit").Value()
+	if hits != 1 {
+		t.Fatalf("cache.tables.hit = %d, want 1", hits)
+	}
+}

@@ -1,0 +1,153 @@
+// Package engine is the shared session core under the library facade
+// (internal/core) and the batch tool (internal/clarinet). A Session owns
+// everything both front ends used to duplicate: the technology, its cell
+// library, the metrics registry, and the three single-flight caches —
+// alignment pre-characterization tables, driver characterizations, and
+// PRIMA reduced-order models.
+//
+// The front ends are thin views: core.Analyzer binds a Session to the
+// paper's default per-net flow, clarinet.Tool fans a Session across a
+// worker pool. Two views over one Session share every cache and counter;
+// the Session is safe for concurrent use.
+package engine
+
+import (
+	"context"
+
+	"repro/internal/align"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/memo"
+	"repro/internal/metrics"
+	"repro/internal/noiseerr"
+)
+
+// Config assembles a Session. The zero value is usable: it selects the
+// default 0.18 um-class technology, a fresh library and registry, and
+// enables every cache at its default resolution.
+type Config struct {
+	// Tech is the process technology (nil selects device.Default180).
+	// Ignored when Lib is non-nil: the library's technology wins.
+	Tech *device.Technology
+	// Lib is the cell library (nil builds device.NewLibrary(Tech)).
+	Lib *device.Library
+	// Metrics receives run instrumentation (cache hit/miss counts,
+	// simulation counters, per-stage timers). Nil installs a fresh
+	// registry.
+	Metrics *metrics.Registry
+	// PrecharGrid is the exhaustive-search grid used when building
+	// alignment tables on demand. Zero keeps align.DefaultConfig's grid.
+	PrecharGrid int
+	// CharCacheRes is the relative bucket resolution of the shared
+	// driver-characterization cache (zero selects
+	// delaynoise.DefaultCharBucketRes). Negative disables the cache.
+	CharCacheRes float64
+	// DisableROMCache turns off PRIMA reduced-order-model sharing.
+	DisableROMCache bool
+}
+
+// tableKey identifies one receiver pre-characterization.
+type tableKey struct {
+	cell   string
+	rising bool
+}
+
+// Session owns the shared state of an analysis run: technology, library,
+// instrumentation, and the single-flight caches. Build one with New and
+// hand it to as many front-end views as needed.
+type Session struct {
+	tech    *device.Technology
+	lib     *device.Library
+	metrics *metrics.Registry
+	grid    int
+
+	tables *memo.Cache[tableKey, *align.Table]
+	chars  *delaynoise.CharCache
+	roms   *delaynoise.ROMCache
+}
+
+// New builds a session from cfg (see Config for zero-value defaults).
+func New(cfg Config) *Session {
+	lib := cfg.Lib
+	if lib == nil {
+		tech := cfg.Tech
+		if tech == nil {
+			tech = device.Default180()
+		}
+		lib = device.NewLibrary(tech)
+	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = metrics.NewRegistry()
+	}
+	s := &Session{
+		tech:    lib.Tech,
+		lib:     lib,
+		metrics: reg,
+		grid:    cfg.PrecharGrid,
+		tables:  memo.New[tableKey, *align.Table](),
+	}
+	if cfg.CharCacheRes >= 0 {
+		s.chars = delaynoise.NewCharCache(cfg.CharCacheRes, reg)
+	}
+	if !cfg.DisableROMCache {
+		s.roms = delaynoise.NewROMCache(reg)
+	}
+	return s
+}
+
+// Tech returns the session's process technology.
+func (s *Session) Tech() *device.Technology { return s.tech }
+
+// Lib returns the session's cell library.
+func (s *Session) Lib() *device.Library { return s.lib }
+
+// Metrics returns the session's instrumentation registry.
+func (s *Session) Metrics() *metrics.Registry { return s.metrics }
+
+// Cell resolves a library cell by name.
+func (s *Session) Cell(name string) (*device.Cell, error) {
+	return s.lib.Cell(name)
+}
+
+// Chars returns the shared driver-characterization cache (nil when
+// disabled by Config.CharCacheRes < 0).
+func (s *Session) Chars() *delaynoise.CharCache { return s.chars }
+
+// ROMs returns the shared reduced-order-model cache (nil when disabled).
+func (s *Session) ROMs() *delaynoise.ROMCache { return s.roms }
+
+// Bind wires the session's caches and registry into per-run analysis
+// options, leaving every other knob untouched.
+func (s *Session) Bind(opt delaynoise.Options) delaynoise.Options {
+	opt.Chars = s.chars
+	opt.ROMs = s.roms
+	opt.Metrics = s.metrics
+	return opt
+}
+
+// Table returns (building on first use, with single-flight semantics
+// under concurrency) the alignment pre-characterization of a receiver
+// cell and victim direction. The building corner searches run on the
+// first caller's context.
+func (s *Session) Table(ctx context.Context, recv *device.Cell, victimRising bool) (*align.Table, error) {
+	tab, hit, err := s.tables.Do(tableKey{recv.Name, victimRising}, func() (*align.Table, error) {
+		cfg := align.DefaultConfig(recv.Tech)
+		if s.grid > 0 {
+			cfg.Grid = s.grid
+		}
+		return align.PrecharacterizeContext(ctx, recv, victimRising, cfg)
+	})
+	if hit {
+		s.metrics.Counter("cache.tables.hit").Inc()
+	} else {
+		s.metrics.Counter("cache.tables.miss").Inc()
+	}
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageCharacterize, err)
+	}
+	return tab, nil
+}
+
+// TableCount reports how many alignment tables the session has built.
+func (s *Session) TableCount() int { return s.tables.Len() }

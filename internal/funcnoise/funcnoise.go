@@ -12,6 +12,7 @@
 package funcnoise
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -22,6 +23,7 @@ import (
 	"repro/internal/lsim"
 	"repro/internal/mna"
 	"repro/internal/nlsim"
+	"repro/internal/noiseerr"
 	"repro/internal/thevenin"
 	"repro/internal/waveform"
 )
@@ -65,6 +67,12 @@ type Result struct {
 // correct holding resistance for a *quiet* victim (for a switching
 // victim, package holdres computes the transient value instead).
 func QuiescentResistance(cell *device.Cell, outputHigh bool) (float64, error) {
+	return QuiescentResistanceContext(context.Background(), cell, outputHigh)
+}
+
+// QuiescentResistanceContext is QuiescentResistance with cancellation
+// support for the two DC solves.
+func QuiescentResistanceContext(ctx context.Context, cell *device.Cell, outputHigh bool) (float64, error) {
 	tech := cell.Tech
 	// Input level that holds the output at the requested rail.
 	vin := 0.0
@@ -83,7 +91,7 @@ func QuiescentResistance(cell *device.Cell, outputHigh bool) (float64, error) {
 	}
 	solve := func(probe float64) (float64, error) {
 		c, out := build(probe)
-		x, err := nlsim.DC(c, 0, nil)
+		x, err := nlsim.DCContext(ctx, c, 0, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -108,7 +116,7 @@ func QuiescentResistance(cell *device.Cell, outputHigh bool) (float64, error) {
 	}
 	r := (v1 - v0) / probe
 	if r <= 0 {
-		return 0, fmt.Errorf("funcnoise: non-positive quiescent resistance %g", r)
+		return 0, noiseerr.Numericalf("funcnoise: non-positive quiescent resistance %g", r)
 	}
 	return r, nil
 }
@@ -118,6 +126,13 @@ func QuiescentResistance(cell *device.Cell, outputHigh bool) (float64, error) {
 // aggressor directions determine the pulse polarity. The analyzed victim
 // state opposes the aggressors: falling aggressors attack a high victim.
 func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), c, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation support, threaded through
+// the quiescent-resistance solves, the aggressor superposition runs, and
+// the receiver simulation.
+func AnalyzeContext(ctx context.Context, c *delaynoise.Case, opt Options) (*Result, error) {
 	if err := c.Validate(); err != nil {
 		return nil, err
 	}
@@ -134,7 +149,7 @@ func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
 	}
 	victimHigh := falling*2 >= len(c.Aggressors)
 
-	rHold, err := QuiescentResistance(c.Victim.Cell, victimHigh)
+	rHold, err := QuiescentResistanceContext(ctx, c.Victim.Cell, victimHigh)
 	if err != nil {
 		return nil, err
 	}
@@ -148,7 +163,7 @@ func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
 	var noises []*waveform.PWL
 	horizon := 0.0
 	for k, a := range c.Aggressors {
-		m, _, err := thevenin.Fit(a.Cell, a.InputSlew, a.Cell.InputRisingFor(a.OutputRising), aggLumpedCap(c, k))
+		m, _, err := thevenin.FitContext(ctx, a.Cell, a.InputSlew, a.Cell.InputRisingFor(a.OutputRising), aggLumpedCap(c, k))
 		if err != nil {
 			return nil, fmt.Errorf("funcnoise: aggressor %d fit: %w", k, err)
 		}
@@ -156,7 +171,7 @@ func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
 		if t := m.T0 + m.Dt; t > horizon {
 			horizon = t
 		}
-		n, err := aggressorNoise(c, k, m, rHold, vRail, opt.Step)
+		n, err := aggressorNoise(ctx, c, k, m, rHold, vRail, opt.Step)
 		if err != nil {
 			return nil, err
 		}
@@ -174,7 +189,7 @@ func Analyze(c *delaynoise.Case, opt Options) (*Result, error) {
 	// Propagate through the receiver: input = rail + composite.
 	tp, _ := comp.Peak()
 	in := comp.Shift(0.3e-9 - tp).Offset(vRail)
-	out, err := gatesim.Receive(c.Receiver, in, c.ReceiverLoad, gatesim.Options{})
+	out, err := gatesim.Receive(c.Receiver, in, c.ReceiverLoad, gatesim.Options{Ctx: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("funcnoise: receiver sim: %w", err)
 	}
@@ -208,7 +223,7 @@ func aggLumpedCap(c *delaynoise.Case, k int) float64 {
 
 // aggressorNoise runs one linear superposition simulation with the quiet
 // victim held at its rail.
-func aggressorNoise(c *delaynoise.Case, k int, m thevenin.Model, rHold, vRail, step float64) (*waveform.PWL, error) {
+func aggressorNoise(ctx context.Context, c *delaynoise.Case, k int, m thevenin.Model, rHold, vRail, step float64) (*waveform.PWL, error) {
 	ckt := c.Net.Circuit.Clone()
 	if cin := c.Receiver.InputCap(); cin > 0 {
 		ckt.AddC("__recvin", c.Net.VictimOut, "0", cin)
@@ -232,7 +247,7 @@ func aggressorNoise(c *delaynoise.Case, k int, m thevenin.Model, rHold, vRail, s
 		return nil, err
 	}
 	horizon := m.T0 + m.Dt + 2e-9
-	res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: step, InitDC: true})
+	res, err := lsim.Run(sys, lsim.Options{TStop: horizon, Step: step, InitDC: true, Ctx: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("funcnoise: aggressor %d sim: %w", k, err)
 	}

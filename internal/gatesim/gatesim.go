@@ -6,12 +6,14 @@
 package gatesim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/device"
 	"repro/internal/netlist"
 	"repro/internal/nlsim"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -33,6 +35,9 @@ func Input(tech *device.Technology, slew float64, rising bool) *waveform.PWL {
 type Options struct {
 	Step    float64 // integration step (default: horizon/4000, min 0.1 ps)
 	Horizon float64 // initial horizon guess (default: estimated)
+	// Ctx, when non-nil, cancels the underlying nonlinear runs (see
+	// nlsim.Options.Ctx).
+	Ctx context.Context
 }
 
 // estimateHorizon guesses how long the cell needs to finish driving cload
@@ -96,7 +101,7 @@ func Drive(cell *device.Cell, slew float64, inRising bool, cload float64, inj *w
 		if inj != nil {
 			c.AddI(out, inj)
 		}
-		res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: opt.step(horizon)})
+		res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: opt.step(horizon), Ctx: opt.Ctx})
 		if err != nil {
 			return nil, fmt.Errorf("gatesim: drive sim failed: %w", err)
 		}
@@ -150,7 +155,7 @@ func Receive(cell *device.Cell, in *waveform.PWL, cload float64, opt Options) (*
 	if cload > 0 {
 		c.AddC(out, nlsim.Ground, cload)
 	}
-	res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: opt.step(horizon)})
+	res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: opt.step(horizon), Ctx: opt.Ctx})
 	if err != nil {
 		return nil, fmt.Errorf("gatesim: receiver sim failed: %w", err)
 	}
@@ -161,13 +166,19 @@ func Receive(cell *device.Cell, in *waveform.PWL, cload float64, opt Options) (*
 // output crosses Vdd/2 — the static switching point that determines how
 // deep an input noise pulse must dip to disturb the output.
 func SwitchingThreshold(cell *device.Cell) (float64, error) {
+	return SwitchingThresholdContext(context.Background(), cell)
+}
+
+// SwitchingThresholdContext is SwitchingThreshold with cancellation
+// support for the DC bisection sweep.
+func SwitchingThresholdContext(ctx context.Context, cell *device.Cell) (float64, error) {
 	vdd := cell.Tech.Vdd
 	outAt := func(vin float64) (float64, error) {
 		c := nlsim.NewCircuit()
 		in := c.Fixed("in", waveform.Constant(vin))
 		out := c.Node("out")
 		c.AddCell(cell, "u", in, out)
-		x, err := nlsim.DC(c, 0, nil)
+		x, err := nlsim.DCContext(ctx, c, 0, nil)
 		if err != nil {
 			return 0, err
 		}
@@ -183,7 +194,7 @@ func SwitchingThreshold(cell *device.Cell) (float64, error) {
 		return 0, fmt.Errorf("gatesim: threshold sweep: %w", err)
 	}
 	if (vLo-vdd/2)*(vHi-vdd/2) > 0 {
-		return 0, fmt.Errorf("gatesim: %s output never crosses Vdd/2", cell.Name)
+		return 0, noiseerr.Numericalf("gatesim: %s output never crosses Vdd/2", cell.Name)
 	}
 	falling := vLo > vHi // inverting cell: output falls as input rises
 	for i := 0; i < 40; i++ {
@@ -205,13 +216,18 @@ func SwitchingThreshold(cell *device.Cell) (float64, error) {
 // (the full interconnect) and returns the voltage waveforms at the
 // requested probe nodes plus the driver output node itself.
 func DriveNet(cell *device.Cell, slew float64, inRising bool, nl *netlist.Circuit, outNode string, horizon, step float64, probes ...string) (map[string]*waveform.PWL, error) {
+	return DriveNetContext(context.Background(), cell, slew, inRising, nl, outNode, horizon, step, probes...)
+}
+
+// DriveNetContext is DriveNet with cancellation support.
+func DriveNetContext(ctx context.Context, cell *device.Cell, slew float64, inRising bool, nl *netlist.Circuit, outNode string, horizon, step float64, probes ...string) (map[string]*waveform.PWL, error) {
 	tech := cell.Tech
 	c := nlsim.NewCircuit()
 	in := c.Fixed("in", Input(tech, slew, inRising))
 	out := c.Node(outNode)
 	c.ImportLinear(nl)
 	c.AddCell(cell, "u", in, out)
-	res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: step})
+	res, err := nlsim.Run(c, nlsim.Options{TStop: horizon, Step: step, Ctx: ctx})
 	if err != nil {
 		return nil, fmt.Errorf("gatesim: net sim failed: %w", err)
 	}

@@ -20,11 +20,13 @@
 package holdres
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/device"
 	"repro/internal/gatesim"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -63,18 +65,24 @@ const (
 // The returned Result includes the nonlinear noise waveform so callers
 // can report the model-vs-nonlinear comparison.
 func Compute(cell *device.Cell, inSlew float64, inRising bool, ceff, rth float64, vn *waveform.PWL) (*Result, error) {
+	return ComputeContext(context.Background(), cell, inSlew, inRising, ceff, rth, vn)
+}
+
+// ComputeContext is Compute with cancellation support for the three
+// nonlinear driver simulations.
+func ComputeContext(ctx context.Context, cell *device.Cell, inSlew float64, inRising bool, ceff, rth float64, vn *waveform.PWL) (*Result, error) {
 	if ceff <= 0 || rth <= 0 {
-		return nil, fmt.Errorf("holdres: ceff and rth must be positive (got %g, %g)", ceff, rth)
+		return nil, noiseerr.Invalidf("holdres: ceff and rth must be positive (got %g, %g)", ceff, rth)
 	}
 	if vn.Len() < 3 {
-		return nil, fmt.Errorf("holdres: noise waveform too short")
+		return nil, noiseerr.Invalidf("holdres: noise waveform too short")
 	}
 	// Step 2: In = Vn/Rth + Cload * dVn/dt, sampled on a dense grid so
 	// the PWL derivative is well behaved.
 	in := injectedCurrent(vn, rth, ceff)
 
 	// Step 3: nonlinear driver with and without the injected current.
-	opt := gatesim.Options{}
+	opt := gatesim.Options{Ctx: ctx}
 	v1, err := gatesim.Drive(cell, inSlew, inRising, ceff, nil, opt)
 	if err != nil {
 		return nil, fmt.Errorf("holdres: noiseless driver sim: %w", err)

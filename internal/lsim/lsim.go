@@ -5,12 +5,19 @@
 package lsim
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/linalg"
 	"repro/internal/mna"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
+
+// CtxCheckInterval is the number of integration steps between context
+// checks: cancellation stays off the per-step hot path, yet a canceled
+// run aborts within this many steps.
+const CtxCheckInterval = 64
 
 // Options configure a transient run.
 type Options struct {
@@ -24,6 +31,10 @@ type Options struct {
 	InitDC bool
 	// Solver selects the inner linear solver (see Solver).
 	Solver Solver
+	// Ctx, when non-nil, cancels the run: the integration loop checks it
+	// every CtxCheckInterval steps and returns a noiseerr.ErrCanceled-
+	// classified error (also matching the context's own error).
+	Ctx context.Context
 }
 
 // Solver identifies the linear-solve strategy of the trapezoidal step.
@@ -55,10 +66,13 @@ type Result struct {
 // Run integrates the system over [TStart, TStop].
 func Run(sys *mna.System, opt Options) (*Result, error) {
 	if opt.Step <= 0 {
-		return nil, fmt.Errorf("lsim: step must be positive, got %g", opt.Step)
+		return nil, noiseerr.Invalidf("lsim: step must be positive, got %g", opt.Step)
 	}
 	if opt.TStop <= opt.TStart {
-		return nil, fmt.Errorf("lsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+		return nil, noiseerr.Invalidf("lsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+	}
+	if err := canceled(opt.Ctx, 0, 0); err != nil {
+		return nil, err
 	}
 	n := sys.NumStates()
 	steps := int((opt.TStop-opt.TStart)/opt.Step + 0.5)
@@ -71,7 +85,7 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 	switch {
 	case opt.X0 != nil:
 		if len(opt.X0) != n {
-			return nil, fmt.Errorf("lsim: X0 has %d entries, want %d", len(opt.X0), n)
+			return nil, noiseerr.Invalidf("lsim: X0 has %d entries, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
 	case opt.InitDC:
@@ -101,13 +115,13 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 		var err error
 		banded, err = linalg.FactorBandedChol(sa, sa.RCM())
 		if err != nil {
-			return nil, fmt.Errorf("lsim: banded factorization failed (matrix not SPD?): %w", err)
+			return nil, noiseerr.Numericalf("lsim: banded factorization failed (matrix not SPD?): %w", err)
 		}
 	default:
 		var err error
 		lu, err = linalg.FactorLU(a)
 		if err != nil {
-			return nil, fmt.Errorf("lsim: trapezoidal matrix singular: %w", err)
+			return nil, noiseerr.Numericalf("lsim: trapezoidal matrix singular: %w", err)
 		}
 	}
 
@@ -119,6 +133,11 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 	rhs := make([]float64, n)
 	uPrev := sys.InputAt(opt.TStart)
 	for k := 1; k <= steps; k++ {
+		if k%CtxCheckInterval == 0 {
+			if err := canceled(opt.Ctx, k, steps); err != nil {
+				return nil, err
+			}
+		}
 		t := opt.TStart + float64(k)*h
 		uNow := sys.InputAt(t)
 		uMid := make([]float64, len(uNow))
@@ -141,7 +160,7 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 			// iterations.
 			xNew, _, err := sp.SolveCG(rhs, x, linalg.CGOptions{Tol: 1e-9})
 			if err != nil {
-				return nil, fmt.Errorf("lsim: CG step at t=%g: %w", t, err)
+				return nil, noiseerr.Numericalf("lsim: CG step at t=%g: %w", t, err)
 			}
 			x = xNew
 		case SolverBanded:
@@ -154,6 +173,17 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 		uPrev = uNow
 	}
 	return &Result{Times: times, States: states, sys: sys}, nil
+}
+
+// canceled converts a fired context into a classified error.
+func canceled(ctx context.Context, step, steps int) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return noiseerr.Canceled(fmt.Errorf("lsim: canceled at step %d of %d: %w", step, steps, err))
+	}
+	return nil
 }
 
 // Voltage returns the waveform at the named node.

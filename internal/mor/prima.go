@@ -7,11 +7,13 @@
 package mor
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/linalg"
 	"repro/internal/lsim"
 	"repro/internal/mna"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -31,13 +33,20 @@ type ROM struct {
 // Requirements: G must be nonsingular (every node needs a resistive path
 // to ground — holding resistances provide this in the noise flow).
 func Reduce(sys *mna.System, q int) (*ROM, error) {
+	return ReduceContext(context.Background(), sys, q)
+}
+
+// ReduceContext is Reduce with cancellation support, checked once per
+// block-Krylov iteration (each iteration is a dense multi-RHS solve, the
+// expensive unit of work here).
+func ReduceContext(ctx context.Context, sys *mna.System, q int) (*ROM, error) {
 	n := sys.NumStates()
 	p := sys.NumInputs()
 	if p == 0 {
-		return nil, fmt.Errorf("mor: system has no inputs")
+		return nil, noiseerr.Invalidf("mor: system has no inputs")
 	}
 	if q <= 0 {
-		return nil, fmt.Errorf("mor: order must be positive, got %d", q)
+		return nil, noiseerr.Invalidf("mor: order must be positive, got %d", q)
 	}
 	if q >= n {
 		// Identity projection: the "reduction" is the original system.
@@ -45,7 +54,7 @@ func Reduce(sys *mna.System, q int) (*ROM, error) {
 	}
 	lu, err := linalg.FactorLU(sys.G)
 	if err != nil {
-		return nil, fmt.Errorf("mor: G singular (floating node?): %w", err)
+		return nil, noiseerr.Numericalf("mor: G singular (floating node?): %w", err)
 	}
 	// Block Krylov: R = G^-1 B; X_{k+1} = G^-1 C X_k.
 	blocks := (q + p - 1) / p
@@ -53,6 +62,11 @@ func Reduce(sys *mna.System, q int) (*ROM, error) {
 	x := lu.SolveMatrix(sys.B)
 	col := 0
 	for k := 0; k < blocks; k++ {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, noiseerr.Canceled(fmt.Errorf("mor: canceled at block %d of %d: %w", k, blocks, err))
+			}
+		}
 		for c := 0; c < p; c++ {
 			basis.SetCol(col, x.Col(c))
 			col++
@@ -63,7 +77,7 @@ func Reduce(sys *mna.System, q int) (*ROM, error) {
 	}
 	kept := linalg.OrthonormalizeMGS(basis, 1e-10)
 	if kept == 0 {
-		return nil, fmt.Errorf("mor: empty Krylov basis")
+		return nil, noiseerr.Numericalf("mor: empty Krylov basis")
 	}
 	if kept > q {
 		kept = q

@@ -1,0 +1,93 @@
+package nlsim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/noiseerr"
+	"repro/internal/waveform"
+)
+
+// flipCtx reports Canceled starting with the (after+1)-th Err call,
+// letting tests fire a cancellation at an exact solver checkpoint.
+type flipCtx struct {
+	context.Context
+	calls atomic.Int64
+	after int64
+}
+
+func (f *flipCtx) Err() error {
+	if f.calls.Add(1) > f.after {
+		return context.Canceled
+	}
+	return nil
+}
+
+func inverterCircuit(t *testing.T) *Circuit {
+	t.Helper()
+	lib := device.NewLibrary(tech)
+	inv, err := lib.Cell("INVX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCircuit()
+	in := c.Fixed("in", waveform.Ramp(100e-12, 100e-12, 0, tech.Vdd))
+	out := c.Node("out")
+	c.AddCell(inv, "u1", in, out)
+	c.AddC(out, Ground, 20e-15)
+	return c
+}
+
+func TestRunPreCanceledContextFailsFast(t *testing.T) {
+	c := inverterCircuit(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Run(c, Options{TStop: 2e-9, Step: 1e-12, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, noiseerr.ErrCanceled) {
+		t.Fatalf("err = %v, want both context.Canceled and noiseerr.ErrCanceled", err)
+	}
+}
+
+// TestRunCancellationBoundedAttempts flips the context after the entry
+// check: the time loop must abort at a step-attempt checkpoint (within
+// CtxCheckInterval attempts), mid-run, with a classified error.
+func TestRunCancellationBoundedAttempts(t *testing.T) {
+	c := inverterCircuit(t)
+	fc := &flipCtx{Context: context.Background(), after: 1}
+	_, err := Run(c, Options{TStop: 2e-9, Step: 1e-12, Ctx: fc})
+	if err == nil {
+		t.Fatal("canceled run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, noiseerr.ErrCanceled) {
+		t.Fatalf("err = %v, want both context.Canceled and noiseerr.ErrCanceled", err)
+	}
+	if !strings.Contains(err.Error(), "canceled at t=") {
+		t.Fatalf("error does not report the abort time: %v", err)
+	}
+	// The flip fired on the second Err call; the loop checks every
+	// CtxCheckInterval attempts, so no more than 2*CtxCheckInterval+1
+	// checks can ever have happened.
+	if calls := fc.calls.Load(); calls > 2*CtxCheckInterval+1 {
+		t.Fatalf("cancellation observed only after %d context checks", calls)
+	}
+}
+
+func TestDCContextCanceled(t *testing.T) {
+	c := inverterCircuit(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DCContext(ctx, c, 0, nil); !errors.Is(err, noiseerr.ErrCanceled) {
+		t.Fatalf("DCContext err = %v, want noiseerr.ErrCanceled", err)
+	}
+}
+
+func TestNilContextRunsToCompletion(t *testing.T) {
+	c := inverterCircuit(t)
+	if _, err := Run(c, Options{TStop: 2e-9, Step: 1e-12}); err != nil {
+		t.Fatalf("nil-context run failed: %v", err)
+	}
+}

@@ -1,13 +1,20 @@
 package nlsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/device"
 	"repro/internal/linalg"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
+
+// CtxCheckInterval is the number of step attempts between context
+// checks: cancellation stays off the per-step hot path, yet a canceled
+// run aborts within this many Newton solves.
+const CtxCheckInterval = 16
 
 // Options configure a nonlinear transient run.
 type Options struct {
@@ -28,6 +35,12 @@ type Options struct {
 	Adaptive bool
 	MinStep  float64 // smallest adaptive step (default Step/64)
 	MaxStep  float64 // largest adaptive step (default Step)
+
+	// Ctx, when non-nil, cancels the run: the time-stepping loop checks
+	// it every CtxCheckInterval step attempts and returns a
+	// noiseerr.ErrCanceled-classified error (also matching the context's
+	// own error).
+	Ctx context.Context
 }
 
 func (o *Options) defaults() {
@@ -217,17 +230,28 @@ func (s *solver) static(x []float64, t float64, jac *linalg.Matrix) {
 // DC solves the static operating point at time t by damped Newton
 // iteration starting from x0 (or zeros when x0 is nil).
 func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
+	return DCContext(context.Background(), c, t, x0)
+}
+
+// DCContext is DC with cancellation support: the Newton loop checks ctx
+// every CtxCheckInterval iterations.
+func DCContext(ctx context.Context, c *Circuit, t float64, x0 []float64) ([]float64, error) {
 	s := newSolver(c)
 	x := make([]float64, s.n)
 	if x0 != nil {
 		if len(x0) != s.n {
-			return nil, fmt.Errorf("nlsim: DC x0 has %d entries, want %d", len(x0), s.n)
+			return nil, noiseerr.Invalidf("nlsim: DC x0 has %d entries, want %d", len(x0), s.n)
 		}
 		copy(x, x0)
 	}
 	s.loadFixed(t)
 	const maxIter = 400
 	for iter := 0; iter < maxIter; iter++ {
+		if iter%CtxCheckInterval == 0 {
+			if err := canceled(ctx, t); err != nil {
+				return nil, err
+			}
+		}
 		s.static(x, t, s.jac)
 		// Regularize with a tiny conductance to ground on every node so
 		// isolated capacitive nodes have a defined DC solution.
@@ -236,7 +260,7 @@ func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
 		}
 		f, err := linalg.FactorLU(s.jac)
 		if err != nil {
-			return nil, fmt.Errorf("nlsim: DC Jacobian singular: %w", err)
+			return nil, noiseerr.Numericalf("nlsim: DC Jacobian singular: %w", err)
 		}
 		dx := f.Solve(s.ist)
 		worst := 0.0
@@ -256,28 +280,35 @@ func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
 			return x, nil
 		}
 	}
-	return nil, fmt.Errorf("nlsim: DC did not converge in %d iterations", maxIter)
+	return nil, noiseerr.Convergencef("nlsim: DC did not converge in %d iterations", maxIter)
 }
 
 // Run integrates the circuit over [TStart, TStop].
 func Run(c *Circuit, opt Options) (*Result, error) {
 	opt.defaults()
 	if opt.Step <= 0 {
-		return nil, fmt.Errorf("nlsim: step must be positive, got %g", opt.Step)
+		return nil, noiseerr.Invalidf("nlsim: step must be positive, got %g", opt.Step)
 	}
 	if opt.TStop <= opt.TStart {
-		return nil, fmt.Errorf("nlsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+		return nil, noiseerr.Invalidf("nlsim: TStop %g must exceed TStart %g", opt.TStop, opt.TStart)
+	}
+	ctx := opt.Ctx
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := canceled(ctx, opt.TStart); err != nil {
+		return nil, err
 	}
 	s := newSolver(c)
 	n := s.n
 	x := make([]float64, n)
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
-			return nil, fmt.Errorf("nlsim: X0 has %d entries, want %d", len(opt.X0), n)
+			return nil, noiseerr.Invalidf("nlsim: X0 has %d entries, want %d", len(opt.X0), n)
 		}
 		copy(x, opt.X0)
 	} else {
-		dc, err := DC(c, opt.TStart, nil)
+		dc, err := DCContext(ctx, c, opt.TStart, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -325,7 +356,7 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 			s.jac.AXPY(1/h, s.cmat)
 			lu, err := linalg.FactorLU(s.jac)
 			if err != nil {
-				return iter, false, fmt.Errorf("nlsim: Newton Jacobian singular at t=%g: %w", t, err)
+				return iter, false, noiseerr.Numericalf("nlsim: Newton Jacobian singular at t=%g: %w", t, err)
 			}
 			dx := lu.Solve(s.f)
 			worst := 0.0
@@ -359,7 +390,14 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 
 	h := hMax
 	t := opt.TStart
+	attempts := 0
 	for t < opt.TStop-1e-24 {
+		attempts++
+		if attempts%CtxCheckInterval == 0 {
+			if err := canceled(ctx, t); err != nil {
+				return nil, err
+			}
+		}
 		if t+h > opt.TStop {
 			h = opt.TStop - t
 		}
@@ -369,7 +407,7 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 		}
 		if !ok {
 			if !opt.Adaptive || h <= hMin*1.0001 {
-				return nil, fmt.Errorf("nlsim: Newton did not converge at t=%g", t+h)
+				return nil, noiseerr.Convergencef("nlsim: Newton did not converge at t=%g", t+h)
 			}
 			h = math.Max(h/4, hMin)
 			continue
@@ -388,6 +426,17 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 	states := linalg.NewMatrix(len(times), n)
 	copy(states.Data, statesBuf)
 	return &Result{Times: times, States: states, ckt: c}, nil
+}
+
+// canceled converts a fired context into a classified error.
+func canceled(ctx context.Context, t float64) error {
+	if ctx == nil {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return noiseerr.Canceled(fmt.Errorf("nlsim: canceled at t=%g: %w", t, err))
+	}
+	return nil
 }
 
 // Voltage returns the waveform of the named node. Fixed nodes return

@@ -1,0 +1,181 @@
+// Package noiseerr is the typed error taxonomy of the analysis engine.
+// Every failure surfaced by the delaynoise/clarinet stack classifies
+// under one of four sentinel classes, testable with errors.Is:
+//
+//   - ErrInvalidCase: the input could never be analyzed (bad topology,
+//     non-physical parameters, missing options).
+//   - ErrConvergence: an iterative method gave up (Newton, alignment
+//     search). Retrying with a cheaper or more robust method may help;
+//     batch engines use this class to degrade gracefully.
+//   - ErrNumerical: linear algebra or waveform measurement broke down
+//     (singular matrix, missing crossing). Usually a modeling problem.
+//   - ErrCanceled: the caller's context fired. These errors also match
+//     context.Canceled / context.DeadlineExceeded, so errors.Is works
+//     with either vocabulary.
+//
+// On top of the classes, StageError attributes a failure to one stage of
+// the per-net pipeline (characterize → reduce → simulate → align →
+// report, mirroring the "stage.*" metrics timers) and optionally to a
+// named net, giving batch reports a machine-readable failure breakdown.
+package noiseerr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel error classes. Match with errors.Is.
+var (
+	ErrInvalidCase = errors.New("invalid case")
+	ErrConvergence = errors.New("convergence failure")
+	ErrNumerical   = errors.New("numerical failure")
+	ErrCanceled    = errors.New("analysis canceled")
+)
+
+// classified tags an error with a sentinel class. Unwrap returns both
+// the original error and the class, so errors.Is matches either chain
+// (a canceled error still matches context.Canceled).
+type classified struct {
+	class error
+	err   error
+}
+
+func (c *classified) Error() string   { return c.err.Error() }
+func (c *classified) Unwrap() []error { return []error{c.err, c.class} }
+
+// As tags err with a sentinel class, preserving the original chain.
+// A nil err stays nil.
+func As(class, err error) error {
+	if err == nil {
+		return nil
+	}
+	return &classified{class: class, err: err}
+}
+
+// Invalidf builds an ErrInvalidCase-classified error.
+func Invalidf(format string, args ...any) error {
+	return As(ErrInvalidCase, fmt.Errorf(format, args...))
+}
+
+// Convergencef builds an ErrConvergence-classified error.
+func Convergencef(format string, args ...any) error {
+	return As(ErrConvergence, fmt.Errorf(format, args...))
+}
+
+// Numericalf builds an ErrNumerical-classified error.
+func Numericalf(format string, args ...any) error {
+	return As(ErrNumerical, fmt.Errorf(format, args...))
+}
+
+// Canceled wraps a context error (or any error raised on cancellation)
+// so it classifies as ErrCanceled while still matching the original
+// error via errors.Is.
+func Canceled(err error) error { return As(ErrCanceled, err) }
+
+// Class returns the sentinel class of err, or nil when unclassified.
+// Cancellation wins over the other classes (a canceled run often fails
+// with a secondary symptom), and bare context errors classify as
+// ErrCanceled even without a Canceled wrap.
+func Class(err error) error {
+	switch {
+	case err == nil:
+		return nil
+	case errors.Is(err, ErrCanceled),
+		errors.Is(err, context.Canceled),
+		errors.Is(err, context.DeadlineExceeded):
+		return ErrCanceled
+	case errors.Is(err, ErrInvalidCase):
+		return ErrInvalidCase
+	case errors.Is(err, ErrConvergence):
+		return ErrConvergence
+	case errors.Is(err, ErrNumerical):
+		return ErrNumerical
+	}
+	return nil
+}
+
+// ClassName names err's class for reports ("invalid-case",
+// "convergence", "numerical", "canceled", or "unclassified").
+func ClassName(err error) string {
+	switch Class(err) {
+	case ErrInvalidCase:
+		return "invalid-case"
+	case ErrConvergence:
+		return "convergence"
+	case ErrNumerical:
+		return "numerical"
+	case ErrCanceled:
+		return "canceled"
+	}
+	return "unclassified"
+}
+
+// Stage names one step of the per-net analysis pipeline. The values
+// match the engine's metrics timers ("stage.<name>").
+type Stage string
+
+// Pipeline stages, in execution order.
+const (
+	StageCharacterize Stage = "characterize"
+	StageReduce       Stage = "reduce"
+	StageSimulate     Stage = "simulate"
+	StageAlign        Stage = "align"
+	StageReport       Stage = "report"
+)
+
+// StageError attributes a failure to one pipeline stage of one net.
+// Either field may be empty when the corresponding attribution is
+// unknown. Retrieve it from a chain with errors.As.
+type StageError struct {
+	Net   string
+	Stage Stage
+	Err   error
+}
+
+func (e *StageError) Error() string {
+	switch {
+	case e.Net == "" && e.Stage == "":
+		return e.Err.Error()
+	case e.Net == "":
+		return fmt.Sprintf("stage %s: %v", e.Stage, e.Err)
+	case e.Stage == "":
+		return fmt.Sprintf("net %s: %v", e.Net, e.Err)
+	}
+	return fmt.Sprintf("net %s: stage %s: %v", e.Net, e.Stage, e.Err)
+}
+
+func (e *StageError) Unwrap() error { return e.Err }
+
+// InStage attributes err to a pipeline stage. An error already carrying
+// a stage attribution anywhere in its chain is returned unchanged: the
+// innermost attribution is the most precise (a PRIMA failure inside a
+// simulate-stage call stays a reduce failure). Nil-safe.
+func InStage(stage Stage, err error) error {
+	if err == nil {
+		return nil
+	}
+	var se *StageError
+	if errors.As(err, &se) {
+		return err
+	}
+	return &StageError{Stage: stage, Err: err}
+}
+
+// WithNet attributes err to a named net. When the outermost error is a
+// net-less StageError, a copy with the net filled in is returned (never
+// mutated — the underlying error may be shared across goroutines by a
+// single-flight cache); otherwise err is wrapped in a fresh StageError
+// carrying only the net. Nil-safe.
+func WithNet(net string, err error) error {
+	if err == nil || net == "" {
+		return err
+	}
+	if se, ok := err.(*StageError); ok {
+		if se.Net != "" {
+			return err
+		}
+		return &StageError{Net: net, Stage: se.Stage, Err: se.Err}
+	}
+	return &StageError{Net: net, Err: err}
+}

@@ -1,11 +1,13 @@
 package thevenin
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 
 	"repro/internal/device"
+	"repro/internal/noiseerr"
 	"repro/internal/table"
 )
 
@@ -26,8 +28,14 @@ type CharTable struct {
 
 // Characterize fits the cell at every (slew, load) grid point.
 func Characterize(cell *device.Cell, outRising bool, slews, loads []float64) (*CharTable, error) {
+	return CharacterizeContext(context.Background(), cell, outRising, slews, loads)
+}
+
+// CharacterizeContext is Characterize with cancellation support,
+// checked between grid points and inside each fit's simulation.
+func CharacterizeContext(ctx context.Context, cell *device.Cell, outRising bool, slews, loads []float64) (*CharTable, error) {
 	if len(slews) < 2 || len(loads) < 2 {
-		return nil, fmt.Errorf("thevenin: characterization needs >= 2 points per axis")
+		return nil, noiseerr.Invalidf("thevenin: characterization needs >= 2 points per axis")
 	}
 	rth := make([][]float64, len(slews))
 	dt := make([][]float64, len(slews))
@@ -38,7 +46,7 @@ func Characterize(cell *device.Cell, outRising bool, slews, loads []float64) (*C
 		dt[i] = make([]float64, len(loads))
 		t0[i] = make([]float64, len(loads))
 		for j, load := range loads {
-			m, _, err := Fit(cell, slew, inRising, load)
+			m, _, err := FitContext(ctx, cell, slew, inRising, load)
 			if err != nil {
 				return nil, fmt.Errorf("thevenin: characterize %s slew=%g load=%g: %w",
 					cell.Name, slew, load, err)

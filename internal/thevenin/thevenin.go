@@ -6,11 +6,13 @@
 package thevenin
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/device"
 	"repro/internal/gatesim"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -104,7 +106,7 @@ var shapeRatioArgmin, shapeRatioMin = func() (float64, float64) {
 // direction to fit.
 func FitWaveform(out *waveform.PWL, vdd, ceff float64, outRising bool) (Model, error) {
 	if ceff <= 0 {
-		return Model{}, fmt.Errorf("thevenin: ceff must be positive, got %g", ceff)
+		return Model{}, noiseerr.Invalidf("thevenin: ceff must be positive, got %g", ceff)
 	}
 	cross := func(frac float64) (float64, error) {
 		th := frac * vdd
@@ -115,20 +117,20 @@ func FitWaveform(out *waveform.PWL, vdd, ceff float64, outRising bool) (Model, e
 	}
 	t10, err := cross(0.1)
 	if err != nil {
-		return Model{}, fmt.Errorf("thevenin: no 10%% crossing: %w", err)
+		return Model{}, noiseerr.Numericalf("thevenin: no 10%% crossing: %w", err)
 	}
 	t50, err := cross(0.5)
 	if err != nil {
-		return Model{}, fmt.Errorf("thevenin: no 50%% crossing: %w", err)
+		return Model{}, noiseerr.Numericalf("thevenin: no 50%% crossing: %w", err)
 	}
 	t90, err := cross(0.9)
 	if err != nil {
-		return Model{}, fmt.Errorf("thevenin: no 90%% crossing: %w", err)
+		return Model{}, noiseerr.Numericalf("thevenin: no 90%% crossing: %w", err)
 	}
 	a := t50 - t10
 	b := t90 - t50
 	if a <= 0 || b <= 0 {
-		return Model{}, fmt.Errorf("thevenin: non-monotone crossings (a=%g, b=%g)", a, b)
+		return Model{}, noiseerr.Numericalf("thevenin: non-monotone crossings (a=%g, b=%g)", a, b)
 	}
 	ratio := b / a
 	// Bisection on the increasing branch of shapeRatio for rho = tau/dt.
@@ -167,7 +169,13 @@ func FitWaveform(out *waveform.PWL, vdd, ceff float64, outRising bool) (Model, e
 // the resulting output transition. It returns the model and the raw
 // nonlinear output waveform.
 func Fit(cell *device.Cell, inSlew float64, inRising bool, ceff float64) (Model, *waveform.PWL, error) {
-	out, err := gatesim.Drive(cell, inSlew, inRising, ceff, nil, gatesim.Options{})
+	return FitContext(context.Background(), cell, inSlew, inRising, ceff)
+}
+
+// FitContext is Fit with cancellation support for the underlying
+// nonlinear drive simulation.
+func FitContext(ctx context.Context, cell *device.Cell, inSlew float64, inRising bool, ceff float64) (Model, *waveform.PWL, error) {
+	out, err := gatesim.Drive(cell, inSlew, inRising, ceff, nil, gatesim.Options{Ctx: ctx})
 	if err != nil {
 		return Model{}, nil, err
 	}
