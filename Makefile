@@ -2,7 +2,12 @@
 
 GO ?= go
 
-.PHONY: build test race lint staticcheck vuln bench
+# External tool pins: CI and local installs use the same versions, so a
+# new staticcheck release cannot break the build unreviewed.
+STATICCHECK_VERSION ?= 2024.1.1
+GOVULNCHECK_VERSION ?= v1.1.3
+
+.PHONY: build test race lint noiselint staticcheck vuln bench
 
 build:
 	$(GO) build ./...
@@ -15,19 +20,27 @@ test:
 race:
 	$(GO) test -race ./internal/clarinet/... ./internal/core/...
 
-lint:
+lint: noiselint
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
 		echo "gofmt needed on:"; echo "$$out"; exit 1; \
 	fi
 
-# Static analysis beyond go vet; CI installs staticcheck on the runner,
-# locally the target degrades to a skip notice when the tool is absent.
+# Domain-specific analyzers (see DESIGN.md "Static analysis"): context
+# twins, stage-name drift, error-taxonomy wrapping, cache-key purity,
+# and numeric-kernel float hygiene. Dependency-free: the checker is part
+# of this module.
+noiselint:
+	$(GO) run ./cmd/noiselint ./...
+
+# Static analysis beyond go vet; CI installs the pinned staticcheck on
+# the runner, locally the target degrades to a skip notice when the
+# tool is absent.
 staticcheck:
 	@if command -v staticcheck >/dev/null 2>&1; then \
 		staticcheck ./...; \
 	else \
-		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+		echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; \
 	fi
 
 # Known-vulnerability scan. Advisory: CI marks the job
@@ -36,7 +49,7 @@ vuln:
 	@if command -v govulncheck >/dev/null 2>&1; then \
 		govulncheck ./... || true; \
 	else \
-		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@latest)"; \
+		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
 
 # One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet

@@ -1,0 +1,69 @@
+// Command noiselint is the repository's domain-specific static
+// analyzer: a multichecker running every analyzer in
+// internal/lint/rules over the given package patterns.
+//
+// Usage:
+//
+//	noiselint [-list] [packages]
+//
+// With no patterns it analyzes ./... relative to the current directory.
+// Findings print one per line as file:line:col: message (noiselint/<analyzer>)
+// and a non-zero exit status reports that findings exist. Suppress a
+// finding with a directive on the offending line or the line above:
+//
+//	//lint:ignore noiselint/<analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/lint"
+	"repro/internal/lint/rules"
+)
+
+func main() {
+	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: noiselint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
+		for _, a := range rules.All() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  noiselint/%s\n      %s\n", a.Name, a.Doc)
+		}
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if *listOnly {
+		for _, a := range rules.All() {
+			fmt.Printf("noiselint/%s: %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noiselint:", err)
+		os.Exit(2)
+	}
+	pkgs, err := lint.Load(wd, patterns...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noiselint:", err)
+		os.Exit(2)
+	}
+	diags, err := lint.Run(pkgs, rules.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "noiselint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "noiselint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

@@ -7,13 +7,13 @@
 package clarinet
 
 import (
-	"fmt"
 	"runtime"
 
 	"repro/internal/delaynoise"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/metrics"
+	"repro/internal/noiseerr"
 )
 
 // Config selects the analysis variant for a run.
@@ -84,7 +84,7 @@ type Tool struct {
 // counts; zero workers means one per available core.
 func New(lib *device.Library, cfg Config) (*Tool, error) {
 	if cfg.Workers < 0 {
-		return nil, fmt.Errorf("clarinet: negative worker count %d", cfg.Workers)
+		return nil, noiseerr.Invalidf("clarinet: negative worker count %d", cfg.Workers)
 	}
 	cfg.defaults()
 	s := cfg.Session

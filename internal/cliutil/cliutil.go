@@ -117,6 +117,7 @@ func MustWriteMetrics(path string, s metrics.Snapshot) {
 // SIGINT/SIGTERM (so an interrupted run still drains and reports), and
 // by the deadline when timeout is positive. Callers must defer cancel.
 func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	//lint:ignore noiselint/ctxvariant the process root context of the CLI tools is created here
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	if timeout <= 0 {
 		return ctx, cancel

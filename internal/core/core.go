@@ -85,7 +85,7 @@ func (a *Analyzer) DelayNoise(c *delaynoise.Case) (*delaynoise.Result, error) {
 func (a *Analyzer) DelayNoiseContext(ctx context.Context, c *delaynoise.Case) (*delaynoise.Result, error) {
 	opt := a.session.Bind(a.Opt)
 	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
-		tab, err := a.Table(c.Receiver, c.Victim.OutputRising)
+		tab, err := a.TableContext(ctx, c.Receiver, c.Victim.OutputRising)
 		if err != nil {
 			return nil, err
 		}
@@ -112,5 +112,12 @@ func (a *Analyzer) Reference(c *delaynoise.Case, res *delaynoise.Result) (*delay
 // under concurrency) the alignment pre-characterization of a receiver
 // cell.
 func (a *Analyzer) Table(recv *device.Cell, victimRising bool) (*align.Table, error) {
-	return a.session.Table(context.Background(), recv, victimRising)
+	return a.TableContext(context.Background(), recv, victimRising)
+}
+
+// TableContext is Table with cancellation support: the corner searches
+// that build a missing table run on ctx (the first caller's context,
+// under single flight).
+func (a *Analyzer) TableContext(ctx context.Context, recv *device.Cell, victimRising bool) (*align.Table, error) {
+	return a.session.Table(ctx, recv, victimRising)
 }

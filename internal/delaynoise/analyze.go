@@ -176,7 +176,7 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageCharacterize, err)
 	}
-	opt.Metrics.Observe("stage.characterize", time.Since(charStart))
+	opt.Metrics.Observe(noiseerr.StageCharacterize.TimerName(), time.Since(charStart))
 	noiselessIn, noiselessDrv, err := e.victimNoiseless()
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageSimulate, err)
@@ -224,7 +224,7 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 
 		alignStart := time.Now()
 		tPeak, err = e.chooseAlignment(obj, noiselessIn, composite, pulse, opt)
-		opt.Metrics.Observe("stage.align", time.Since(alignStart))
+		opt.Metrics.Observe(noiseerr.StageAlign.TimerName(), time.Since(alignStart))
 		if err != nil {
 			return nil, noiseerr.InStage(noiseerr.StageAlign, err)
 		}
@@ -246,9 +246,9 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 		holdStart := time.Now()
 		hr, err := opt.Chars.HoldRes(ctx, c.Victim.Cell, c.Victim.InputSlew, c.Victim.Cell.InputRisingFor(c.Victim.OutputRising),
 			e.victim.ceff, e.victim.model.Rth, vn)
-		opt.Metrics.Observe("stage.holdres", time.Since(holdStart))
+		opt.Metrics.Observe(noiseerr.StageHoldres.TimerName(), time.Since(holdStart))
 		if err != nil {
-			return nil, noiseerr.InStage(noiseerr.StageCharacterize, fmt.Errorf("delaynoise: holding resistance: %w", err))
+			return nil, noiseerr.InStage(noiseerr.StageHoldres, fmt.Errorf("delaynoise: holding resistance: %w", err))
 		}
 		res.VictimRtr = hr.Rtr
 		// The loop must run at least twice so the computed Rtr is
@@ -269,7 +269,7 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 
 	// Final delay evaluation with nonlinear receiver simulations.
 	reportStart := time.Now()
-	defer func() { opt.Metrics.Observe("stage.report", time.Since(reportStart)) }()
+	defer func() { opt.Metrics.Observe(noiseerr.StageReport.TimerName(), time.Since(reportStart)) }()
 	noisyIn := align.NoisyInput(noiselessIn, composite, tPeak)
 	quietOut, err := obj.OutputCross(noiselessIn)
 	if err != nil {

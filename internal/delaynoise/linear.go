@@ -147,7 +147,7 @@ func (e *engine) runLinear(ckt *netlist.Circuit) (map[string]*waveform.PWL, erro
 func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[string]*waveform.PWL, error) {
 	e.opt.Metrics.Counter("sim.linear").Inc()
 	start := time.Now()
-	defer func() { e.opt.Metrics.Observe("stage.simulate", time.Since(start)) }()
+	defer func() { e.opt.Metrics.Observe(noiseerr.StageSimulate.TimerName(), time.Since(start)) }()
 	sys, err := mna.Build(ckt)
 	if err != nil {
 		return nil, err
@@ -157,14 +157,14 @@ func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[str
 	if q := e.opt.PRIMAOrder; q > 0 && q < sys.NumStates() {
 		reduceStart := time.Now()
 		rom, err := e.opt.ROMs.Reduce(e.ctx, sys, q)
-		e.opt.Metrics.Observe("stage.reduce", time.Since(reduceStart))
+		e.opt.Metrics.Observe(noiseerr.StageReduce.TimerName(), time.Since(reduceStart))
 		if err != nil {
 			return nil, noiseerr.InStage(noiseerr.StageReduce, err)
 		}
 		// PRIMA matches the first block moment, so the DC point of the
 		// reduced system projects exactly onto the full DC solution; the
 		// reduced InitDC start is therefore exact for these circuits.
-		res, err := rom.Run(opt)
+		res, err := rom.RunContext(e.ctx, opt)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,55 @@
+package delaynoise
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/noiseerr"
+)
+
+// TestStageTimersMatchSharedConstants runs a full analysis with
+// instrumentation and asserts that every timer the engine registers in
+// the "stage.*" namespace maps back to one of the shared noiseerr stage
+// constants. This is the runtime half of the noiselint/stagename
+// invariant: if a stage timer is added or renamed without touching the
+// shared set in internal/noiseerr, this test fails before the analyzer
+// ever runs.
+func TestStageTimersMatchSharedConstants(t *testing.T) {
+	c := testCase(t)
+	reg := metrics.NewRegistry()
+	_, err := Analyze(c, Options{
+		Hold:       HoldTransient,
+		Align:      AlignExhaustive,
+		PRIMAOrder: 8, // exercise the reduce stage too
+		Metrics:    reg,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var stageTimers []string
+	for name := range snap.Timers {
+		if _, ok := noiseerr.StageForTimer(name); ok {
+			stageTimers = append(stageTimers, name)
+			continue
+		}
+		if len(name) >= 6 && name[:6] == "stage." {
+			t.Errorf("timer %q is in the stage.* namespace but maps to no noiseerr stage constant", name)
+		}
+	}
+	if len(stageTimers) == 0 {
+		t.Fatal("analysis registered no stage.* timers; instrumentation wiring is broken")
+	}
+	// The core stages of this configuration must all have been timed.
+	for _, s := range []noiseerr.Stage{
+		noiseerr.StageCharacterize,
+		noiseerr.StageReduce,
+		noiseerr.StageSimulate,
+		noiseerr.StageAlign,
+		noiseerr.StageHoldres,
+	} {
+		if _, ok := snap.Timers[s.TimerName()]; !ok {
+			t.Errorf("stage %q was never timed (missing timer %q)", s, s.TimerName())
+		}
+	}
+}

@@ -1,8 +1,9 @@
 package device
 
 import (
-	"fmt"
 	"sort"
+
+	"repro/internal/noiseerr"
 )
 
 // Local node names used inside a cell topology. "in" and "out" are the
@@ -247,7 +248,7 @@ func NewLibrary(tech *Technology) *Library {
 func (l *Library) Cell(name string) (*Cell, error) {
 	c, ok := l.Cells[name]
 	if !ok {
-		return nil, fmt.Errorf("device: no cell %q in library (have %v)", name, l.names)
+		return nil, noiseerr.Invalidf("device: no cell %q in library (have %v)", name, l.names)
 	}
 	return c, nil
 }

@@ -9,6 +9,8 @@ package device
 import (
 	"fmt"
 	"math"
+
+	"repro/internal/noiseerr"
 )
 
 // MOSType distinguishes the two device polarities.
@@ -54,17 +56,17 @@ type MOSParams struct {
 func (p *MOSParams) Validate() error {
 	switch {
 	case p.Vth <= 0:
-		return fmt.Errorf("device: Vth must be positive, got %g", p.Vth)
+		return noiseerr.Invalidf("device: Vth must be positive, got %g", p.Vth)
 	case p.Alpha < 1 || p.Alpha > 2:
-		return fmt.Errorf("device: Alpha %g outside [1, 2]", p.Alpha)
+		return noiseerr.Invalidf("device: Alpha %g outside [1, 2]", p.Alpha)
 	case p.K <= 0:
-		return fmt.Errorf("device: K must be positive, got %g", p.K)
+		return noiseerr.Invalidf("device: K must be positive, got %g", p.K)
 	case p.Kv <= 0:
-		return fmt.Errorf("device: Kv must be positive, got %g", p.Kv)
+		return noiseerr.Invalidf("device: Kv must be positive, got %g", p.Kv)
 	case p.Vs <= 0:
-		return fmt.Errorf("device: Vs must be positive, got %g", p.Vs)
+		return noiseerr.Invalidf("device: Vs must be positive, got %g", p.Vs)
 	case p.Sat <= 0:
-		return fmt.Errorf("device: Sat must be positive, got %g", p.Sat)
+		return noiseerr.Invalidf("device: Sat must be positive, got %g", p.Sat)
 	}
 	return nil
 }
@@ -194,7 +196,7 @@ func Slow180() *Technology { return Default180().Corner("generic-180nm-ss", 0.8,
 // Validate checks both polarities and the supply.
 func (t *Technology) Validate() error {
 	if t.Vdd <= 0 {
-		return fmt.Errorf("device: Vdd must be positive, got %g", t.Vdd)
+		return noiseerr.Invalidf("device: Vdd must be positive, got %g", t.Vdd)
 	}
 	if err := t.N.Validate(); err != nil {
 		return fmt.Errorf("nmos: %w", err)

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/noiseerr"
 )
 
 // RCM computes a reverse Cuthill-McKee ordering of the matrix's symmetric
@@ -123,7 +125,7 @@ func FactorBandedChol(s *Sparse, perm []int) (*BandedChol, error) {
 		}
 	}
 	if len(perm) != n {
-		return nil, fmt.Errorf("linalg: permutation length %d for %d rows", len(perm), n)
+		return nil, noiseerr.Invalidf("linalg: permutation length %d for %d rows", len(perm), n)
 	}
 	inv := invertPerm(perm)
 	bw := s.Bandwidth(perm)

@@ -1,8 +1,9 @@
 package linalg
 
 import (
-	"fmt"
 	"math"
+
+	"repro/internal/noiseerr"
 )
 
 // Cholesky is the lower-triangular Cholesky factor of a symmetric
@@ -17,7 +18,7 @@ type Cholesky struct {
 // Returns ErrSingular if a is not positive definite to working precision.
 func FactorCholesky(a *Matrix) (*Cholesky, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
+		return nil, noiseerr.Invalidf("linalg: Cholesky of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	l := NewMatrix(n, n)

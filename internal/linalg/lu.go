@@ -4,6 +4,8 @@ import (
 	"errors"
 	"fmt"
 	"math"
+
+	"repro/internal/noiseerr"
 )
 
 // ErrSingular is returned when a factorization encounters a pivot that is
@@ -22,7 +24,7 @@ type LU struct {
 // a is not modified.
 func FactorLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
-		return nil, fmt.Errorf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
+		return nil, noiseerr.Invalidf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
 	n := a.Rows
 	lu := a.Clone()

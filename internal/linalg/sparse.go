@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"sort"
+
+	"repro/internal/noiseerr"
 )
 
 // Sparse is a compressed-sparse-row matrix, built through a coordinate
@@ -114,7 +116,7 @@ type CGOptions struct {
 // count dramatically. It returns the solution and the iterations used.
 func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error) {
 	if len(b) != s.N {
-		return nil, 0, fmt.Errorf("linalg: CG rhs has %d entries, want %d", len(b), s.N)
+		return nil, 0, noiseerr.Invalidf("linalg: CG rhs has %d entries, want %d", len(b), s.N)
 	}
 	if opt.Tol == 0 {
 		opt.Tol = 1e-10
@@ -139,7 +141,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 	invD := s.Diag()
 	for i, d := range invD {
 		if d <= 0 {
-			return nil, 0, fmt.Errorf("linalg: CG needs positive diagonal (row %d has %g)", i, d)
+			return nil, 0, noiseerr.Numericalf("linalg: CG needs positive diagonal (row %d has %g)", i, d)
 		}
 		invD[i] = 1 / d
 	}
@@ -155,7 +157,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 		s.MulVec(p, ap)
 		pap := Dot(p, ap)
 		if pap <= 0 {
-			return nil, iter, fmt.Errorf("linalg: CG breakdown (matrix not SPD?)")
+			return nil, iter, noiseerr.Numericalf("linalg: CG breakdown (matrix not SPD?)")
 		}
 		alpha := rz / pap
 		for i := range x {
@@ -175,7 +177,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, opt.MaxIter, fmt.Errorf("linalg: CG did not converge in %d iterations (residual %g)",
+	return nil, opt.MaxIter, noiseerr.Convergencef("linalg: CG did not converge in %d iterations (residual %g)",
 		opt.MaxIter, Norm2(r)/bNorm)
 }
 

@@ -1,0 +1,202 @@
+// Package linttest is the analysistest equivalent of the noiselint
+// framework: it runs one analyzer over a testdata package and checks the
+// findings against `// want "regexp"` comments placed on the offending
+// lines. A want comment may carry several quoted patterns when a line
+// triggers several findings. Lines without a want comment must stay
+// clean.
+package linttest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/lint"
+)
+
+var (
+	exportOnce sync.Once
+	exportMap  lint.ExportData
+	exportRoot string
+	exportErr  error
+)
+
+// moduleExports compiles the whole module once per test process and
+// returns its export data (standard library included), so testdata
+// packages can import real repro packages like internal/noiseerr.
+func moduleExports() (string, lint.ExportData, error) {
+	exportOnce.Do(func() {
+		dir, err := os.Getwd()
+		if err != nil {
+			exportErr = err
+			return
+		}
+		for {
+			if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+				break
+			}
+			parent := filepath.Dir(dir)
+			if parent == dir {
+				exportErr = fmt.Errorf("lint: no go.mod above test directory")
+				return
+			}
+			dir = parent
+		}
+		exportRoot = dir
+		_, exportMap, exportErr = lint.List(dir, "./...")
+	})
+	return exportRoot, exportMap, exportErr
+}
+
+// want is one expected finding.
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile(`// want (.*)$`)
+
+// TestAnalyzer runs a through the framework (suppression directives
+// included) over the testdata package in srcDir, type-checked under
+// importPath, and compares the diagnostics against the package's
+// `// want` comments. Choosing importPath places the fake package in or
+// out of an analyzer's scope exactly like a real tree package.
+func TestAnalyzer(t *testing.T, a *lint.Analyzer, srcDir, importPath string) {
+	t.Helper()
+	_, exports, err := moduleExports()
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(srcDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var wants []*want
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		path := filepath.Join(srcDir, e.Name())
+		src, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f, err := parser.ParseFile(fset, path, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+		wants = append(wants, parseWants(t, f, fset)...)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in %s", srcDir)
+	}
+	pkg, info, err := lint.Check(importPath, fset, files, exports.Importer(fset))
+	if err != nil {
+		t.Fatalf("type-checking %s: %v", srcDir, err)
+	}
+	diags, err := lint.Run([]*lint.Package{{
+		Path:  importPath,
+		Dir:   srcDir,
+		Fset:  fset,
+		Files: files,
+		Pkg:   pkg,
+		Info:  info,
+	}}, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		if !claim(wants, d) {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+// parseWants extracts the expectations of one file. Every quoted string
+// after "// want" is one expected-diagnostic pattern for that line.
+func parseWants(t *testing.T, f *ast.File, fset *token.FileSet) []*want {
+	t.Helper()
+	var out []*want
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			m := wantRE.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			pos := fset.Position(c.Pos())
+			rest := m[1]
+			n := 0
+			for rest != "" {
+				q, tail, err := cutQuoted(rest)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want comment %q: %v", pos.Filename, pos.Line, c.Text, err)
+				}
+				re, err := regexp.Compile(q)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want pattern %q: %v", pos.Filename, pos.Line, q, err)
+				}
+				out = append(out, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				rest = tail
+				n++
+			}
+			if n == 0 {
+				t.Fatalf("%s:%d: want comment with no quoted pattern", pos.Filename, pos.Line)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		return out[i].line < out[j].line
+	})
+	return out
+}
+
+// cutQuoted splits one leading Go-quoted string off s.
+func cutQuoted(s string) (unquoted, rest string, err error) {
+	for len(s) > 0 && (s[0] == ' ' || s[0] == '\t') {
+		s = s[1:]
+	}
+	if s == "" || s[0] != '"' {
+		return "", "", fmt.Errorf("expected quoted pattern at %q", s)
+	}
+	for i := 1; i < len(s); i++ {
+		if s[i] == '\\' {
+			i++
+			continue
+		}
+		if s[i] == '"' {
+			q, err := strconv.Unquote(s[:i+1])
+			return q, s[i+1:], err
+		}
+	}
+	return "", "", fmt.Errorf("unterminated pattern %q", s)
+}
+
+// claim marks the first unmatched want covering d and reports whether
+// one existed.
+func claim(wants []*want, d lint.Diagnostic) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.pattern.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

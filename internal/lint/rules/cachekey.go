@@ -1,0 +1,98 @@
+package rules
+
+import (
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// CacheKey audits the key types of the single-flight caches in
+// internal/memo. The caches deduplicate concurrent computations by key
+// equality, so a key must be a pure comparable value: a pointer, slice,
+// map, channel, function, or interface component makes equality mean
+// identity (two structurally equal requests miss each other, or worse,
+// two different requests collide after the pointee mutates), and a
+// float component breaks the cache for NaN (NaN != NaN, so the entry
+// can never be hit again).
+var CacheKey = &lint.Analyzer{
+	Name: "cachekey",
+	Doc: "memo cache key types must be pure comparable values: no pointers, " +
+		"slices, maps, channels, funcs, interfaces, or floats",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	memoPath := internalPrefix + "memo"
+	if pass.Path == memoPath {
+		// memo's own generic code instantiates Cache[K, V] with its
+		// abstract type parameters; only concrete client keys matter.
+		return nil
+	}
+	for id, inst := range pass.Info.Instances {
+		obj := pass.Info.Uses[id]
+		if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != memoPath {
+			continue
+		}
+		if inst.TypeArgs == nil || inst.TypeArgs.Len() == 0 {
+			continue
+		}
+		key := inst.TypeArgs.At(0)
+		if msg := keyProblem(key, map[types.Type]bool{}); msg != "" {
+			pass.Reportf(id.Pos(), "cache key type %s %s",
+				types.TypeString(key, types.RelativeTo(pass.Pkg)), msg)
+		}
+	}
+	return nil
+}
+
+// keyProblem recursively validates a cache key type, returning a
+// human-readable defect or "" when the type is a pure comparable value.
+// seen breaks cycles through recursive named types.
+func keyProblem(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if _, ok := t.(*types.TypeParam); ok {
+		// A generic wrapper passing its own K through: judged at the
+		// wrapper's concrete instantiation sites instead.
+		return ""
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Info()&(types.IsFloat|types.IsComplex) != 0 {
+			return "embeds a float (NaN never equals itself, so a NaN-keyed entry can never hit; " +
+				"hash the exact bits into a uint64 with math.Float64bits instead)"
+		}
+		return ""
+	case *types.Pointer:
+		return "embeds a pointer (key equality becomes identity and aliases mutable state; " +
+			"key by value or by content hash instead)"
+	case *types.Slice:
+		return "embeds a slice (not comparable; key by a digest of the contents instead)"
+	case *types.Map:
+		return "embeds a map (not comparable; key by a digest of the contents instead)"
+	case *types.Chan:
+		return "embeds a channel (key equality becomes identity)"
+	case *types.Signature:
+		return "embeds a func value (not comparable)"
+	case *types.Interface:
+		return "embeds an interface (dynamic values alias mutable state and may be incomparable at runtime)"
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if msg := keyProblem(u.Field(i).Type(), seen); msg != "" {
+				return "field " + u.Field(i).Name() + " " + msg
+			}
+		}
+		return ""
+	case *types.Array:
+		return keyProblem(u.Elem(), seen)
+	default:
+		// Type parameters and anything exotic: accept; the memo package's
+		// own comparable constraint still applies.
+		return ""
+	}
+}

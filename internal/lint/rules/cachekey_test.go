@@ -1,0 +1,11 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCacheKey(t *testing.T) {
+	linttest.TestAnalyzer(t, CacheKey, "testdata/cachekey", "repro/internal/cachekeydata")
+}

@@ -1,0 +1,144 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// CtxVariant enforces the engine's cancellation convention. Long-running
+// analysis entry points (exported Analyze*/Run*/Simulate* functions in
+// internal packages) must either take a context.Context themselves or
+// ship a delegating ...Context twin, so every pipeline stage can be
+// canceled end to end. Library code must not mint its own root context:
+// context.Background()/context.TODO() calls are confined to the
+// non-Context half of such a twin pair, where they exist only to feed
+// the Context variant.
+var CtxVariant = &lint.Analyzer{
+	Name: "ctxvariant",
+	Doc: "exported Analyze*/Run*/Simulate* entry points need a ...Context twin, " +
+		"and library code must not call context.Background or context.TODO",
+	Run: runCtxVariant,
+}
+
+// entryPrefixes marks the naming families treated as analysis entry
+// points.
+var entryPrefixes = []string{"Analyze", "Run", "Simulate"}
+
+func runCtxVariant(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	// Index every function declaration of the package by
+	// "<receiver type>.<name>" so twins can be looked up across files.
+	decls := map[string]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				decls[declKey(fd)] = fd
+			}
+		}
+	}
+	for key, fd := range decls {
+		name := fd.Name.Name
+		if !ast.IsExported(name) || strings.HasSuffix(name, "Context") {
+			continue
+		}
+		if !hasEntryPrefix(name) || takesContext(pass.Info, fd) {
+			continue
+		}
+		twinKey := strings.TrimSuffix(key, name) + name + "Context"
+		twin, ok := decls[twinKey]
+		if !ok {
+			pass.Reportf(fd.Name.Pos(),
+				"exported entry point %s has no context-accepting twin %sContext", name, name)
+			continue
+		}
+		if !takesContext(pass.Info, twin) {
+			pass.Reportf(twin.Name.Pos(),
+				"%sContext must take a context.Context as its first parameter", name)
+		}
+	}
+	// Root-context calls: allowed only inside the plain half of a twin
+	// pair, where Background feeds the Context variant.
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			allowed := false
+			if twin, ok := decls[declKey(fd)+"Context"]; ok && takesContext(pass.Info, twin) {
+				allowed = true
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := callee(pass.Info, call)
+				if !isPkgFunc(fn, "context", "Background") && !isPkgFunc(fn, "context", "TODO") {
+					return true
+				}
+				if !allowed {
+					pass.Reportf(call.Pos(),
+						"library code must not call context.%s; accept a context.Context (or add a %sContext twin that does)",
+						fn.Name(), fd.Name.Name)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+// declKey names a declaration as "<receiver base type>.<func name>";
+// plain functions use ".<name>".
+func declKey(fd *ast.FuncDecl) string {
+	recv := ""
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		if idx, ok := t.(*ast.IndexExpr); ok {
+			t = idx.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			recv = id.Name
+		}
+	}
+	return recv + "." + fd.Name.Name
+}
+
+// hasEntryPrefix reports whether name belongs to one of the entry-point
+// naming families.
+func hasEntryPrefix(name string) bool {
+	for _, p := range entryPrefixes {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// takesContext reports whether fd's first parameter is a
+// context.Context.
+func takesContext(info *types.Info, fd *ast.FuncDecl) bool {
+	params := fd.Type.Params
+	if params == nil || len(params.List) == 0 {
+		return false
+	}
+	tv, ok := info.Types[params.List[0].Type]
+	if !ok {
+		return false
+	}
+	named, ok := tv.Type.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}

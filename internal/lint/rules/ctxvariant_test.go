@@ -1,0 +1,15 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestCtxVariant(t *testing.T) {
+	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant", "repro/internal/ctxvariantdata")
+}
+
+func TestCtxVariantSkipsCommands(t *testing.T) {
+	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant_outofscope", "repro/cmd/ctxvariantdata")
+}

@@ -1,0 +1,112 @@
+package rules
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// ErrWrap enforces the error taxonomy at package boundaries. Errors
+// built inside the pipeline packages must either carry one of the
+// noiseerr class sentinels (via noiseerr.Invalidf / Convergencef /
+// Numericalf / Canceled) or wrap an upstream error with %w, so that
+// callers can classify failures with errors.Is instead of string
+// matching. A bare fmt.Errorf severs the chain: the CLI loses the
+// exit-code mapping and the batch runner loses its per-class metrics.
+var ErrWrap = &lint.Analyzer{
+	Name: "errwrap",
+	Doc: "errors created in pipeline packages must wrap a noiseerr class sentinel " +
+		"or an upstream error with %w",
+	Run: runErrWrap,
+}
+
+// errwrapPackages is the pipeline scope: packages whose errors cross
+// into the engine/CLI layer and must be classifiable. Leaf utilities
+// (memo, metrics, stats, ...) and the taxonomy itself are exempt.
+var errwrapPackages = []string{
+	"align", "ceff", "clarinet", "core", "delaynoise", "device", "engine",
+	"funcnoise", "gatesim", "holdres", "linalg", "lsim", "mna", "mor",
+	"nlsim", "sta", "sweep", "thevenin", "waveform", "workload",
+}
+
+func runErrWrap(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	inScope := inPackages(pass.Path, errwrapPackages...)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := callee(pass.Info, call)
+			if !isPkgFunc(fn, "fmt", "Errorf") || len(call.Args) == 0 {
+				return true
+			}
+			format, isConst := constString(pass.Info, call.Args[0])
+			if !isConst {
+				return true
+			}
+			if inScope && !strings.Contains(format, "%w") {
+				pass.Reportf(call.Pos(),
+					"bare fmt.Errorf in a pipeline package; wrap a noiseerr sentinel "+
+						"(noiseerr.Invalidf/Convergencef/Numericalf) or an upstream error with %%w")
+				return true
+			}
+			// Even outside the pipeline scope, formatting an error value
+			// with a non-wrapping verb severs the chain silently.
+			for i, verb := range formatVerbs(format) {
+				if verb == 'w' || i+1 >= len(call.Args) {
+					continue
+				}
+				if tv, ok := pass.Info.Types[call.Args[i+1]]; ok && isErrorType(tv.Type) {
+					pass.Reportf(call.Args[i+1].Pos(),
+						"error formatted with %%%c loses the error chain; use %%w", verb)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// formatVerbs returns the conversion verbs of a Printf-style format in
+// argument order. Formats using explicit argument indexes or * width
+// arguments are skipped (returns nil) — the simple positional mapping
+// would lie about them.
+func formatVerbs(format string) []byte {
+	if strings.Contains(format, "%[") || strings.Contains(format, "*") {
+		return nil
+	}
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		// Skip flags, width, and precision.
+		for i < len(format) && strings.IndexByte("+-# 0123456789.*", format[i]) >= 0 {
+			i++
+		}
+		if i >= len(format) || format[i] == '%' {
+			continue
+		}
+		verbs = append(verbs, format[i])
+	}
+	return verbs
+}
+
+// isErrorType reports whether t's static type satisfies error.
+func isErrorType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	errIface, _ := types.Universe.Lookup("error").Type().Underlying().(*types.Interface)
+	if errIface == nil {
+		return false
+	}
+	return types.Implements(t, errIface)
+}

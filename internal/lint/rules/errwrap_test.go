@@ -1,0 +1,15 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestErrWrap(t *testing.T) {
+	linttest.TestAnalyzer(t, ErrWrap, "testdata/errwrap", "repro/internal/sweep/errwrapdata")
+}
+
+func TestErrWrapOutsidePipelineScope(t *testing.T) {
+	linttest.TestAnalyzer(t, ErrWrap, "testdata/errwrap_outofscope", "repro/internal/stats/errwrapdata")
+}

@@ -1,0 +1,260 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"regexp"
+
+	"repro/internal/lint"
+)
+
+// FloatSafe polices the numeric kernels. Two families of defects keep
+// recurring in solver code: comparing computed float64 values with ==
+// (which breaks the moment rounding differs between build modes), and
+// feeding unvalidated values to division, math.Sqrt, or math.Log inside
+// inner loops (one non-positive or zero input turns the whole
+// simulation into NaNs several stages downstream, where the cause is
+// unrecoverable).
+//
+// Deliberate idioms stay legal: comparisons against an exact-zero
+// constant (sparsity skips, unset-option sentinels), the x != x NaN
+// test, and the bodies of named epsilon helpers (functions whose name
+// contains approx/almost/close/eps/tol).
+var FloatSafe = &lint.Analyzer{
+	Name: "floatsafe",
+	Doc: "numeric kernels must not compare floats with == (use epsilon helpers) " +
+		"and must validate inputs of division, math.Sqrt, and math.Log in loops",
+	Run: runFloatSafe,
+}
+
+// floatsafePackages are the numeric-kernel packages in scope.
+var floatsafePackages = []string{"lsim", "nlsim", "mor", "linalg", "waveform"}
+
+// epsilonHelperRE matches the names of sanctioned tolerance helpers,
+// whose bodies are the one place exact float comparison is expected.
+var epsilonHelperRE = regexp.MustCompile(`(?i)(approx|almost|close|eps|tol)`)
+
+// guardFuncs are math functions whose use counts as validating an
+// input.
+var guardFuncs = map[string]bool{
+	"Abs": true, "IsNaN": true, "IsInf": true, "Min": true, "Max": true,
+	"Float64bits": true, "Signbit": true,
+}
+
+// riskFuncs are math functions with a restricted domain that must not
+// see unvalidated inputs inside loops.
+var riskFuncs = map[string]bool{"Sqrt": true, "Log": true, "Log2": true, "Log10": true, "Log1p": true}
+
+func runFloatSafe(pass *lint.Pass) error {
+	if !inPackages(pass.Path, floatsafePackages...) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if epsilonHelperRE.MatchString(fd.Name.Name) {
+				continue
+			}
+			checkFloatFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFloatFunc(pass *lint.Pass, fd *ast.FuncDecl) {
+	guarded := collectGuarded(pass, fd.Body)
+	params := paramObjects(pass, fd)
+	inLoop := loopRanges(fd.Body)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.EQL, token.NEQ:
+				checkFloatEquality(pass, n)
+			case token.QUO:
+				if inLoop(n.Pos()) {
+					checkLoopDivision(pass, n, params, guarded)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := callee(pass.Info, n); fn != nil && isPkgFunc(fn, "math", fn.Name()) &&
+				riskFuncs[fn.Name()] && inLoop(n.Pos()) {
+				checkRiskCall(pass, n, fn.Name(), guarded)
+			}
+		}
+		return true
+	})
+}
+
+// checkFloatEquality flags ==/!= between float operands, exempting
+// exact-zero comparisons and the self-comparison NaN idiom.
+func checkFloatEquality(pass *lint.Pass, n *ast.BinaryExpr) {
+	if !isFloatExpr(pass, n.X) || !isFloatExpr(pass, n.Y) {
+		return
+	}
+	if isZeroConst(pass, n.X) || isZeroConst(pass, n.Y) {
+		return
+	}
+	if types.ExprString(n.X) == types.ExprString(n.Y) {
+		return // x != x: the portable NaN test
+	}
+	pass.Reportf(n.OpPos,
+		"float64 values compared with %s; rounding makes this unstable — use an epsilon helper", n.Op)
+}
+
+// checkLoopDivision flags x / p inside a loop when the divisor is a
+// function parameter the function never validates.
+func checkLoopDivision(pass *lint.Pass, n *ast.BinaryExpr, params, guarded map[types.Object]bool) {
+	if !isFloatExpr(pass, n.Y) {
+		return
+	}
+	id, ok := ast.Unparen(n.Y).(*ast.Ident)
+	if !ok {
+		return
+	}
+	obj := pass.Info.Uses[id]
+	if obj == nil || !params[obj] || guarded[obj] {
+		return
+	}
+	pass.Reportf(n.OpPos,
+		"division by parameter %s inside a loop without validating it is nonzero", id.Name)
+}
+
+// checkRiskCall flags math.Sqrt/Log* calls in loops whose argument's
+// variables are never range-checked in the enclosing function.
+func checkRiskCall(pass *lint.Pass, call *ast.CallExpr, name string, guarded map[types.Object]bool) {
+	if len(call.Args) != 1 {
+		return
+	}
+	roots := rootVars(pass, call.Args[0])
+	if len(roots) == 0 {
+		return // constant argument
+	}
+	for _, r := range roots {
+		if guarded[r] {
+			return
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"math.%s inside a loop on an unvalidated value; check its sign or finiteness first "+
+			"(a single bad input NaN-poisons the whole solve)", name)
+}
+
+// collectGuarded gathers every variable that participates in an
+// ordering comparison or a guard-function call anywhere in body. A
+// variable in that set is considered validated for the loop checks.
+func collectGuarded(pass *lint.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	guarded := map[types.Object]bool{}
+	add := func(expr ast.Expr) {
+		for _, v := range rootVars(pass, expr) {
+			guarded[v] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.BinaryExpr:
+			switch n.Op {
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				add(n.X)
+				add(n.Y)
+			case token.EQL, token.NEQ:
+				// Exact-zero guards (if x == 0 { ... }) validate too.
+				if isZeroConst(pass, n.X) {
+					add(n.Y)
+				}
+				if isZeroConst(pass, n.Y) {
+					add(n.X)
+				}
+			}
+		case *ast.CallExpr:
+			if fn := callee(pass.Info, n); fn != nil && isPkgFunc(fn, "math", fn.Name()) && guardFuncs[fn.Name()] {
+				for _, a := range n.Args {
+					add(a)
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// paramObjects returns the declared objects of fd's parameters.
+func paramObjects(pass *lint.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	if fd.Type.Params == nil {
+		return out
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if obj := pass.Info.Defs[name]; obj != nil {
+				out[obj] = true
+			}
+		}
+	}
+	return out
+}
+
+// loopRanges returns a predicate reporting whether a position lies
+// inside any for/range statement of body.
+func loopRanges(body *ast.BlockStmt) func(token.Pos) bool {
+	type span struct{ lo, hi token.Pos }
+	var loops []span
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			loops = append(loops, span{n.Pos(), n.End()})
+		}
+		return true
+	})
+	return func(pos token.Pos) bool {
+		for _, l := range loops {
+			if l.lo <= pos && pos < l.hi {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+// rootVars collects the variables referenced by expr.
+func rootVars(pass *lint.Pass, expr ast.Expr) []types.Object {
+	var out []types.Object
+	ast.Inspect(expr, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.Info.Uses[id].(*types.Var); ok {
+				out = append(out, v)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isFloatExpr reports whether expr has a floating-point static type.
+func isFloatExpr(pass *lint.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether expr is a compile-time numeric constant
+// equal to zero.
+func isZeroConst(pass *lint.Pass, expr ast.Expr) bool {
+	tv, ok := pass.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}

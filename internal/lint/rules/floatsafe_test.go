@@ -1,0 +1,15 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestFloatSafe(t *testing.T) {
+	linttest.TestAnalyzer(t, FloatSafe, "testdata/floatsafe", "repro/internal/linalg/floatsafedata")
+}
+
+func TestFloatSafeSkipsNonKernelPackages(t *testing.T) {
+	linttest.TestAnalyzer(t, FloatSafe, "testdata/floatsafe_outofscope", "repro/internal/statsdata")
+}

@@ -1,0 +1,118 @@
+package rules
+
+import (
+	"go/ast"
+
+	"repro/internal/lint"
+)
+
+// StageName keeps the pipeline's stage vocabulary in one place. Stage
+// names flow into two sinks — noiseerr stage attribution and the
+// "stage.*"-prefixed metrics timers — and when the two are spelled as
+// independent string literals they drift apart (a timer renamed without
+// its error stage, or vice versa), which corrupts every report that
+// joins errors with timings. The analyzer therefore requires each sink
+// to reference the shared constants in internal/noiseerr: no string
+// literals as noiseerr.InStage arguments, no "stage."-prefixed literals
+// as metrics timer names, no ad-hoc noiseerr.Stage conversions or
+// constants outside the noiseerr package itself.
+var StageName = &lint.Analyzer{
+	Name: "stagename",
+	Doc: "stage names passed to noiseerr.InStage and stage.* metrics timers " +
+		"must come from the noiseerr stage constants",
+	Run: runStageName,
+}
+
+func runStageName(pass *lint.Pass) error {
+	if !inInternal(pass.Path) || pass.Path == noiseerrPath {
+		return nil
+	}
+	stageType := stageTypeName(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkStageCall(pass, n)
+			case *ast.ValueSpec:
+				// const myStage noiseerr.Stage = "..." declares a stage
+				// outside the shared set.
+				if n.Type != nil && stageType != "" && mentionsPackage(pass.Info, n.Type, noiseerrPath) {
+					if tv, ok := pass.Info.Types[n.Type]; ok && tv.Type != nil && tv.Type.String() == stageType {
+						pass.Reportf(n.Pos(),
+							"stage constants must be declared in %s, not per-package", noiseerrPath)
+					}
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkStageCall inspects one call expression for the three literal
+// sinks: noiseerr.InStage, metrics timer registration, and
+// noiseerr.Stage conversions.
+func checkStageCall(pass *lint.Pass, call *ast.CallExpr) {
+	// noiseerr.Stage("literal") conversion.
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if obj := pass.Info.Uses[sel.Sel]; obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == noiseerrPath && obj.Name() == "Stage" {
+			if len(call.Args) == 1 {
+				if s, isConst := constString(pass.Info, call.Args[0]); isConst {
+					pass.Reportf(call.Pos(),
+						"noiseerr.Stage(%q) bypasses the shared stage constants; use one of noiseerr.Stages", s)
+				}
+			}
+			return
+		}
+	}
+	fn := callee(pass.Info, call)
+	if fn == nil {
+		return
+	}
+	// noiseerr.InStage(stage, err): the stage argument must reference the
+	// shared constants.
+	if isPkgFunc(fn, noiseerrPath, "InStage") && len(call.Args) >= 1 {
+		arg := call.Args[0]
+		if s, isConst := constString(pass.Info, arg); isConst && !mentionsPackage(pass.Info, arg, noiseerrPath) {
+			pass.Reportf(arg.Pos(),
+				"stage %q passed to noiseerr.InStage as a string literal; use a noiseerr stage constant", s)
+		}
+		return
+	}
+	// Metrics timer names in the stage.* namespace: registering one from
+	// a literal instead of Stage.TimerName() lets the timer set drift
+	// from the stage set.
+	if fn.Pkg() != nil && fn.Pkg().Path() == internalPrefix+"metrics" && isTimerSink(fn.Name()) &&
+		len(call.Args) >= 1 {
+		arg := call.Args[0]
+		s, isConst := constString(pass.Info, arg)
+		if isConst && len(s) > 6 && s[:6] == "stage." && !mentionsPackage(pass.Info, arg, noiseerrPath) {
+			pass.Reportf(arg.Pos(),
+				"stage timer %q named by string literal; derive it from a noiseerr stage constant via TimerName()", s)
+		}
+	}
+}
+
+// isTimerSink reports whether a metrics method accepts a metric name
+// that may land in the stage.* namespace.
+func isTimerSink(name string) bool {
+	switch name {
+	case "Timer", "Observe", "ObserveDuration", "Counter", "Add", "Set", "Gauge":
+		return true
+	}
+	return false
+}
+
+// stageTypeName resolves the fully qualified name of noiseerr.Stage as
+// go/types prints it, or "" when the package does not import noiseerr.
+func stageTypeName(pass *lint.Pass) string {
+	for _, imp := range pass.Pkg.Imports() {
+		if imp.Path() == noiseerrPath {
+			if obj := imp.Scope().Lookup("Stage"); obj != nil {
+				return obj.Type().String()
+			}
+		}
+	}
+	return ""
+}

@@ -1,0 +1,16 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestStageName(t *testing.T) {
+	linttest.TestAnalyzer(t, StageName, "testdata/stagename", "repro/internal/stagenamedata")
+}
+
+func TestStageNameSkipsNoiseerrItself(t *testing.T) {
+	// The constants' home package is allowed to spell stage literals.
+	linttest.TestAnalyzer(t, StageName, "testdata/stagename_home", "repro/internal/noiseerr")
+}

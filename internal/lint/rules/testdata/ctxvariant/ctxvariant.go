@@ -1,0 +1,70 @@
+// Package ctxvariantdata exercises the ctxvariant analyzer: entry-point
+// twin pairs, missing twins, malformed twins, and root-context calls.
+package ctxvariantdata
+
+import "context"
+
+// AnalyzeGood has a proper delegating twin: clean.
+func AnalyzeGood(x int) int {
+	return AnalyzeGoodContext(context.Background(), x)
+}
+
+// AnalyzeGoodContext is the sanctioned home of the Background call
+// above.
+func AnalyzeGoodContext(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+// RunCtxDirect takes a context itself, so no twin is required: clean.
+func RunCtxDirect(ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+func AnalyzeOrphan(x int) int { // want "exported entry point AnalyzeOrphan has no context-accepting twin AnalyzeOrphanContext"
+	return x
+}
+
+// SimulateBadTwin has a twin, but the twin does not take a context
+// first.
+func SimulateBadTwin(x int) int {
+	return SimulateBadTwinContext(x)
+}
+
+func SimulateBadTwinContext(x int) int { // want "SimulateBadTwinContext must take a context.Context as its first parameter"
+	return x
+}
+
+// helperNoTwin is unexported, so the twin rule does not apply, but the
+// root-context ban still does.
+func helperNoTwin() context.Context {
+	return context.Background() // want "library code must not call context.Background"
+}
+
+// RunTodo hits the same ban through context.TODO.
+func RunTodo(ctx context.Context) context.Context {
+	_ = ctx
+	return context.TODO() // want "library code must not call context.TODO"
+}
+
+// Describe is exported but outside the Analyze/Run/Simulate families:
+// clean.
+func Describe() string { return "ok" }
+
+// runner carries the method variants of the same rules.
+type runner struct{}
+
+// Run on a receiver with a twin: clean.
+func (runner) Run(x int) int {
+	return runner{}.RunContext(context.Background(), x)
+}
+
+func (runner) RunContext(ctx context.Context, x int) int {
+	_ = ctx
+	return x
+}
+
+type solo struct{}
+
+func (solo) Simulate() {} // want "exported entry point Simulate has no context-accepting twin SimulateContext"

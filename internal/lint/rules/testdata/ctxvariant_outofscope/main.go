@@ -1,0 +1,14 @@
+// Package main stands in for a cmd/ entry point: out of ctxvariant's
+// scope, so the root-context call and twinless Run stay unflagged.
+package main
+
+import "context"
+
+// Run would need a twin inside internal/; in a command it is fine.
+func Run() error {
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}
+
+func main() {}

@@ -1,0 +1,32 @@
+// Package errwrapdata exercises the errwrap analyzer inside the
+// pipeline scope.
+package errwrapdata
+
+import (
+	"fmt"
+
+	"repro/internal/noiseerr"
+)
+
+// Wrapping an upstream error with %w: clean.
+func goodWrap(err error) error {
+	return fmt.Errorf("solver: step failed: %w", err)
+}
+
+// Building on a taxonomy classifier: clean.
+func goodSentinel(n int) error {
+	return noiseerr.Invalidf("solver: bad order %d", n)
+}
+
+func badBare(n int) error {
+	return fmt.Errorf("solver: bad order %d", n) // want "bare fmt.Errorf in a pipeline package"
+}
+
+func badSevered(err error) error {
+	return fmt.Errorf("solver: step failed: %v", err) // want "bare fmt.Errorf in a pipeline package"
+}
+
+// Mixed: the chain is wrapped, but a second error is flattened with %v.
+func badMixed(cause, detail error) error {
+	return fmt.Errorf("solver: %w (detail: %v)", cause, detail) // want "error formatted with %v loses the error chain"
+}

@@ -1,0 +1,15 @@
+// Package errwrapdata sits outside the pipeline scope: bare fmt.Errorf
+// is allowed here, but severing an existing error chain is still
+// flagged everywhere in internal/.
+package errwrapdata
+
+import "fmt"
+
+// Bare message errors are fine in non-pipeline utility packages: clean.
+func goodBare(n int) error {
+	return fmt.Errorf("util: bad order %d", n)
+}
+
+func badSevered(err error) error {
+	return fmt.Errorf("util: %v", err) // want "error formatted with %v loses the error chain"
+}

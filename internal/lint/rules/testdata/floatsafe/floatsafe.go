@@ -1,0 +1,84 @@
+// Package floatsafedata exercises the floatsafe analyzer: equality
+// idioms, loop-domain checks, and the suppression directive.
+package floatsafedata
+
+import "math"
+
+// closeEnough is a named epsilon helper; exact comparison is its job:
+// clean.
+func closeEnough(a, b float64) bool { return a == b }
+
+// zeroSkip uses the exact-zero sparsity idiom: clean.
+func zeroSkip(v []float64) int {
+	n := 0
+	for _, x := range v {
+		if x != 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// selfCompare is the portable NaN test: clean.
+func selfCompare(x float64) bool { return x != x }
+
+func badEq(a, b float64) bool {
+	return a == b // want "float64 values compared with =="
+}
+
+func badNeq(a, b float64) bool {
+	return a+1 != b // want "float64 values compared with !="
+}
+
+func badLoopDiv(v []float64, scale float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += x / scale // want "division by parameter scale inside a loop without validating it is nonzero"
+	}
+	return s
+}
+
+// goodLoopDiv validates the divisor before the loop: clean.
+func goodLoopDiv(v []float64, scale float64) float64 {
+	if scale <= 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range v {
+		s += x / scale
+	}
+	return s
+}
+
+func badLoopLog(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		s += math.Log(x) // want "math.Log inside a loop on an unvalidated value"
+	}
+	return s
+}
+
+// goodLoopSqrt range-checks inside the loop: clean.
+func goodLoopSqrt(v []float64) float64 {
+	s := 0.0
+	for _, x := range v {
+		if x < 0 {
+			continue
+		}
+		s += math.Sqrt(x)
+	}
+	return s
+}
+
+// outsideLoop: the domain checks only apply inside loops; a one-off
+// call is the caller's responsibility: clean.
+func outsideLoop(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// suppressedEq shows the sanctioned escape hatch: the directive names
+// the analyzer and carries a reason, so the finding is filtered.
+func suppressedEq(a, b float64) bool {
+	//lint:ignore noiselint/floatsafe comparing bit-exact values copied verbatim from the characterization table
+	return a == b
+}

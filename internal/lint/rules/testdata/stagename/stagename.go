@@ -1,0 +1,42 @@
+// Package stagenamedata exercises the stagename analyzer against the
+// real noiseerr and metrics packages.
+package stagenamedata
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/metrics"
+	"repro/internal/noiseerr"
+)
+
+var errBoom = errors.New("boom")
+
+// Constants referencing the shared set are the sanctioned spelling:
+// clean.
+func good(reg *metrics.Registry) error {
+	reg.Observe(noiseerr.StageSimulate.TimerName(), time.Millisecond)
+	return noiseerr.InStage(noiseerr.StageAlign, errBoom)
+}
+
+// Non-stage metric names stay free-form: clean.
+func goodOtherMetric(reg *metrics.Registry) {
+	reg.Observe("solver.newton", time.Millisecond)
+	reg.Counter("sim.linear").Inc()
+}
+
+func badLiteralStage(err error) error {
+	return noiseerr.InStage("simulate", err) // want "stage \"simulate\" passed to noiseerr.InStage as a string literal"
+}
+
+func badTimerLiteral(reg *metrics.Registry) {
+	reg.Observe("stage.align", time.Millisecond) // want "stage timer \"stage.align\" named by string literal"
+}
+
+func badConversion(err error) error {
+	return noiseerr.InStage(noiseerr.Stage("weird"), err) // want "noiseerr.Stage\\(\"weird\"\\) bypasses the shared stage constants"
+}
+
+const rogueStage noiseerr.Stage = "rogue" // want "stage constants must be declared in repro/internal/noiseerr"
+
+var _ = rogueStage

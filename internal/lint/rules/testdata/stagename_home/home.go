@@ -1,0 +1,14 @@
+// Package noiseerr stands in for the stage constants' home package:
+// checked under the noiseerr import path, it may spell stage literals
+// (this is where they are defined), so nothing below is flagged.
+package noiseerr
+
+import (
+	"time"
+
+	"repro/internal/metrics"
+)
+
+func registerAll(reg *metrics.Registry) {
+	reg.Observe("stage.characterize", time.Millisecond)
+}

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// directivePrefix introduces a suppression comment. The syntax follows
+// staticcheck so editors highlight it consistently:
+//
+//	//lint:ignore noiselint/<analyzer> <reason>
+const directivePrefix = "//lint:ignore "
+
+// qualifier namespaces analyzer names in directives and diagnostics.
+const qualifier = "noiselint/"
+
+// IgnoreAnalyzerName is the pseudo-analyzer under which the framework
+// reports malformed suppression directives.
+const IgnoreAnalyzerName = "ignore"
+
+// directive is one parsed //lint:ignore comment.
+type directive struct {
+	file     string
+	line     int
+	analyzer string // short name, "" when the target is not noiselint's
+	reason   string
+	pos      token.Pos
+}
+
+// directives extracts the suppression directives of a package. Comments
+// targeting other tools' checks (no "noiselint/" qualifier) are kept
+// with an empty analyzer so they suppress nothing but are not flagged.
+func directives(fset *token.FileSet, files []*ast.File) []directive {
+	var out []directive
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, directivePrefix)
+				if !ok {
+					continue
+				}
+				name, reason, _ := strings.Cut(strings.TrimSpace(text), " ")
+				short, isOurs := strings.CutPrefix(name, qualifier)
+				if !isOurs {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				out = append(out, directive{
+					file:     pos.Filename,
+					line:     pos.Line,
+					analyzer: short,
+					reason:   strings.TrimSpace(reason),
+					pos:      c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// Run applies every analyzer to every package, filters findings through
+// the //lint:ignore directives, and reports malformed directives. The
+// returned diagnostics are sorted by position.
+//
+//lint:ignore noiselint/ctxvariant analyzer passes are in-memory AST walks with no cancellation points
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{IgnoreAnalyzerName: true}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var out []Diagnostic
+	for _, pkg := range pkgs {
+		dirs := directives(pkg.Fset, pkg.Files)
+		var raw []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Path:     pkg.Path,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				report:   func(d Diagnostic) { raw = append(raw, d) },
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, err
+			}
+		}
+		for _, d := range raw {
+			if !suppressed(d, dirs) {
+				out = append(out, d)
+			}
+		}
+		// Malformed directives are findings in their own right: a
+		// suppression without a reason defeats the audit trail, and one
+		// naming an unknown analyzer suppresses nothing and usually
+		// means a typo.
+		for _, dir := range dirs {
+			switch {
+			case !known[dir.analyzer]:
+				out = append(out, Diagnostic{
+					Analyzer: IgnoreAnalyzerName,
+					Pos:      pkg.Fset.Position(dir.pos),
+					Message:  "suppression names unknown analyzer " + qualifier + dir.analyzer,
+				})
+			case dir.reason == "":
+				out = append(out, Diagnostic{
+					Analyzer: IgnoreAnalyzerName,
+					Pos:      pkg.Fset.Position(dir.pos),
+					Message:  "suppression of " + qualifier + dir.analyzer + " needs a reason",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Pos, out[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out, nil
+}
+
+// suppressed reports whether a well-formed directive targets d: same
+// analyzer, same file, on the flagged line or the line above it.
+func suppressed(d Diagnostic, dirs []directive) bool {
+	for _, dir := range dirs {
+		if dir.analyzer == d.Analyzer && dir.reason != "" &&
+			dir.file == d.Pos.Filename &&
+			(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
+			return true
+		}
+	}
+	return false
+}

@@ -63,7 +63,15 @@ type Result struct {
 	sys    *mna.System
 }
 
-// Run integrates the system over [TStart, TStop].
+// RunContext is Run with an explicit context, overriding Options.Ctx.
+// The integration loop checks ctx every CtxCheckInterval steps.
+func RunContext(ctx context.Context, sys *mna.System, opt Options) (*Result, error) {
+	opt.Ctx = ctx
+	return Run(sys, opt)
+}
+
+// Run integrates the system over [TStart, TStop]. Cancellation, when
+// needed, comes from Options.Ctx (or use RunContext).
 func Run(sys *mna.System, opt Options) (*Result, error) {
 	if opt.Step <= 0 {
 		return nil, noiseerr.Invalidf("lsim: step must be positive, got %g", opt.Step)

@@ -13,6 +13,7 @@ import (
 
 	"repro/internal/linalg"
 	"repro/internal/netlist"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -66,7 +67,7 @@ func Build(c *netlist.Circuit) (*System, error) {
 		a, okA := at(r.A)
 		b, okB := at(r.B)
 		if !okA || !okB {
-			return nil, fmt.Errorf("mna: resistor %q references unknown node", r.Name)
+			return nil, noiseerr.Invalidf("mna: resistor %q references unknown node", r.Name)
 		}
 		stamp2(s.G, a, b, 1/r.R)
 	}
@@ -74,7 +75,7 @@ func Build(c *netlist.Circuit) (*System, error) {
 		a, okA := at(cap.A)
 		b, okB := at(cap.B)
 		if !okA || !okB {
-			return nil, fmt.Errorf("mna: capacitor %q references unknown node", cap.Name)
+			return nil, noiseerr.Invalidf("mna: capacitor %q references unknown node", cap.Name)
 		}
 		stamp2(s.C, a, b, cap.C)
 	}
@@ -82,7 +83,7 @@ func Build(c *netlist.Circuit) (*System, error) {
 	for _, src := range c.CurrentSources {
 		a, ok := at(src.A)
 		if !ok || a < 0 {
-			return nil, fmt.Errorf("mna: current source %q must drive a signal node", src.Name)
+			return nil, noiseerr.Invalidf("mna: current source %q must drive a signal node", src.Name)
 		}
 		s.B.Add(a, col, 1)
 		s.Inputs = append(s.Inputs, src.I)
@@ -91,7 +92,7 @@ func Build(c *netlist.Circuit) (*System, error) {
 	for _, d := range c.Drivers {
 		a, ok := at(d.A)
 		if !ok || a < 0 {
-			return nil, fmt.Errorf("mna: driver %q must drive a signal node", d.Name)
+			return nil, noiseerr.Invalidf("mna: driver %q must drive a signal node", d.Name)
 		}
 		g := 1 / d.R
 		s.G.Add(a, a, g)   // Norton conductance
@@ -109,10 +110,10 @@ func Build(c *netlist.Circuit) (*System, error) {
 func NewSystem(g, c, b *linalg.Matrix, inputs []*waveform.PWL, names []string) (*System, error) {
 	n := g.Rows
 	if g.Cols != n || c.Rows != n || c.Cols != n || b.Rows != n {
-		return nil, fmt.Errorf("mna: inconsistent system shapes")
+		return nil, noiseerr.Invalidf("mna: inconsistent system shapes")
 	}
 	if b.Cols != len(inputs) {
-		return nil, fmt.Errorf("mna: %d input columns vs %d waveforms", b.Cols, len(inputs))
+		return nil, noiseerr.Invalidf("mna: %d input columns vs %d waveforms", b.Cols, len(inputs))
 	}
 	if names == nil {
 		names = make([]string, n)
@@ -121,7 +122,7 @@ func NewSystem(g, c, b *linalg.Matrix, inputs []*waveform.PWL, names []string) (
 		}
 	}
 	if len(names) != n {
-		return nil, fmt.Errorf("mna: %d names for %d states", len(names), n)
+		return nil, noiseerr.Invalidf("mna: %d names for %d states", len(names), n)
 	}
 	idx := make(map[string]int, n)
 	for i, nm := range names {
@@ -134,7 +135,7 @@ func NewSystem(g, c, b *linalg.Matrix, inputs []*waveform.PWL, names []string) (
 func (s *System) NodeIndex(name string) (int, error) {
 	i, ok := s.index[name]
 	if !ok {
-		return 0, fmt.Errorf("mna: unknown node %q", name)
+		return 0, noiseerr.Invalidf("mna: unknown node %q", name)
 	}
 	return i, nil
 }

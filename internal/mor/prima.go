@@ -102,7 +102,7 @@ func ReduceContext(ctx context.Context, sys *mna.System, q int) (*ROM, error) {
 // difference is the driver waveforms.
 func (r *ROM) WithInputs(inputs []*waveform.PWL) (*ROM, error) {
 	if len(inputs) != r.Reduced.NumInputs() {
-		return nil, fmt.Errorf("mor: %d inputs for a %d-input model",
+		return nil, noiseerr.Invalidf("mor: %d inputs for a %d-input model",
 			len(inputs), r.Reduced.NumInputs())
 	}
 	red, err := mna.NewSystem(r.Reduced.G, r.Reduced.C, r.Reduced.B, inputs, r.Reduced.Nodes)
@@ -121,7 +121,13 @@ func (r *ROM) WithInputs(inputs []*waveform.PWL) (*ROM, error) {
 // Run integrates the reduced model and returns a result from which node
 // voltages of the original network can be recovered.
 func (r *ROM) Run(opt lsim.Options) (*Result, error) {
-	res, err := lsim.Run(r.Reduced, opt)
+	return r.RunContext(context.Background(), opt)
+}
+
+// RunContext is Run with cancellation: ctx aborts the reduced-space
+// integration between time steps.
+func (r *ROM) RunContext(ctx context.Context, opt lsim.Options) (*Result, error) {
+	res, err := lsim.RunContext(ctx, r.Reduced, opt)
 	if err != nil {
 		return nil, err
 	}

@@ -14,6 +14,7 @@ import (
 
 	"repro/internal/device"
 	"repro/internal/netlist"
+	"repro/internal/noiseerr"
 	"repro/internal/waveform"
 )
 
@@ -224,17 +225,17 @@ func (c *Circuit) NumStates() int {
 func StateOf(c *Circuit, x []float64, r Ref) (float64, error) {
 	c.seal()
 	if r == Ground {
-		return 0, fmt.Errorf("nlsim: ground has no state")
+		return 0, noiseerr.Invalidf("nlsim: ground has no state")
 	}
 	if int(r) < 0 || int(r) >= len(c.nodes) {
-		return 0, fmt.Errorf("nlsim: invalid node ref %d", r)
+		return 0, noiseerr.Invalidf("nlsim: invalid node ref %d", r)
 	}
 	n := &c.nodes[r]
 	if n.fixed != nil {
-		return 0, fmt.Errorf("nlsim: node %q is fixed", n.name)
+		return 0, noiseerr.Invalidf("nlsim: node %q is fixed", n.name)
 	}
 	if n.state >= len(x) {
-		return 0, fmt.Errorf("nlsim: state vector too short")
+		return 0, noiseerr.Invalidf("nlsim: state vector too short")
 	}
 	return x[n.state], nil
 }

@@ -283,7 +283,16 @@ func DCContext(ctx context.Context, c *Circuit, t float64, x0 []float64) ([]floa
 	return nil, noiseerr.Convergencef("nlsim: DC did not converge in %d iterations", maxIter)
 }
 
-// Run integrates the circuit over [TStart, TStop].
+// RunContext is Run with an explicit context, overriding Options.Ctx.
+// The Newton loop checks ctx every CtxCheckInterval accepted or
+// attempted steps.
+func RunContext(ctx context.Context, c *Circuit, opt Options) (*Result, error) {
+	opt.Ctx = ctx
+	return Run(c, opt)
+}
+
+// Run integrates the circuit over [TStart, TStop]. Cancellation, when
+// needed, comes from Options.Ctx (or use RunContext).
 func Run(c *Circuit, opt Options) (*Result, error) {
 	opt.defaults()
 	if opt.Step <= 0 {
@@ -444,7 +453,7 @@ func canceled(ctx context.Context, t float64) error {
 func (r *Result) Voltage(name string) (*waveform.PWL, error) {
 	ref, ok := r.ckt.names[name]
 	if !ok {
-		return nil, fmt.Errorf("nlsim: unknown node %q", name)
+		return nil, noiseerr.Invalidf("nlsim: unknown node %q", name)
 	}
 	nd := &r.ckt.nodes[ref]
 	v := make([]float64, len(r.Times))

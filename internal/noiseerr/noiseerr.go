@@ -15,7 +15,7 @@
 //
 // On top of the classes, StageError attributes a failure to one stage of
 // the per-net pipeline (characterize → reduce → simulate → align →
-// report, mirroring the "stage.*" metrics timers) and optionally to a
+// holdres → report, mirroring the "stage.*" metrics timers) and optionally to a
 // named net, giving batch reports a machine-readable failure breakdown.
 package noiseerr
 
@@ -112,17 +112,59 @@ func ClassName(err error) string {
 }
 
 // Stage names one step of the per-net analysis pipeline. The values
-// match the engine's metrics timers ("stage.<name>").
+// match the engine's metrics timers ("stage.<name>"): StageError
+// attribution and timer registration draw from the same constant set, so
+// a failure breakdown and a timing breakdown always agree on stage
+// names. The noiselint stagename analyzer enforces that no call site
+// mints a stage string outside this set.
 type Stage string
 
-// Pipeline stages, in execution order.
+// Pipeline stages, in execution order. StageHoldres is the transient
+// holding-resistance derivation, a sub-step of characterization that is
+// timed separately because it dominates pass-2 cost.
 const (
 	StageCharacterize Stage = "characterize"
 	StageReduce       Stage = "reduce"
 	StageSimulate     Stage = "simulate"
 	StageAlign        Stage = "align"
+	StageHoldres      Stage = "holdres"
 	StageReport       Stage = "report"
 )
+
+// Stages lists every pipeline stage, in execution order.
+var Stages = []Stage{
+	StageCharacterize,
+	StageReduce,
+	StageSimulate,
+	StageAlign,
+	StageHoldres,
+	StageReport,
+}
+
+// stageTimerPrefix namespaces the per-stage metrics timers.
+const stageTimerPrefix = "stage."
+
+// TimerName returns the metrics timer name of the stage ("stage.<name>").
+// Registering stage timers through this method (rather than a string
+// literal) keeps timer names and StageError attribution in lockstep.
+func (s Stage) TimerName() string { return stageTimerPrefix + string(s) }
+
+// StageForTimer maps a metrics timer name back to its pipeline stage.
+// It returns false for names outside the "stage.*" namespace and for
+// "stage.*" names that do not correspond to a declared stage — the
+// latter is exactly the drift the metrics naming tests guard against.
+func StageForTimer(name string) (Stage, bool) {
+	if len(name) <= len(stageTimerPrefix) || name[:len(stageTimerPrefix)] != stageTimerPrefix {
+		return "", false
+	}
+	s := Stage(name[len(stageTimerPrefix):])
+	for _, known := range Stages {
+		if s == known {
+			return s, true
+		}
+	}
+	return "", false
+}
 
 // StageError attributes a failure to one pipeline stage of one net.
 // Either field may be empty when the corresponding attribution is

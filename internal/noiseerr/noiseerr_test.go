@@ -132,3 +132,46 @@ func TestErrorStrings(t *testing.T) {
 		t.Errorf("Error() = %q", got)
 	}
 }
+
+func TestStageTimerNames(t *testing.T) {
+	if len(Stages) == 0 {
+		t.Fatal("Stages is empty")
+	}
+	seen := map[Stage]bool{}
+	for _, s := range Stages {
+		if s == "" {
+			t.Fatal("empty stage in Stages")
+		}
+		if seen[s] {
+			t.Errorf("stage %q listed twice", s)
+		}
+		seen[s] = true
+		name := s.TimerName()
+		if want := "stage." + string(s); name != want {
+			t.Errorf("TimerName(%q) = %q, want %q", s, name, want)
+		}
+		back, ok := StageForTimer(name)
+		if !ok || back != s {
+			t.Errorf("StageForTimer(%q) = %q, %v; want %q, true", name, back, ok, s)
+		}
+	}
+	for _, s := range []Stage{StageCharacterize, StageReduce, StageSimulate, StageAlign, StageHoldres, StageReport} {
+		if !seen[s] {
+			t.Errorf("declared stage %q missing from Stages", s)
+		}
+	}
+}
+
+func TestStageForTimerRejectsUnknownNames(t *testing.T) {
+	for _, name := range []string{
+		"stage.",           // empty stage
+		"stage.frobnicate", // no such stage
+		"cache.tables.hit", // different namespace
+		"simulate",         // missing prefix
+		"stage",            // bare prefix
+	} {
+		if s, ok := StageForTimer(name); ok {
+			t.Errorf("StageForTimer(%q) = %q, true; want false", name, s)
+		}
+	}
+}

@@ -7,10 +7,12 @@
 package sta
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
 )
 
 // Window is a switching window [Lo, Hi] at a net's driver output.
@@ -57,24 +59,24 @@ func (b *Block) Validate() error {
 	n := len(b.Nets)
 	for i, nd := range b.Nets {
 		if nd.Case == nil {
-			return fmt.Errorf("sta: net %d (%s) has no case", i, nd.Name)
+			return noiseerr.Invalidf("sta: net %d (%s) has no case", i, nd.Name)
 		}
 		if err := nd.Case.Validate(); err != nil {
 			return fmt.Errorf("sta: net %s: %w", nd.Name, err)
 		}
 		if nd.FanIn >= n || nd.FanIn < -1 {
-			return fmt.Errorf("sta: net %s: fan-in %d out of range", nd.Name, nd.FanIn)
+			return noiseerr.Invalidf("sta: net %s: fan-in %d out of range", nd.Name, nd.FanIn)
 		}
 		if nd.FanIn == -1 && nd.InputWindow.Hi < nd.InputWindow.Lo {
-			return fmt.Errorf("sta: net %s: invalid input window", nd.Name)
+			return noiseerr.Invalidf("sta: net %s: invalid input window", nd.Name)
 		}
 		if len(nd.AggWindows) != len(nd.Case.Aggressors) {
-			return fmt.Errorf("sta: net %s: %d window refs for %d aggressors",
+			return noiseerr.Invalidf("sta: net %s: %d window refs for %d aggressors",
 				nd.Name, len(nd.AggWindows), len(nd.Case.Aggressors))
 		}
 		for _, a := range nd.AggWindows {
 			if a >= n || a < -1 {
-				return fmt.Errorf("sta: net %s: aggressor window ref %d out of range", nd.Name, a)
+				return noiseerr.Invalidf("sta: net %s: aggressor window ref %d out of range", nd.Name, a)
 			}
 		}
 	}
@@ -134,6 +136,13 @@ func (o *Options) defaults() {
 
 // Analyze runs the window/noise fixpoint over the block.
 func Analyze(b *Block, opt Options) (*Result, error) {
+	return AnalyzeContext(context.Background(), b, opt)
+}
+
+// AnalyzeContext is Analyze with cancellation support: the context is
+// threaded into every per-net delay-noise analysis and checked between
+// nets, so a canceled fixpoint aborts within one net's work.
+func AnalyzeContext(ctx context.Context, b *Block, opt Options) (*Result, error) {
 	if err := b.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,6 +165,9 @@ func Analyze(b *Block, opt Options) (*Result, error) {
 		// iterations.
 		maxShift := 0.0
 		for i := range b.Nets {
+			if err := ctx.Err(); err != nil {
+				return nil, noiseerr.Canceled(fmt.Errorf("sta: canceled at iteration %d, net %d: %w", iter, i, err))
+			}
 			nd := &b.Nets[i]
 			if nd.FanIn == -1 {
 				out[i].Window = nd.InputWindow
@@ -173,7 +185,7 @@ func Analyze(b *Block, opt Options) (*Result, error) {
 				// single-aggressor window. We use the union instead.
 				aOpt.Window = &delaynoise.Window{Lo: win.Lo, Hi: win.Hi}
 			}
-			r, err := delaynoise.Analyze(nd.Case, aOpt)
+			r, err := delaynoise.AnalyzeContext(ctx, nd.Case, aOpt)
 			if err != nil {
 				return nil, fmt.Errorf("sta: net %s: %w", nd.Name, err)
 			}
@@ -189,7 +201,7 @@ func Analyze(b *Block, opt Options) (*Result, error) {
 			if opt.BothEdges {
 				sOpt := aOpt
 				sOpt.Minimize = true
-				sr, err := delaynoise.Analyze(speedupCase(nd.Case), sOpt)
+				sr, err := delaynoise.AnalyzeContext(ctx, speedupCase(nd.Case), sOpt)
 				if err != nil {
 					return nil, fmt.Errorf("sta: net %s speed-up: %w", nd.Name, err)
 				}

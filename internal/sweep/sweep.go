@@ -7,11 +7,13 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
 
 	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
 	"repro/internal/rcnet"
 )
 
@@ -73,14 +75,24 @@ type Options struct {
 // Run sweeps param over values, rebuilding the case at each point.
 // The reference case is not modified.
 func Run(ref *delaynoise.Case, param Param, values []float64, opt Options) (*Result, error) {
+	return RunContext(context.Background(), ref, param, values, opt)
+}
+
+// RunContext is Run with cancellation support: the context is threaded
+// into every per-point analysis (and the nonlinear reference when
+// enabled) and checked between points.
+func RunContext(ctx context.Context, ref *delaynoise.Case, param Param, values []float64, opt Options) (*Result, error) {
 	if err := ref.Validate(); err != nil {
 		return nil, err
 	}
 	if len(values) == 0 {
-		return nil, fmt.Errorf("sweep: no values")
+		return nil, noiseerr.Invalidf("sweep: no values")
 	}
 	res := &Result{Param: param}
 	for _, v := range values {
+		if err := ctx.Err(); err != nil {
+			return nil, noiseerr.Canceled(fmt.Errorf("sweep: canceled at %v=%g: %w", param, v, err))
+		}
 		c, err := applyParam(ref, param, v)
 		if err != nil {
 			return nil, err
@@ -88,12 +100,12 @@ func Run(ref *delaynoise.Case, param Param, values []float64, opt Options) (*Res
 		aOpt := opt.Analysis
 		aOpt.Hold = delaynoise.HoldTransient
 		aOpt.Align = delaynoise.AlignExhaustive
-		rtr, err := delaynoise.Analyze(c, aOpt)
+		rtr, err := delaynoise.AnalyzeContext(ctx, c, aOpt)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: %v=%g: %w", param, v, err)
 		}
 		aOpt.Hold = delaynoise.HoldThevenin
-		thev, err := delaynoise.Analyze(c, aOpt)
+		thev, err := delaynoise.AnalyzeContext(ctx, c, aOpt)
 		if err != nil {
 			return nil, fmt.Errorf("sweep: %v=%g (thevenin): %w", param, v, err)
 		}
@@ -105,7 +117,7 @@ func Run(ref *delaynoise.Case, param Param, values []float64, opt Options) (*Res
 			RtrOverRth: rtr.VictimRtr / rtr.VictimRth,
 		}
 		if opt.Golden {
-			g, err := delaynoise.GoldenAtShifts(c, delaynoise.PeakShifts(rtr.NoisePeakTimes, rtr.TPeak))
+			g, err := delaynoise.GoldenAtShiftsContext(ctx, c, delaynoise.PeakShifts(rtr.NoisePeakTimes, rtr.TPeak))
 			if err != nil {
 				return nil, fmt.Errorf("sweep: %v=%g (golden): %w", param, v, err)
 			}
@@ -123,7 +135,7 @@ func applyParam(ref *delaynoise.Case, param Param, v float64) (*delaynoise.Case,
 	switch param {
 	case CouplingRatio:
 		if v <= 0 {
-			return nil, fmt.Errorf("sweep: coupling ratio must be positive, got %g", v)
+			return nil, noiseerr.Invalidf("sweep: coupling ratio must be positive, got %g", v)
 		}
 		spec := ref.Net.Spec
 		spec.Aggressors = append([]rcnet.AggressorSpec(nil), spec.Aggressors...)
@@ -133,23 +145,23 @@ func applyParam(ref *delaynoise.Case, param Param, v float64) (*delaynoise.Case,
 		out.Net = rcnet.Build(spec)
 	case VictimSlew:
 		if v <= 0 {
-			return nil, fmt.Errorf("sweep: victim slew must be positive, got %g", v)
+			return nil, noiseerr.Invalidf("sweep: victim slew must be positive, got %g", v)
 		}
 		out.Victim.InputSlew = v
 	case AggressorSlew:
 		if v <= 0 {
-			return nil, fmt.Errorf("sweep: aggressor slew must be positive, got %g", v)
+			return nil, noiseerr.Invalidf("sweep: aggressor slew must be positive, got %g", v)
 		}
 		for i := range out.Aggressors {
 			out.Aggressors[i].InputSlew = v
 		}
 	case ReceiverLoad:
 		if v < 0 {
-			return nil, fmt.Errorf("sweep: receiver load must be non-negative, got %g", v)
+			return nil, noiseerr.Invalidf("sweep: receiver load must be non-negative, got %g", v)
 		}
 		out.ReceiverLoad = v
 	default:
-		return nil, fmt.Errorf("sweep: unknown parameter %d", param)
+		return nil, noiseerr.Invalidf("sweep: unknown parameter %d", param)
 	}
 	return &out, nil
 }

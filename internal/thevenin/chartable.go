@@ -101,7 +101,7 @@ func ReadCharTable(r io.Reader) (*CharTable, error) {
 	}
 	for _, g := range []*table.Grid2D{t.Rth, t.Dt, t.T0} {
 		if g == nil {
-			return nil, fmt.Errorf("thevenin: char table %q missing a grid", t.CellName)
+			return nil, noiseerr.Invalidf("thevenin: char table %q missing a grid", t.CellName)
 		}
 		if _, err := table.NewGrid2D(g.Name, g.Xs, g.Ys, g.Z); err != nil {
 			return nil, err

@@ -4,6 +4,8 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+
+	"repro/internal/noiseerr"
 )
 
 // Column pairs a label with a waveform for tabular export.
@@ -18,10 +20,10 @@ type Column struct {
 // resolution.
 func WriteCSV(w io.Writer, t0, t1 float64, n int, cols []Column) error {
 	if n < 2 {
-		return fmt.Errorf("waveform: WriteCSV needs at least 2 samples")
+		return noiseerr.Invalidf("waveform: WriteCSV needs at least 2 samples")
 	}
 	if t1 <= t0 {
-		return fmt.Errorf("waveform: WriteCSV needs t1 > t0")
+		return noiseerr.Invalidf("waveform: WriteCSV needs t1 > t0")
 	}
 	bw := bufio.NewWriter(w)
 	fmt.Fprint(bw, "t")

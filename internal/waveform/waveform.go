@@ -77,6 +77,7 @@ func (w *PWL) At(t float64) float64 {
 	}
 	i := sort.SearchFloat64s(w.T, t)
 	// w.T[i-1] < t <= w.T[i] here (t < last, t > first).
+	//lint:ignore noiselint/floatsafe exact breakpoint hit after binary search; interpolation below handles the inexact case
 	if w.T[i] == t {
 		return w.V[i]
 	}
@@ -384,6 +385,7 @@ func (w *PWL) SlopeAt(t float64) float64 {
 		return 0
 	}
 	i := sort.SearchFloat64s(w.T, t)
+	//lint:ignore noiselint/floatsafe exact breakpoint hit after binary search; off-breakpoint times use the segment branch below
 	if i < n && w.T[i] == t {
 		if i == n-1 {
 			return 0

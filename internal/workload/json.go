@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/delaynoise"
 	"repro/internal/device"
+	"repro/internal/noiseerr"
 	"repro/internal/rcnet"
 )
 
@@ -106,7 +107,7 @@ func (cj CaseJSON) ToCase(lib *device.Library) (*delaynoise.Case, error) {
 // Save writes cases as indented JSON.
 func Save(w io.Writer, techName string, names []string, cases []*delaynoise.Case) error {
 	if len(names) != len(cases) {
-		return fmt.Errorf("workload: %d names for %d cases", len(names), len(cases))
+		return noiseerr.Invalidf("workload: %d names for %d cases", len(names), len(cases))
 	}
 	f := FileJSON{Technology: techName}
 	for i, c := range cases {
