@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race lint noiselint staticcheck vuln bench
+.PHONY: build test race chaos lint noiselint staticcheck vuln bench
 
 build:
 	$(GO) build ./...
@@ -19,6 +19,14 @@ test:
 # the shared caches live here); CI runs the same set.
 race:
 	$(GO) test -race ./internal/clarinet/... ./internal/core/...
+
+# Fault-injected batch smoke under the race detector: seeded
+# convergence failures, one panic, one stalled net, plus the journal
+# kill/resume byte-identity check. CHAOS_SEED selects one seed (CI runs
+# a 3-seed matrix); CHAOS_JOURNAL_OUT captures the journals.
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_JOURNAL_OUT=$(CHAOS_JOURNAL_OUT) \
+		$(GO) test -race -run 'TestChaosBatch|TestResumeByteIdentical' -v ./internal/clarinet/
 
 lint: noiselint
 	$(GO) vet ./...

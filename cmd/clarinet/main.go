@@ -9,17 +9,33 @@
 // Usage:
 //
 //	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar]
-//	         [-workers N] [-timeout 30s] [-fallback] [-metrics run.json]
+//	         [-workers N] [-timeout 30s] [-net-timeout 5s] [-rescue] [-fallback]
+//	         [-journal run.jsonl] [-resume run.jsonl] [-quality] [-metrics run.json]
 //
 // -workers 0 (the default) uses one worker per available core
 // (runtime.GOMAXPROCS); negative values are rejected. -char-cache-res
 // tunes the relative bucket resolution of the shared driver
 // characterization cache; a negative value disables that cache.
-// -fallback retries nets whose exhaustive alignment search fails to
-// converge with the table-driven alignment instead of failing them.
+//
+// Resilience: -rescue arms the full convergence rescue ladder (DC
+// homotopy and timestep halving in the nonlinear solver, then the
+// prechar-alignment fallback); -fallback arms only the last rung, as
+// before. -net-timeout bounds each net's wall-clock budget — a net
+// that overruns fails alone with the deadline error class while the
+// batch continues. -quality appends a report column recording how each
+// result was obtained (exact / rescued / fallback).
+//
+// Checkpoint/resume: -journal appends one JSONL record per completed
+// net as it lands, so a killed run loses at most one line. -resume
+// replays such a journal, skips the nets it already covers, appends
+// new records to the same file, and produces the same merged report an
+// uninterrupted run would have.
+//
 // The run aborts cleanly on SIGINT/SIGTERM or when -timeout fires:
 // in-flight nets stop at the next solver checkpoint and the partial
-// report is still written.
+// report is still written. A run killed by -timeout exits with status
+// 3 (cliutil.ExitCodeDeadline) after reporting, so schedulers can tell
+// a slow batch from a broken one.
 package main
 
 import (
@@ -33,7 +49,27 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/delaynoise"
 	"repro/internal/funcnoise"
+	"repro/internal/resilience"
 )
+
+// journalEndsMidLine reports whether the journal at path ends without a
+// trailing newline — the torn final record a killed run leaves behind.
+func journalEndsMidLine(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], st.Size()-1); err != nil {
+		return false
+	}
+	return b[0] != '\n'
+}
 
 func main() {
 	cliutil.Init("clarinet")
@@ -43,7 +79,12 @@ func main() {
 	alignFlag := flag.String("align", "exhaustive", "alignment method: exhaustive | input | prechar")
 	workers := flag.Int("workers", 0, "parallel analysis workers (0 = one per core, negative rejected)")
 	timeout := flag.Duration("timeout", 0, "abort the batch after this duration (0 = no limit)")
+	netTimeout := flag.Duration("net-timeout", 0, "per-net analysis budget, rescue included (0 = no limit)")
+	rescueFlag := flag.Bool("rescue", false, "arm the full convergence rescue ladder (homotopy, timestep halving, prechar fallback)")
 	fallback := flag.Bool("fallback", false, "fall back to prechar alignment when the exhaustive search fails to converge")
+	journalPath := flag.String("journal", "", "append one JSONL record per completed net to this file")
+	resumePath := flag.String("resume", "", "resume from this journal: skip its completed nets and append new records to it")
+	quality := flag.Bool("quality", false, "append a result-quality column (exact / rescued / fallback) to the report")
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	flag.Parse()
@@ -71,6 +112,14 @@ func main() {
 	if *mode != "delay" && *mode != "func" {
 		cliutil.Usagef("unknown mode %q", *mode)
 	}
+	if (*journalPath != "" || *resumePath != "") && *mode != "delay" {
+		cliutil.Usagef("-journal/-resume only apply to -mode delay")
+	}
+
+	var policy resilience.Policy
+	if *rescueFlag {
+		policy = resilience.DefaultPolicy()
+	}
 
 	lib := cliutil.Library()
 	names, cases := cliutil.MustLoadCases(*in, lib)
@@ -82,18 +131,61 @@ func main() {
 		Workers:           *workers,
 		CharCacheRes:      *charRes,
 		FallbackToPrechar: *fallback,
+		Resilience:        policy,
+		NetTimeout:        *netTimeout,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+
+	// Resume before opening the journal for append: the journal file and
+	// the resume file are usually the same path.
+	var prior map[string]clarinet.NetReport
+	if *resumePath != "" {
+		f, err := os.Open(*resumePath)
+		switch {
+		case err == nil:
+			prior, err = clarinet.ReadJournal(f)
+			f.Close()
+			if err != nil {
+				log.Fatal(err)
+			}
+			log.Printf("resuming: %d nets already complete in %s", len(prior), *resumePath)
+		case os.IsNotExist(err):
+			log.Printf("resume journal %s absent; starting fresh", *resumePath)
+		default:
+			log.Fatal(err)
+		}
+		if *journalPath == "" {
+			*journalPath = *resumePath
+		}
+	}
+	var journal *clarinet.Journal
+	if *journalPath != "" {
+		torn := journalEndsMidLine(*journalPath)
+		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if torn {
+			// Terminate the torn final record of a killed run so appended
+			// records start on a fresh line instead of merging into it.
+			if _, err := f.WriteString("\n"); err != nil {
+				log.Fatal(err)
+			}
+		}
+		journal = clarinet.NewJournal(f)
+	}
+
 	ctx, cancel := cliutil.Context(*timeout)
 	defer cancel()
 
 	start := time.Now()
 	switch *mode {
 	case "delay":
-		reports := tool.AnalyzeAllContext(ctx, names, cases)
-		clarinet.WriteReport(os.Stdout, reports)
+		reports := tool.AnalyzeBatch(ctx, names, cases, prior, journal)
+		clarinet.WriteReportOpts(os.Stdout, reports, clarinet.ReportOptions{Quality: *quality})
 		fmt.Printf("\nanalyzed %d nets in %v (%s hold, %s alignment)\n",
 			len(cases), time.Since(start).Round(time.Millisecond), hold, alignMethod)
 	case "func":
@@ -109,4 +201,5 @@ func main() {
 		log.Printf("batch interrupted: %v", err)
 	}
 	cliutil.MustWriteMetrics(*metricsOut, tool.Metrics().Snapshot())
+	cliutil.ExitIfDeadline(ctx, *timeout)
 }

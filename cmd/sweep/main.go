@@ -6,7 +6,11 @@
 // Usage:
 //
 //	sweep -i nets.json -net net0000 -param coupling -from 0.5 -to 2 -n 6 [-golden]
-//	      [-metrics run.json]
+//	      [-timeout 2m] [-metrics run.json]
+//
+// The sweep aborts cleanly on SIGINT/SIGTERM or when -timeout fires; a
+// run killed by -timeout exits with status 3 (cliutil.ExitCodeDeadline)
+// so schedulers can tell a slow sweep from a broken one.
 //
 // Sweep points share the session-wide driver-characterization and PRIMA
 // model caches, so neighboring points reuse each other's work; -metrics
@@ -33,6 +37,7 @@ func main() {
 	to := flag.Float64("to", 2.0, "range end")
 	n := flag.Int("n", 6, "number of points")
 	golden := flag.Bool("golden", false, "run the nonlinear reference per point")
+	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	flag.Parse()
 
@@ -64,8 +69,11 @@ func main() {
 	session := engine.New(engine.Config{Lib: lib})
 	opt := sweep.Options{Golden: *golden}
 	opt.Analysis = session.Bind(opt.Analysis)
-	res, err := sweep.Run(cases[idx], param, values, opt)
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+	res, err := sweep.RunContext(ctx, cases[idx], param, values, opt)
 	if err != nil {
+		cliutil.ExitIfDeadline(ctx, *timeout)
 		log.Fatal(err)
 	}
 	log.Printf("net %s", names[idx])
@@ -77,4 +85,5 @@ func main() {
 			hits, misses, 100*ratio)
 	}
 	cliutil.MustWriteMetrics(*metricsOut, s)
+	cliutil.ExitIfDeadline(ctx, *timeout)
 }

@@ -8,12 +8,14 @@ package clarinet
 
 import (
 	"runtime"
+	"time"
 
 	"repro/internal/delaynoise"
 	"repro/internal/device"
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/noiseerr"
+	"repro/internal/resilience"
 )
 
 // Config selects the analysis variant for a run.
@@ -30,12 +32,24 @@ type Config struct {
 	// runtime.GOMAXPROCS(0) — every available core. Negative values are
 	// rejected by New.
 	Workers int
-	// FallbackToPrechar degrades gracefully when the exhaustive
-	// alignment search fails to converge on a net: the net is retried
-	// with the table-driven pre-characterized alignment instead of
-	// failing. Only meaningful with Align == AlignExhaustive. Fallback
-	// retries are counted in the nets.fallback metric.
+	// FallbackToPrechar degrades gracefully when the alignment search
+	// fails to converge on a net: the net is retried with the
+	// table-driven pre-characterized alignment instead of failing.
+	// Fallback retries are counted in the nets.fallback metric. This is
+	// the legacy switch for the last rung of the rescue ladder; it is
+	// OR-ed into Resilience.FallbackToPrechar.
 	FallbackToPrechar bool
+	// Resilience configures the convergence rescue ladder (solver
+	// homotopy, timestep halving, prechar fallback) and the per-net
+	// deadline budget. The zero value disables every rung; see
+	// resilience.DefaultPolicy for the recommended production ladder.
+	Resilience resilience.Policy
+	// NetTimeout bounds each net's analysis wall-clock time, rescue
+	// attempts included. It overrides Resilience.NetTimeout when set.
+	// Zero leaves only the batch context's global deadline. Nets that
+	// exhaust their budget fail with the noiseerr.ErrDeadline class and
+	// count in the nets.deadline metric while the batch keeps running.
+	NetTimeout time.Duration
 	// CharCacheRes is the relative bucket resolution of the shared
 	// driver-characterization cache (zero selects
 	// delaynoise.DefaultCharBucketRes). Negative disables the cache:
@@ -65,11 +79,27 @@ func (c *Config) defaults() {
 	}
 }
 
-// NetReport is the per-net analysis outcome.
+// policy resolves the effective resilience policy from the new
+// Resilience field and the legacy FallbackToPrechar / NetTimeout knobs.
+func (c *Config) policy() resilience.Policy {
+	p := c.Resilience
+	if c.FallbackToPrechar {
+		p.FallbackToPrechar = true
+	}
+	if c.NetTimeout > 0 {
+		p.NetTimeout = c.NetTimeout
+	}
+	return p
+}
+
+// NetReport is the per-net analysis outcome. Quality records how the
+// result was obtained (exact first pass, solver rescue, or prechar
+// fallback); it is meaningful only when Err is nil.
 type NetReport struct {
-	Name string
-	Res  *delaynoise.Result
-	Err  error
+	Name    string
+	Res     *delaynoise.Result
+	Quality resilience.Quality
+	Err     error
 }
 
 // Tool is a worker-pool view over an engine session.

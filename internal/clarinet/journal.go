@@ -1,0 +1,160 @@
+package clarinet
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+	"sync"
+
+	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+)
+
+// JournalResult is the scalar subset of a delaynoise.Result that a
+// journal preserves across a checkpoint/resume cycle: everything the
+// reports and JSON output render, without the waveform payloads.
+// encoding/json round-trips float64 exactly, so a resumed report
+// renders byte-identically to the uninterrupted run.
+type JournalResult struct {
+	VictimCeff             float64 `json:"victimCeff"`
+	VictimRth              float64 `json:"victimRth"`
+	VictimRtr              float64 `json:"victimRtr"`
+	PulseHeight            float64 `json:"pulseHeight"`
+	PulseWidth             float64 `json:"pulseWidth"`
+	TPeak                  float64 `json:"tPeak"`
+	QuietCombinedDelay     float64 `json:"quietCombinedDelay"`
+	NoisyCombinedDelay     float64 `json:"noisyCombinedDelay"`
+	DelayNoise             float64 `json:"delayNoise"`
+	InterconnectDelayNoise float64 `json:"interconnectDelayNoise"`
+	Iterations             int     `json:"iterations"`
+}
+
+// JournalRecord is one JSONL line of a batch journal: the outcome of
+// one net, success or failure.
+type JournalRecord struct {
+	Net     string         `json:"net"`
+	Quality string         `json:"quality,omitempty"`
+	Class   string         `json:"class,omitempty"`
+	Error   string         `json:"error,omitempty"`
+	Result  *JournalResult `json:"result,omitempty"`
+}
+
+// Journal appends completed net reports to a JSONL stream. Every record
+// is written (and flushed to w) individually under a mutex, so a killed
+// run loses at most the line being written — which ReadJournal
+// tolerates. A nil *Journal is a valid no-op sink.
+type Journal struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewJournal wraps w as a journal sink. Pass an *os.File opened with
+// O_APPEND to make each record durable as it lands.
+func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+
+// Record appends one report. Cancellation-class reports are skipped —
+// a net aborted by a dying batch has no outcome worth replaying, and
+// skipping it makes the net eligible for re-analysis on resume.
+// Deadline, panic, and other real failures are recorded: the resumed
+// run reproduces them without re-spending their budgets.
+func (j *Journal) Record(r NetReport) error {
+	if j == nil {
+		return nil
+	}
+	if r.Err != nil && noiseerr.Class(r.Err) == noiseerr.ErrCanceled {
+		return nil
+	}
+	rec := JournalRecord{Net: r.Name}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		rec.Class = noiseerr.ClassName(r.Err)
+	} else {
+		rec.Quality = r.Quality.String()
+		res := r.Res
+		rec.Result = &JournalResult{
+			VictimCeff:             res.VictimCeff,
+			VictimRth:              res.VictimRth,
+			VictimRtr:              res.VictimRtr,
+			PulseHeight:            res.Pulse.Height,
+			PulseWidth:             res.Pulse.Width,
+			TPeak:                  res.TPeak,
+			QuietCombinedDelay:     res.QuietCombinedDelay,
+			NoisyCombinedDelay:     res.NoisyCombinedDelay,
+			DelayNoise:             res.DelayNoise,
+			InterconnectDelayNoise: res.InterconnectDelayNoise,
+			Iterations:             res.Iterations,
+		}
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	line = append(line, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	_, err = j.w.Write(line)
+	return err
+}
+
+// resumedError reconstructs a journaled failure: Error() reproduces the
+// recorded message byte-for-byte (so resumed reports render identically)
+// and Unwrap restores errors.Is matching against the recorded
+// noiseerr class sentinel.
+type resumedError struct {
+	msg   string
+	class error
+}
+
+func (e *resumedError) Error() string { return e.msg }
+
+func (e *resumedError) Unwrap() error { return e.class }
+
+// ReadJournal parses a JSONL batch journal into reports keyed by net
+// name, ready to hand to AnalyzeBatch as prior results. Malformed lines
+// — including the torn final line of a killed run — are skipped, and
+// the last record for a net wins, so journals survive crashes and
+// appended resume runs.
+func ReadJournal(r io.Reader) (map[string]NetReport, error) {
+	out := map[string]NetReport{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var rec JournalRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Net == "" {
+			continue
+		}
+		rep := NetReport{Name: rec.Net}
+		switch {
+		case rec.Error != "":
+			rep.Err = &resumedError{msg: rec.Error, class: noiseerr.ClassFromName(rec.Class)}
+		case rec.Result != nil:
+			res := rec.Result
+			rep.Quality = resilience.QualityFromString(rec.Quality)
+			rep.Res = &delaynoise.Result{
+				VictimCeff:             res.VictimCeff,
+				VictimRth:              res.VictimRth,
+				VictimRtr:              res.VictimRtr,
+				TPeak:                  res.TPeak,
+				QuietCombinedDelay:     res.QuietCombinedDelay,
+				NoisyCombinedDelay:     res.NoisyCombinedDelay,
+				DelayNoise:             res.DelayNoise,
+				InterconnectDelayNoise: res.InterconnectDelayNoise,
+				Iterations:             res.Iterations,
+			}
+			rep.Res.Pulse.Height = res.PulseHeight
+			rep.Res.Pulse.Width = res.PulseWidth
+		default:
+			continue // a record with neither outcome is torn
+		}
+		out[rec.Net] = rep
+	}
+	if err := sc.Err(); err != nil {
+		return out, err
+	}
+	return out, nil
+}

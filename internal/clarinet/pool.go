@@ -3,16 +3,19 @@ package clarinet
 import (
 	"context"
 	"errors"
+	"runtime/debug"
 	"sync"
 	"time"
 
 	"repro/internal/delaynoise"
 	"repro/internal/funcnoise"
 	"repro/internal/noiseerr"
+	"repro/internal/resilience"
 )
 
 // analyze and analyzeFunc are seams for tests that need to observe or
-// fail per-net analyses without building pathological circuits.
+// fail per-net analyses without building pathological circuits
+// (internal/faultinject wraps them for the chaos suite).
 var (
 	analyze     = delaynoise.AnalyzeContext
 	analyzeFunc = funcnoise.AnalyzeContext
@@ -22,45 +25,152 @@ var (
 // analysis is interrupted at the next solver checkpoint (see
 // lsim.CtxCheckInterval and nlsim.CtxCheckInterval). Every error is
 // attributed to the net and its pipeline stage via noiseerr.StageError.
+//
+// Resilience: when the configured policy sets a NetTimeout, the net
+// runs under its own deadline and a budget overrun fails just that net
+// with the noiseerr.ErrDeadline class (nets.deadline) while the batch
+// continues. Convergence failures climb the policy's rescue ladder (see
+// resilience.Policy); the report's Quality field records which rung
+// produced the surviving result.
+//
+// Counters: a net aborted by the caller's context counts only in
+// nets.canceled — never in nets.analyzed or nets.failed, so failure
+// totals reflect real per-net outcomes, not how early the batch was
+// killed.
 func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
+	m := t.session.Metrics()
 	if err := ctx.Err(); err != nil {
+		m.Counter("nets.canceled").Inc()
 		return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.Canceled(err))}
 	}
 	start := time.Now()
-	m := t.session.Metrics()
+	pol := t.Cfg.policy()
+	netCtx := resilience.WithNet(ctx, name)
+	cancel := func() {}
+	if pol.NetTimeout > 0 {
+		netCtx, cancel = context.WithTimeout(netCtx, pol.NetTimeout)
+	}
+	defer cancel()
+
 	opt := t.analysisOptions()
+	quality := resilience.QualityExact
+	var res *delaynoise.Result
+	var err error
 	if opt.Align == delaynoise.AlignPrechar && opt.Table == nil {
-		tab, err := t.session.Table(ctx, c.Receiver, c.Victim.OutputRising)
-		if err != nil {
+		tab, terr := t.session.Table(netCtx, c.Receiver, c.Victim.OutputRising)
+		if terr != nil {
+			err = terr
+		} else {
+			opt.Table = tab
+		}
+	}
+	if err == nil {
+		res, err = analyze(netCtx, c, opt)
+	}
+	if err != nil && noiseerr.Class(err) == noiseerr.ErrConvergence && netCtx.Err() == nil {
+		res, quality, err = t.rescue(netCtx, c, opt, pol, err)
+	}
+	m.Observe("net.analyze", time.Since(start))
+
+	if err != nil {
+		switch {
+		case ctx.Err() != nil:
+			// The caller gave up on the whole batch: not a per-net
+			// failure, and not analyzed either.
+			m.Counter("nets.canceled").Inc()
+		case errors.Is(netCtx.Err(), context.DeadlineExceeded):
+			// The net's own budget expired while the batch kept going.
+			m.Counter("nets.analyzed").Inc()
+			m.Counter("nets.deadline").Inc()
+			m.Counter("nets.failed").Inc()
+			err = noiseerr.Reclass(noiseerr.ErrDeadline, err)
+		default:
 			m.Counter("nets.analyzed").Inc()
 			m.Counter("nets.failed").Inc()
-			return NetReport{Name: name, Err: noiseerr.WithNet(name, err)}
 		}
-		opt.Table = tab
+		return NetReport{Name: name, Err: noiseerr.WithNet(name, err)}
 	}
-	res, err := analyze(ctx, c, opt)
-	if err != nil && t.Cfg.FallbackToPrechar && opt.Align == delaynoise.AlignExhaustive &&
-		errors.Is(err, noiseerr.ErrConvergence) && ctx.Err() == nil {
-		// Graceful degradation: the exhaustive search found no output
-		// crossing; retry with the table-driven alignment, which places
-		// the pulse without searching.
-		if tab, terr := t.session.Table(ctx, c.Receiver, c.Victim.OutputRising); terr == nil {
+	m.Counter("nets.analyzed").Inc()
+	switch quality {
+	case resilience.QualityRescued:
+		m.Counter("nets.rescued").Inc()
+	case resilience.QualityFallback:
+		m.Counter("nets.fallback").Inc()
+	default:
+		m.Counter("nets.exact").Inc()
+	}
+	return NetReport{Name: name, Res: res, Quality: quality}
+}
+
+// rescue climbs the policy's ladder after a convergence failure. Each
+// solver rung re-runs the analysis with the rung's nlsim aids armed on
+// the context; the prechar rung retries with table-driven alignment.
+// Climbing stops on the first success, on any non-convergence error,
+// or when the context dies (the caller maps the context's own error).
+func (t *Tool) rescue(ctx context.Context, c *delaynoise.Case, opt delaynoise.Options, pol resilience.Policy, first error) (*delaynoise.Result, resilience.Quality, error) {
+	err := first
+	rungs := pol.Ladder()
+	if len(rungs) == 0 {
+		return nil, resilience.QualityExact, err
+	}
+	m := t.session.Metrics()
+	start := time.Now()
+	defer func() { m.Observe(noiseerr.StageRescue.TimerName(), time.Since(start)) }()
+	for _, rung := range rungs {
+		if ctx.Err() != nil {
+			return nil, resilience.QualityExact, err
+		}
+		var res *delaynoise.Result
+		var rerr error
+		if rung.Prechar {
+			if opt.Align == delaynoise.AlignPrechar {
+				continue // the first pass was already table-driven
+			}
+			tab, terr := t.session.Table(ctx, c.Receiver, c.Victim.OutputRising)
+			if terr != nil {
+				continue // keep the original failure
+			}
 			fopt := opt
 			fopt.Align = delaynoise.AlignPrechar
 			fopt.Table = tab
-			if fres, ferr := analyze(ctx, c, fopt); ferr == nil {
-				m.Counter("nets.fallback").Inc()
-				res, err = fres, nil
-			}
+			m.Counter("rescue.attempts").Inc()
+			m.Counter("rescue." + rung.Name).Inc()
+			res, rerr = analyze(ctx, c, fopt)
+		} else {
+			m.Counter("rescue.attempts").Inc()
+			m.Counter("rescue." + rung.Name).Inc()
+			res, rerr = analyze(resilience.WithSolverRescue(ctx, rung.Solver), c, opt)
+		}
+		if rerr == nil {
+			return res, rung.Quality(), nil
+		}
+		err = rerr
+		if noiseerr.Class(rerr) != noiseerr.ErrConvergence {
+			break // numerical/canceled failures do not climb further
 		}
 	}
-	m.Observe("net.analyze", time.Since(start))
+	return nil, resilience.QualityExact, err
+}
+
+// panicReport converts a recovered worker panic into a failed report:
+// the batch continues, the net counts in nets.panicked (and failed),
+// and the error chain carries the panic value, stack, and net name
+// under the noiseerr.ErrInternal class.
+func (t *Tool) panicReport(name string, p *noiseerr.PanicError) NetReport {
+	m := t.session.Metrics()
 	m.Counter("nets.analyzed").Inc()
-	if err != nil {
-		m.Counter("nets.failed").Inc()
-		err = noiseerr.WithNet(name, err)
-	}
-	return NetReport{Name: name, Res: res, Err: err}
+	m.Counter("nets.panicked").Inc()
+	m.Counter("nets.failed").Inc()
+	return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.InStage(noiseerr.StageResilience, p))}
+}
+
+// funcPanicReport is panicReport for the functional-noise flow.
+func (t *Tool) funcPanicReport(name string, p *noiseerr.PanicError) FuncReport {
+	m := t.session.Metrics()
+	m.Counter("nets.analyzed").Inc()
+	m.Counter("nets.panicked").Inc()
+	m.Counter("nets.failed").Inc()
+	return FuncReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.InStage(noiseerr.StageResilience, p))}
 }
 
 // fanOut spreads f over every index i in [0, n) across the given number
@@ -70,12 +180,28 @@ func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) 
 // the per-net workers check their context before starting real work and
 // at solver checkpoints within it, so a canceled batch drains quickly
 // but still emits every index.
-func fanOut[R any](workers, n int, f func(int) R, emit func(int, R)) {
+//
+// contain, when non-nil, converts a panic out of f(i) into a result so
+// one poisoned net cannot sink the batch or wedge the pool (an
+// unrecovered worker panic would kill the process; a swallowed one
+// would deadlock Wait). A nil contain lets panics propagate.
+func fanOut[R any](workers, n int, f func(int) R, emit func(int, R), contain func(int, *noiseerr.PanicError) R) {
 	if workers > n {
 		workers = n
 	}
 	if workers < 1 {
 		workers = 1
+	}
+	run := f
+	if contain != nil {
+		run = func(i int) (r R) {
+			defer func() {
+				if p := recover(); p != nil {
+					r = contain(i, &noiseerr.PanicError{Value: p, Stack: debug.Stack()})
+				}
+			}()
+			return f(i)
+		}
 	}
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -84,7 +210,7 @@ func fanOut[R any](workers, n int, f func(int) R, emit func(int, R)) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				emit(i, f(i))
+				emit(i, run(i))
 			}
 		}()
 	}
@@ -114,11 +240,37 @@ func (t *Tool) AnalyzeAll(names []string, cases []*delaynoise.Case) []NetReport 
 // in-flight nets abort at the next solver checkpoint. The report order
 // is deterministic regardless of worker count or completion order.
 func (t *Tool) AnalyzeAllContext(ctx context.Context, names []string, cases []*delaynoise.Case) []NetReport {
+	return t.AnalyzeBatch(ctx, names, cases, nil, nil)
+}
+
+// AnalyzeBatch is AnalyzeAllContext with checkpoint/resume support.
+// Nets found in prior (keyed by name, e.g. from ReadJournal) are
+// returned as-is without re-analysis and counted in nets.resumed; every
+// freshly completed report is appended to j as it lands (nil disables
+// journaling). Worker panics are contained: the poisoned net reports a
+// noiseerr.ErrInternal-class failure carrying the stack, counts in
+// nets.panicked, and the rest of the batch proceeds.
+func (t *Tool) AnalyzeBatch(ctx context.Context, names []string, cases []*delaynoise.Case, prior map[string]NetReport, j *Journal) []NetReport {
 	checkBatch(names, cases)
+	m := t.session.Metrics()
 	reports := make([]NetReport, len(cases))
-	fanOut(t.Cfg.Workers, len(cases),
-		func(i int) NetReport { return t.AnalyzeNet(ctx, names[i], cases[i]) },
-		func(i int, r NetReport) { reports[i] = r })
+	var pending []int
+	for i, name := range names {
+		if r, ok := prior[name]; ok {
+			r.Name = name
+			reports[i] = r
+			m.Counter("nets.resumed").Inc()
+			continue
+		}
+		pending = append(pending, i)
+	}
+	fanOut(t.Cfg.Workers, len(pending),
+		func(k int) NetReport { return t.AnalyzeNet(ctx, names[pending[k]], cases[pending[k]]) },
+		func(k int, r NetReport) {
+			reports[pending[k]] = r
+			j.Record(r)
+		},
+		func(k int, p *noiseerr.PanicError) NetReport { return t.panicReport(names[pending[k]], p) })
 	return reports
 }
 
@@ -127,7 +279,7 @@ func (t *Tool) AnalyzeAllContext(ctx context.Context, names []string, cases []*d
 // for progress display or incremental consumers; use AnalyzeAllContext
 // when input-ordered results matter. Cancellation drains the remaining
 // nets as error reports, so exactly len(cases) reports are always
-// delivered.
+// delivered. Worker panics are contained as in AnalyzeBatch.
 func (t *Tool) Stream(ctx context.Context, names []string, cases []*delaynoise.Case) <-chan NetReport {
 	checkBatch(names, cases)
 	out := make(chan NetReport)
@@ -135,7 +287,8 @@ func (t *Tool) Stream(ctx context.Context, names []string, cases []*delaynoise.C
 		defer close(out)
 		fanOut(t.Cfg.Workers, len(cases),
 			func(i int) NetReport { return t.AnalyzeNet(ctx, names[i], cases[i]) },
-			func(_ int, r NetReport) { out <- r })
+			func(_ int, r NetReport) { out <- r },
+			func(i int, p *noiseerr.PanicError) NetReport { return t.panicReport(names[i], p) })
 	}()
 	return out
 }
@@ -153,8 +306,8 @@ func (t *Tool) FunctionalAll(names []string, cases []*delaynoise.Case, opt funcn
 }
 
 // FunctionalAllContext is FunctionalAll with cancellation/deadline
-// support, with the same ordering and drain guarantees as
-// AnalyzeAllContext.
+// support, with the same ordering, drain, cancellation-counting, and
+// panic-containment guarantees as AnalyzeBatch.
 func (t *Tool) FunctionalAllContext(ctx context.Context, names []string, cases []*delaynoise.Case, opt funcnoise.Options) []FuncReport {
 	checkBatch(names, cases)
 	m := t.session.Metrics()
@@ -162,18 +315,25 @@ func (t *Tool) FunctionalAllContext(ctx context.Context, names []string, cases [
 	fanOut(t.Cfg.Workers, len(cases),
 		func(i int) FuncReport {
 			if err := ctx.Err(); err != nil {
+				m.Counter("nets.canceled").Inc()
 				return FuncReport{Name: names[i], Err: noiseerr.WithNet(names[i], noiseerr.Canceled(err))}
 			}
 			start := time.Now()
 			res, err := analyzeFunc(ctx, cases[i], opt)
 			m.Observe("net.functional", time.Since(start))
-			m.Counter("nets.analyzed").Inc()
 			if err != nil {
-				m.Counter("nets.failed").Inc()
-				err = noiseerr.WithNet(names[i], err)
+				if ctx.Err() != nil {
+					m.Counter("nets.canceled").Inc()
+				} else {
+					m.Counter("nets.analyzed").Inc()
+					m.Counter("nets.failed").Inc()
+				}
+				return FuncReport{Name: names[i], Err: noiseerr.WithNet(names[i], err)}
 			}
-			return FuncReport{Name: names[i], Res: res, Err: err}
+			m.Counter("nets.analyzed").Inc()
+			return FuncReport{Name: names[i], Res: res}
 		},
-		func(i int, r FuncReport) { reports[i] = r })
+		func(i int, r FuncReport) { reports[i] = r },
+		func(i int, p *noiseerr.PanicError) FuncReport { return t.funcPanicReport(names[i], p) })
 	return reports
 }

@@ -6,9 +6,21 @@ import (
 	"sort"
 )
 
+// ReportOptions adjusts the rendered batch report.
+type ReportOptions struct {
+	// Quality appends a column recording how each net's result was
+	// obtained (exact / rescued / fallback).
+	Quality bool
+}
+
 // WriteReport renders the batch outcome as an aligned table, worst nets
 // first, followed by a failure list.
 func WriteReport(w io.Writer, reports []NetReport) {
+	WriteReportOpts(w, reports, ReportOptions{})
+}
+
+// WriteReportOpts is WriteReport with rendering options.
+func WriteReportOpts(w io.Writer, reports []NetReport, o ReportOptions) {
 	ok := make([]NetReport, 0, len(reports))
 	var failed []NetReport
 	for _, r := range reports {
@@ -21,14 +33,21 @@ func WriteReport(w io.Writer, reports []NetReport) {
 	sort.Slice(ok, func(i, j int) bool {
 		return ok[i].Res.DelayNoise > ok[j].Res.DelayNoise
 	})
-	fmt.Fprintf(w, "%-16s %-12s %-12s %-10s %-10s %-10s %-10s %-6s\n",
-		"net", "quiet(ps)", "noise(ps)", "Vp(V)", "W(ps)", "Rth(ohm)", "Rtr(ohm)", "iters")
+	qhdr, qrow := "", ""
+	if o.Quality {
+		qhdr = fmt.Sprintf(" %-9s", "quality")
+	}
+	fmt.Fprintf(w, "%-16s %-12s %-12s %-10s %-10s %-10s %-10s %-6s%s\n",
+		"net", "quiet(ps)", "noise(ps)", "Vp(V)", "W(ps)", "Rth(ohm)", "Rtr(ohm)", "iters", qhdr)
 	for _, r := range ok {
 		res := r.Res
-		fmt.Fprintf(w, "%-16s %-12.2f %-12.2f %-10.3f %-10.1f %-10.0f %-10.0f %-6d\n",
+		if o.Quality {
+			qrow = fmt.Sprintf(" %-9s", r.Quality)
+		}
+		fmt.Fprintf(w, "%-16s %-12.2f %-12.2f %-10.3f %-10.1f %-10.0f %-10.0f %-6d%s\n",
 			r.Name, res.QuietCombinedDelay*1e12, res.DelayNoise*1e12,
 			res.Pulse.Height, res.Pulse.Width*1e12,
-			res.VictimRth, res.VictimRtr, res.Iterations)
+			res.VictimRth, res.VictimRtr, res.Iterations, qrow)
 	}
 	for _, r := range failed {
 		fmt.Fprintf(w, "%-16s FAILED: %v\n", r.Name, r.Err)
@@ -77,6 +96,16 @@ func WriteMetricsSummary(w io.Writer, t *Tool) {
 	s := t.Metrics().Snapshot()
 	fmt.Fprintf(w, "nets analyzed: %d (%d failed), workers: %d\n",
 		s.Counters["nets.analyzed"], s.Counters["nets.failed"], t.Workers())
+	// Resilience breakdown, shown once any net deviated from the plain
+	// exact path (cancellation is excluded from the failure totals above
+	// and itemized here instead).
+	if s.Counters["nets.rescued"]+s.Counters["nets.fallback"]+s.Counters["nets.canceled"]+
+		s.Counters["nets.deadline"]+s.Counters["nets.panicked"]+s.Counters["nets.resumed"] > 0 {
+		fmt.Fprintf(w, "resilience: %d exact, %d rescued, %d fallback, %d deadline, %d panicked, %d canceled, %d resumed\n",
+			s.Counters["nets.exact"], s.Counters["nets.rescued"], s.Counters["nets.fallback"],
+			s.Counters["nets.deadline"], s.Counters["nets.panicked"],
+			s.Counters["nets.canceled"], s.Counters["nets.resumed"])
+	}
 	fmt.Fprintf(w, "simulations: %d linear, %d nonlinear receiver\n",
 		s.Counters["sim.linear"], s.Counters["sim.nonlinear.receiver"])
 	for _, cache := range []struct{ base, label string }{

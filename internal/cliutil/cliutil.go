@@ -7,6 +7,7 @@ package cliutil
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
@@ -111,6 +112,27 @@ func MustWriteMetrics(path string, s metrics.Snapshot) {
 		log.Fatal(err)
 	}
 	log.Printf("metrics written to %s", path)
+}
+
+// ExitCodeDeadline is the exit status of a run aborted by its global
+// -timeout budget — distinct from runtime failures (1) and usage
+// errors (2), so schedulers can tell "slow" from "broken".
+const ExitCodeDeadline = 3
+
+// exit is a seam for tests; production code always calls os.Exit.
+var exit = os.Exit
+
+// ExitIfDeadline terminates the process with ExitCodeDeadline when the
+// run context expired because the global -timeout budget ran out,
+// after printing a diagnostic naming the budget. Signal-driven
+// cancellation and a live context return without exiting: an operator
+// interrupt is not a deadline overrun.
+func ExitIfDeadline(ctx context.Context, timeout time.Duration) {
+	if !errors.Is(ctx.Err(), context.DeadlineExceeded) {
+		return
+	}
+	log.Printf("deadline exceeded after %v", timeout)
+	exit(ExitCodeDeadline)
 }
 
 // Context returns the run context for a batch tool: it is canceled by

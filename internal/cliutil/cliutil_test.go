@@ -72,6 +72,35 @@ func TestWriteMetrics(t *testing.T) {
 	}
 }
 
+func TestExitIfDeadline(t *testing.T) {
+	code := -1
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+
+	// A live context must not exit.
+	ExitIfDeadline(context.Background(), time.Second)
+	if code != -1 {
+		t.Fatalf("live context exited with %d", code)
+	}
+
+	// Operator cancellation (SIGINT path) is not a deadline overrun.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ExitIfDeadline(ctx, time.Second)
+	if code != -1 {
+		t.Fatalf("canceled context exited with %d", code)
+	}
+
+	// An expired -timeout budget exits with the dedicated code.
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	ExitIfDeadline(dctx, time.Nanosecond)
+	if code != ExitCodeDeadline {
+		t.Fatalf("deadline exit code = %d, want %d", code, ExitCodeDeadline)
+	}
+}
+
 func TestContextTimeout(t *testing.T) {
 	ctx, cancel := Context(time.Millisecond)
 	defer cancel()

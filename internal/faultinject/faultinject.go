@@ -1,0 +1,297 @@
+// Package faultinject is a deterministic, seeded fault-injection
+// harness for the batch engine's resilience machinery. It decides from
+// a seed and a net's name — never from wall-clock time or math/rand
+// global state — which failure mode, if any, a net suffers, so chaos
+// tests assert exact rescued/fallback/failed/panicked counts and rerun
+// bit-identically under -race.
+//
+// Faults enter through two seams:
+//
+//   - WrapAnalyze wraps the clarinet analyze seam and injects
+//     analysis-level faults (convergence failures, numerical failures,
+//     panics, stalls) keyed by the net name carried on the context via
+//     resilience.WithNet.
+//   - SolverCheckpoint returns a hook for nlsim.SetCheckpointHook that
+//     injects convergence failures at solver cancellation checkpoints —
+//     failures that heal exactly when the rescue ladder arms the solver
+//     aids, exercising the homotopy rung end to end.
+//
+// Every fault kind is designed to land in a distinct resilience path:
+// KindConvergence heals on retry (rescued), KindPersistent heals only
+// under prechar alignment (fallback), KindFailure never heals (failed),
+// KindPanic exercises worker containment (panicked), KindStall blocks
+// until the per-net deadline fires (deadline), and
+// KindSolverConvergence fails inside the solver until the homotopy
+// aids are armed (rescued).
+package faultinject
+
+import (
+	"context"
+	"fmt"
+	"hash/fnv"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+)
+
+// Kind is the failure mode assigned to a net.
+type Kind int
+
+const (
+	// KindNone: the net analyzes normally.
+	KindNone Kind = iota
+	// KindConvergence: the analyze seam fails with a convergence error
+	// until the net has been attempted more than Config.HealAfter
+	// times, then succeeds — any rescue rung that re-runs the analysis
+	// heals it (quality "rescued").
+	KindConvergence
+	// KindPersistent: the analyze seam fails with a convergence error
+	// whenever the exhaustive alignment search is requested; only the
+	// prechar-alignment fallback rung heals it (quality "fallback").
+	KindPersistent
+	// KindFailure: the analyze seam always fails with a numerical
+	// error. No rung retries numerical failures, so the net stays
+	// failed.
+	KindFailure
+	// KindPanic: the analyze seam panics, exercising the worker pool's
+	// containment.
+	KindPanic
+	// KindStall: the analyze seam blocks until the net's context fires
+	// (or Config.StallFor elapses, when set) — the deterministic stand-
+	// in for a runaway net that only a deadline budget can stop.
+	KindStall
+	// KindSolverConvergence: solver checkpoints fail with a convergence
+	// error while the solver rescue aids are unarmed; once the ladder
+	// arms them (resilience.WithSolverRescue) the solves succeed.
+	KindSolverConvergence
+)
+
+// String names the kind for diagnostics and Expect maps.
+func (k Kind) String() string {
+	switch k {
+	case KindNone:
+		return "none"
+	case KindConvergence:
+		return "convergence"
+	case KindPersistent:
+		return "persistent"
+	case KindFailure:
+		return "failure"
+	case KindPanic:
+		return "panic"
+	case KindStall:
+		return "stall"
+	case KindSolverConvergence:
+		return "solver-convergence"
+	}
+	return fmt.Sprintf("kind(%d)", int(k))
+}
+
+// Config sets the fraction of nets assigned to each fault kind. The
+// fractions occupy consecutive bands of the per-net hash in field
+// order, so they must sum to at most 1; the remainder is KindNone.
+type Config struct {
+	ConvergenceFrac float64
+	PersistentFrac  float64
+	FailureFrac     float64
+	PanicFrac       float64
+	StallFrac       float64
+	SolverFrac      float64
+
+	// HealAfter is the number of failed attempts a KindConvergence net
+	// suffers before healing (default 1: the first attempt fails, the
+	// first retry succeeds).
+	HealAfter int
+
+	// StallFor bounds KindStall faults in wall-clock time. Zero stalls
+	// until the context fires — the right setting for tests, which
+	// cancel deterministically.
+	StallFor time.Duration
+}
+
+// AnalyzeFunc matches the clarinet analyze seam.
+type AnalyzeFunc func(ctx context.Context, c *delaynoise.Case, opt delaynoise.Options) (*delaynoise.Result, error)
+
+// Plan is a seeded fault assignment over nets. All methods are safe for
+// concurrent use.
+type Plan struct {
+	seed uint64
+	cfg  Config
+
+	mu       sync.Mutex
+	attempts map[string]int
+	assign   map[string]Kind // explicit overrides
+}
+
+// New builds a plan from a seed and fraction configuration.
+func New(seed uint64, cfg Config) *Plan {
+	if cfg.HealAfter == 0 {
+		cfg.HealAfter = 1
+	}
+	return &Plan{
+		seed:     seed,
+		cfg:      cfg,
+		attempts: map[string]int{},
+		assign:   map[string]Kind{},
+	}
+}
+
+// Assign forces a specific kind on a named net, overriding the hash
+// bands. Chaos tests use it to guarantee "exactly one panic, exactly
+// one stall" regardless of seed.
+func (p *Plan) Assign(net string, k Kind) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.assign[net] = k
+}
+
+// hash01 maps (seed, net) to [0, 1) via FNV-1a plus an avalanche
+// finalizer: FNV alone mixes its high bits poorly on short sequential
+// names like "net042", which would skew the fraction bands.
+func (p *Plan) hash01(net string) float64 {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(p.seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.Write([]byte(net))
+	x := h.Sum64()
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return float64(x>>11) / (1 << 53)
+}
+
+// Kind returns the fault kind of a net under this plan.
+func (p *Plan) Kind(net string) Kind {
+	p.mu.Lock()
+	if k, ok := p.assign[net]; ok {
+		p.mu.Unlock()
+		return k
+	}
+	p.mu.Unlock()
+	u := p.hash01(net)
+	for _, band := range []struct {
+		frac float64
+		kind Kind
+	}{
+		{p.cfg.ConvergenceFrac, KindConvergence},
+		{p.cfg.PersistentFrac, KindPersistent},
+		{p.cfg.FailureFrac, KindFailure},
+		{p.cfg.PanicFrac, KindPanic},
+		{p.cfg.StallFrac, KindStall},
+		{p.cfg.SolverFrac, KindSolverConvergence},
+	} {
+		if u < band.frac {
+			return band.kind
+		}
+		u -= band.frac
+	}
+	return KindNone
+}
+
+// Expect returns the nets of each kind, sorted, so tests derive the
+// exact counts a fault-injected batch must report.
+func (p *Plan) Expect(names []string) map[Kind][]string {
+	out := map[Kind][]string{}
+	for _, n := range names {
+		k := p.Kind(n)
+		out[k] = append(out[k], n)
+	}
+	for _, nets := range out {
+		sort.Strings(nets)
+	}
+	return out
+}
+
+// attempt records one analyze-seam visit of net and returns the new
+// attempt count.
+func (p *Plan) attempt(net string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.attempts[net]++
+	return p.attempts[net]
+}
+
+// Attempts returns how many times the analyze seam saw net.
+func (p *Plan) Attempts(net string) int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.attempts[net]
+}
+
+// Reset clears the per-net attempt counters (not the explicit
+// assignments), so a resumed batch replays the same fault schedule.
+func (p *Plan) Reset() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.attempts = map[string]int{}
+}
+
+// WrapAnalyze wraps the clarinet analyze seam with the plan's
+// analysis-level faults. The net identity comes from
+// resilience.WithNet on the context; nets the context does not name
+// pass through untouched.
+func (p *Plan) WrapAnalyze(real AnalyzeFunc) AnalyzeFunc {
+	return func(ctx context.Context, c *delaynoise.Case, opt delaynoise.Options) (*delaynoise.Result, error) {
+		net := resilience.NetName(ctx)
+		if net == "" {
+			return real(ctx, c, opt)
+		}
+		switch p.Kind(net) {
+		case KindConvergence:
+			if p.attempt(net) <= p.cfg.HealAfter {
+				return nil, noiseerr.Convergencef("faultinject: injected non-convergence on %s", net)
+			}
+		case KindPersistent:
+			p.attempt(net)
+			if opt.Align == delaynoise.AlignExhaustive {
+				return nil, noiseerr.Convergencef("faultinject: injected exhaustive-search non-convergence on %s", net)
+			}
+		case KindFailure:
+			p.attempt(net)
+			return nil, noiseerr.Numericalf("faultinject: injected numerical failure on %s", net)
+		case KindPanic:
+			p.attempt(net)
+			panic(fmt.Sprintf("faultinject: injected panic on %s", net))
+		case KindStall:
+			p.attempt(net)
+			var expired <-chan time.Time
+			if p.cfg.StallFor > 0 {
+				tm := time.NewTimer(p.cfg.StallFor)
+				defer tm.Stop()
+				expired = tm.C
+			}
+			select {
+			case <-ctx.Done():
+				return nil, noiseerr.Canceled(fmt.Errorf("faultinject: stalled net %s: %w", net, ctx.Err()))
+			case <-expired:
+			}
+		}
+		return real(ctx, c, opt)
+	}
+}
+
+// SolverCheckpoint returns a hook for nlsim.SetCheckpointHook injecting
+// KindSolverConvergence faults: solves under an unarmed context fail
+// with a convergence error; once the rescue ladder arms the solver aids
+// the same net's solves succeed.
+func (p *Plan) SolverCheckpoint() func(ctx context.Context, t float64) error {
+	return func(ctx context.Context, t float64) error {
+		net := resilience.NetName(ctx)
+		if net == "" || p.Kind(net) != KindSolverConvergence {
+			return nil
+		}
+		if r, ok := resilience.SolverRescueFrom(ctx); ok && r.Enabled() {
+			return nil
+		}
+		return noiseerr.Convergencef("faultinject: injected solver non-convergence on %s at t=%g", net, t)
+	}
+}

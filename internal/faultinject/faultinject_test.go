@@ -1,0 +1,188 @@
+package faultinject
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+)
+
+func netNames(n int) []string {
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("net%03d", i)
+	}
+	return names
+}
+
+func TestAssignmentIsDeterministic(t *testing.T) {
+	cfg := Config{ConvergenceFrac: 0.2, FailureFrac: 0.1, StallFrac: 0.1}
+	names := netNames(200)
+	a, b := New(7, cfg), New(7, cfg)
+	for _, n := range names {
+		if a.Kind(n) != b.Kind(n) {
+			t.Fatalf("same seed disagrees on %s: %v vs %v", n, a.Kind(n), b.Kind(n))
+		}
+	}
+	// A different seed must produce a different schedule (on 200 nets a
+	// collision across every net is astronomically unlikely).
+	c := New(8, cfg)
+	same := 0
+	for _, n := range names {
+		if a.Kind(n) == c.Kind(n) {
+			same++
+		}
+	}
+	if same == len(names) {
+		t.Fatal("seeds 7 and 8 produced identical schedules")
+	}
+}
+
+func TestBandFractionsRoughlyHold(t *testing.T) {
+	cfg := Config{ConvergenceFrac: 0.25, FailureFrac: 0.25}
+	p := New(42, cfg)
+	exp := p.Expect(netNames(1000))
+	conv, fail, none := len(exp[KindConvergence]), len(exp[KindFailure]), len(exp[KindNone])
+	if conv < 150 || conv > 350 {
+		t.Errorf("convergence band: %d of 1000, want ~250", conv)
+	}
+	if fail < 150 || fail > 350 {
+		t.Errorf("failure band: %d of 1000, want ~250", fail)
+	}
+	if conv+fail+none != 1000 {
+		t.Errorf("bands overlap or leak: %d+%d+%d != 1000", conv, fail, none)
+	}
+}
+
+func TestAssignOverridesHash(t *testing.T) {
+	p := New(1, Config{})
+	if p.Kind("victim") != KindNone {
+		t.Fatal("zero config must assign no faults")
+	}
+	p.Assign("victim", KindPanic)
+	if p.Kind("victim") != KindPanic {
+		t.Fatal("Assign did not override")
+	}
+	exp := p.Expect([]string{"victim", "other"})
+	if len(exp[KindPanic]) != 1 || exp[KindPanic][0] != "victim" {
+		t.Fatalf("Expect = %v", exp)
+	}
+}
+
+// passthrough is an analyze stand-in returning a recognizable result.
+func passthrough(ctx context.Context, c *delaynoise.Case, opt delaynoise.Options) (*delaynoise.Result, error) {
+	return &delaynoise.Result{Iterations: 1}, nil
+}
+
+func TestWrapAnalyzeConvergenceHeals(t *testing.T) {
+	p := New(3, Config{HealAfter: 2})
+	p.Assign("n", KindConvergence)
+	f := p.WrapAnalyze(passthrough)
+	ctx := resilience.WithNet(context.Background(), "n")
+	for i := 0; i < 2; i++ {
+		if _, err := f(ctx, nil, delaynoise.Options{}); !errors.Is(err, noiseerr.ErrConvergence) {
+			t.Fatalf("attempt %d: err = %v, want ErrConvergence", i+1, err)
+		}
+	}
+	if res, err := f(ctx, nil, delaynoise.Options{}); err != nil || res == nil {
+		t.Fatalf("healed attempt: res=%v err=%v", res, err)
+	}
+	if p.Attempts("n") != 3 {
+		t.Fatalf("attempts = %d, want 3", p.Attempts("n"))
+	}
+	// Reset replays the schedule from scratch.
+	p.Reset()
+	if _, err := f(ctx, nil, delaynoise.Options{}); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("post-Reset attempt: err = %v, want ErrConvergence", err)
+	}
+}
+
+func TestWrapAnalyzePersistentHealsOnlyUnderPrechar(t *testing.T) {
+	p := New(3, Config{})
+	p.Assign("n", KindPersistent)
+	f := p.WrapAnalyze(passthrough)
+	ctx := resilience.WithNet(context.Background(), "n")
+	if _, err := f(ctx, nil, delaynoise.Options{Align: delaynoise.AlignExhaustive}); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("exhaustive err = %v, want ErrConvergence", err)
+	}
+	if _, err := f(ctx, nil, delaynoise.Options{Align: delaynoise.AlignPrechar}); err != nil {
+		t.Fatalf("prechar err = %v, want nil", err)
+	}
+}
+
+func TestWrapAnalyzeFailureAndPanic(t *testing.T) {
+	p := New(3, Config{})
+	p.Assign("bad", KindFailure)
+	p.Assign("boom", KindPanic)
+	f := p.WrapAnalyze(passthrough)
+	if _, err := f(resilience.WithNet(context.Background(), "bad"), nil, delaynoise.Options{}); !errors.Is(err, noiseerr.ErrNumerical) {
+		t.Fatalf("failure err = %v, want ErrNumerical", err)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic kind did not panic")
+		}
+	}()
+	f(resilience.WithNet(context.Background(), "boom"), nil, delaynoise.Options{})
+}
+
+func TestWrapAnalyzeStallBlocksUntilContextFires(t *testing.T) {
+	p := New(3, Config{})
+	p.Assign("slow", KindStall)
+	f := p.WrapAnalyze(passthrough)
+	ctx, cancel := context.WithCancel(resilience.WithNet(context.Background(), "slow"))
+	done := make(chan error, 1)
+	go func() {
+		_, err := f(ctx, nil, delaynoise.Options{})
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, noiseerr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("stall err = %v", err)
+	}
+}
+
+func TestWrapAnalyzeIgnoresUnnamedContexts(t *testing.T) {
+	p := New(3, Config{PanicFrac: 1}) // every named net would panic
+	f := p.WrapAnalyze(passthrough)
+	if res, err := f(context.Background(), nil, delaynoise.Options{}); err != nil || res == nil {
+		t.Fatalf("unnamed ctx: res=%v err=%v", res, err)
+	}
+}
+
+func TestSolverCheckpointHealsWhenRescueArmed(t *testing.T) {
+	p := New(3, Config{})
+	p.Assign("n", KindSolverConvergence)
+	hook := p.SolverCheckpoint()
+	ctx := resilience.WithNet(context.Background(), "n")
+	if err := hook(ctx, 0); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("unarmed hook err = %v, want ErrConvergence", err)
+	}
+	armed := resilience.WithSolverRescue(ctx, resilience.SolverRescue{GminSteps: 4})
+	if err := hook(armed, 0); err != nil {
+		t.Fatalf("armed hook err = %v, want nil", err)
+	}
+	// Other nets and unnamed contexts are untouched.
+	if err := hook(resilience.WithNet(context.Background(), "other"), 0); err != nil {
+		t.Fatalf("other net err = %v", err)
+	}
+	if err := hook(context.Background(), 0); err != nil {
+		t.Fatalf("unnamed ctx err = %v", err)
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindNone: "none", KindConvergence: "convergence", KindPersistent: "persistent",
+		KindFailure: "failure", KindPanic: "panic", KindStall: "stall",
+		KindSolverConvergence: "solver-convergence",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}

@@ -27,8 +27,9 @@ var ErrWrap = &lint.Analyzer{
 // (memo, metrics, stats, ...) and the taxonomy itself are exempt.
 var errwrapPackages = []string{
 	"align", "ceff", "clarinet", "core", "delaynoise", "device", "engine",
-	"funcnoise", "gatesim", "holdres", "linalg", "lsim", "mna", "mor",
-	"nlsim", "sta", "sweep", "thevenin", "waveform", "workload",
+	"faultinject", "funcnoise", "gatesim", "holdres", "linalg", "lsim",
+	"mna", "mor", "nlsim", "sta", "sweep", "thevenin", "waveform",
+	"workload",
 }
 
 func runErrWrap(pass *lint.Pass) error {

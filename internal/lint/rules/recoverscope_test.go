@@ -1,0 +1,19 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestRecoverScope(t *testing.T) {
+	linttest.TestAnalyzer(t, RecoverScope, "testdata/recoverscope", "repro/internal/lsim/recoverscopedata")
+}
+
+func TestRecoverScopeAllowedInContainment(t *testing.T) {
+	linttest.TestAnalyzer(t, RecoverScope, "testdata/recoverscope_allowed", "repro/internal/clarinet/recoverscopedata")
+}
+
+func TestRecoverScopeOutsideInternal(t *testing.T) {
+	linttest.TestAnalyzer(t, RecoverScope, "testdata/recoverscope_outofscope", "repro/cmd/recoverscopedata")
+}

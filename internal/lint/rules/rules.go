@@ -2,7 +2,8 @@
 // of the engine's conventions. Each analyzer enforces one invariant that
 // the compiler cannot see but whose violation silently corrupts
 // cancellation (ctxvariant), error attribution (stagename, errwrap),
-// cache sharing (cachekey), or numeric robustness (floatsafe).
+// cache sharing (cachekey), numeric robustness (floatsafe), or panic
+// accounting (recoverscope).
 package rules
 
 import (
@@ -15,7 +16,7 @@ import (
 
 // All returns every noiselint analyzer, in stable order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{CtxVariant, StageName, ErrWrap, CacheKey, FloatSafe}
+	return []*lint.Analyzer{CtxVariant, StageName, ErrWrap, CacheKey, FloatSafe, RecoverScope}
 }
 
 // internalPrefix scopes the analyzers to the module's library packages.

@@ -1,0 +1,21 @@
+// Package recoverscopedata exercises the recoverscope analyzer inside
+// the library scope, outside the containment packages.
+package recoverscopedata
+
+import "fmt"
+
+// Swallowing a panic in a pipeline package: flagged.
+func badSwallow() (err error) {
+	defer func() {
+		if p := recover(); p != nil { // want "recover\\(\\) outside the worker-pool containment seam"
+			err = fmt.Errorf("recovered: %v", p)
+		}
+	}()
+	return nil
+}
+
+// A local function named recover shadows the builtin: clean.
+func goodShadowed() string {
+	recover := func() string { return "not the builtin" }
+	return recover()
+}

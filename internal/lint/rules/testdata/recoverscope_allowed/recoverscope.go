@@ -1,0 +1,13 @@
+// Package recoverscopedata exercises the recoverscope analyzer inside
+// the containment scope (type-checked as a clarinet sub-package): the
+// worker pool is exactly where recover() belongs.
+package recoverscopedata
+
+// Containment in the worker pool: clean.
+func contain(f func()) (recovered any) {
+	defer func() {
+		recovered = recover()
+	}()
+	f()
+	return nil
+}

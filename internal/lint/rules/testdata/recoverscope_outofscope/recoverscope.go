@@ -1,0 +1,16 @@
+// Package recoverscopedata exercises the recoverscope analyzer outside
+// the internal/ tree (type-checked as a cmd package): entry points may
+// recover at their own top level.
+package recoverscopedata
+
+import "log"
+
+// A top-level guard in a command: out of scope, clean.
+func guard(f func()) {
+	defer func() {
+		if p := recover(); p != nil {
+			log.Printf("fatal: %v", p)
+		}
+	}()
+	f()
+}

@@ -1,0 +1,124 @@
+package nlsim
+
+import (
+	"fmt"
+
+	"context"
+
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+)
+
+// gminStart is the initial artificial conductance of the gmin-stepping
+// ladder. 10 mS swamps any device nonlinearity, so the first rung is
+// essentially a linear solve; successive rungs shrink it by 10x each,
+// warm-starting from the previous rung's solution, until the final
+// solve runs with the artificial conductance removed entirely.
+const gminStart = 1e-2
+
+// RescueDC solves the static operating point at time t by homotopy
+// continuation, for circuits where plain damped Newton (DC/DCContext)
+// fails to converge. Two ladders are tried in order:
+//
+//  1. Gmin stepping (r.GminSteps rungs): solve with a large artificial
+//     conductance from every node to ground, then shrink it 10x per
+//     rung, warm-starting each solve from the last, and finish with the
+//     conductance removed.
+//  2. Source stepping (r.SourceSteps rungs): ramp every prescribed
+//     voltage and injected current from zero to full strength in
+//     r.SourceSteps increments, warm-starting along the ramp. The
+//     zero-source circuit has the trivial operating point, so the first
+//     rung always has an easy start.
+//
+// Cancellation and numerical failures abort immediately; only
+// convergence failures fall through to the next ladder. The returned
+// error is convergence-classified when both ladders are exhausted.
+func RescueDC(ctx context.Context, c *Circuit, t float64, x0 []float64, r resilience.SolverRescue) ([]float64, error) {
+	s := newSolver(c)
+	seed := func(x []float64) error {
+		for i := range x {
+			x[i] = 0
+		}
+		if x0 != nil {
+			if len(x0) != s.n {
+				return noiseerr.Invalidf("nlsim: rescue DC x0 has %d entries, want %d", len(x0), s.n)
+			}
+			copy(x, x0)
+		}
+		return nil
+	}
+	x := make([]float64, s.n)
+	if err := seed(x); err != nil {
+		return nil, err
+	}
+	var lastErr error
+	// climb runs one continuation rung. Intermediate rungs exist only to
+	// warm-start the next one, so their own convergence failures are
+	// tolerated — even a stalled damped iterate is a usable seed (a
+	// nearly-floating node under a weakened supply oscillates around the
+	// right neighborhood). Cancellation and numerical failures abort the
+	// whole rescue.
+	climb := func(gmin float64) (fatal error) {
+		if err := s.dcNewton(ctx, t, x, gmin, dcMaxIter); err != nil {
+			if noiseerr.Class(err) != noiseerr.ErrConvergence {
+				return err
+			}
+			lastErr = err
+		}
+		return nil
+	}
+
+	// Ladder 1: gmin stepping.
+	if r.GminSteps > 0 {
+		s.srcScale = 1
+		s.loadFixed(t)
+		gmin := gminStart
+		for k := 0; k < r.GminSteps; k++ {
+			if err := climb(gmin); err != nil {
+				return nil, err
+			}
+			gmin *= 0.1
+		}
+		// Final solve with the artificial conductance removed,
+		// warm-started from the smallest-gmin iterate. Only this solve
+		// must converge: it is the original, unmodified problem.
+		err := s.dcNewton(ctx, t, x, 0, dcMaxIter)
+		if err == nil {
+			return x, nil
+		}
+		if noiseerr.Class(err) != noiseerr.ErrConvergence {
+			return nil, err
+		}
+		lastErr = err
+	}
+
+	// Ladder 2: source stepping, restarted from the caller's seed.
+	if r.SourceSteps > 0 {
+		if err := seed(x); err != nil {
+			return nil, err
+		}
+		for k := 1; k < r.SourceSteps; k++ {
+			s.srcScale = float64(k) / float64(r.SourceSteps)
+			s.loadFixed(t)
+			if err := climb(0); err != nil {
+				return nil, err
+			}
+		}
+		// The final rung is the full-strength circuit and decides.
+		s.srcScale = 1
+		s.loadFixed(t)
+		err := s.dcNewton(ctx, t, x, 0, dcMaxIter)
+		if err == nil {
+			return x, nil
+		}
+		if noiseerr.Class(err) != noiseerr.ErrConvergence {
+			return nil, err
+		}
+		lastErr = err
+	}
+
+	if lastErr == nil {
+		return nil, noiseerr.Convergencef("nlsim: DC rescue has no continuation steps configured")
+	}
+	return nil, fmt.Errorf("nlsim: DC homotopy exhausted: %w", lastErr)
+}

@@ -1,0 +1,197 @@
+package nlsim
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/device"
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+	"repro/internal/waveform"
+)
+
+// failFirstN installs a checkpoint hook that fails the first n
+// checkpoint visits with a convergence-classified error and heals
+// afterwards, so tests can defeat exactly the first Newton attempt and
+// watch the rescue ladder recover. Returns the call counter.
+func failFirstN(t *testing.T, n int64) *atomic.Int64 {
+	t.Helper()
+	var calls atomic.Int64
+	restore := SetCheckpointHook(func(ctx context.Context, tm float64) error {
+		if calls.Add(1) <= n {
+			return noiseerr.Convergencef("faultinject: forced non-convergence at t=%g", tm)
+		}
+		return nil
+	})
+	t.Cleanup(restore)
+	return &calls
+}
+
+// loadedInverter builds an inverter driving a grounded capacitor with a
+// constant input, the workhorse DC fixture of these tests.
+func loadedInverter(t *testing.T, vin float64) *Circuit {
+	t.Helper()
+	lib := device.NewLibrary(tech)
+	inv, err := lib.Cell("INVX2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewCircuit()
+	in := c.Fixed("in", waveform.Constant(vin))
+	out := c.Node("out")
+	c.AddCell(inv, "u1", in, out)
+	c.AddC(out, Ground, 5e-15)
+	return c
+}
+
+func TestRescueDCMatchesPlainDC(t *testing.T) {
+	// On circuits where plain Newton converges, every homotopy
+	// configuration must land on the same operating point: the
+	// continuation path changes, the destination must not.
+	for _, vin := range []float64{0, 0.6, 0.9, 1.2, 1.8} {
+		want, err := DC(loadedInverter(t, vin), 0, nil)
+		if err != nil {
+			t.Fatalf("plain DC at vin=%v: %v", vin, err)
+		}
+		for _, r := range []resilience.SolverRescue{
+			{GminSteps: 6},
+			{SourceSteps: 6},
+			{GminSteps: 6, SourceSteps: 6},
+		} {
+			got, err := RescueDC(context.Background(), loadedInverter(t, vin), 0, nil, r)
+			if err != nil {
+				t.Fatalf("RescueDC(%+v) at vin=%v: %v", r, vin, err)
+			}
+			for i := range want {
+				if math.Abs(got[i]-want[i]) > 1e-6 {
+					t.Fatalf("RescueDC(%+v) at vin=%v: state[%d] = %v, want %v", r, vin, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestDCContextClimbsToRescue(t *testing.T) {
+	want, err := DC(loadedInverter(t, 0.9), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The hook defeats the first Newton attempt. Without rescue aids on
+	// the context, DCContext must surface the convergence failure.
+	calls := failFirstN(t, 1)
+	if _, err := DCContext(context.Background(), loadedInverter(t, 0.9), 0, nil); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("unrescued DCContext err = %v, want ErrConvergence", err)
+	}
+
+	// With rescue armed, the same failure climbs into the homotopy
+	// ladder and lands on the plain operating point.
+	calls.Store(0)
+	ctx := resilience.WithSolverRescue(context.Background(), resilience.SolverRescue{GminSteps: 6, SourceSteps: 6})
+	got, err := DCContext(ctx, loadedInverter(t, 0.9), 0, nil)
+	if err != nil {
+		t.Fatalf("rescued DCContext: %v", err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("rescued state[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSourceSteppingAloneRescues(t *testing.T) {
+	want, err := DC(loadedInverter(t, 1.2), 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	failFirstN(t, 1)
+	ctx := resilience.WithSolverRescue(context.Background(), resilience.SolverRescue{SourceSteps: 4})
+	got, err := DCContext(ctx, loadedInverter(t, 1.2), 0, nil)
+	if err != nil {
+		t.Fatalf("source-stepping rescue: %v", err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-6 {
+			t.Fatalf("state[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestRescueDCPropagatesCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RescueDC(ctx, loadedInverter(t, 0.9), 0, nil, resilience.SolverRescue{GminSteps: 4})
+	if !errors.Is(err, noiseerr.ErrCanceled) {
+		t.Fatalf("err = %v, want ErrCanceled (not a convergence retry)", err)
+	}
+}
+
+func TestStepHalvingRescuesTransient(t *testing.T) {
+	// A starved Newton budget makes the fixed-step inverter transient
+	// fail during the switching edge; the step-halving rung must cut the
+	// step until the starved budget suffices, without changing the
+	// answer a healthy run produces.
+	healthy, err := Run(inverterCircuit(t), Options{TStop: 2e-9, Step: 2e-12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vh, _ := healthy.Voltage("out")
+	wantT50, err := vh.CrossFalling(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	starved := Options{TStop: 2e-9, Step: 2e-12, MaxNewton: 2}
+	if _, err := Run(inverterCircuit(t), starved); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("starved run err = %v, want ErrConvergence", err)
+	}
+
+	starved.Rescue = resilience.SolverRescue{StepHalvings: 8}
+	res, err := Run(inverterCircuit(t), starved)
+	if err != nil {
+		t.Fatalf("step-halving rescue failed: %v", err)
+	}
+	v, _ := res.Voltage("out")
+	t50, err := v.CrossFalling(0.9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(t50-wantT50) > 5e-12 {
+		t.Fatalf("rescued t50 = %v, healthy t50 = %v", t50, wantT50)
+	}
+}
+
+func TestContextRescueOverridesOptions(t *testing.T) {
+	// The context carries the batch engine's retry configuration; it
+	// must win over whatever the Options struct says, including
+	// disabling a rescue the Options armed.
+	starved := Options{TStop: 2e-9, Step: 2e-12, MaxNewton: 2,
+		Rescue: resilience.SolverRescue{StepHalvings: 8}}
+	ctx := resilience.WithSolverRescue(context.Background(), resilience.SolverRescue{})
+	if _, err := RunContext(ctx, inverterCircuit(t), starved); !errors.Is(err, noiseerr.ErrConvergence) {
+		t.Fatalf("ctx-disabled rescue err = %v, want ErrConvergence", err)
+	}
+	ctx = resilience.WithSolverRescue(context.Background(), resilience.SolverRescue{StepHalvings: 8})
+	starved.Rescue = resilience.SolverRescue{}
+	if _, err := RunContext(ctx, inverterCircuit(t), starved); err != nil {
+		t.Fatalf("ctx-armed rescue failed: %v", err)
+	}
+}
+
+func TestCheckpointHookAbortsRun(t *testing.T) {
+	restore := SetCheckpointHook(func(ctx context.Context, tm float64) error {
+		return noiseerr.Canceled(context.Canceled)
+	})
+	if _, err := Run(inverterCircuit(t), Options{TStop: 2e-9, Step: 1e-12}); !errors.Is(err, noiseerr.ErrCanceled) {
+		restore()
+		t.Fatalf("hooked run err = %v, want ErrCanceled", err)
+	}
+	restore()
+	// After restore the same run must complete untouched.
+	if _, err := Run(inverterCircuit(t), Options{TStop: 2e-9, Step: 1e-12}); err != nil {
+		t.Fatalf("run after restore failed: %v", err)
+	}
+}

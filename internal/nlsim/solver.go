@@ -8,6 +8,7 @@ import (
 	"repro/internal/device"
 	"repro/internal/linalg"
 	"repro/internal/noiseerr"
+	"repro/internal/resilience"
 	"repro/internal/waveform"
 )
 
@@ -41,6 +42,13 @@ type Options struct {
 	// noiseerr.ErrCanceled-classified error (also matching the context's
 	// own error).
 	Ctx context.Context
+
+	// Rescue arms the convergence rescue aids (DC homotopy, transient
+	// step halving) for this run. A rescue carried on the context via
+	// resilience.WithSolverRescue takes precedence, so batch engines can
+	// arm a whole retry without touching the Options structs of the
+	// layers in between.
+	Rescue resilience.SolverRescue
 }
 
 func (o *Options) defaults() {
@@ -74,6 +82,12 @@ type solver struct {
 	f          []float64
 	perm       []float64
 	fixedCache []float64 // voltage of every node at current eval time
+
+	// srcScale uniformly scales every prescribed voltage and injected
+	// current. It is 1 except during source-stepping continuation, where
+	// the rescue ladder ramps it from 0 to 1 to walk the DC solve to the
+	// full-strength operating point.
+	srcScale float64
 }
 
 func newSolver(c *Circuit) *solver {
@@ -90,6 +104,7 @@ func newSolver(c *Circuit) *solver {
 		f:          make([]float64, n),
 		perm:       make([]float64, n),
 		fixedCache: make([]float64, len(c.nodes)),
+		srcScale:   1,
 	}
 	// The capacitance matrix over unknown nodes is constant.
 	for _, cp := range c.caps {
@@ -116,11 +131,12 @@ func (s *solver) stateOf(r Ref) int {
 	return s.ckt.nodes[r].state
 }
 
-// loadFixed caches the prescribed voltages at time t.
+// loadFixed caches the prescribed voltages at time t, scaled by the
+// source-stepping ramp (srcScale is 1 outside continuation).
 func (s *solver) loadFixed(t float64) {
 	for i := range s.ckt.nodes {
 		if w := s.ckt.nodes[i].fixed; w != nil {
-			s.fixedCache[i] = w.At(t)
+			s.fixedCache[i] = s.srcScale * w.At(t)
 		}
 	}
 }
@@ -190,7 +206,7 @@ func (s *solver) static(x []float64, t float64, jac *linalg.Matrix) {
 	}
 	for _, src := range s.ckt.isrcs {
 		if sa := s.stateOf(src.a); sa >= 0 {
-			s.ist[sa] -= src.w.At(t)
+			s.ist[sa] -= s.srcScale * src.w.At(t)
 		}
 	}
 	for _, f := range s.ckt.fets {
@@ -227,40 +243,34 @@ func (s *solver) static(x []float64, t float64, jac *linalg.Matrix) {
 	}
 }
 
-// DC solves the static operating point at time t by damped Newton
-// iteration starting from x0 (or zeros when x0 is nil).
-func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
-	return DCContext(context.Background(), c, t, x0)
-}
+// dcMaxIter is the damped-Newton iteration budget of one DC solve (one
+// continuation rung counts as one solve).
+const dcMaxIter = 400
 
-// DCContext is DC with cancellation support: the Newton loop checks ctx
-// every CtxCheckInterval iterations.
-func DCContext(ctx context.Context, c *Circuit, t float64, x0 []float64) ([]float64, error) {
-	s := newSolver(c)
-	x := make([]float64, s.n)
-	if x0 != nil {
-		if len(x0) != s.n {
-			return nil, noiseerr.Invalidf("nlsim: DC x0 has %d entries, want %d", len(x0), s.n)
-		}
-		copy(x, x0)
-	}
-	s.loadFixed(t)
-	const maxIter = 400
+// dcNewton runs damped Newton on the static system at time t, updating
+// x in place. gmin adds an artificial conductance from every unknown
+// node to ground — the gmin-stepping continuation aid; zero leaves only
+// the 1e-12 regularization floor. loadFixed must already have been
+// called for t at the current srcScale.
+func (s *solver) dcNewton(ctx context.Context, t float64, x []float64, gmin float64, maxIter int) error {
 	for iter := 0; iter < maxIter; iter++ {
 		if iter%CtxCheckInterval == 0 {
 			if err := canceled(ctx, t); err != nil {
-				return nil, err
+				return err
 			}
 		}
 		s.static(x, t, s.jac)
 		// Regularize with a tiny conductance to ground on every node so
-		// isolated capacitive nodes have a defined DC solution.
+		// isolated capacitive nodes have a defined DC solution; the gmin
+		// rung adds its artificial conductance to both the residual and
+		// the Jacobian so the continuation problem stays consistent.
 		for i := 0; i < s.n; i++ {
-			s.jac.Add(i, i, 1e-12)
+			s.ist[i] += gmin * x[i]
+			s.jac.Add(i, i, gmin+1e-12)
 		}
 		f, err := linalg.FactorLU(s.jac)
 		if err != nil {
-			return nil, noiseerr.Numericalf("nlsim: DC Jacobian singular: %w", err)
+			return noiseerr.Numericalf("nlsim: DC Jacobian singular: %w", err)
 		}
 		dx := f.Solve(s.ist)
 		worst := 0.0
@@ -277,10 +287,40 @@ func DCContext(ctx context.Context, c *Circuit, t float64, x0 []float64) ([]floa
 			}
 		}
 		if worst < 1e-9 {
-			return x, nil
+			return nil
 		}
 	}
-	return nil, noiseerr.Convergencef("nlsim: DC did not converge in %d iterations", maxIter)
+	return noiseerr.Convergencef("nlsim: DC did not converge in %d iterations", maxIter)
+}
+
+// DC solves the static operating point at time t by damped Newton
+// iteration starting from x0 (or zeros when x0 is nil).
+func DC(c *Circuit, t float64, x0 []float64) ([]float64, error) {
+	return DCContext(context.Background(), c, t, x0)
+}
+
+// DCContext is DC with cancellation support: the Newton loop checks ctx
+// every CtxCheckInterval iterations. When plain Newton fails to
+// converge and ctx carries DC rescue aids (resilience.WithSolverRescue),
+// the homotopy ladder in RescueDC is tried before giving up.
+func DCContext(ctx context.Context, c *Circuit, t float64, x0 []float64) ([]float64, error) {
+	s := newSolver(c)
+	x := make([]float64, s.n)
+	if x0 != nil {
+		if len(x0) != s.n {
+			return nil, noiseerr.Invalidf("nlsim: DC x0 has %d entries, want %d", len(x0), s.n)
+		}
+		copy(x, x0)
+	}
+	s.loadFixed(t)
+	err := s.dcNewton(ctx, t, x, 0, dcMaxIter)
+	if err == nil {
+		return x, nil
+	}
+	if r, ok := resilience.SolverRescueFrom(ctx); ok && r.DCEnabled() && noiseerr.Class(err) == noiseerr.ErrConvergence {
+		return RescueDC(ctx, c, t, x0, r)
+	}
+	return nil, err
 }
 
 // RunContext is Run with an explicit context, overriding Options.Ctx.
@@ -305,6 +345,18 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	// The context-carried rescue wins over Options.Rescue: a batch-level
+	// retry must be able to arm the aids without the intermediate layers
+	// copying them into every Options struct. When the rescue came in
+	// through Options only, arm the context too so the DC solve below
+	// (and any nested solve) sees the same configuration.
+	rescue := opt.Rescue
+	if r, ok := resilience.SolverRescueFrom(ctx); ok {
+		rescue = r
+	} else if rescue.Enabled() {
+		ctx = resilience.WithSolverRescue(ctx, rescue)
+	}
+	halvings := rescue.StepHalvings
 	if err := canceled(ctx, opt.TStart); err != nil {
 		return nil, err
 	}
@@ -415,11 +467,21 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 			return nil, err
 		}
 		if !ok {
-			if !opt.Adaptive || h <= hMin*1.0001 {
-				return nil, noiseerr.Convergencef("nlsim: Newton did not converge at t=%g", t+h)
+			if opt.Adaptive && h > hMin*1.0001 {
+				h = math.Max(h/4, hMin)
+				continue
 			}
-			h = math.Max(h/4, hMin)
-			continue
+			// Rescue rung: allow a bounded number of halvings below the
+			// configured floor (and below the fixed step of non-adaptive
+			// runs) before declaring non-convergence. The lowered floor
+			// persists so the adaptive controller may keep using it.
+			if halvings > 0 {
+				halvings--
+				h /= 2
+				hMin = math.Min(hMin, h)
+				continue
+			}
+			return nil, noiseerr.Convergencef("nlsim: Newton did not converge at t=%g", t+h)
 		}
 		t += h
 		commit(t)
@@ -437,13 +499,33 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 	return &Result{Times: times, States: states, ckt: c}, nil
 }
 
-// canceled converts a fired context into a classified error.
+// checkpointHook, when non-nil, is consulted at every solver
+// cancellation checkpoint. It exists for deterministic fault injection
+// (internal/faultinject): returning an error aborts the solve exactly
+// where a fired context would, with no reliance on wall-clock timing.
+var checkpointHook func(ctx context.Context, t float64) error
+
+// SetCheckpointHook installs fn as the solver checkpoint hook and
+// returns a function restoring the previous hook. Install before
+// launching any solve and restore after every solve has finished; the
+// hook itself may be called from many goroutines.
+func SetCheckpointHook(fn func(ctx context.Context, t float64) error) (restore func()) {
+	prev := checkpointHook
+	checkpointHook = fn
+	return func() { checkpointHook = prev }
+}
+
+// canceled converts a fired context into a classified error and gives
+// the fault-injection hook a deterministic seam at the same cadence.
 func canceled(ctx context.Context, t float64) error {
 	if ctx == nil {
 		return nil
 	}
 	if err := ctx.Err(); err != nil {
 		return noiseerr.Canceled(fmt.Errorf("nlsim: canceled at t=%g: %w", t, err))
+	}
+	if hook := checkpointHook; hook != nil {
+		return hook(ctx, t)
 	}
 	return nil
 }

@@ -1,17 +1,24 @@
 // Package noiseerr is the typed error taxonomy of the analysis engine.
 // Every failure surfaced by the delaynoise/clarinet stack classifies
-// under one of four sentinel classes, testable with errors.Is:
+// under one of six sentinel classes, testable with errors.Is:
 //
 //   - ErrInvalidCase: the input could never be analyzed (bad topology,
 //     non-physical parameters, missing options).
 //   - ErrConvergence: an iterative method gave up (Newton, alignment
 //     search). Retrying with a cheaper or more robust method may help;
-//     batch engines use this class to degrade gracefully.
+//     batch engines use this class to drive their rescue ladder.
 //   - ErrNumerical: linear algebra or waveform measurement broke down
 //     (singular matrix, missing crossing). Usually a modeling problem.
 //   - ErrCanceled: the caller's context fired. These errors also match
 //     context.Canceled / context.DeadlineExceeded, so errors.Is works
 //     with either vocabulary.
+//   - ErrDeadline: a per-net deadline budget expired while the rest of
+//     the batch kept running. Unlike ErrCanceled this is a real per-net
+//     failure (the net exhausted its own time budget), not a caller
+//     abort, so batch metrics count it among the failures.
+//   - ErrInternal: the engine itself misbehaved — a recovered worker
+//     panic or a broken invariant. PanicError carries the recovered
+//     value and stack.
 //
 // On top of the classes, StageError attributes a failure to one stage of
 // the per-net pipeline (characterize → reduce → simulate → align →
@@ -31,6 +38,8 @@ var (
 	ErrConvergence = errors.New("convergence failure")
 	ErrNumerical   = errors.New("numerical failure")
 	ErrCanceled    = errors.New("analysis canceled")
+	ErrDeadline    = errors.New("net deadline exceeded")
+	ErrInternal    = errors.New("internal failure")
 )
 
 // classified tags an error with a sentinel class. Unwrap returns both
@@ -73,14 +82,57 @@ func Numericalf(format string, args ...any) error {
 // error via errors.Is.
 func Canceled(err error) error { return As(ErrCanceled, err) }
 
+// Internalf builds an ErrInternal-classified error.
+func Internalf(format string, args ...any) error {
+	return As(ErrInternal, fmt.Errorf(format, args...))
+}
+
+// Deadline tags err as a per-net deadline failure. The batch engine uses
+// this for nets whose own time budget expired while the run continued;
+// it outranks the ErrCanceled classification the solver checkpoints
+// attach on the way out, so the net is reported as a deadline failure
+// rather than a caller abort.
+func Deadline(err error) error { return As(ErrDeadline, err) }
+
+// Reclass tags err with a sentinel class like As, but hoists the tag
+// beneath any outermost StageError so net/stage attribution stays the
+// first match of errors.As. Nil-safe.
+func Reclass(class, err error) error {
+	if err == nil {
+		return nil
+	}
+	if se, ok := err.(*StageError); ok {
+		return &StageError{Net: se.Net, Stage: se.Stage, Err: As(class, se.Err)}
+	}
+	return As(class, err)
+}
+
+// PanicError is a worker panic recovered by the batch engine, carrying
+// the panicking value and the goroutine stack. It classifies as
+// ErrInternal. Retrieve it from a chain with errors.As to render the
+// stack.
+type PanicError struct {
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string { return fmt.Sprintf("panic: %v", e.Value) }
+
+// Unwrap classifies every recovered panic as an internal failure.
+func (e *PanicError) Unwrap() error { return ErrInternal }
+
 // Class returns the sentinel class of err, or nil when unclassified.
-// Cancellation wins over the other classes (a canceled run often fails
-// with a secondary symptom), and bare context errors classify as
-// ErrCanceled even without a Canceled wrap.
+// An explicit ErrDeadline tag wins over everything (a deadlined net
+// usually also carries the solver's cancellation symptom); cancellation
+// wins over the remaining classes (a canceled run often fails with a
+// secondary symptom), and bare context errors classify as ErrCanceled
+// even without a Canceled wrap.
 func Class(err error) error {
 	switch {
 	case err == nil:
 		return nil
+	case errors.Is(err, ErrDeadline):
+		return ErrDeadline
 	case errors.Is(err, ErrCanceled),
 		errors.Is(err, context.Canceled),
 		errors.Is(err, context.DeadlineExceeded):
@@ -91,12 +143,15 @@ func Class(err error) error {
 		return ErrConvergence
 	case errors.Is(err, ErrNumerical):
 		return ErrNumerical
+	case errors.Is(err, ErrInternal):
+		return ErrInternal
 	}
 	return nil
 }
 
 // ClassName names err's class for reports ("invalid-case",
-// "convergence", "numerical", "canceled", or "unclassified").
+// "convergence", "numerical", "canceled", "deadline", "internal", or
+// "unclassified").
 func ClassName(err error) string {
 	switch Class(err) {
 	case ErrInvalidCase:
@@ -107,8 +162,34 @@ func ClassName(err error) string {
 		return "numerical"
 	case ErrCanceled:
 		return "canceled"
+	case ErrDeadline:
+		return "deadline"
+	case ErrInternal:
+		return "internal"
 	}
 	return "unclassified"
+}
+
+// ClassFromName is the inverse of ClassName: it resolves a rendered
+// class name back to its sentinel, or nil for "unclassified" and
+// unknown names. Batch journals use it to rehydrate errors.Is matching
+// across a checkpoint/resume cycle.
+func ClassFromName(name string) error {
+	switch name {
+	case "invalid-case":
+		return ErrInvalidCase
+	case "convergence":
+		return ErrConvergence
+	case "numerical":
+		return ErrNumerical
+	case "canceled":
+		return ErrCanceled
+	case "deadline":
+		return ErrDeadline
+	case "internal":
+		return ErrInternal
+	}
+	return nil
 }
 
 // Stage names one step of the per-net analysis pipeline. The values
@@ -121,7 +202,11 @@ type Stage string
 
 // Pipeline stages, in execution order. StageHoldres is the transient
 // holding-resistance derivation, a sub-step of characterization that is
-// timed separately because it dominates pass-2 cost.
+// timed separately because it dominates pass-2 cost. StageRescue and
+// StageResilience sit outside the per-net flow proper: StageRescue
+// covers the convergence rescue ladder (retry attempts after a failed
+// first pass), StageResilience the batch containment machinery itself
+// (panic recovery, deadline budgets, journal replay).
 const (
 	StageCharacterize Stage = "characterize"
 	StageReduce       Stage = "reduce"
@@ -129,9 +214,12 @@ const (
 	StageAlign        Stage = "align"
 	StageHoldres      Stage = "holdres"
 	StageReport       Stage = "report"
+	StageRescue       Stage = "rescue"
+	StageResilience   Stage = "resilience"
 )
 
-// Stages lists every pipeline stage, in execution order.
+// Stages lists every pipeline stage, in execution order (the resilience
+// stages last: they wrap the per-net flow rather than sit inside it).
 var Stages = []Stage{
 	StageCharacterize,
 	StageReduce,
@@ -139,6 +227,8 @@ var Stages = []Stage{
 	StageAlign,
 	StageHoldres,
 	StageReport,
+	StageRescue,
+	StageResilience,
 }
 
 // stageTimerPrefix namespaces the per-stage metrics timers.

@@ -17,6 +17,9 @@ func TestClassSentinels(t *testing.T) {
 		{Convergencef("newton stalled"), ErrConvergence, "convergence"},
 		{Numericalf("singular"), ErrNumerical, "numerical"},
 		{Canceled(context.Canceled), ErrCanceled, "canceled"},
+		{Deadline(context.DeadlineExceeded), ErrDeadline, "deadline"},
+		{Internalf("broken invariant"), ErrInternal, "internal"},
+		{&PanicError{Value: "boom"}, ErrInternal, "internal"},
 	}
 	for _, c := range cases {
 		if !errors.Is(c.err, c.class) {
@@ -57,6 +60,66 @@ func TestCancellationWinsClassification(t *testing.T) {
 	err := As(ErrNumerical, fmt.Errorf("aborted: %w", Canceled(context.Canceled)))
 	if Class(err) != ErrCanceled {
 		t.Errorf("Class = %v, want ErrCanceled", Class(err))
+	}
+}
+
+func TestDeadlineOutranksCancellation(t *testing.T) {
+	// A deadlined net surfaces the solver's cancellation symptom on the
+	// way out; the explicit deadline tag must still win so the net is
+	// reported as a per-net failure, not a caller abort.
+	solver := Canceled(fmt.Errorf("nlsim: canceled at t=1e-9: %w", context.DeadlineExceeded))
+	err := Deadline(solver)
+	if Class(err) != ErrDeadline {
+		t.Errorf("Class = %v, want ErrDeadline", Class(err))
+	}
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Error("deadline error lost the context chain")
+	}
+}
+
+func TestReclassKeepsStageAttribution(t *testing.T) {
+	staged := WithNet("net7", InStage(StageSimulate, Canceled(context.DeadlineExceeded)))
+	re := Reclass(ErrDeadline, staged)
+	var se *StageError
+	if !errors.As(re, &se) || se.Net != "net7" || se.Stage != StageSimulate {
+		t.Fatalf("attribution lost through Reclass: %+v", se)
+	}
+	if Class(re) != ErrDeadline {
+		t.Errorf("Class = %v, want ErrDeadline", Class(re))
+	}
+	if Reclass(ErrDeadline, nil) != nil {
+		t.Error("Reclass(nil) != nil")
+	}
+	// Plain errors are tagged directly.
+	if Class(Reclass(ErrInternal, errors.New("x"))) != ErrInternal {
+		t.Error("Reclass on a plain error did not tag the class")
+	}
+}
+
+func TestPanicError(t *testing.T) {
+	pe := &PanicError{Value: "index out of range", Stack: []byte("goroutine 7 [running]:\n")}
+	if got := pe.Error(); got != "panic: index out of range" {
+		t.Errorf("Error() = %q", got)
+	}
+	wrapped := WithNet("net3", InStage(StageResilience, pe))
+	var back *PanicError
+	if !errors.As(wrapped, &back) || len(back.Stack) == 0 {
+		t.Fatal("PanicError not recoverable from chain")
+	}
+	if !errors.Is(wrapped, ErrInternal) {
+		t.Error("panic did not classify as internal")
+	}
+}
+
+func TestClassFromNameRoundTrip(t *testing.T) {
+	for _, class := range []error{ErrInvalidCase, ErrConvergence, ErrNumerical, ErrCanceled, ErrDeadline, ErrInternal} {
+		name := ClassName(As(class, errors.New("x")))
+		if got := ClassFromName(name); got != class {
+			t.Errorf("ClassFromName(%q) = %v, want %v", name, got, class)
+		}
+	}
+	if ClassFromName("unclassified") != nil || ClassFromName("nonsense") != nil {
+		t.Error("unknown names must resolve to nil")
 	}
 }
 
@@ -155,7 +218,7 @@ func TestStageTimerNames(t *testing.T) {
 			t.Errorf("StageForTimer(%q) = %q, %v; want %q, true", name, back, ok, s)
 		}
 	}
-	for _, s := range []Stage{StageCharacterize, StageReduce, StageSimulate, StageAlign, StageHoldres, StageReport} {
+	for _, s := range []Stage{StageCharacterize, StageReduce, StageSimulate, StageAlign, StageHoldres, StageReport, StageRescue, StageResilience} {
 		if !seen[s] {
 			t.Errorf("declared stage %q missing from Stages", s)
 		}

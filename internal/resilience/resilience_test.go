@@ -1,0 +1,141 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestQualityStrings(t *testing.T) {
+	cases := []struct {
+		q    Quality
+		want string
+	}{
+		{QualityExact, "exact"},
+		{QualityRescued, "rescued"},
+		{QualityFallback, "fallback"},
+	}
+	for _, c := range cases {
+		if got := c.q.String(); got != c.want {
+			t.Errorf("Quality(%d).String() = %q, want %q", c.q, got, c.want)
+		}
+		if back := QualityFromString(c.want); back != c.q {
+			t.Errorf("QualityFromString(%q) = %v, want %v", c.want, back, c.q)
+		}
+	}
+	if QualityFromString("bogus") != QualityExact {
+		t.Error("unknown quality names must map to exact (zero value)")
+	}
+}
+
+func TestZeroPolicyDisablesEverything(t *testing.T) {
+	var p Policy
+	if p.Enabled() {
+		t.Error("zero policy reports Enabled")
+	}
+	if rungs := p.Ladder(); len(rungs) != 0 {
+		t.Errorf("zero policy ladder has %d rungs, want 0", len(rungs))
+	}
+	var r SolverRescue
+	if r.Enabled() || r.DCEnabled() {
+		t.Error("zero SolverRescue reports enabled")
+	}
+}
+
+func TestDefaultPolicyLadder(t *testing.T) {
+	p := DefaultPolicy()
+	if !p.Enabled() {
+		t.Fatal("default policy not enabled")
+	}
+	rungs := p.Ladder()
+	names := make([]string, len(rungs))
+	for i, r := range rungs {
+		names[i] = r.Name
+	}
+	want := []string{"homotopy", "timestep", "prechar"}
+	if len(names) != len(want) {
+		t.Fatalf("ladder = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("ladder = %v, want %v", names, want)
+		}
+	}
+	// Rung tuning: homotopy has DC aids but no halving; timestep keeps
+	// the DC aids and adds halvings; defaults fill zero fields.
+	if rungs[0].Solver.GminSteps != DefaultGminSteps || rungs[0].Solver.SourceSteps != DefaultSourceSteps {
+		t.Errorf("homotopy rung solver = %+v", rungs[0].Solver)
+	}
+	if rungs[0].Solver.StepHalvings != 0 {
+		t.Error("homotopy rung must not halve timesteps")
+	}
+	if rungs[1].Solver.StepHalvings != DefaultStepHalvings || !rungs[1].Solver.DCEnabled() {
+		t.Errorf("timestep rung solver = %+v", rungs[1].Solver)
+	}
+	if !rungs[2].Prechar || rungs[2].Solver.Enabled() {
+		t.Errorf("prechar rung = %+v", rungs[2])
+	}
+	// Quality mapping.
+	if rungs[0].Quality() != QualityRescued || rungs[2].Quality() != QualityFallback {
+		t.Error("rung quality mapping wrong")
+	}
+}
+
+func TestFallbackOnlyPolicyMatchesLegacyBehavior(t *testing.T) {
+	p := Policy{FallbackToPrechar: true}
+	rungs := p.Ladder()
+	if len(rungs) != 1 || !rungs[0].Prechar {
+		t.Fatalf("fallback-only ladder = %+v, want single prechar rung", rungs)
+	}
+}
+
+func TestTimestepOnlyPolicy(t *testing.T) {
+	p := Policy{StepHalvings: 2}
+	rungs := p.Ladder()
+	if len(rungs) != 1 || rungs[0].Name != "timestep" {
+		t.Fatalf("ladder = %+v", rungs)
+	}
+	if rungs[0].Solver.StepHalvings != 2 || rungs[0].Solver.DCEnabled() {
+		t.Errorf("timestep-only rung solver = %+v", rungs[0].Solver)
+	}
+}
+
+func TestExplicitTuningOverridesDefaults(t *testing.T) {
+	p := Policy{DCHomotopy: true, GminSteps: 3, SourceSteps: 5, StepHalvings: 1}
+	rungs := p.Ladder()
+	if rungs[0].Solver.GminSteps != 3 || rungs[0].Solver.SourceSteps != 5 {
+		t.Errorf("homotopy rung = %+v", rungs[0].Solver)
+	}
+	if rungs[1].Solver.StepHalvings != 1 {
+		t.Errorf("timestep rung = %+v", rungs[1].Solver)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	ctx := context.Background()
+	if NetName(ctx) != "" {
+		t.Error("untagged ctx has a net name")
+	}
+	if _, ok := SolverRescueFrom(ctx); ok {
+		t.Error("untagged ctx has solver rescue")
+	}
+	ctx = WithNet(ctx, "net42")
+	if NetName(ctx) != "net42" {
+		t.Errorf("NetName = %q", NetName(ctx))
+	}
+	want := SolverRescue{GminSteps: 4, StepHalvings: 2}
+	ctx = WithSolverRescue(ctx, want)
+	got, ok := SolverRescueFrom(ctx)
+	if !ok || got != want {
+		t.Errorf("SolverRescueFrom = %+v, %v", got, ok)
+	}
+	// Tags survive derived contexts (the per-net timeout ctx).
+	child, cancel := context.WithTimeout(ctx, time.Minute)
+	defer cancel()
+	if NetName(child) != "net42" {
+		t.Error("net name lost through WithTimeout")
+	}
+	if r, ok := SolverRescueFrom(child); !ok || r != want {
+		t.Error("solver rescue lost through WithTimeout")
+	}
+}
