@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race chaos lint noiselint staticcheck vuln bench
+.PHONY: build test race chaos lint noiselint staticcheck vuln bench server-smoke
 
 build:
 	$(GO) build ./...
@@ -18,7 +18,7 @@ test:
 # Race-detector pass over the concurrent packages (the worker pool and
 # the shared caches live here); CI runs the same set.
 race:
-	$(GO) test -race ./internal/clarinet/... ./internal/core/...
+	$(GO) test -race ./internal/clarinet/... ./internal/core/... ./internal/noised/...
 
 # Fault-injected batch smoke under the race detector: seeded
 # convergence failures, one panic, one stalled net, plus the journal
@@ -59,6 +59,12 @@ vuln:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# Serving-layer smoke: boots a race-built noised on an ephemeral port,
+# drives it with noisectl over a netgen workload, checks the
+# warm-session guarantee and graceful drain. Mirrors the CI job.
+server-smoke:
+	RACE=1 ./scripts/server_smoke.sh
 
 # One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet
 # batch metrics JSON.

@@ -47,29 +47,9 @@ import (
 
 	"repro/internal/clarinet"
 	"repro/internal/cliutil"
-	"repro/internal/delaynoise"
 	"repro/internal/funcnoise"
 	"repro/internal/resilience"
 )
-
-// journalEndsMidLine reports whether the journal at path ends without a
-// trailing newline — the torn final record a killed run leaves behind.
-func journalEndsMidLine(path string) bool {
-	f, err := os.Open(path)
-	if err != nil {
-		return false
-	}
-	defer f.Close()
-	st, err := f.Stat()
-	if err != nil || st.Size() == 0 {
-		return false
-	}
-	var b [1]byte
-	if _, err := f.ReadAt(b[:], st.Size()-1); err != nil {
-		return false
-	}
-	return b[0] != '\n'
-}
 
 func main() {
 	cliutil.Init("clarinet")
@@ -88,25 +68,14 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 
-	var hold delaynoise.HoldModel
-	switch *holdFlag {
-	case "thevenin":
-		hold = delaynoise.HoldThevenin
-	case "transient":
-		hold = delaynoise.HoldTransient
-	default:
+	hold, err := clarinet.ParseHold(*holdFlag)
+	if err != nil {
 		cliutil.Usagef("unknown hold model %q", *holdFlag)
 	}
-	var alignMethod delaynoise.AlignMethod
-	switch *alignFlag {
-	case "exhaustive":
-		alignMethod = delaynoise.AlignExhaustive
-	case "input":
-		alignMethod = delaynoise.AlignReceiverInput
-	case "prechar":
-		alignMethod = delaynoise.AlignPrechar
-	default:
+	alignMethod, err := clarinet.ParseAlign(*alignFlag)
+	if err != nil {
 		cliutil.Usagef("unknown alignment method %q", *alignFlag)
 	}
 	if *mode != "delay" && *mode != "func" {
@@ -142,19 +111,14 @@ func main() {
 	// the resume file are usually the same path.
 	var prior map[string]clarinet.NetReport
 	if *resumePath != "" {
-		f, err := os.Open(*resumePath)
-		switch {
-		case err == nil:
-			prior, err = clarinet.ReadJournal(f)
-			f.Close()
-			if err != nil {
-				log.Fatal(err)
-			}
-			log.Printf("resuming: %d nets already complete in %s", len(prior), *resumePath)
-		case os.IsNotExist(err):
-			log.Printf("resume journal %s absent; starting fresh", *resumePath)
-		default:
+		prior, err = clarinet.ReadJournalFile(*resumePath)
+		if err != nil {
 			log.Fatal(err)
+		}
+		if len(prior) > 0 {
+			log.Printf("resuming: %d nets already complete in %s", len(prior), *resumePath)
+		} else {
+			log.Printf("resume journal %s empty or absent; starting fresh", *resumePath)
 		}
 		if *journalPath == "" {
 			*journalPath = *resumePath
@@ -162,20 +126,12 @@ func main() {
 	}
 	var journal *clarinet.Journal
 	if *journalPath != "" {
-		torn := journalEndsMidLine(*journalPath)
-		f, err := os.OpenFile(*journalPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		j, closeJournal, err := clarinet.OpenJournal(*journalPath)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		if torn {
-			// Terminate the torn final record of a killed run so appended
-			// records start on a fresh line instead of merging into it.
-			if _, err := f.WriteString("\n"); err != nil {
-				log.Fatal(err)
-			}
-		}
-		journal = clarinet.NewJournal(f)
+		defer closeJournal()
+		journal = j
 	}
 
 	ctx, cancel := cliutil.Context(*timeout)

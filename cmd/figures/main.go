@@ -32,6 +32,7 @@ func main() {
 	only := flag.String("only", "", "comma-separated subset (e.g. fig02,fig13)")
 	quick := flag.Bool("quick", false, "shrink populations for a fast smoke run")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 
 	ctx := repro.NewContext()
 	ctx.Nets = *nets

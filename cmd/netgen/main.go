@@ -26,6 +26,7 @@ func main() {
 	out := flag.String("o", "nets.json", "output case file")
 	spefDir := flag.String("spefdir", "", "optional directory for per-net mini-SPEF files")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 	if *n <= 0 {
 		cliutil.Usagef("need a positive net count, got %d", *n)
 	}

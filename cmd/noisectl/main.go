@@ -1,0 +1,110 @@
+// Command noisectl is the CLI client for the noised service: it submits
+// a netgen case file to a running daemon, consumes the NDJSON result
+// stream as nets complete, and renders the same report clarinet prints
+// for a local run — the warm path for repeated analyses, since the
+// daemon's caches persist across invocations.
+//
+// Usage:
+//
+//	noisectl -server http://127.0.0.1:8463 -i nets.json
+//	         [-hold thevenin|transient] [-align exhaustive|input|prechar]
+//	         [-rescue=true|false] [-net-timeout 5s] [-timeout 10m]
+//	         [-request-id name] [-quality] [-retries N] [-progress]
+//
+// Shed requests (503 + Retry-After), connect failures, and streams that
+// die mid-flight are retried with jittered exponential backoff; -retries
+// bounds the attempts. With -request-id set, retries resume from the
+// server-side journal instead of re-analyzing completed nets. A stream
+// cut short by the server's per-request deadline renders the partial
+// report and exits with status 3 (cliutil.ExitCodeDeadline).
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/cliutil"
+	"repro/internal/noised/client"
+	"repro/internal/noiseerr"
+)
+
+func main() {
+	cliutil.Init("noisectl")
+	server := flag.String("server", "http://127.0.0.1:8463", "noised base URL")
+	in := flag.String("i", "nets.json", "input case file (from netgen)")
+	holdFlag := flag.String("hold", "", "victim holding model (empty = server default)")
+	alignFlag := flag.String("align", "", "alignment method (empty = server default)")
+	rescueFlag := flag.String("rescue", "", "arm the rescue ladder: true | false (empty = server default)")
+	netTimeout := flag.Duration("net-timeout", 0, "per-net analysis budget (0 = server default)")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server cap)")
+	requestID := flag.String("request-id", "", "name the request for server-side journaling and resume")
+	quality := flag.Bool("quality", false, "append a result-quality column (exact / rescued / fallback) to the report")
+	retries := flag.Int("retries", 5, "total attempts before giving up")
+	progress := flag.Bool("progress", false, "log each net as its result arrives")
+	flag.Parse()
+	cliutil.ExitIfVersion()
+
+	cases, err := os.ReadFile(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	opt := client.Options{
+		Hold:       *holdFlag,
+		Align:      *alignFlag,
+		NetTimeout: *netTimeout,
+		Timeout:    *timeout,
+		RequestID:  *requestID,
+	}
+	if *rescueFlag != "" {
+		switch *rescueFlag {
+		case "true", "false":
+			b := *rescueFlag == "true"
+			opt.Rescue = &b
+		default:
+			cliutil.Usagef("bad -rescue %q (want true|false)", *rescueFlag)
+		}
+	}
+	c, err := client.New(client.Config{
+		BaseURL:     *server,
+		MaxAttempts: *retries,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, cancel := cliutil.Context(0)
+	defer cancel()
+
+	var onRecord func(clarinet.JournalRecord)
+	if *progress {
+		onRecord = func(rec clarinet.JournalRecord) {
+			if rec.Error != "" {
+				log.Printf("net %s: %s: %s", rec.Net, rec.Class, rec.Error)
+				return
+			}
+			log.Printf("net %s: done (%s)", rec.Net, rec.Quality)
+		}
+	}
+	start := time.Now()
+	res, err := c.Analyze(ctx, cases, opt, onRecord)
+	deadline := err != nil && errors.Is(err, noiseerr.ErrDeadline)
+	if err != nil && !deadline {
+		log.Fatal(err)
+	}
+
+	clarinet.WriteReportOpts(os.Stdout, res.Reports, clarinet.ReportOptions{Quality: *quality})
+	s := res.Summary
+	fmt.Printf("\nanalyzed %d nets in %v via %s (%d ok, %d failed, %d canceled, %d resumed, %d attempts)\n",
+		s.Nets, time.Since(start).Round(time.Millisecond), *server,
+		s.OK, s.Failed, s.Canceled, s.Resumed, res.Attempts)
+	if deadline {
+		log.Printf("request deadline expired: %v", err)
+		os.Exit(cliutil.ExitCodeDeadline)
+	}
+}

@@ -19,11 +19,13 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/cliutil"
 	"repro/internal/lint"
 	"repro/internal/lint/rules"
 )
 
 func main() {
+	cliutil.Init("noiselint")
 	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: noiselint [-list] [packages]\n\n")
@@ -34,6 +36,7 @@ func main() {
 		flag.PrintDefaults()
 	}
 	flag.Parse()
+	cliutil.ExitIfVersion()
 	if *listOnly {
 		for _, a := range rules.All() {
 			fmt.Printf("noiselint/%s: %s\n", a.Name, a.Doc)

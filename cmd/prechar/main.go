@@ -29,6 +29,7 @@ func main() {
 	outDir := flag.String("o", "prechar", "output directory")
 	grid := flag.Int("grid", 25, "exhaustive-search grid per alignment corner")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 	if *grid < 5 {
 		cliutil.Usagef("need a grid of at least 5, got %d", *grid)
 	}

@@ -40,6 +40,7 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the sweep after this duration (0 = no limit)")
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 
 	var param sweep.Param
 	switch *paramFlag {

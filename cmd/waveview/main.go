@@ -26,6 +26,7 @@ func main() {
 	out := flag.String("o", "", "output CSV (default: stdout)")
 	points := flag.Int("points", 800, "samples per waveform")
 	flag.Parse()
+	cliutil.ExitIfVersion()
 
 	lib := cliutil.Library()
 	names, cases := cliutil.MustLoadCases(*in, lib)

@@ -1,0 +1,74 @@
+// Package buildinfo reports what binary is running: the module version
+// and the VCS revision stamped by the go toolchain. The cmd/ tools print
+// it for -version and the noised daemon embeds it in /healthz, so an
+// operator can match a misbehaving process to a commit without guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the build identity of the running binary.
+type Info struct {
+	// Module is the main module path ("repro").
+	Module string `json:"module"`
+	// Version is the module version ("(devel)" for source builds).
+	Version string `json:"version"`
+	// Revision is the VCS commit hash, empty when the binary was built
+	// outside a checkout or with VCS stamping disabled.
+	Revision string `json:"revision,omitempty"`
+	// Modified marks a build from a dirty working tree.
+	Modified bool `json:"modified,omitempty"`
+	// GoVersion is the toolchain that produced the binary.
+	GoVersion string `json:"go"`
+}
+
+// read is a seam so tests can exercise every stamping combination.
+var read = debug.ReadBuildInfo
+
+// Current collects the build identity from runtime/debug. It degrades
+// gracefully: a binary without embedded build info still reports the
+// toolchain version.
+func Current() Info {
+	info := Info{Version: "(unknown)", GoVersion: runtime.Version()}
+	bi, ok := read()
+	if !ok {
+		return info
+	}
+	info.Module = bi.Main.Path
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Modified = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line, the form the -version flag
+// prints: "repro (devel) rev 1a2b3c4d (modified) go1.24.0".
+func (i Info) String() string {
+	s := i.Module
+	if s == "" {
+		s = "unknown-module"
+	}
+	s += " " + i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " rev " + rev
+	}
+	if i.Modified {
+		s += " (modified)"
+	}
+	return fmt.Sprintf("%s %s", s, i.GoVersion)
+}

@@ -1,0 +1,52 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func withFake(t *testing.T, bi *debug.BuildInfo, ok bool) {
+	orig := read
+	read = func() (*debug.BuildInfo, bool) { return bi, ok }
+	t.Cleanup(func() { read = orig })
+}
+
+func TestCurrentStamped(t *testing.T) {
+	withFake(t, &debug.BuildInfo{
+		Main: debug.Module{Path: "repro", Version: "v1.2.3"},
+		Settings: []debug.BuildSetting{
+			{Key: "vcs.revision", Value: "0123456789abcdef"},
+			{Key: "vcs.modified", Value: "true"},
+		},
+	}, true)
+	i := Current()
+	if i.Module != "repro" || i.Version != "v1.2.3" || i.Revision != "0123456789abcdef" || !i.Modified {
+		t.Fatalf("info = %+v", i)
+	}
+	s := i.String()
+	for _, want := range []string{"repro", "v1.2.3", "rev 0123456789ab", "(modified)", "go"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q, missing %q", s, want)
+		}
+	}
+}
+
+func TestCurrentUnstamped(t *testing.T) {
+	withFake(t, nil, false)
+	i := Current()
+	if i.Version != "(unknown)" || i.GoVersion == "" {
+		t.Fatalf("info = %+v", i)
+	}
+	if s := i.String(); !strings.Contains(s, "unknown-module") {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestCurrentDevel(t *testing.T) {
+	withFake(t, &debug.BuildInfo{Main: debug.Module{Path: "repro", Version: "(devel)"}}, true)
+	i := Current()
+	if i.Module != "repro" || i.Version != "(devel)" || i.Revision != "" || i.Modified {
+		t.Fatalf("info = %+v", i)
+	}
+}

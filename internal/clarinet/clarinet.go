@@ -92,6 +92,32 @@ func (c *Config) policy() resilience.Policy {
 	return p
 }
 
+// ParseHold resolves a holding-model name as it appears on CLI flags
+// and the noised wire ("thevenin" | "transient").
+func ParseHold(v string) (delaynoise.HoldModel, error) {
+	switch v {
+	case "thevenin":
+		return delaynoise.HoldThevenin, nil
+	case "transient":
+		return delaynoise.HoldTransient, nil
+	}
+	return 0, noiseerr.Invalidf("clarinet: unknown hold model %q (want thevenin|transient)", v)
+}
+
+// ParseAlign resolves an alignment-method name as it appears on CLI
+// flags and the noised wire ("exhaustive" | "input" | "prechar").
+func ParseAlign(v string) (delaynoise.AlignMethod, error) {
+	switch v {
+	case "exhaustive":
+		return delaynoise.AlignExhaustive, nil
+	case "input":
+		return delaynoise.AlignReceiverInput, nil
+	case "prechar":
+		return delaynoise.AlignPrechar, nil
+	}
+	return 0, noiseerr.Invalidf("clarinet: unknown alignment method %q (want exhaustive|input|prechar)", v)
+}
+
 // NetReport is the per-net analysis outcome. Quality records how the
 // result was obtained (exact first pass, solver rescue, or prechar
 // fallback); it is meaningful only when Err is nil.

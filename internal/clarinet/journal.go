@@ -30,14 +30,80 @@ type JournalResult struct {
 	Iterations             int     `json:"iterations"`
 }
 
-// JournalRecord is one JSONL line of a batch journal: the outcome of
-// one net, success or failure.
+// JournalRecord is one JSONL line of a batch journal — and one NDJSON
+// line of the noised streaming wire protocol: the outcome of one net,
+// success or failure.
 type JournalRecord struct {
 	Net     string         `json:"net"`
 	Quality string         `json:"quality,omitempty"`
 	Class   string         `json:"class,omitempty"`
 	Error   string         `json:"error,omitempty"`
 	Result  *JournalResult `json:"result,omitempty"`
+}
+
+// ToRecord converts a completed report to its serialized journal/wire
+// form. Cancellation-class reports return ok=false: a net aborted by a
+// dying batch has no outcome worth replaying or transmitting.
+func ToRecord(r NetReport) (JournalRecord, bool) {
+	if r.Err != nil && noiseerr.Class(r.Err) == noiseerr.ErrCanceled {
+		return JournalRecord{}, false
+	}
+	rec := JournalRecord{Net: r.Name}
+	if r.Err != nil {
+		rec.Error = r.Err.Error()
+		rec.Class = noiseerr.ClassName(r.Err)
+		return rec, true
+	}
+	rec.Quality = r.Quality.String()
+	res := r.Res
+	rec.Result = &JournalResult{
+		VictimCeff:             res.VictimCeff,
+		VictimRth:              res.VictimRth,
+		VictimRtr:              res.VictimRtr,
+		PulseHeight:            res.Pulse.Height,
+		PulseWidth:             res.Pulse.Width,
+		TPeak:                  res.TPeak,
+		QuietCombinedDelay:     res.QuietCombinedDelay,
+		NoisyCombinedDelay:     res.NoisyCombinedDelay,
+		DelayNoise:             res.DelayNoise,
+		InterconnectDelayNoise: res.InterconnectDelayNoise,
+		Iterations:             res.Iterations,
+	}
+	return rec, true
+}
+
+// Report reconstructs the report a record describes. Torn records — no
+// net name, or neither a result nor an error — return ok=false.
+// encoding/json round-trips float64 exactly, so a reconstructed report
+// renders byte-identically to the original.
+func (rec JournalRecord) Report() (NetReport, bool) {
+	if rec.Net == "" {
+		return NetReport{}, false
+	}
+	rep := NetReport{Name: rec.Net}
+	switch {
+	case rec.Error != "":
+		rep.Err = &resumedError{msg: rec.Error, class: noiseerr.ClassFromName(rec.Class)}
+	case rec.Result != nil:
+		res := rec.Result
+		rep.Quality = resilience.QualityFromString(rec.Quality)
+		rep.Res = &delaynoise.Result{
+			VictimCeff:             res.VictimCeff,
+			VictimRth:              res.VictimRth,
+			VictimRtr:              res.VictimRtr,
+			TPeak:                  res.TPeak,
+			QuietCombinedDelay:     res.QuietCombinedDelay,
+			NoisyCombinedDelay:     res.NoisyCombinedDelay,
+			DelayNoise:             res.DelayNoise,
+			InterconnectDelayNoise: res.InterconnectDelayNoise,
+			Iterations:             res.Iterations,
+		}
+		rep.Res.Pulse.Height = res.PulseHeight
+		rep.Res.Pulse.Width = res.PulseWidth
+	default:
+		return NetReport{}, false
+	}
+	return rep, true
 }
 
 // Journal appends completed net reports to a JSONL stream. Every record
@@ -62,29 +128,9 @@ func (j *Journal) Record(r NetReport) error {
 	if j == nil {
 		return nil
 	}
-	if r.Err != nil && noiseerr.Class(r.Err) == noiseerr.ErrCanceled {
+	rec, ok := ToRecord(r)
+	if !ok {
 		return nil
-	}
-	rec := JournalRecord{Net: r.Name}
-	if r.Err != nil {
-		rec.Error = r.Err.Error()
-		rec.Class = noiseerr.ClassName(r.Err)
-	} else {
-		rec.Quality = r.Quality.String()
-		res := r.Res
-		rec.Result = &JournalResult{
-			VictimCeff:             res.VictimCeff,
-			VictimRth:              res.VictimRth,
-			VictimRtr:              res.VictimRtr,
-			PulseHeight:            res.Pulse.Height,
-			PulseWidth:             res.Pulse.Width,
-			TPeak:                  res.TPeak,
-			QuietCombinedDelay:     res.QuietCombinedDelay,
-			NoisyCombinedDelay:     res.NoisyCombinedDelay,
-			DelayNoise:             res.DelayNoise,
-			InterconnectDelayNoise: res.InterconnectDelayNoise,
-			Iterations:             res.Iterations,
-		}
 	}
 	line, err := json.Marshal(rec)
 	if err != nil {
@@ -125,31 +171,12 @@ func ReadJournal(r io.Reader) (map[string]NetReport, error) {
 			continue
 		}
 		var rec JournalRecord
-		if err := json.Unmarshal(line, &rec); err != nil || rec.Net == "" {
+		if err := json.Unmarshal(line, &rec); err != nil {
 			continue
 		}
-		rep := NetReport{Name: rec.Net}
-		switch {
-		case rec.Error != "":
-			rep.Err = &resumedError{msg: rec.Error, class: noiseerr.ClassFromName(rec.Class)}
-		case rec.Result != nil:
-			res := rec.Result
-			rep.Quality = resilience.QualityFromString(rec.Quality)
-			rep.Res = &delaynoise.Result{
-				VictimCeff:             res.VictimCeff,
-				VictimRth:              res.VictimRth,
-				VictimRtr:              res.VictimRtr,
-				TPeak:                  res.TPeak,
-				QuietCombinedDelay:     res.QuietCombinedDelay,
-				NoisyCombinedDelay:     res.NoisyCombinedDelay,
-				DelayNoise:             res.DelayNoise,
-				InterconnectDelayNoise: res.InterconnectDelayNoise,
-				Iterations:             res.Iterations,
-			}
-			rep.Res.Pulse.Height = res.PulseHeight
-			rep.Res.Pulse.Width = res.PulseWidth
-		default:
-			continue // a record with neither outcome is torn
+		rep, ok := rec.Report()
+		if !ok {
+			continue // a record with no net or neither outcome is torn
 		}
 		out[rec.Net] = rep
 	}

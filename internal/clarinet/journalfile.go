@@ -1,0 +1,60 @@
+package clarinet
+
+import (
+	"fmt"
+	"os"
+)
+
+// journalEndsMidLine reports whether the journal at path ends without a
+// trailing newline — the torn final record a killed run leaves behind.
+func journalEndsMidLine(path string) bool {
+	f, err := os.Open(path)
+	if err != nil {
+		return false
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil || st.Size() == 0 {
+		return false
+	}
+	var b [1]byte
+	if _, err := f.ReadAt(b[:], st.Size()-1); err != nil {
+		return false
+	}
+	return b[0] != '\n'
+}
+
+// OpenJournal opens (creating if absent) the journal at path for
+// appending, repairing the torn final record a killed run leaves
+// behind: if the file ends mid-line, a newline is written first so
+// appended records start fresh instead of merging into the torn one.
+// The caller must invoke close when done with the journal.
+func OpenJournal(path string) (j *Journal, close func() error, err error) {
+	torn := journalEndsMidLine(path)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("clarinet: open journal: %w", err)
+	}
+	if torn {
+		if _, err := f.WriteString("\n"); err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("clarinet: repair torn journal %s: %w", path, err)
+		}
+	}
+	return NewJournal(f), f.Close, nil
+}
+
+// ReadJournalFile loads the journal at path as prior reports for a
+// resumed batch. A missing file is not an error: it returns an empty
+// map, the natural state of a first run.
+func ReadJournalFile(path string) (map[string]NetReport, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return map[string]NetReport{}, nil
+		}
+		return nil, fmt.Errorf("clarinet: open resume journal: %w", err)
+	}
+	defer f.Close()
+	return ReadJournal(f)
+}

@@ -281,14 +281,45 @@ func (t *Tool) AnalyzeBatch(ctx context.Context, names []string, cases []*delayn
 // nets as error reports, so exactly len(cases) reports are always
 // delivered. Worker panics are contained as in AnalyzeBatch.
 func (t *Tool) Stream(ctx context.Context, names []string, cases []*delaynoise.Case) <-chan NetReport {
+	return t.StreamBatch(ctx, names, cases, nil, nil)
+}
+
+// StreamBatch is Stream with the checkpoint/resume semantics of
+// AnalyzeBatch: nets found in prior are delivered first, as-is, without
+// re-analysis (counted in nets.resumed), then the remaining nets stream
+// in completion order; every freshly completed report is appended to j
+// as it lands (nil disables journaling). The noised serving layer is
+// built on this: one request's NDJSON stream is exactly this channel,
+// and a resumed request replays its journal before analyzing the rest.
+// Exactly len(cases) reports are always delivered; the caller must
+// drain the channel.
+func (t *Tool) StreamBatch(ctx context.Context, names []string, cases []*delaynoise.Case, prior map[string]NetReport, j *Journal) <-chan NetReport {
 	checkBatch(names, cases)
+	m := t.session.Metrics()
+	var resumed []NetReport
+	var pending []int
+	for i, name := range names {
+		if r, ok := prior[name]; ok {
+			r.Name = name
+			resumed = append(resumed, r)
+			m.Counter("nets.resumed").Inc()
+			continue
+		}
+		pending = append(pending, i)
+	}
 	out := make(chan NetReport)
 	go func() {
 		defer close(out)
-		fanOut(t.Cfg.Workers, len(cases),
-			func(i int) NetReport { return t.AnalyzeNet(ctx, names[i], cases[i]) },
-			func(_ int, r NetReport) { out <- r },
-			func(i int, p *noiseerr.PanicError) NetReport { return t.panicReport(names[i], p) })
+		for _, r := range resumed {
+			out <- r
+		}
+		fanOut(t.Cfg.Workers, len(pending),
+			func(k int) NetReport { return t.AnalyzeNet(ctx, names[pending[k]], cases[pending[k]]) },
+			func(_ int, r NetReport) {
+				j.Record(r)
+				out <- r
+			},
+			func(k int, p *noiseerr.PanicError) NetReport { return t.panicReport(names[pending[k]], p) })
 	}()
 	return out
 }

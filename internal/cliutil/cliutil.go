@@ -13,20 +13,41 @@ import (
 	"log"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
 	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
+// versionFlag is set by the -version flag Init registers on every tool.
+var versionFlag bool
+
 // Init configures the standard logger for a tool: no timestamps and a
-// "name: " prefix, so every tool reports errors the same way.
+// "name: " prefix, so every tool reports errors the same way. It also
+// registers the shared -version flag; tools honor it by calling
+// ExitIfVersion right after flag.Parse.
 func Init(name string) {
 	log.SetFlags(0)
 	log.SetPrefix(name + ": ")
+	if flag.Lookup("version") == nil {
+		flag.BoolVar(&versionFlag, "version", false, "print build information and exit")
+	}
+}
+
+// ExitIfVersion prints the binary's build identity (module version, VCS
+// revision, toolchain) and exits 0 when -version was given. Call it
+// immediately after flag.Parse.
+func ExitIfVersion() {
+	if !versionFlag {
+		return
+	}
+	fmt.Println(buildinfo.Current())
+	exit(0)
 }
 
 // Usagef reports a command-line usage error: the message and the flag
@@ -135,15 +156,59 @@ func ExitIfDeadline(ctx context.Context, timeout time.Duration) {
 	exit(ExitCodeDeadline)
 }
 
-// Context returns the run context for a batch tool: it is canceled by
-// SIGINT/SIGTERM (so an interrupted run still drains and reports), and
-// by the deadline when timeout is positive. Callers must defer cancel.
+// notifySignals subscribes ch to the interrupt signals; a seam so tests
+// can deliver fake signals without killing the test process.
+var notifySignals = func(ch chan<- os.Signal) {
+	signal.Notify(ch, os.Interrupt, syscall.SIGTERM)
+}
+
+// ForcedExitCode maps the signal that forced an immediate exit to the
+// shell's 128+signum convention (130 for SIGINT, 143 for SIGTERM), so a
+// forced kill is distinguishable from the graceful-drain exit paths
+// (runtime 1, usage 2, deadline 3).
+func ForcedExitCode(sig os.Signal) int {
+	if s, ok := sig.(syscall.Signal); ok {
+		return 128 + int(s)
+	}
+	return 1
+}
+
+// Context returns the run context for a batch tool or daemon: the first
+// SIGINT/SIGTERM cancels it (so an interrupted batch drains and reports,
+// and a daemon finishes its in-flight requests), and the deadline fires
+// when timeout is positive. A second signal forces an immediate exit
+// with the 128+signum code instead of hanging in a drain that may be
+// arbitrarily long — the escape hatch that makes the same context safe
+// for long-running servers. Callers must defer cancel.
 func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
 	//lint:ignore noiselint/ctxvariant the process root context of the CLI tools is created here
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithCancel(context.Background())
+	ch := make(chan os.Signal, 2)
+	notifySignals(ch)
+	done := make(chan struct{})
+	go func() {
+		defer signal.Stop(ch)
+		select {
+		case <-ch:
+			cancel() // begin the drain
+		case <-done:
+			return
+		}
+		select {
+		case sig := <-ch:
+			log.Printf("received second %v during drain: forcing exit", sig)
+			exit(ForcedExitCode(sig))
+		case <-done:
+		}
+	}()
+	var stopOnce sync.Once
+	stop := func() {
+		stopOnce.Do(func() { close(done) })
+		cancel()
+	}
 	if timeout <= 0 {
-		return ctx, cancel
+		return ctx, stop
 	}
 	tctx, tcancel := context.WithTimeout(ctx, timeout)
-	return tctx, func() { tcancel(); cancel() }
+	return tctx, func() { tcancel(); stop() }
 }

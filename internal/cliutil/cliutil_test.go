@@ -5,6 +5,7 @@ import (
 	"context"
 	"os"
 	"path/filepath"
+	"syscall"
 	"testing"
 	"time"
 
@@ -98,6 +99,102 @@ func TestExitIfDeadline(t *testing.T) {
 	ExitIfDeadline(dctx, time.Nanosecond)
 	if code != ExitCodeDeadline {
 		t.Fatalf("deadline exit code = %d, want %d", code, ExitCodeDeadline)
+	}
+}
+
+// fakeSignals reroutes Context's signal subscription to a channel the
+// test controls, restoring the real subscription on cleanup. Signals
+// sent on the returned channel are forwarded to whatever channel the
+// next Context call subscribes.
+func fakeSignals(t *testing.T) chan os.Signal {
+	t.Helper()
+	src := make(chan os.Signal, 4)
+	orig := notifySignals
+	notifySignals = func(ch chan<- os.Signal) {
+		go func() {
+			for s := range src {
+				ch <- s
+			}
+		}()
+	}
+	t.Cleanup(func() {
+		notifySignals = orig
+		close(src)
+	})
+	return src
+}
+
+func TestContextFirstSignalDrains(t *testing.T) {
+	sigs := fakeSignals(t)
+	code := -1
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+
+	ctx, cancel := Context(0)
+	defer cancel()
+	sigs <- os.Interrupt
+	select {
+	case <-ctx.Done():
+	case <-time.After(2 * time.Second):
+		t.Fatal("first signal did not cancel the context")
+	}
+	if code != -1 {
+		t.Fatalf("first signal must drain, not exit (code %d)", code)
+	}
+}
+
+func TestContextSecondSignalForcesExit(t *testing.T) {
+	sigs := fakeSignals(t)
+	exited := make(chan int, 1)
+	exit = func(c int) { exited <- c }
+	defer func() { exit = os.Exit }()
+
+	ctx, cancel := Context(0)
+	defer cancel()
+	sigs <- syscall.SIGTERM
+	<-ctx.Done()
+	sigs <- syscall.SIGTERM
+	select {
+	case code := <-exited:
+		if want := ForcedExitCode(syscall.SIGTERM); code != want {
+			t.Fatalf("forced exit code = %d, want %d", code, want)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("second signal did not force an exit")
+	}
+}
+
+func TestContextCancelStopsWatcher(t *testing.T) {
+	sigs := fakeSignals(t)
+	code := -1
+	exit = func(c int) { code = c }
+	defer func() { exit = os.Exit }()
+
+	ctx, cancel := Context(0)
+	cancel()
+	cancel() // must be safe to call repeatedly
+	<-ctx.Done()
+	// A signal after cancel may race the watcher's shutdown, but must
+	// never force an exit once the run is already over.
+	select {
+	case sigs <- os.Interrupt:
+	default:
+	}
+	time.Sleep(20 * time.Millisecond)
+	if code != -1 {
+		t.Fatalf("signal after cancel exited with %d", code)
+	}
+}
+
+func TestForcedExitCode(t *testing.T) {
+	if got := ForcedExitCode(syscall.SIGINT); got != 130 {
+		t.Fatalf("SIGINT code = %d, want 130", got)
+	}
+	if got := ForcedExitCode(syscall.SIGTERM); got != 143 {
+		t.Fatalf("SIGTERM code = %d, want 143", got)
+	}
+	if got := ForcedExitCode(os.Signal(nil)); got != 1 {
+		t.Fatalf("unknown signal code = %d, want 1", got)
 	}
 }
 

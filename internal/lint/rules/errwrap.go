@@ -28,8 +28,8 @@ var ErrWrap = &lint.Analyzer{
 var errwrapPackages = []string{
 	"align", "ceff", "clarinet", "core", "delaynoise", "device", "engine",
 	"faultinject", "funcnoise", "gatesim", "holdres", "linalg", "lsim",
-	"mna", "mor", "nlsim", "sta", "sweep", "thevenin", "waveform",
-	"workload",
+	"mna", "mor", "nlsim", "noised", "sta", "sweep", "thevenin",
+	"waveform", "workload",
 }
 
 func runErrWrap(pass *lint.Pass) error {

@@ -1,8 +1,8 @@
 // Package metrics is the lightweight instrumentation layer of the
-// analysis engine: named atomic counters and timers collected in a
-// Registry, snapshotted into a stable, sortable form, and rendered as
-// JSON (for the bench trajectory and CI artifacts) or aligned text (for
-// CLI summaries).
+// analysis engine: named atomic counters, gauges, and timers collected
+// in a Registry, snapshotted into a stable, sortable form, and rendered
+// as JSON (for the bench trajectory, CI artifacts, and the noised
+// /metrics endpoint) or aligned text (for CLI summaries).
 //
 // The package is allocation-light and safe for concurrent use. Every
 // method tolerates a nil receiver, so instrumented code can call
@@ -44,6 +44,43 @@ func (c *Counter) Value() int64 {
 		return 0
 	}
 	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic level — queue depth, in-flight
+// requests — that moves both ways, unlike the monotonic Counter.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set replaces the gauge's value. Safe on a nil Gauge.
+func (g *Gauge) Set(v int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(v)
+}
+
+// Add moves the gauge by delta (negative deltas lower it). Safe on a
+// nil Gauge.
+func (g *Gauge) Add(delta int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(delta)
+}
+
+// Inc raises the gauge by one. Safe on a nil Gauge.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec lowers the gauge by one. Safe on a nil Gauge.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current level. Safe on a nil Gauge.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
 }
 
 // Timer accumulates a call count and total elapsed wall time.
@@ -88,10 +125,11 @@ func (t *Timer) Total() time.Duration {
 	return time.Duration(t.ns.Load())
 }
 
-// Registry is a named collection of counters and timers.
+// Registry is a named collection of counters, gauges, and timers.
 type Registry struct {
 	mu       sync.Mutex
 	counters map[string]*Counter
+	gauges   map[string]*Gauge
 	timers   map[string]*Timer
 }
 
@@ -99,6 +137,7 @@ type Registry struct {
 func NewRegistry() *Registry {
 	return &Registry{
 		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
 		timers:   map[string]*Timer{},
 	}
 }
@@ -117,6 +156,22 @@ func (r *Registry) Counter(name string) *Counter {
 		r.counters[name] = c
 	}
 	return c
+}
+
+// Gauge returns (creating on first use) the named gauge. A nil registry
+// returns a nil gauge, whose methods are no-ops.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
 }
 
 // Timer returns (creating on first use) the named timer. A nil registry
@@ -138,6 +193,9 @@ func (r *Registry) Timer(name string) *Timer {
 // Add is shorthand for Counter(name).Add(delta).
 func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
 
+// Set is shorthand for Gauge(name).Set(v).
+func (r *Registry) Set(name string, v int64) { r.Gauge(name).Set(v) }
+
 // Observe is shorthand for Timer(name).Observe(d).
 func (r *Registry) Observe(name string, d time.Duration) { r.Timer(name).Observe(d) }
 
@@ -152,13 +210,14 @@ type TimerStat struct {
 // export and comparison.
 type Snapshot struct {
 	Counters map[string]int64     `json:"counters"`
+	Gauges   map[string]int64     `json:"gauges"`
 	Timers   map[string]TimerStat `json:"timers"`
 }
 
 // Snapshot copies the registry's current state. A nil registry yields an
 // empty (but usable) snapshot.
 func (r *Registry) Snapshot() Snapshot {
-	s := Snapshot{Counters: map[string]int64{}, Timers: map[string]TimerStat{}}
+	s := Snapshot{Counters: map[string]int64{}, Gauges: map[string]int64{}, Timers: map[string]TimerStat{}}
 	if r == nil {
 		return s
 	}
@@ -166,6 +225,9 @@ func (r *Registry) Snapshot() Snapshot {
 	defer r.mu.Unlock()
 	for name, c := range r.counters {
 		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		s.Gauges[name] = g.Value()
 	}
 	for name, t := range r.timers {
 		n := t.Count()
@@ -194,6 +256,14 @@ func (s Snapshot) WriteText(w io.Writer) {
 	sort.Strings(names)
 	for _, name := range names {
 		fmt.Fprintf(w, "%-32s %d\n", name, s.Counters[name])
+	}
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		fmt.Fprintf(w, "%-32s %d (gauge)\n", name, s.Gauges[name])
 	}
 	names = names[:0]
 	for name := range s.Timers {

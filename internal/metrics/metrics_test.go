@@ -28,6 +28,61 @@ func TestCountersAndTimers(t *testing.T) {
 	}
 }
 
+func TestGauges(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("server.inflight")
+	g.Inc()
+	g.Inc()
+	g.Dec()
+	if got := g.Value(); got != 1 {
+		t.Fatalf("gauge = %d, want 1", got)
+	}
+	r.Set("server.queue_depth", 5)
+	r.Gauge("server.queue_depth").Add(-2)
+	if got := r.Gauge("server.queue_depth").Value(); got != 3 {
+		t.Fatalf("queue_depth = %d, want 3", got)
+	}
+	if r.Gauge("server.inflight") != g {
+		t.Fatal("gauge lookup must return the same instance")
+	}
+
+	s := r.Snapshot()
+	if s.Gauges["server.inflight"] != 1 || s.Gauges["server.queue_depth"] != 3 {
+		t.Fatalf("snapshot gauges = %v", s.Gauges)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Snapshot
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Gauges["server.inflight"] != 1 {
+		t.Fatalf("round trip lost gauge: %+v", back)
+	}
+	buf.Reset()
+	s.WriteText(&buf)
+	if !strings.Contains(buf.String(), "server.queue_depth") {
+		t.Fatalf("text summary missing gauge:\n%s", buf.String())
+	}
+
+	var nilG *Gauge
+	nilG.Set(9)
+	nilG.Inc()
+	nilG.Dec()
+	nilG.Add(2)
+	if nilG.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var nilR *Registry
+	nilR.Gauge("x").Set(1) // must not panic
+	nilR.Set("x", 2)
+	if len(nilR.Snapshot().Gauges) != 0 {
+		t.Fatal("nil registry snapshot must have no gauges")
+	}
+}
+
 func TestConcurrentAccess(t *testing.T) {
 	r := NewRegistry()
 	var wg sync.WaitGroup

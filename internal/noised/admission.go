@@ -1,0 +1,90 @@
+package noised
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// errQueueFull is returned by acquire when the wait queue is at
+// capacity; the handler maps it to 503 + Retry-After.
+var errQueueFull = errors.New("noised: admission queue full")
+
+// errDraining is returned by acquire once the server has begun its
+// graceful drain.
+var errDraining = errors.New("noised: server draining")
+
+// admission is the server's load gate: a semaphore of analysis slots
+// fronted by a bounded wait queue. Its instantaneous state is exported
+// through the server.inflight and server.queue_depth gauges — the load
+// signals counters cannot express.
+type admission struct {
+	slots    chan struct{}
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+	drained  atomic.Bool
+
+	inflight   *metrics.Gauge
+	queueDepth *metrics.Gauge
+}
+
+func newAdmission(maxInflight, maxQueue int, reg *metrics.Registry) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxInflight),
+		maxQueue:   maxQueue,
+		inflight:   reg.Gauge("server.inflight"),
+		queueDepth: reg.Gauge("server.queue_depth"),
+	}
+}
+
+func (a *admission) drain()         { a.drained.Store(true) }
+func (a *admission) draining() bool { return a.drained.Load() }
+
+// acquire claims an analysis slot, waiting in the bounded queue when
+// every slot is busy. It fails fast with errDraining during shutdown,
+// with errQueueFull when the queue is at capacity, and with the
+// context's error when the caller gives up while queued. On success the
+// caller must release.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.draining() {
+		return errDraining
+	}
+	// Fast path: a free slot, no queueing.
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Inc()
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	a.queued++
+	a.queueDepth.Set(int64(a.queued))
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.queueDepth.Set(int64(a.queued))
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Inc()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// release returns an analysis slot claimed by acquire.
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Dec()
+}

@@ -1,0 +1,310 @@
+// Package client is the Go client for the noised service: it submits a
+// workload case set to POST /v1/analyze, consumes the NDJSON stream of
+// per-net records as they complete, and retries idempotent failures —
+// 503 shed responses (honoring Retry-After), connect errors, timeouts,
+// and streams that die mid-flight — with jittered exponential backoff.
+// Analysis is a pure computation over the request body, so a retry can
+// never double-apply anything; the client deduplicates nets that a
+// retried stream replays.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/noised"
+	"repro/internal/noiseerr"
+)
+
+// Config assembles a Client. The zero value needs only BaseURL.
+type Config struct {
+	// BaseURL locates the noised server, e.g. "http://127.0.0.1:8463".
+	BaseURL string
+	// HTTPClient overrides the transport (nil uses http.DefaultClient;
+	// note the default has no overall timeout, which is what a
+	// long-lived analysis stream wants).
+	HTTPClient *http.Client
+	// MaxAttempts bounds the total tries per Analyze call (default 5).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 200ms); each retry
+	// doubles it up to MaxBackoff (default 10s), with ±50% jitter. A
+	// 503's Retry-After hint overrides the computed delay when larger.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// Logf receives retry decisions (nil = silent).
+	Logf func(format string, args ...any)
+}
+
+// Options are the per-request query parameters of an analyze call; zero
+// values defer to the server's configured defaults.
+type Options struct {
+	Hold       string        // "" | "thevenin" | "transient"
+	Align      string        // "" | "exhaustive" | "input" | "prechar"
+	Rescue     *bool         // nil defers to the server default
+	NetTimeout time.Duration // per-net budget (0 = server default)
+	Timeout    time.Duration // per-request deadline (0 = server cap)
+	// RequestID names the request for server-side journaling: retries
+	// with the same ID resume from the server's journal instead of
+	// re-analyzing completed nets.
+	RequestID string
+}
+
+// query renders the options as a URL query string.
+func (o Options) query() string {
+	q := url.Values{}
+	if o.Hold != "" {
+		q.Set("hold", o.Hold)
+	}
+	if o.Align != "" {
+		q.Set("align", o.Align)
+	}
+	if o.Rescue != nil {
+		q.Set("rescue", strconv.FormatBool(*o.Rescue))
+	}
+	if o.NetTimeout > 0 {
+		q.Set("net_timeout", o.NetTimeout.String())
+	}
+	if o.Timeout > 0 {
+		q.Set("timeout", o.Timeout.String())
+	}
+	if o.RequestID != "" {
+		q.Set("request_id", o.RequestID)
+	}
+	return q.Encode()
+}
+
+// Result is the merged outcome of an analyze call, retries included.
+type Result struct {
+	// Reports carries one report per net, in stream completion order of
+	// the first attempt that finished it (rec.Report() reconstructed, so
+	// it renders identically to a local clarinet run).
+	Reports []clarinet.NetReport
+	// Summary is the terminal summary line of the attempt that
+	// completed the stream.
+	Summary noised.Summary
+	// Attempts counts the HTTP requests made, 1 for a clean run.
+	Attempts int
+}
+
+// Client is a retrying noised client; the zero value is not usable,
+// build one with New. It is safe for concurrent use.
+type Client struct {
+	cfg Config
+}
+
+// jitter is the randomness seam of the backoff schedule; tests pin it.
+var jitter = rand.Float64
+
+// New builds a client (see Config for zero-value defaults).
+func New(cfg Config) (*Client, error) {
+	if cfg.BaseURL == "" {
+		return nil, noiseerr.Invalidf("client: BaseURL required")
+	}
+	if _, err := url.Parse(cfg.BaseURL); err != nil {
+		return nil, noiseerr.Invalidf("client: bad BaseURL %q: %w", cfg.BaseURL, err)
+	}
+	cfg.BaseURL = strings.TrimRight(cfg.BaseURL, "/")
+	if cfg.HTTPClient == nil {
+		cfg.HTTPClient = http.DefaultClient
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 200 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 10 * time.Second
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// retryableError marks a failure worth another attempt; permanent
+// failures (4xx, malformed streams the server will reproduce) are
+// returned bare.
+type retryableError struct {
+	err error
+	// after is the server's Retry-After hint (0 = none).
+	after time.Duration
+}
+
+func (e *retryableError) Error() string { return e.err.Error() }
+func (e *retryableError) Unwrap() error { return e.err }
+
+// Analyze submits the serialized case file (the netgen/workload JSON
+// schema) and consumes the result stream. onRecord, when non-nil, is
+// invoked for each net's record as it arrives — at most once per net
+// across retries, except that a canceled net superseded by a real
+// outcome on a later attempt is delivered again.
+func (c *Client) Analyze(ctx context.Context, cases []byte, opt Options, onRecord func(clarinet.JournalRecord)) (*Result, error) {
+	u := c.cfg.BaseURL + "/v1/analyze"
+	if q := opt.query(); q != "" {
+		u += "?" + q
+	}
+	res := &Result{}
+	// seen maps net → index in res.Reports, deduplicating the replays a
+	// retried stream produces (from the server journal or recomputation).
+	seen := map[string]int{}
+	var lastErr error
+	for attempt := 0; attempt < c.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			var rerr *retryableError
+			errors.As(lastErr, &rerr)
+			delay := c.backoff(attempt, rerr)
+			c.cfg.Logf("client: attempt %d/%d failed (%v); retrying in %v",
+				attempt, c.cfg.MaxAttempts, lastErr, delay.Round(time.Millisecond))
+			select {
+			case <-time.After(delay):
+			case <-ctx.Done():
+				return res, ctx.Err()
+			}
+		}
+		res.Attempts++
+		done, err := c.attempt(ctx, u, cases, res, seen, onRecord)
+		if done {
+			return res, err
+		}
+		lastErr = err
+		var rerr *retryableError
+		if !errors.As(lastErr, &rerr) {
+			return res, lastErr
+		}
+		if ctx.Err() != nil {
+			return res, ctx.Err()
+		}
+	}
+	return res, fmt.Errorf("client: giving up after %d attempts: %w", res.Attempts, lastErr)
+}
+
+// backoff computes the next retry delay: exponential with ±50% jitter,
+// floored by the server's Retry-After hint when one arrived.
+func (c *Client) backoff(attempt int, rerr *retryableError) time.Duration {
+	d := c.cfg.BaseBackoff << (attempt - 1)
+	if d > c.cfg.MaxBackoff || d <= 0 {
+		d = c.cfg.MaxBackoff
+	}
+	d = time.Duration(float64(d) * (0.5 + jitter()))
+	if rerr != nil && rerr.after > d {
+		d = rerr.after
+	}
+	return d
+}
+
+// attempt runs one HTTP request and folds its stream into res. done
+// reports a final outcome (success or permanent failure); otherwise the
+// returned error is retryable.
+func (c *Client) attempt(ctx context.Context, u string, cases []byte, res *Result, seen map[string]int, onRecord func(clarinet.JournalRecord)) (done bool, err error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, u, bytes.NewReader(cases))
+	if err != nil {
+		return true, fmt.Errorf("client: build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.cfg.HTTPClient.Do(req)
+	if err != nil {
+		if ctx.Err() != nil {
+			return true, ctx.Err()
+		}
+		return false, &retryableError{err: fmt.Errorf("client: %w", err)}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		snippet, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		body := strings.TrimSpace(string(snippet))
+		switch resp.StatusCode {
+		case http.StatusServiceUnavailable, http.StatusBadGateway, http.StatusGatewayTimeout, http.StatusTooManyRequests:
+			return false, &retryableError{
+				err:   noiseerr.Internalf("client: server answered %s: %s", resp.Status, body),
+				after: parseRetryAfter(resp.Header.Get("Retry-After")),
+			}
+		}
+		if resp.StatusCode >= 400 && resp.StatusCode < 500 {
+			// The server rejected the request itself; retrying the same
+			// bytes cannot help.
+			return true, noiseerr.Invalidf("client: server answered %s: %s", resp.Status, body)
+		}
+		return true, noiseerr.Internalf("client: server answered %s: %s", resp.Status, body)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var sl noised.StreamLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			return false, &retryableError{err: fmt.Errorf("client: malformed stream line: %w", err)}
+		}
+		if sl.Summary != nil {
+			res.Summary = *sl.Summary
+			if res.Summary.Deadline {
+				return true, fmt.Errorf("client: %w: server request deadline cut the stream short (%d of %d nets)",
+					noiseerr.ErrDeadline, res.Summary.OK+res.Summary.Failed, res.Summary.Nets)
+			}
+			return true, nil
+		}
+		if sl.Net == "" {
+			continue
+		}
+		c.fold(res, seen, sl.JournalRecord, onRecord)
+	}
+	err = sc.Err()
+	if err == nil {
+		err = io.ErrUnexpectedEOF // stream ended without a summary line
+	}
+	if ctx.Err() != nil {
+		return true, ctx.Err()
+	}
+	return false, &retryableError{err: fmt.Errorf("client: stream interrupted: %w", err)}
+}
+
+// fold merges one record into the result set. The first real outcome
+// for a net wins; a canceled placeholder is superseded by a later real
+// outcome (the whole point of retrying an interrupted stream).
+func (c *Client) fold(res *Result, seen map[string]int, rec clarinet.JournalRecord, onRecord func(clarinet.JournalRecord)) {
+	rep, ok := rec.Report()
+	if !ok {
+		return // torn line; the retry will replay it intact
+	}
+	if i, dup := seen[rec.Net]; dup {
+		prevCanceled := noiseerr.Class(res.Reports[i].Err) == noiseerr.ErrCanceled
+		if !prevCanceled || rec.Class == "canceled" {
+			return
+		}
+		res.Reports[i] = rep
+	} else {
+		seen[rec.Net] = len(res.Reports)
+		res.Reports = append(res.Reports, rep)
+	}
+	if onRecord != nil {
+		onRecord(rec)
+	}
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value (the only
+// form noised emits); anything else maps to zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

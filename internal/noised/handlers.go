@@ -1,0 +1,350 @@
+package noised
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"regexp"
+	"strconv"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/clarinet"
+	"repro/internal/delaynoise"
+	"repro/internal/noiseerr"
+	"repro/internal/resilience"
+	"repro/internal/workload"
+)
+
+// Summary is the final NDJSON line of an analyze stream: the request's
+// aggregate outcome. Its wrapper object {"summary": ...} has no "net"
+// field, so journal readers skip it and stream readers can tell it from
+// a per-net record.
+type Summary struct {
+	RequestID string `json:"request_id,omitempty"`
+	Nets      int    `json:"nets"`
+	OK        int    `json:"ok"`
+	Failed    int    `json:"failed"`
+	Canceled  int    `json:"canceled"`
+	Resumed   int    `json:"resumed"`
+	ElapsedMS int64  `json:"elapsed_ms"`
+	// Deadline marks a stream cut short by the per-request timeout;
+	// Draining marks one that ran during shutdown. Both are retry
+	// hints for the client.
+	Deadline bool `json:"deadline,omitempty"`
+	Draining bool `json:"draining,omitempty"`
+}
+
+// StreamLine is one NDJSON line of the analyze response: either a
+// per-net record (Net non-empty) or the terminal summary.
+type StreamLine struct {
+	clarinet.JournalRecord
+	Summary *Summary `json:"summary,omitempty"`
+}
+
+// Health is the /healthz payload.
+type Health struct {
+	Status       string         `json:"status"`
+	Build        buildinfo.Info `json:"build"`
+	UptimeS      float64        `json:"uptime_s"`
+	Draining     bool           `json:"draining"`
+	Inflight     int64          `json:"inflight"`
+	QueueDepth   int64          `json:"queue_depth"`
+	TablesCached int            `json:"tables_cached"`
+	NetsAnalyzed int64          `json:"nets_analyzed"`
+}
+
+// requestIDPattern bounds request IDs to filesystem- and header-safe
+// names, since they become journal file names.
+var requestIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$`)
+
+// retryAfterSeconds renders the Retry-After hint, rounding up so a
+// sub-second hint does not collapse to "0".
+func (s *Server) retryAfterSeconds() string {
+	secs := int64((s.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// unavailable sheds one request: 503 with the Retry-After backoff hint.
+func (s *Server) unavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", s.retryAfterSeconds())
+	http.Error(w, reason, http.StatusServiceUnavailable)
+}
+
+// analyzeOptions are the per-request knobs parsed from the query
+// string, overlaid on the server's configured defaults.
+type analyzeOptions struct {
+	hold       delaynoise.HoldModel
+	align      delaynoise.AlignMethod
+	rescue     bool
+	netTimeout time.Duration
+	timeout    time.Duration
+	requestID  string
+}
+
+// parseAnalyzeOptions validates the query parameters of an analyze
+// request against the server defaults.
+func (s *Server) parseAnalyzeOptions(r *http.Request) (analyzeOptions, error) {
+	q := r.URL.Query()
+	opt := analyzeOptions{
+		hold:       s.cfg.Hold,
+		align:      s.cfg.Align,
+		rescue:     s.cfg.Resilience.Enabled(),
+		netTimeout: s.cfg.NetTimeout,
+	}
+	if v := q.Get("hold"); v != "" {
+		h, err := clarinet.ParseHold(v)
+		if err != nil {
+			return opt, err
+		}
+		opt.hold = h
+	}
+	if v := q.Get("align"); v != "" {
+		a, err := clarinet.ParseAlign(v)
+		if err != nil {
+			return opt, err
+		}
+		opt.align = a
+	}
+	if v := q.Get("rescue"); v != "" {
+		b, err := strconv.ParseBool(v)
+		if err != nil {
+			return opt, noiseerr.Invalidf("noised: bad rescue %q: %w", v, err)
+		}
+		opt.rescue = b
+	}
+	if v := q.Get("net_timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return opt, noiseerr.Invalidf("noised: bad net_timeout %q", v)
+		}
+		opt.netTimeout = d
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return opt, noiseerr.Invalidf("noised: bad timeout %q", v)
+		}
+		opt.timeout = d
+	}
+	if cap := s.cfg.MaxRequestTimeout; cap > 0 {
+		if opt.timeout <= 0 || opt.timeout > cap {
+			opt.timeout = cap
+		}
+	}
+	opt.requestID = r.Header.Get("X-Request-ID")
+	if v := q.Get("request_id"); v != "" {
+		opt.requestID = v
+	}
+	if opt.requestID != "" && !requestIDPattern.MatchString(opt.requestID) {
+		return opt, noiseerr.Invalidf("noised: bad request_id %q (want %s)", opt.requestID, requestIDPattern)
+	}
+	return opt, nil
+}
+
+// toWire serializes one report for the stream. Unlike the journal form,
+// canceled nets are transmitted (class "canceled", no result): the
+// client needs to know which nets a dying request never finished, even
+// though a resumed request will re-analyze them.
+func toWire(r clarinet.NetReport) clarinet.JournalRecord {
+	if rec, ok := clarinet.ToRecord(r); ok {
+		return rec
+	}
+	return clarinet.JournalRecord{
+		Net:   r.Name,
+		Class: noiseerr.ClassName(r.Err),
+		Error: r.Err.Error(),
+	}
+}
+
+// handleAnalyze is POST /v1/analyze: admission, per-request deadline,
+// the streamed batch, and the terminal summary.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	s.reg.Counter("server.requests").Inc()
+	if s.adm.draining() {
+		s.reg.Counter("server.rejected.draining").Inc()
+		s.unavailable(w, "draining")
+		return
+	}
+	opt, err := s.parseAnalyzeOptions(r)
+	if err != nil {
+		s.reg.Counter("server.rejected.validation").Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	names, cases, err := workload.Load(r.Body, s.session.Lib())
+	if err != nil {
+		s.reg.Counter("server.rejected.validation").Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	if len(cases) == 0 {
+		s.reg.Counter("server.rejected.validation").Inc()
+		http.Error(w, "noised: empty case set", http.StatusBadRequest)
+		return
+	}
+	if len(cases) > s.cfg.MaxNets {
+		s.reg.Counter("server.rejected.validation").Inc()
+		http.Error(w, fmt.Sprintf("noised: %d nets exceeds the per-request limit %d", len(cases), s.cfg.MaxNets),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+
+	// Admission: wait for an analysis slot in the bounded queue.
+	switch err := s.adm.acquire(r.Context()); err {
+	case nil:
+		defer s.adm.release()
+	case errQueueFull, errDraining:
+		s.reg.Counter("server.rejected.queue").Inc()
+		s.unavailable(w, err.Error())
+		return
+	default:
+		// The client went away while queued; nothing to answer.
+		return
+	}
+
+	tool, err := clarinet.New(nil, clarinet.Config{
+		Session:    s.session,
+		Hold:       opt.hold,
+		Align:      opt.align,
+		Workers:    s.cfg.Workers,
+		Resilience: s.requestPolicy(opt),
+		NetTimeout: opt.netTimeout,
+	})
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	// Server-side journal: replay a resubmitted request's completed
+	// nets, then append the new ones.
+	var prior map[string]clarinet.NetReport
+	var journal *clarinet.Journal
+	if path, ok := s.journalPath(opt.requestID); ok {
+		prior, err = readPriorJournal(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		if len(prior) > 0 {
+			s.reg.Counter("server.requests.resumed").Inc()
+		}
+		j, closeJournal, err := clarinet.OpenJournal(path)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		defer closeJournal()
+		journal = j
+	}
+
+	// The stream context: the request context (client disconnect)
+	// bounded by the per-request deadline, and cancelable from the
+	// write path so a broken pipe stops the pool promptly.
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if opt.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Cache-Control", "no-store")
+	if opt.requestID != "" {
+		w.Header().Set("X-Request-ID", opt.requestID)
+	}
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	// Push the header out now: the client should learn the request was
+	// accepted before the first (possibly slow) net completes.
+	rc.Flush()
+
+	start := time.Now()
+	sum := Summary{RequestID: opt.requestID, Nets: len(cases), Resumed: len(prior)}
+	enc := json.NewEncoder(w)
+	writeOK := true
+	for rep := range s.runBatch(tool, ctx, names, cases, prior, journal) {
+		switch {
+		case rep.Err == nil:
+			sum.OK++
+		case noiseerr.Class(rep.Err) == noiseerr.ErrCanceled:
+			sum.Canceled++
+		default:
+			sum.Failed++
+		}
+		if !writeOK {
+			continue // keep draining the pool after a broken pipe
+		}
+		s.reg.Counter("server.nets.streamed").Inc()
+		if err := enc.Encode(toWire(rep)); err != nil {
+			writeOK = false
+			cancel() // stop analyzing for a client that is gone
+			continue
+		}
+		rc.Flush()
+	}
+	if !writeOK {
+		return
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	sum.Deadline = ctx.Err() == context.DeadlineExceeded
+	sum.Draining = s.adm.draining()
+	if err := enc.Encode(StreamLine{Summary: &sum}); err == nil {
+		rc.Flush()
+	}
+}
+
+// requestPolicy resolves the resilience policy for one request: the
+// configured ladder (or the default one) when rescue is on, nothing
+// when the request disabled it.
+func (s *Server) requestPolicy(opt analyzeOptions) resilience.Policy {
+	if !opt.rescue {
+		return resilience.Policy{}
+	}
+	if s.cfg.Resilience.Enabled() {
+		return s.cfg.Resilience
+	}
+	return resilience.DefaultPolicy()
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := s.reg.Snapshot()
+	h := Health{
+		Status:       "ok",
+		Build:        buildinfo.Current(),
+		UptimeS:      time.Since(s.started).Seconds(),
+		Draining:     s.adm.draining(),
+		Inflight:     snap.Gauges["server.inflight"],
+		QueueDepth:   snap.Gauges["server.queue_depth"],
+		TablesCached: s.session.TableCount(),
+		NetsAnalyzed: snap.Counters["nets.analyzed"],
+	}
+	if h.Draining {
+		h.Status = "draining"
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.adm.draining() {
+		s.unavailable(w, "draining")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	s.reg.Snapshot().WriteJSON(w)
+}

@@ -1,0 +1,31 @@
+package noised
+
+import (
+	"path/filepath"
+
+	"repro/internal/clarinet"
+)
+
+// journalPath maps a request ID to its server-side journal file.
+// Journaling happens only when the server has a JournalDir and the
+// request named itself; anonymous requests stream without a checkpoint.
+// requestIDPattern has already confined the ID to a safe file name.
+func (s *Server) journalPath(requestID string) (string, bool) {
+	if s.cfg.JournalDir == "" || requestID == "" {
+		return "", false
+	}
+	return filepath.Join(s.cfg.JournalDir, requestID+".jsonl"), true
+}
+
+// readPriorJournal loads the completed nets of an earlier attempt at
+// the same request ID. A missing journal means a first attempt.
+func readPriorJournal(path string) (map[string]clarinet.NetReport, error) {
+	prior, err := clarinet.ReadJournalFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(prior) == 0 {
+		return nil, nil
+	}
+	return prior, nil
+}

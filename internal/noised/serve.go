@@ -1,0 +1,48 @@
+package noised
+
+import (
+	"context"
+	"errors"
+	"log"
+	"net"
+	"net/http"
+	"time"
+)
+
+// Serve accepts connections on ln until ctx is canceled, then drains
+// gracefully: the server flips into drain mode (/readyz answers 503,
+// new analyses are refused with Retry-After), in-flight streams run to
+// completion, and only when they finish — or the DrainTimeout budget
+// expires, whichever is first — does Serve return. On budget expiry the
+// remaining connections are force-closed, which cancels their request
+// contexts and stops their pools at the next solver checkpoint.
+func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
+	srv := &http.Server{
+		Handler:           s.mux,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+	select {
+	case err := <-errCh:
+		if errors.Is(err, http.ErrServerClosed) {
+			return nil
+		}
+		return err
+	case <-ctx.Done():
+	}
+	s.Drain()
+	log.Printf("draining in-flight requests (budget %v)", s.cfg.DrainTimeout)
+	// The run context is already canceled; the drain needs its own
+	// deadline that is not.
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), s.cfg.DrainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		// Budget exhausted: force-close the stragglers so their request
+		// contexts cancel and the process can exit.
+		log.Printf("drain budget exhausted: %v; closing remaining connections", err)
+		srv.Close()
+		return err
+	}
+	return nil
+}

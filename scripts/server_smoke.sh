@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# Server smoke test: boots noised on an ephemeral port, drives it with
+# noisectl over a netgen workload, checks the warm-session guarantee
+# (the second request must rebuild zero alignment tables and
+# recharacterize zero holding resistances), exercises the version flag,
+# and verifies graceful drain on SIGTERM.
+#
+# RACE=1 builds the daemon with the race detector (CI does).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+race=${RACE:+-race}
+workdir=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+  [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+  rm -rf "$workdir"
+}
+trap cleanup EXIT
+
+echo "== build"
+go build $race -o "$workdir/noised" ./cmd/noised
+go build -o "$workdir/noisectl" ./cmd/noisectl
+go build -o "$workdir/netgen" ./cmd/netgen
+
+"$workdir/noised" -version
+"$workdir/noisectl" -version
+
+echo "== workload"
+"$workdir/netgen" -n 2 -seed 11 -o "$workdir/nets.json" >/dev/null
+
+echo "== boot"
+"$workdir/noised" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+  -journal-dir "$workdir/journals" &
+daemon_pid=$!
+for _ in $(seq 1 100); do
+  [ -s "$workdir/addr" ] && break
+  kill -0 "$daemon_pid" 2>/dev/null || { echo "noised died during boot" >&2; exit 1; }
+  sleep 0.1
+done
+[ -s "$workdir/addr" ] || { echo "noised never wrote $workdir/addr" >&2; exit 1; }
+base="http://$(cat "$workdir/addr")"
+echo "   $base"
+
+curl -fsS "$base/healthz" >/dev/null
+curl -fsS "$base/readyz" >/dev/null
+
+# counter NAME — read one counter from /metrics (0 when absent).
+counter() {
+  curl -fsS "$base/metrics" |
+    sed -n "s/^ *\"$1\": *\([0-9][0-9]*\),*$/\1/p" | head -n1 | grep . || echo 0
+}
+
+echo "== cold request"
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -quality -request-id smoke-1
+cold_tables=$(counter 'cache\.tables\.miss')
+cold_hold=$(counter 'cache\.holdres\.miss')
+[ "$cold_tables" -gt 0 ] || { echo "cold request built no alignment tables" >&2; exit 1; }
+
+echo "== warm request (expect zero recharacterization)"
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -quality
+warm_tables=$(counter 'cache\.tables\.miss')
+warm_hold=$(counter 'cache\.holdres\.miss')
+if [ "$warm_tables" != "$cold_tables" ] || [ "$warm_hold" != "$cold_hold" ]; then
+  echo "warm request recharacterized: tables $cold_tables -> $warm_tables," \
+       "holdres $cold_hold -> $warm_hold" >&2
+  exit 1
+fi
+
+echo "== journal resume"
+[ -s "$workdir/journals/smoke-1.jsonl" ] || { echo "request journal missing" >&2; exit 1; }
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -request-id smoke-1 |
+  grep -q "2 resumed" || { echo "resubmitted request_id did not resume" >&2; exit 1; }
+
+echo "== graceful drain"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "noised exited non-zero on SIGTERM" >&2; exit 1; }
+daemon_pid=""
+echo "== ok"
