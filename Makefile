@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race chaos lint noiselint staticcheck vuln bench server-smoke
+.PHONY: build test race chaos lint noiselint staticcheck vuln bench bench-report bench-compare server-smoke
 
 build:
 	$(GO) build ./...
@@ -71,3 +71,31 @@ server-smoke:
 bench:
 	REPRO_METRICS_OUT=$(CURDIR)/clarinet-metrics.json \
 		$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+# Benchmark trajectory artifacts (DESIGN.md "Solver kernels & benchmark
+# trajectory"): run every benchmark with allocation counting, snapshot
+# the parsed numbers as .benchmarks/BENCH_<date>.json, and render
+# BENCHMARKS.md with deltas against the committed baseline. BASE
+# defaults to the newest snapshot under benchmarks/. The raw output is
+# captured to a file first so a benchmark failure is never masked by a
+# pipeline (POSIX sh has no pipefail).
+BENCH_DATE ?= $(shell date +%F)
+BASE ?= $(shell ls benchmarks/BENCH_*.json 2>/dev/null | sort | tail -1)
+
+bench-report:
+	@mkdir -p .benchmarks
+	REPRO_METRICS_OUT=$(CURDIR)/.benchmarks/clarinet-metrics.json \
+		$(GO) test -bench=. -benchmem -benchtime=1x -run='^$$' ./... \
+		> .benchmarks/bench.txt 2>&1; \
+		st=$$?; cat .benchmarks/bench.txt; [ $$st -eq 0 ]
+	$(GO) run ./cmd/benchreport -in .benchmarks/bench.txt -date $(BENCH_DATE) \
+		-json .benchmarks/BENCH_$(BENCH_DATE).json \
+		$(if $(BASE),-base $(BASE)) -md BENCHMARKS.md
+
+# Regression gate over the last bench-report run: fails when any
+# benchmark at or above 1 ms slowed down more than 15% in ns/op against
+# the baseline snapshot (override with BASE=<file>).
+bench-compare:
+	@test -n "$(BASE)" || { echo "bench-compare: no baseline snapshot found; set BASE=<file>"; exit 1; }
+	@test -f .benchmarks/bench.txt || { echo "bench-compare: no .benchmarks/bench.txt; run 'make bench-report' first"; exit 1; }
+	$(GO) run ./cmd/benchreport -in .benchmarks/bench.txt -base $(BASE) -check

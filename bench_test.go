@@ -417,7 +417,18 @@ func BenchmarkLargeNetSolvers(b *testing.B) {
 		b.Fatal(err)
 	}
 	opt := lsim.Options{TStop: 1e-9, Step: 2e-12, InitDC: true}
+	dense := opt
+	dense.Solver = lsim.SolverDense
 	b.Run("denseLU", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := lsim.Run(sys, dense); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// Zero-value Solver: the auto heuristic, which picks banded Cholesky
+	// under RCM on this narrow-banded line.
+	b.Run("auto", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if _, err := lsim.Run(sys, opt); err != nil {
 				b.Fatal(err)

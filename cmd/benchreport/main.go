@@ -1,0 +1,107 @@
+// Command benchreport renders benchmark-trajectory artifacts from
+// `go test -bench` output: a BENCH_<date>.json snapshot, a BENCHMARKS.md
+// with deltas against a committed baseline, and a CI regression gate.
+//
+// Typical flows (see the Makefile bench-report / bench-compare targets):
+//
+//	benchreport -in bench.txt -json .benchmarks/BENCH_2026-08-07.json \
+//	    -base benchmarks/BENCH_2026-08-07.json -md BENCHMARKS.md
+//	benchreport -in bench.txt -base benchmarks/BENCH_2026-08-07.json -check
+//
+// With -check the exit status is 1 when any benchmark regressed more
+// than -threshold in ns/op against the baseline (benchmarks under
+// -min-ns are exempt: their timings are noise-dominated).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/benchreport"
+)
+
+func main() {
+	var (
+		in        = flag.String("in", "-", "bench output file, - for stdin")
+		jsonOut   = flag.String("json", "", "write the parsed snapshot JSON here")
+		mdOut     = flag.String("md", "", "render the markdown report here")
+		basePath  = flag.String("base", "", "baseline BENCH_<date>.json for deltas and -check")
+		tmplPath  = flag.String("template", "", "markdown template override (default built in)")
+		date      = flag.String("date", "", "report date, YYYY-MM-DD (default today)")
+		check     = flag.Bool("check", false, "exit 1 on ns/op regressions beyond -threshold")
+		threshold = flag.Float64("threshold", 0.15, "relative ns/op regression gate for -check")
+		minNs     = flag.Float64("min-ns", 1e6, "skip -check for baselines faster than this")
+	)
+	flag.Parse()
+	if err := run(*in, *jsonOut, *mdOut, *basePath, *tmplPath, *date, *check, *threshold, *minNs); err != nil {
+		fmt.Fprintln(os.Stderr, "benchreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(in, jsonOut, mdOut, basePath, tmplPath, date string, check bool, threshold, minNs float64) error {
+	var src io.Reader = os.Stdin
+	if in != "-" {
+		f, err := os.Open(in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		src = f
+	}
+	rep, err := benchreport.Parse(src)
+	if err != nil {
+		return err
+	}
+	if date == "" {
+		date = time.Now().Format("2006-01-02")
+	}
+	rep.Date = date
+
+	var base *benchreport.Report
+	if basePath != "" {
+		base, err = benchreport.ReadJSON(basePath)
+		if err != nil {
+			return err
+		}
+	}
+	if jsonOut != "" {
+		if err := rep.WriteJSON(jsonOut); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (%d benchmarks)\n", jsonOut, len(rep.Benchmarks))
+	}
+	if mdOut != "" {
+		tmpl := benchreport.DefaultTemplate
+		if tmplPath != "" {
+			data, err := os.ReadFile(tmplPath)
+			if err != nil {
+				return err
+			}
+			tmpl = string(data)
+		}
+		if err := os.WriteFile(mdOut, []byte(benchreport.Render(rep, base, tmpl)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", mdOut)
+	}
+	if check {
+		if base == nil {
+			return fmt.Errorf("-check requires -base")
+		}
+		regs := benchreport.Compare(rep, base, threshold, minNs)
+		if len(regs) == 0 {
+			fmt.Printf("no ns/op regressions beyond %.0f%% against %s\n", threshold*100, basePath)
+			return nil
+		}
+		for _, r := range regs {
+			fmt.Fprintf(os.Stderr, "REGRESSION %s: %.0f ns/op -> %.0f ns/op (%+.1f%%)\n",
+				r.Name, r.BaseNs, r.CurNs, r.Fraction*100)
+		}
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%%", len(regs), threshold*100)
+	}
+	return nil
+}

@@ -1,0 +1,328 @@
+// Package benchreport turns `go test -bench` output into committed
+// benchmark-trajectory artifacts: a machine-readable BENCH_<date>.json
+// snapshot, a rendered BENCHMARKS.md with deltas against a baseline
+// snapshot, and a regression check that fails CI when a benchmark slows
+// down past a threshold. It is dependency-free by design — the parser
+// handles the standard ns/op, B/op, and allocs/op columns plus the
+// custom ReportMetric units the repro benchmarks emit (char-hits,
+// worst-err-%, ...).
+package benchreport
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/noiseerr"
+)
+
+// Benchmark is one aggregated benchmark: when the input holds several
+// samples of the same name (-count=N), each metric keeps the minimum
+// across samples — the least-noise estimate of the true cost for
+// ns/op-like metrics, and the identical value for the deterministic
+// custom metrics.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Samples int                `json:"samples"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is a parsed benchmark run, the unit that gets committed as
+// BENCH_<date>.json.
+type Report struct {
+	Date       string      `json:"date"`
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Find returns the named benchmark, or nil.
+func (r *Report) Find(name string) *Benchmark {
+	for i := range r.Benchmarks {
+		if r.Benchmarks[i].Name == name {
+			return &r.Benchmarks[i]
+		}
+	}
+	return nil
+}
+
+// Parse reads `go test -bench` output. Lines that are not benchmark
+// results (PASS, ok, pkg headers) are skipped; goos/goarch/cpu headers
+// are captured into the report.
+func Parse(r io.Reader) (*Report, error) {
+	rep := &Report{}
+	byName := map[string]*Benchmark{}
+	var order []string
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// Name, iteration count, then value/unit pairs.
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := trimCPUSuffix(fields[0])
+		if _, err := strconv.Atoi(fields[1]); err != nil {
+			continue
+		}
+		metrics := map[string]float64{}
+		ok := true
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				ok = false
+				break
+			}
+			metrics[fields[i+1]] = v
+		}
+		if !ok || len(metrics) == 0 {
+			continue
+		}
+		b := byName[name]
+		if b == nil {
+			b = &Benchmark{Name: name, Metrics: metrics}
+			byName[name] = b
+			order = append(order, name)
+		} else {
+			for unit, v := range metrics {
+				if prev, seen := b.Metrics[unit]; !seen || v < prev {
+					b.Metrics[unit] = v
+				}
+			}
+		}
+		b.Samples++
+	}
+	if err := sc.Err(); err != nil {
+		return nil, noiseerr.Invalidf("benchreport: reading bench output: %v", err)
+	}
+	if len(order) == 0 {
+		return nil, noiseerr.Invalidf("benchreport: no benchmark lines found")
+	}
+	for _, name := range order {
+		rep.Benchmarks = append(rep.Benchmarks, *byName[name])
+	}
+	return rep, nil
+}
+
+// trimCPUSuffix strips the -<GOMAXPROCS> suffix go test appends to
+// benchmark names, so reports from machines with different core counts
+// compare by the bare name.
+func trimCPUSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// WriteJSON writes the report to path, creating parent-less files only
+// (the caller owns directory layout).
+func (r *Report) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return noiseerr.Invalidf("benchreport: encoding %s: %v", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadJSON loads a committed BENCH_<date>.json snapshot.
+func ReadJSON(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, noiseerr.Invalidf("benchreport: reading baseline: %v", err)
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, noiseerr.Invalidf("benchreport: parsing %s: %v", path, err)
+	}
+	return &r, nil
+}
+
+// Regression is one benchmark that slowed down past the threshold.
+type Regression struct {
+	Name     string
+	BaseNs   float64
+	CurNs    float64
+	Fraction float64 // (cur-base)/base
+}
+
+// Compare flags benchmarks whose ns/op regressed by more than
+// threshold (a fraction, e.g. 0.15) against the baseline. Benchmarks
+// below minNs in the baseline are skipped: sub-threshold timings are
+// dominated by scheduler and allocator noise, and gating on them turns
+// the check into a coin flip. New or removed benchmarks never fail the
+// comparison.
+func Compare(cur, base *Report, threshold, minNs float64) []Regression {
+	var regs []Regression
+	for i := range cur.Benchmarks {
+		c := &cur.Benchmarks[i]
+		b := base.Find(c.Name)
+		if b == nil {
+			continue
+		}
+		baseNs, okB := b.Metrics["ns/op"]
+		curNs, okC := c.Metrics["ns/op"]
+		if !okB || !okC || baseNs < minNs {
+			continue
+		}
+		if frac := (curNs - baseNs) / baseNs; frac > threshold {
+			regs = append(regs, Regression{Name: c.Name, BaseNs: baseNs, CurNs: curNs, Fraction: frac})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool { return regs[i].Fraction > regs[j].Fraction })
+	return regs
+}
+
+// DefaultTemplate is the BENCHMARKS.md skeleton. Placeholders:
+//
+//	{{DATE}}     report date (YYYY-MM-DD)
+//	{{ENV}}      goos/goarch/cpu line of the current run
+//	{{BASELINE}} baseline date, or "none"
+//	{{TABLE}}    the rendered benchmark table
+//
+// A repo can override it by passing its own template file to
+// cmd/benchreport; unknown placeholders pass through untouched.
+const DefaultTemplate = `# Benchmark trajectory
+
+_Rendered by ` + "`make bench-report`" + ` — do not edit by hand._
+
+- Date: {{DATE}}
+- Environment: {{ENV}}
+- Baseline: {{BASELINE}}
+
+Each row is the minimum across the run's samples. Δ compares ns/op
+against the committed baseline snapshot; the CI gate fails on
+regressions above 15% for benchmarks at or above 1 ms.
+
+{{TABLE}}
+`
+
+// Render fills the template with a delta table of cur against base
+// (base may be nil: the delta column then reads "new").
+func Render(cur, base *Report, tmpl string) string {
+	baseline := "none"
+	if base != nil && base.Date != "" {
+		baseline = "BENCH_" + base.Date + ".json"
+	}
+	env := strings.TrimSpace(fmt.Sprintf("%s/%s %s", cur.Goos, cur.Goarch, cur.CPU))
+	out := strings.NewReplacer(
+		"{{DATE}}", cur.Date,
+		"{{ENV}}", env,
+		"{{BASELINE}}", baseline,
+		"{{TABLE}}", renderTable(cur, base),
+	).Replace(tmpl)
+	return out
+}
+
+func renderTable(cur, base *Report) string {
+	var sb strings.Builder
+	sb.WriteString("| Benchmark | ns/op | Δ ns/op | B/op | allocs/op | Δ allocs | Custom |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|---|\n")
+	for i := range cur.Benchmarks {
+		b := &cur.Benchmarks[i]
+		var bb *Benchmark
+		if base != nil {
+			bb = base.Find(b.Name)
+		}
+		fmt.Fprintf(&sb, "| %s | %s | %s | %s | %s | %s | %s |\n",
+			strings.TrimPrefix(b.Name, "Benchmark"),
+			formatMetric(b.Metrics, "ns/op"),
+			delta(b, bb, "ns/op"),
+			formatMetric(b.Metrics, "B/op"),
+			formatMetric(b.Metrics, "allocs/op"),
+			delta(b, bb, "allocs/op"),
+			customMetrics(b.Metrics),
+		)
+	}
+	return sb.String()
+}
+
+func formatMetric(m map[string]float64, unit string) string {
+	v, ok := m[unit]
+	if !ok {
+		return "—"
+	}
+	return formatNum(v)
+}
+
+// formatNum renders large values with thousands separators and small
+// ones with enough precision to be useful.
+func formatNum(v float64) string {
+	if v >= 1000 {
+		s := strconv.FormatFloat(v, 'f', 0, 64)
+		var sb strings.Builder
+		for i, r := range s {
+			if i > 0 && (len(s)-i)%3 == 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteRune(r)
+		}
+		return sb.String()
+	}
+	return strconv.FormatFloat(v, 'g', 4, 64)
+}
+
+// delta renders the relative change of one metric against the
+// baseline: negative is an improvement.
+func delta(cur, base *Benchmark, unit string) string {
+	if base == nil {
+		return "new"
+	}
+	bv, okB := base.Metrics[unit]
+	cv, okC := cur.Metrics[unit]
+	if !okB || !okC {
+		return "—"
+	}
+	if bv == 0 {
+		if cv == 0 {
+			return "0%"
+		}
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", 100*(cv-bv)/bv)
+}
+
+// customMetrics renders every non-standard unit as "value unit" pairs,
+// sorted for stable output.
+func customMetrics(m map[string]float64) string {
+	var units []string
+	for unit := range m {
+		switch unit {
+		case "ns/op", "B/op", "allocs/op", "MB/s":
+			continue
+		}
+		units = append(units, unit)
+	}
+	if len(units) == 0 {
+		return "—"
+	}
+	sort.Strings(units)
+	parts := make([]string, len(units))
+	for i, unit := range units {
+		parts[i] = formatNum(m[unit]) + " " + unit
+	}
+	return strings.Join(parts, ", ")
+}

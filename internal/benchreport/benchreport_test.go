@@ -1,0 +1,136 @@
+package benchreport
+
+import (
+	"math"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkClarinetBatch/seed-8         	       1	5786720843 ns/op	         0 char-hits	1221174776 B/op	17364860 allocs/op
+BenchmarkClarinetBatch/seed-8         	       1	6248005559 ns/op	         0 char-hits	1221173104 B/op	17364846 allocs/op
+BenchmarkLargeNetSolvers/bandedRCM-8  	       1	  27052082 ns/op	29496928 B/op	   17820 allocs/op
+BenchmarkTiny                         	 1000000	      1042 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	repro	12.345s
+`
+
+func parseSample(t *testing.T) *Report {
+	t.Helper()
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestParseAggregatesSamples(t *testing.T) {
+	rep := parseSample(t)
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("environment header lost: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("got %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+	seed := rep.Find("BenchmarkClarinetBatch/seed")
+	if seed == nil {
+		t.Fatal("CPU-count suffix not stripped")
+	}
+	if seed.Samples != 2 {
+		t.Fatalf("samples = %d, want 2", seed.Samples)
+	}
+	// Aggregation keeps the minimum across samples.
+	if got := seed.Metrics["ns/op"]; math.Abs(got-5786720843) > 0.5 {
+		t.Fatalf("ns/op = %v, want the minimum sample", got)
+	}
+	if got := seed.Metrics["allocs/op"]; math.Abs(got-17364846) > 0.5 {
+		t.Fatalf("allocs/op = %v, want the minimum sample", got)
+	}
+	// Custom metric preserved by unit name.
+	if _, ok := seed.Metrics["char-hits"]; !ok {
+		t.Fatal("custom metric lost")
+	}
+}
+
+func TestParseRejectsEmptyInput(t *testing.T) {
+	if _, err := Parse(strings.NewReader("PASS\nok repro 0.1s\n")); err == nil {
+		t.Fatal("expected error for input without benchmark lines")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	rep := parseSample(t)
+	rep.Date = "2026-08-07"
+	path := filepath.Join(t.TempDir(), "BENCH_2026-08-07.json")
+	if err := rep.WriteJSON(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Date != rep.Date || len(back.Benchmarks) != len(rep.Benchmarks) {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	if b := back.Find("BenchmarkLargeNetSolvers/bandedRCM"); b == nil || math.Abs(b.Metrics["ns/op"]-27052082) > 0.5 {
+		t.Fatalf("round trip changed metrics: %+v", b)
+	}
+}
+
+func TestCompareFlagsOnlyRealRegressions(t *testing.T) {
+	base := parseSample(t)
+	cur := parseSample(t)
+	// 20% regression on a slow benchmark: flagged.
+	cur.Find("BenchmarkClarinetBatch/seed").Metrics["ns/op"] *= 1.20
+	// 10x regression on a sub-millisecond benchmark: exempt (noise).
+	cur.Find("BenchmarkTiny").Metrics["ns/op"] *= 10
+	// Improvement: never flagged.
+	cur.Find("BenchmarkLargeNetSolvers/bandedRCM").Metrics["ns/op"] *= 0.5
+
+	regs := Compare(cur, base, 0.15, 1e6)
+	if len(regs) != 1 {
+		t.Fatalf("got %d regressions, want 1: %+v", len(regs), regs)
+	}
+	if regs[0].Name != "BenchmarkClarinetBatch/seed" || regs[0].Fraction < 0.19 {
+		t.Fatalf("wrong regression flagged: %+v", regs[0])
+	}
+	// Within threshold: clean.
+	cur.Find("BenchmarkClarinetBatch/seed").Metrics["ns/op"] = base.Find("BenchmarkClarinetBatch/seed").Metrics["ns/op"] * 1.10
+	if regs := Compare(cur, base, 0.15, 1e6); len(regs) != 0 {
+		t.Fatalf("10%% change flagged at 15%% threshold: %+v", regs)
+	}
+}
+
+func TestRenderTemplate(t *testing.T) {
+	base := parseSample(t)
+	base.Date = "2026-08-01"
+	cur := parseSample(t)
+	cur.Date = "2026-08-07"
+	cur.Find("BenchmarkClarinetBatch/seed").Metrics["ns/op"] *= 0.8
+
+	md := Render(cur, base, DefaultTemplate)
+	for _, want := range []string{
+		"Date: 2026-08-07",
+		"BENCH_2026-08-01.json",
+		"linux/amd64",
+		"ClarinetBatch/seed",
+		"-20.0%", // the improvement shows as a negative delta
+		"char-hits",
+	} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("rendered report missing %q:\n%s", want, md)
+		}
+	}
+	// New benchmark against no baseline entry.
+	cur.Benchmarks = append(cur.Benchmarks, Benchmark{
+		Name: "BenchmarkFresh", Samples: 1, Metrics: map[string]float64{"ns/op": 5},
+	})
+	md = Render(cur, base, DefaultTemplate)
+	if !strings.Contains(md, "| Fresh | 5 | new |") {
+		t.Fatalf("new benchmark not marked:\n%s", md)
+	}
+}

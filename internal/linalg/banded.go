@@ -178,13 +178,41 @@ func FactorBandedChol(s *Sparse, perm []int) (*BandedChol, error) {
 // Bandwidth returns the factored half-bandwidth.
 func (f *BandedChol) Bandwidth() int { return f.bw }
 
+// SolveMatrix solves A*X = B column by column.
+func (f *BandedChol) SolveMatrix(b *Matrix) *Matrix {
+	if b.Rows != f.n {
+		panic("linalg: banded SolveMatrix shape mismatch")
+	}
+	out := NewMatrix(b.Rows, b.Cols)
+	col := make([]float64, f.n)
+	x := make([]float64, f.n)
+	scratch := make([]float64, f.n)
+	for c := 0; c < b.Cols; c++ {
+		for i := 0; i < f.n; i++ {
+			col[i] = b.At(i, c)
+		}
+		f.SolveTo(x, col, scratch)
+		out.SetCol(c, x)
+	}
+	return out
+}
+
 // Solve solves A*x = b (in the original ordering).
 func (f *BandedChol) Solve(b []float64) []float64 {
+	x := make([]float64, f.n)
+	f.SolveTo(x, b, make([]float64, f.n))
+	return x
+}
+
+// SolveTo solves A*x = b into dst without allocating, using scratch
+// (length n) for the permuted intermediate. dst may alias b; scratch
+// must not alias either.
+func (f *BandedChol) SolveTo(dst, b, scratch []float64) {
 	n, bw := f.n, f.bw
-	if len(b) != n {
-		panic(fmt.Sprintf("linalg: banded solve rhs length %d, want %d", len(b), n))
+	if len(b) != n || len(dst) != n || len(scratch) != n {
+		panic(fmt.Sprintf("linalg: banded solve lengths dst=%d b=%d scratch=%d, want %d", len(dst), len(b), len(scratch), n))
 	}
-	y := make([]float64, n)
+	y := scratch
 	for i := 0; i < n; i++ {
 		y[i] = b[f.perm[i]]
 	}
@@ -213,9 +241,7 @@ func (f *BandedChol) Solve(b []float64) []float64 {
 		}
 		y[i] = s / at(i, bw)
 	}
-	x := make([]float64, n)
 	for i := 0; i < n; i++ {
-		x[f.perm[i]] = y[i]
+		dst[f.perm[i]] = y[i]
 	}
-	return x
 }

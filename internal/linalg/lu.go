@@ -26,9 +26,32 @@ func FactorLU(a *Matrix) (*LU, error) {
 	if a.Rows != a.Cols {
 		return nil, noiseerr.Invalidf("linalg: LU of non-square %dx%d matrix", a.Rows, a.Cols)
 	}
-	n := a.Rows
-	lu := a.Clone()
-	piv := make([]int, n)
+	f := NewLUWorkspace(a.Rows)
+	if err := f.Refactor(a); err != nil {
+		return nil, err
+	}
+	return f, nil
+}
+
+// NewLUWorkspace returns an empty LU sized for n x n systems. The
+// workspace is invalid until a successful Refactor; it exists so tight
+// simulation loops can factor repeatedly without allocating.
+func NewLUWorkspace(n int) *LU {
+	return &LU{lu: NewMatrix(n, n), Piv: make([]int, n), n: n}
+}
+
+// Refactor recomputes the factorization from a, reusing the receiver's
+// storage (no allocation). a must match the workspace dimension and is
+// not modified. On error the workspace contents are undefined and the
+// factorization must not be used until a later Refactor succeeds.
+func (f *LU) Refactor(a *Matrix) error {
+	if a.Rows != a.Cols || a.Rows != f.n {
+		return noiseerr.Invalidf("linalg: refactor of %dx%d matrix in %d-dim LU workspace", a.Rows, a.Cols, f.n)
+	}
+	n := f.n
+	lu := f.lu
+	copy(lu.Data, a.Data)
+	piv := f.Piv
 	for i := range piv {
 		piv[i] = i
 	}
@@ -44,7 +67,7 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 		if max == 0 {
-			return nil, ErrSingular
+			return ErrSingular
 		}
 		if p != k {
 			rowK := d[k*n : (k+1)*n]
@@ -68,21 +91,29 @@ func FactorLU(a *Matrix) (*LU, error) {
 			}
 		}
 	}
-	return &LU{lu: lu, Piv: piv, n: n}, nil
+	return nil
 }
 
 // Solve solves A*x = b for a single right-hand side. b is not modified.
 func (f *LU) Solve(b []float64) []float64 {
-	if len(b) != f.n {
-		panic(fmt.Sprintf("linalg: LU solve rhs length %d, want %d", len(b), f.n))
-	}
-	n := f.n
-	x := make([]float64, n)
-	for i, p := range f.Piv {
-		x[i] = b[p]
-	}
-	f.SolveInPlace(x)
+	x := make([]float64, f.n)
+	f.SolveTo(x, b)
 	return x
+}
+
+// SolveTo solves A*x = b into dst without allocating. dst must not
+// alias b: the pivot permutation reads b while writing dst.
+func (f *LU) SolveTo(dst, b []float64) {
+	if len(b) != f.n || len(dst) != f.n {
+		panic(fmt.Sprintf("linalg: LU solve lengths dst=%d b=%d, want %d", len(dst), len(b), f.n))
+	}
+	if f.n > 0 && &dst[0] == &b[0] {
+		panic("linalg: LU SolveTo dst must not alias b")
+	}
+	for i, p := range f.Piv {
+		dst[i] = b[p]
+	}
+	f.SolveInPlace(dst)
 }
 
 // SolveInPlace solves A*x = b where b is already permuted by Piv and is

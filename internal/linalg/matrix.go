@@ -143,19 +143,24 @@ func (m *Matrix) Mul(o *Matrix) *Matrix {
 
 // MulVec returns the matrix-vector product m*x.
 func (m *Matrix) MulVec(x []float64) []float64 {
-	if m.Cols != len(x) {
-		panic(fmt.Sprintf("linalg: mulvec shape mismatch %dx%d * %d", m.Rows, m.Cols, len(x)))
-	}
 	out := make([]float64, m.Rows)
+	m.MulVecTo(out, x)
+	return out
+}
+
+// MulVecTo computes dst = m*x without allocating. dst must not alias x.
+func (m *Matrix) MulVecTo(dst, x []float64) {
+	if m.Cols != len(x) || m.Rows != len(dst) {
+		panic(fmt.Sprintf("linalg: mulvec shape mismatch %dx%d * %d -> %d", m.Rows, m.Cols, len(x), len(dst)))
+	}
 	for i := 0; i < m.Rows; i++ {
 		row := m.Data[i*m.Cols : (i+1)*m.Cols]
 		s := 0.0
 		for j, a := range row {
 			s += a * x[j]
 		}
-		out[i] = s
+		dst[i] = s
 	}
-	return out
 }
 
 // Transpose returns m^T.

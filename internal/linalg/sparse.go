@@ -110,13 +110,42 @@ type CGOptions struct {
 	MaxIter int     // default 4*N
 }
 
+// CGWorkspace holds the iteration vectors of SolveCGTo so repeated
+// solves (one per simulator time step) allocate nothing.
+type CGWorkspace struct {
+	r, z, p, ap, invD []float64
+}
+
+// NewCGWorkspace sizes a workspace for n-dimensional systems.
+func NewCGWorkspace(n int) *CGWorkspace {
+	return &CGWorkspace{
+		r:    make([]float64, n),
+		z:    make([]float64, n),
+		p:    make([]float64, n),
+		ap:   make([]float64, n),
+		invD: make([]float64, n),
+	}
+}
+
 // SolveCG solves A*x = b for a symmetric positive-definite sparse A with
 // Jacobi-preconditioned conjugate gradients. x0 (may be nil) seeds the
 // iteration — warm starts across simulator time steps cut the iteration
 // count dramatically. It returns the solution and the iterations used.
 func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error) {
-	if len(b) != s.N {
-		return nil, 0, noiseerr.Invalidf("linalg: CG rhs has %d entries, want %d", len(b), s.N)
+	x := make([]float64, s.N)
+	iters, err := s.SolveCGTo(x, b, x0, NewCGWorkspace(s.N), opt)
+	if err != nil {
+		return nil, iters, err
+	}
+	return x, iters, nil
+}
+
+// SolveCGTo is SolveCG writing the solution into dst and drawing every
+// iteration vector from ws (allocation-free). dst may alias x0; neither
+// may alias b or the workspace slices.
+func (s *Sparse) SolveCGTo(dst, b, x0 []float64, ws *CGWorkspace, opt CGOptions) (int, error) {
+	if len(b) != s.N || len(dst) != s.N {
+		return 0, noiseerr.Invalidf("linalg: CG lengths dst=%d b=%d, want %d", len(dst), len(b), s.N)
 	}
 	if opt.Tol == 0 {
 		opt.Tol = 1e-10
@@ -124,30 +153,39 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 	if opt.MaxIter == 0 {
 		opt.MaxIter = 4 * s.N
 	}
-	x := make([]float64, s.N)
+	x := dst
 	if x0 != nil {
 		copy(x, x0)
+	} else {
+		for i := range x {
+			x[i] = 0
+		}
 	}
-	r := make([]float64, s.N)
+	r := ws.r
 	s.MulVec(x, r)
 	for i := range r {
 		r[i] = b[i] - r[i]
 	}
 	bNorm := Norm2(b)
 	if bNorm == 0 {
-		return x, 0, nil // b = 0 and A SPD: x stays at the seed's homogeneous solution 0
+		for i := range x {
+			x[i] = 0
+		}
+		return 0, nil // b = 0 and A SPD: the solution is exactly 0
 	}
 	// Jacobi preconditioner.
-	invD := s.Diag()
-	for i, d := range invD {
-		if d <= 0 {
-			return nil, 0, noiseerr.Numericalf("linalg: CG needs positive diagonal (row %d has %g)", i, d)
+	invD := ws.invD
+	for r, i := range s.diagIdx {
+		d := 0.0
+		if i >= 0 {
+			d = s.values[i]
 		}
-		invD[i] = 1 / d
+		if d <= 0 {
+			return 0, noiseerr.Numericalf("linalg: CG needs positive diagonal (row %d has %g)", r, d)
+		}
+		invD[r] = 1 / d
 	}
-	z := make([]float64, s.N)
-	p := make([]float64, s.N)
-	ap := make([]float64, s.N)
+	z, p, ap := ws.z, ws.p, ws.ap
 	for i := range z {
 		z[i] = invD[i] * r[i]
 	}
@@ -157,7 +195,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 		s.MulVec(p, ap)
 		pap := Dot(p, ap)
 		if pap <= 0 {
-			return nil, iter, noiseerr.Numericalf("linalg: CG breakdown (matrix not SPD?)")
+			return iter, noiseerr.Numericalf("linalg: CG breakdown (matrix not SPD?)")
 		}
 		alpha := rz / pap
 		for i := range x {
@@ -165,7 +203,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 			r[i] -= alpha * ap[i]
 		}
 		if Norm2(r) <= opt.Tol*bNorm {
-			return x, iter, nil
+			return iter, nil
 		}
 		for i := range z {
 			z[i] = invD[i] * r[i]
@@ -177,7 +215,7 @@ func (s *Sparse) SolveCG(b, x0 []float64, opt CGOptions) ([]float64, int, error)
 			p[i] = z[i] + beta*p[i]
 		}
 	}
-	return nil, opt.MaxIter, noiseerr.Convergencef("linalg: CG did not converge in %d iterations (residual %g)",
+	return opt.MaxIter, noiseerr.Convergencef("linalg: CG did not converge in %d iterations (residual %g)",
 		opt.MaxIter, Norm2(r)/bNorm)
 }
 

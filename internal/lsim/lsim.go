@@ -1,7 +1,8 @@
 // Package lsim is the linear transient simulator of the superposition
 // flow. It integrates the MNA system G x + C x' = B u(t) with the
 // trapezoidal rule on a fixed time step, prefactoring the system matrix
-// once per run.
+// once per run (factor-once/solve-many) and drawing every per-step
+// vector from a scratch arena so the stepping loop allocates nothing.
 package lsim
 
 import (
@@ -29,7 +30,8 @@ type Options struct {
 	// condition when X0 is nil. When false and X0 is nil, the run starts
 	// from the zero state.
 	InitDC bool
-	// Solver selects the inner linear solver (see Solver).
+	// Solver selects the inner linear solver (see Solver). The zero
+	// value is SolverAuto.
 	Solver Solver
 	// Ctx, when non-nil, cancels the run: the integration loop checks it
 	// every CtxCheckInterval steps and returns a noiseerr.ErrCanceled-
@@ -41,9 +43,17 @@ type Options struct {
 type Solver int
 
 const (
+	// SolverAuto — the zero value, so it is the default for every
+	// caller that leaves Options.Solver unset — picks the cheapest
+	// correct path per system: banded Cholesky after RCM reordering
+	// when the system is large and its reordered bandwidth is small
+	// (RC interconnect), dense LU otherwise (small systems and
+	// reduced-order models). The banded attempt falls back to dense LU
+	// if the matrix is not positive definite.
+	SolverAuto Solver = iota
 	// SolverDense prefactors a dense LU once; right for small systems
 	// and for reduced-order models.
-	SolverDense Solver = iota
+	SolverDense
 	// SolverBanded reorders with reverse Cuthill-McKee and prefactors a
 	// banded Cholesky. RC interconnect matrices have tiny bandwidth after
 	// RCM, making this an O(n)-per-step direct solver — the right choice
@@ -56,11 +66,73 @@ const (
 	SolverCG
 )
 
+// String names the solver for reports and tests.
+func (s Solver) String() string {
+	switch s {
+	case SolverAuto:
+		return "auto"
+	case SolverDense:
+		return "dense"
+	case SolverBanded:
+		return "banded"
+	case SolverCG:
+		return "cg"
+	default:
+		return fmt.Sprintf("solver(%d)", int(s))
+	}
+}
+
+// Auto-selection thresholds: below autoDenseMax states a dense LU
+// factor is cheap enough that sparsity analysis is pure overhead
+// (reduced-order models live here); above it, banded Cholesky is chosen
+// when the RCM-reordered half-bandwidth keeps the O(n·bw) per-step
+// solve clearly under the dense O(n²) one.
+const autoDenseMax = 32
+
+// autoBandedOK reports whether a banded solve wins over dense for n
+// states at half-bandwidth bw.
+func autoBandedOK(n, bw int) bool {
+	return 4*(bw+1) <= n
+}
+
 // Result holds the simulated node voltages.
 type Result struct {
 	Times  []float64
 	States *linalg.Matrix // len(Times) x NumStates
+	// Chosen is the concrete solver that performed the run (never
+	// SolverAuto): the auto path records its selection here.
+	Chosen Solver
 	sys    *mna.System
+}
+
+// stepper owns the prefactored system and the scratch arena of one run.
+// After prepare, advancing a step performs zero allocations: every
+// vector the loop touches is preallocated here and the output matrix is
+// sized up front from the fixed step count.
+type stepper struct {
+	sys    *mna.System
+	n      int
+	steps  int
+	h      float64
+	tStart float64
+	solver Solver // concrete choice, never SolverAuto
+
+	// Factor-once state (one of these, by solver).
+	lu     *linalg.LU
+	banded *linalg.BandedChol
+	sp     *linalg.Sparse // A in CSR, CG path
+	cg     *linalg.CGWorkspace
+
+	// M = C/h - G/2, applied every step.
+	mDense *linalg.Matrix
+	spM    *linalg.Sparse
+
+	// Scratch arena.
+	x, xNext, rhs, scratch []float64
+	uPrev, uNow, uMid, bu  []float64
+
+	times  []float64
+	states *linalg.Matrix
 }
 
 // RunContext is Run with an explicit context, overriding Options.Ctx.
@@ -73,6 +145,19 @@ func RunContext(ctx context.Context, sys *mna.System, opt Options) (*Result, err
 // Run integrates the system over [TStart, TStop]. Cancellation, when
 // needed, comes from Options.Ctx (or use RunContext).
 func Run(sys *mna.System, opt Options) (*Result, error) {
+	s, err := prepare(sys, opt)
+	if err != nil {
+		return nil, err
+	}
+	if err := s.run(opt.Ctx); err != nil {
+		return nil, err
+	}
+	return &Result{Times: s.times, States: s.states, Chosen: s.solver, sys: sys}, nil
+}
+
+// prepare validates the options, assembles the trapezoidal matrices,
+// selects and prefactors the solver, and sizes the scratch arena.
+func prepare(sys *mna.System, opt Options) (*stepper, error) {
 	if opt.Step <= 0 {
 		return nil, noiseerr.Invalidf("lsim: step must be positive, got %g", opt.Step)
 	}
@@ -87,100 +172,152 @@ func Run(sys *mna.System, opt Options) (*Result, error) {
 	if steps < 1 {
 		steps = 1
 	}
-	h := opt.Step
-
-	x := make([]float64, n)
+	s := &stepper{
+		sys:    sys,
+		n:      n,
+		steps:  steps,
+		h:      opt.Step,
+		tStart: opt.TStart,
+		x:      make([]float64, n),
+		xNext:  make([]float64, n),
+		rhs:    make([]float64, n),
+		uPrev:  make([]float64, sys.NumInputs()),
+		uNow:   make([]float64, sys.NumInputs()),
+		uMid:   make([]float64, sys.NumInputs()),
+		bu:     make([]float64, n),
+	}
 	switch {
 	case opt.X0 != nil:
 		if len(opt.X0) != n {
 			return nil, noiseerr.Invalidf("lsim: X0 has %d entries, want %d", len(opt.X0), n)
 		}
-		copy(x, opt.X0)
+		copy(s.x, opt.X0)
 	case opt.InitDC:
 		dc, err := sys.DC(opt.TStart)
 		if err != nil {
 			return nil, err
 		}
-		copy(x, dc)
+		copy(s.x, dc)
 	}
 
 	// Trapezoidal: (C/h + G/2) x_{k+1} = (C/h - G/2) x_k + B (u_k + u_{k+1})/2.
+	h := s.h
 	a := sys.C.Clone().Scale(1 / h)
 	a.AXPY(0.5, sys.G)
 	m := sys.C.Clone().Scale(1 / h)
 	m.AXPY(-0.5, sys.G)
 
-	var lu *linalg.LU
-	var banded *linalg.BandedChol
-	var sp, spM *linalg.Sparse
-	switch opt.Solver {
+	solver := opt.Solver
+	var sa *linalg.Sparse
+	var perm []int
+	if solver == SolverAuto {
+		if n < autoDenseMax {
+			solver = SolverDense
+		} else {
+			sa = linalg.FromDense(a)
+			perm = sa.RCM()
+			if autoBandedOK(n, sa.Bandwidth(perm)) {
+				solver = SolverBanded
+			} else {
+				solver = SolverDense
+			}
+		}
+	}
+	switch solver {
 	case SolverCG:
-		sp = linalg.FromDense(a)
-		spM = linalg.FromDense(m)
+		s.sp = linalg.FromDense(a)
+		s.spM = linalg.FromDense(m)
+		s.cg = linalg.NewCGWorkspace(n)
 	case SolverBanded:
-		sa := linalg.FromDense(a)
-		spM = linalg.FromDense(m)
-		var err error
-		banded, err = linalg.FactorBandedChol(sa, sa.RCM())
-		if err != nil {
+		if sa == nil {
+			sa = linalg.FromDense(a)
+		}
+		if perm == nil {
+			perm = sa.RCM()
+		}
+		banded, err := linalg.FactorBandedChol(sa, perm)
+		switch {
+		case err == nil:
+			s.spM = linalg.FromDense(m)
+			s.scratch = make([]float64, n)
+			s.banded = banded
+		case opt.Solver == SolverAuto:
+			// The auto heuristic guessed banded but the matrix is not
+			// positive definite: fall back to the always-correct dense
+			// path rather than failing the run.
+			solver = SolverDense
+		default:
 			return nil, noiseerr.Numericalf("lsim: banded factorization failed (matrix not SPD?): %w", err)
 		}
-	default:
-		var err error
-		lu, err = linalg.FactorLU(a)
+	}
+	if solver == SolverDense {
+		lu, err := linalg.FactorLU(a)
 		if err != nil {
 			return nil, noiseerr.Numericalf("lsim: trapezoidal matrix singular: %w", err)
 		}
+		s.lu = lu
+		s.mDense = m
 	}
+	s.solver = solver
 
-	times := make([]float64, steps+1)
-	states := linalg.NewMatrix(steps+1, n)
-	times[0] = opt.TStart
-	copy(states.Data[:n], x)
+	s.times = make([]float64, steps+1)
+	s.states = linalg.NewMatrix(steps+1, n)
+	s.times[0] = opt.TStart
+	copy(s.states.Data[:n], s.x)
+	sys.InputAtTo(s.uPrev, opt.TStart)
+	return s, nil
+}
 
-	rhs := make([]float64, n)
-	uPrev := sys.InputAt(opt.TStart)
-	for k := 1; k <= steps; k++ {
+// step advances the solution from step k-1 to step k (1-based) and
+// records it. It performs no allocations.
+func (s *stepper) step(k int) error {
+	t := s.tStart + float64(k)*s.h
+	s.sys.InputAtTo(s.uNow, t)
+	for i := range s.uMid {
+		s.uMid[i] = 0.5 * (s.uPrev[i] + s.uNow[i])
+	}
+	if s.spM != nil {
+		s.spM.MulVec(s.x, s.rhs)
+	} else {
+		s.mDense.MulVecTo(s.rhs, s.x)
+	}
+	s.sys.B.MulVecTo(s.bu, s.uMid)
+	for i := range s.rhs {
+		s.rhs[i] += s.bu[i]
+	}
+	switch s.solver {
+	case SolverCG:
+		// Warm-start from the previous step's solution: consecutive
+		// states differ little, so CG converges in a handful of
+		// iterations.
+		if _, err := s.sp.SolveCGTo(s.xNext, s.rhs, s.x, s.cg, linalg.CGOptions{Tol: 1e-9}); err != nil {
+			return noiseerr.Numericalf("lsim: CG step at t=%g: %w", t, err)
+		}
+	case SolverBanded:
+		s.banded.SolveTo(s.xNext, s.rhs, s.scratch)
+	default:
+		s.lu.SolveTo(s.xNext, s.rhs)
+	}
+	s.x, s.xNext = s.xNext, s.x
+	s.times[k] = t
+	copy(s.states.Data[k*s.n:(k+1)*s.n], s.x)
+	s.uPrev, s.uNow = s.uNow, s.uPrev
+	return nil
+}
+
+// run executes every step with periodic cancellation checks.
+func (s *stepper) run(ctx context.Context) error {
+	for k := 1; k <= s.steps; k++ {
 		if k%CtxCheckInterval == 0 {
-			if err := canceled(opt.Ctx, k, steps); err != nil {
-				return nil, err
+			if err := canceled(ctx, k, s.steps); err != nil {
+				return err
 			}
 		}
-		t := opt.TStart + float64(k)*h
-		uNow := sys.InputAt(t)
-		uMid := make([]float64, len(uNow))
-		for i := range uMid {
-			uMid[i] = 0.5 * (uPrev[i] + uNow[i])
+		if err := s.step(k); err != nil {
+			return err
 		}
-		if spM != nil {
-			spM.MulVec(x, rhs)
-		} else {
-			copy(rhs, m.MulVec(x))
-		}
-		bu := sys.B.MulVec(uMid)
-		for i := range rhs {
-			rhs[i] += bu[i]
-		}
-		switch opt.Solver {
-		case SolverCG:
-			// Warm-start from the previous step's solution: consecutive
-			// states differ little, so CG converges in a handful of
-			// iterations.
-			xNew, _, err := sp.SolveCG(rhs, x, linalg.CGOptions{Tol: 1e-9})
-			if err != nil {
-				return nil, noiseerr.Numericalf("lsim: CG step at t=%g: %w", t, err)
-			}
-			x = xNew
-		case SolverBanded:
-			x = banded.Solve(rhs)
-		default:
-			x = lu.Solve(rhs)
-		}
-		times[k] = t
-		copy(states.Data[k*n:(k+1)*n], x)
-		uPrev = uNow
 	}
-	return &Result{Times: times, States: states, sys: sys}, nil
+	return nil
 }
 
 // canceled converts a fired context into a classified error.

@@ -149,15 +149,41 @@ func (s *System) NumInputs() int { return len(s.Inputs) }
 // InputAt evaluates the input vector u(t).
 func (s *System) InputAt(t float64) []float64 {
 	u := make([]float64, len(s.Inputs))
-	for i, w := range s.Inputs {
-		u[i] = w.At(t)
-	}
+	s.InputAtTo(u, t)
 	return u
 }
 
-// DC solves the DC operating point G x = B u(t0).
+// InputAtTo evaluates the input vector u(t) into dst without
+// allocating.
+func (s *System) InputAtTo(dst []float64, t float64) {
+	if len(dst) != len(s.Inputs) {
+		panic(fmt.Sprintf("mna: input vector length %d, want %d", len(dst), len(s.Inputs)))
+	}
+	for i, w := range s.Inputs {
+		dst[i] = w.At(t)
+	}
+}
+
+// dcBandedMin is the system size above which the DC solve tries the
+// sparse banded-Cholesky path before dense LU: below it the dense
+// factor is cheaper than the sparsity analysis.
+const dcBandedMin = 32
+
+// DC solves the DC operating point G x = B u(t0). Large systems whose
+// RCM-reordered bandwidth is small (RC interconnect) are solved with
+// the banded Cholesky path; everything else — and any matrix the
+// Cholesky rejects as not positive definite — falls back to dense LU.
 func (s *System) DC(t0 float64) ([]float64, error) {
 	rhs := s.B.MulVec(s.InputAt(t0))
+	if n := s.NumStates(); n >= dcBandedMin {
+		sp := linalg.FromDense(s.G)
+		perm := sp.RCM()
+		if 4*(sp.Bandwidth(perm)+1) <= n {
+			if f, err := linalg.FactorBandedChol(sp, perm); err == nil {
+				return f.Solve(rhs), nil
+			}
+		}
+	}
 	x, err := linalg.Solve(s.G, rhs)
 	if err != nil {
 		return nil, fmt.Errorf("mna: DC solve failed (floating node?): %w", err)

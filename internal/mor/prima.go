@@ -52,14 +52,14 @@ func ReduceContext(ctx context.Context, sys *mna.System, q int) (*ROM, error) {
 		// Identity projection: the "reduction" is the original system.
 		return &ROM{Reduced: sys, V: linalg.Identity(n), full: sys, Order: n}, nil
 	}
-	lu, err := linalg.FactorLU(sys.G)
+	gsolve, err := factorG(sys.G)
 	if err != nil {
 		return nil, noiseerr.Numericalf("mor: G singular (floating node?): %w", err)
 	}
 	// Block Krylov: R = G^-1 B; X_{k+1} = G^-1 C X_k.
 	blocks := (q + p - 1) / p
 	basis := linalg.NewMatrix(n, blocks*p)
-	x := lu.SolveMatrix(sys.B)
+	x := gsolve.SolveMatrix(sys.B)
 	col := 0
 	for k := 0; k < blocks; k++ {
 		if ctx != nil {
@@ -72,7 +72,7 @@ func ReduceContext(ctx context.Context, sys *mna.System, q int) (*ROM, error) {
 			col++
 		}
 		if k < blocks-1 {
-			x = lu.SolveMatrix(sys.C.Mul(x))
+			x = gsolve.SolveMatrix(sys.C.Mul(x))
 		}
 	}
 	kept := linalg.OrthonormalizeMGS(basis, 1e-10)
@@ -92,6 +92,33 @@ func ReduceContext(ctx context.Context, sys *mna.System, q int) (*ROM, error) {
 		return nil, err
 	}
 	return &ROM{Reduced: red, V: v, full: sys, Order: kept}, nil
+}
+
+// gSolver abstracts the repeated multi-RHS G-solves of the block-Krylov
+// iteration over the two factorization backends.
+type gSolver interface {
+	SolveMatrix(*linalg.Matrix) *linalg.Matrix
+}
+
+// gBandedMin is the system size above which factorG tries the sparse
+// banded-Cholesky path before dense LU.
+const gBandedMin = 32
+
+// factorG factors the (symmetric, for MNA-stamped circuits) conductance
+// matrix once for the Krylov recurrence: RCM-reordered banded Cholesky
+// when the system is large and narrow-banded, dense LU otherwise or
+// when the Cholesky rejects the matrix.
+func factorG(g *linalg.Matrix) (gSolver, error) {
+	if n := g.Rows; n >= gBandedMin {
+		sp := linalg.FromDense(g)
+		perm := sp.RCM()
+		if 4*(sp.Bandwidth(perm)+1) <= n {
+			if f, err := linalg.FactorBandedChol(sp, perm); err == nil {
+				return f, nil
+			}
+		}
+	}
+	return linalg.FactorLU(g)
 }
 
 // WithInputs returns a ROM sharing this model's projection basis and

@@ -35,6 +35,10 @@ const gminStart = 1e-2
 // error is convergence-classified when both ladders are exhausted.
 func RescueDC(ctx context.Context, c *Circuit, t float64, x0 []float64, r resilience.SolverRescue) ([]float64, error) {
 	s := newSolver(c)
+	// The rescue ladder only runs after plain Newton failed; robustness
+	// beats speed here, so every rung uses full Newton rather than the
+	// modified-Newton factor cache.
+	s.fullNewton = true
 	seed := func(x []float64) error {
 		for i := range x {
 			x[i] = 0

@@ -49,6 +49,14 @@ type Options struct {
 	// arm a whole retry without touching the Options structs of the
 	// layers in between.
 	Rescue resilience.SolverRescue
+
+	// FullNewton disables the Jacobian factorization reuse (the
+	// modified-Newton factor cache), assembling and refactoring on every
+	// Newton iteration as the pre-cache engine did. It is the reference
+	// mode the golden-equivalence tests compare the cached paths
+	// against, and an escape hatch for circuits where the stale-factor
+	// heuristics misbehave.
+	FullNewton bool
 }
 
 func (o *Options) defaults() {
@@ -70,7 +78,9 @@ type Result struct {
 	ckt    *Circuit
 }
 
-// solver carries the per-run scratch buffers.
+// solver carries the per-run scratch buffers: every vector a Newton
+// iteration touches is allocated once here, so the inner loops of the
+// DC and transient solves are allocation-free in steady state.
 type solver struct {
 	ckt *Circuit
 	n   int
@@ -80,8 +90,14 @@ type solver struct {
 	ist        []float64
 	q0, q1     []float64
 	f          []float64
-	perm       []float64
+	dx         []float64 // Newton update, solved in place each iteration
 	fixedCache []float64 // voltage of every node at current eval time
+
+	// fc reuses the Jacobian LU factorization across Newton iterations
+	// and trapezoidal steps (see factorCache); fullNewton disables the
+	// reuse, refactoring every iteration.
+	fc         factorCache
+	fullNewton bool
 
 	// srcScale uniformly scales every prescribed voltage and injected
 	// current. It is 1 except during source-stepping continuation, where
@@ -102,8 +118,9 @@ func newSolver(c *Circuit) *solver {
 		q0:         make([]float64, n),
 		q1:         make([]float64, n),
 		f:          make([]float64, n),
-		perm:       make([]float64, n),
+		dx:         make([]float64, n),
 		fixedCache: make([]float64, len(c.nodes)),
+		fc:         newFactorCache(n),
 		srcScale:   1,
 	}
 	// The capacitance matrix over unknown nodes is constant.
@@ -252,6 +269,11 @@ const dcMaxIter = 400
 // node to ground — the gmin-stepping continuation aid; zero leaves only
 // the 1e-12 regularization floor. loadFixed must already have been
 // called for t at the current srcScale.
+//
+// DC always assembles and factors a fresh Jacobian per iteration —
+// walking in from a cold start is exactly where a stale factorization
+// sends damped Newton astray — but factors into the solver's reusable
+// workspace, so the loop is allocation-free.
 func (s *solver) dcNewton(ctx context.Context, t float64, x []float64, gmin float64, maxIter int) error {
 	for iter := 0; iter < maxIter; iter++ {
 		if iter%CtxCheckInterval == 0 {
@@ -268,14 +290,12 @@ func (s *solver) dcNewton(ctx context.Context, t float64, x []float64, gmin floa
 			s.ist[i] += gmin * x[i]
 			s.jac.Add(i, i, gmin+1e-12)
 		}
-		f, err := linalg.FactorLU(s.jac)
-		if err != nil {
+		if err := s.fc.refactor(s.jac, cacheDC, gmin); err != nil {
 			return noiseerr.Numericalf("nlsim: DC Jacobian singular: %w", err)
 		}
-		dx := f.Solve(s.ist)
+		s.fc.lu.SolveTo(s.dx, s.ist)
 		worst := 0.0
-		for i := range dx {
-			d := dx[i]
+		for i, d := range s.dx {
 			if d > 0.4 {
 				d = 0.4
 			} else if d < -0.4 {
@@ -361,19 +381,37 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 		return nil, err
 	}
 	s := newSolver(c)
+	s.fullNewton = opt.FullNewton
 	n := s.n
-	x := make([]float64, n)
+	tr := &transient{
+		s:    s,
+		opt:  &opt,
+		x:    make([]float64, n),
+		xNew: make([]float64, n),
+		ist0: make([]float64, n),
+	}
 	if opt.X0 != nil {
 		if len(opt.X0) != n {
 			return nil, noiseerr.Invalidf("nlsim: X0 has %d entries, want %d", len(opt.X0), n)
 		}
-		copy(x, opt.X0)
+		copy(tr.x, opt.X0)
 	} else {
-		dc, err := DCContext(ctx, c, opt.TStart, nil)
+		// DC operating point on the same solver, so the transient loop
+		// inherits a warm scratch arena (and, for linear circuits, a
+		// still-useful factorization workspace).
+		s.loadFixed(opt.TStart)
+		err := s.dcNewton(ctx, opt.TStart, tr.x, 0, dcMaxIter)
 		if err != nil {
-			return nil, err
+			if r, ok := resilience.SolverRescueFrom(ctx); ok && r.DCEnabled() && noiseerr.Class(err) == noiseerr.ErrConvergence {
+				dc, rerr := RescueDC(ctx, c, opt.TStart, nil, r)
+				if rerr != nil {
+					return nil, rerr
+				}
+				copy(tr.x, dc)
+			} else {
+				return nil, err
+			}
 		}
-		copy(x, dc)
 	}
 
 	hMax := opt.Step
@@ -388,66 +426,22 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 		}
 	}
 
-	times := []float64{opt.TStart}
-	statesBuf := append([]float64(nil), x...)
-
-	ist0 := make([]float64, n)
-	xNew := make([]float64, n)
+	// Size the output series up front — for a fixed-step run the step
+	// count is known exactly, so the appends in commit never reallocate
+	// and steady-state stepping stays allocation-free. Adaptive runs get
+	// the same capacity as an estimate and grow only if step shrinking
+	// exceeds it.
+	est := int((opt.TStop-opt.TStart)/hMax+1.5) + 1
+	tr.times = make([]float64, 0, est)
+	tr.statesBuf = make([]float64, 0, est*n)
+	tr.times = append(tr.times, opt.TStart)
+	tr.statesBuf = append(tr.statesBuf, tr.x...)
 
 	// Previous-step charge and static current.
 	s.loadFixed(opt.TStart)
-	s.charge(x, s.q0)
-	s.static(x, opt.TStart, nil)
-	copy(ist0, s.ist)
-
-	// step attempts one trapezoidal step of size h to time t; it returns
-	// the Newton iteration count and whether it converged.
-	step := func(t, h float64) (int, bool, error) {
-		s.loadFixed(t)
-		copy(xNew, x) // previous solution as the Newton seed
-		for iter := 1; iter <= opt.MaxNewton; iter++ {
-			s.static(xNew, t, s.jac)
-			s.charge(xNew, s.q1)
-			// F = (q1 - q0)/h + (ist1 + ist0)/2
-			for i := 0; i < n; i++ {
-				s.f[i] = (s.q1[i]-s.q0[i])/h + 0.5*(s.ist[i]+ist0[i])
-			}
-			// J = C/h + J_static/2
-			s.jac.Scale(0.5)
-			s.jac.AXPY(1/h, s.cmat)
-			lu, err := linalg.FactorLU(s.jac)
-			if err != nil {
-				return iter, false, noiseerr.Numericalf("nlsim: Newton Jacobian singular at t=%g: %w", t, err)
-			}
-			dx := lu.Solve(s.f)
-			worst := 0.0
-			for i := range dx {
-				d := dx[i]
-				if d > opt.Damp {
-					d = opt.Damp
-				} else if d < -opt.Damp {
-					d = -opt.Damp
-				}
-				xNew[i] -= d
-				if a := math.Abs(d); a > worst {
-					worst = a
-				}
-			}
-			if worst < opt.VTol {
-				return iter, true, nil
-			}
-		}
-		return opt.MaxNewton, false, nil
-	}
-	commit := func(t float64) {
-		copy(x, xNew)
-		s.loadFixed(t)
-		s.charge(x, s.q0)
-		s.static(x, t, nil)
-		copy(ist0, s.ist)
-		times = append(times, t)
-		statesBuf = append(statesBuf, x...)
-	}
+	s.charge(tr.x, s.q0)
+	s.static(tr.x, opt.TStart, nil)
+	copy(tr.ist0, s.ist)
 
 	h := hMax
 	t := opt.TStart
@@ -462,7 +456,7 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 		if t+h > opt.TStop {
 			h = opt.TStop - t
 		}
-		iters, ok, err := step(t+h, h)
+		iters, ok, err := tr.step(t+h, h)
 		if err != nil {
 			return nil, err
 		}
@@ -484,7 +478,7 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 			return nil, noiseerr.Convergencef("nlsim: Newton did not converge at t=%g", t+h)
 		}
 		t += h
-		commit(t)
+		tr.commit(t)
 		if opt.Adaptive {
 			switch {
 			case iters <= 3:
@@ -494,9 +488,133 @@ func Run(c *Circuit, opt Options) (*Result, error) {
 			}
 		}
 	}
-	states := linalg.NewMatrix(len(times), n)
-	copy(states.Data, statesBuf)
-	return &Result{Times: times, States: states, ckt: c}, nil
+	states := linalg.NewMatrix(len(tr.times), n)
+	copy(states.Data, tr.statesBuf)
+	return &Result{Times: tr.times, States: states, ckt: c}, nil
+}
+
+// transient is the trapezoidal time-stepping state of one Run: the
+// current and trial state vectors, the previous-step static currents,
+// and the growing output series. Its step method is the allocation-free
+// inner loop of the nonlinear engine.
+type transient struct {
+	s    *solver
+	opt  *Options
+	x    []float64 // last committed state
+	xNew []float64 // Newton trial state
+	ist0 []float64 // static currents at the last committed state
+
+	times     []float64
+	statesBuf []float64
+}
+
+// step attempts one trapezoidal step of size h to time t; it returns
+// the Newton iteration count and whether it converged. In steady state
+// it performs zero allocations: the residual, Jacobian, update, and
+// factorization all live in the solver's scratch arena, and the
+// factorization is reused across iterations and steps (modified
+// Newton) while the damped update keeps contracting at an unchanged
+// timestep. A step the cached iteration fails to converge is retried
+// once with per-iteration refactoring — exactly the pre-cache engine —
+// so the factor cache can only ever cost iterations, never a
+// convergence failure the full-Newton engine would not also have had.
+func (tr *transient) step(t, h float64) (int, bool, error) {
+	iters, ok, err := tr.attempt(t, h, tr.s.fullNewton)
+	if err != nil || ok || tr.s.fullNewton {
+		return iters, ok, err
+	}
+	tr.s.fc.invalidate()
+	return tr.attempt(t, h, true)
+}
+
+// attempt is one Newton solve of the trapezoidal step; fullNewton
+// forces a fresh Jacobian factorization on every iteration.
+func (tr *transient) attempt(t, h float64, fullNewton bool) (int, bool, error) {
+	s, opt, n := tr.s, tr.opt, tr.s.n
+	if h <= 0 {
+		return 0, false, noiseerr.Invalidf("nlsim: nonpositive step %g at t=%g", h, t)
+	}
+	s.loadFixed(t)
+	copy(tr.xNew, tr.x) // previous solution as the Newton seed
+	prevWorst := math.Inf(1)
+	for iter := 1; iter <= opt.MaxNewton; iter++ {
+		reuse := !fullNewton && s.fc.usable(cacheTransient, h)
+		if reuse {
+			s.static(tr.xNew, t, nil)
+		} else {
+			s.static(tr.xNew, t, s.jac)
+		}
+		s.charge(tr.xNew, s.q1)
+		// F = (q1 - q0)/h + (ist1 + ist0)/2
+		for i := 0; i < n; i++ {
+			s.f[i] = (s.q1[i]-s.q0[i])/h + 0.5*(s.ist[i]+tr.ist0[i])
+		}
+		if !reuse {
+			// J = C/h + J_static/2
+			s.jac.Scale(0.5)
+			s.jac.AXPY(1/h, s.cmat)
+			if err := s.fc.refactor(s.jac, cacheTransient, h); err != nil {
+				return iter, false, noiseerr.Numericalf("nlsim: Newton Jacobian singular at t=%g: %w", t, err)
+			}
+		}
+		s.fc.lu.SolveTo(s.dx, s.f)
+		s.fc.age++
+		worst := 0.0
+		for i, d := range s.dx {
+			if d > opt.Damp {
+				d = opt.Damp
+			} else if d < -opt.Damp {
+				d = -opt.Damp
+			}
+			tr.xNew[i] -= d
+			if a := math.Abs(d); a > worst {
+				worst = a
+			}
+		}
+		if worst < opt.VTol {
+			// A fresh-Jacobian update below VTol implies a residual no
+			// larger than ||J||∞·VTol, because F = J·dx exactly. A stale
+			// factorization gives no such guarantee — its update can be
+			// deceptively small at a state whose residual is still large
+			// — so a reuse-converged iterate must pass the same residual
+			// bound before the step commits. Rejection refactors and
+			// keeps iterating rather than accepting a drifted state.
+			if !reuse || vecInfNorm(s.f) <= s.fc.jacNorm*opt.VTol*residSafety {
+				return iter, true, nil
+			}
+			s.fc.invalidate()
+			prevWorst = worst
+			continue
+		}
+		if reuse && worst > staleContraction*prevWorst {
+			s.fc.invalidate()
+		}
+		prevWorst = worst
+	}
+	return opt.MaxNewton, false, nil
+}
+
+// commit accepts the trial state as the solution at time t and records
+// it.
+func (tr *transient) commit(t float64) {
+	s := tr.s
+	copy(tr.x, tr.xNew)
+	s.loadFixed(t)
+	s.charge(tr.x, s.q0)
+	s.static(tr.x, t, nil)
+	copy(tr.ist0, s.ist)
+	// For nonlinear circuits the Jacobian moves with the operating point,
+	// so a factorization is only trusted within the step it was built for:
+	// the next step's first iteration refactors at its own seed — exactly
+	// the linearization full Newton would use — and reuse kicks in from
+	// iteration two. Linear circuits have a constant trapezoidal Jacobian
+	// at a fixed timestep, so their factorization carries across steps and
+	// the reuse is exact.
+	if len(s.ckt.fets) > 0 {
+		s.fc.invalidate()
+	}
+	tr.times = append(tr.times, t)
+	tr.statesBuf = append(tr.statesBuf, tr.x...)
 }
 
 // checkpointHook, when non-nil, is consulted at every solver
