@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race chaos lint noiselint staticcheck vuln bench bench-report bench-compare server-smoke
+.PHONY: build test race chaos lint noiselint staticcheck vuln fuzz bench bench-report bench-compare server-smoke
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,22 @@ vuln:
 	else \
 		echo "govulncheck not installed; skipping (go install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION))"; \
 	fi
+
+# Short fuzz pass over the binary decoders — the colblob frame/column
+# readers and the clarinet record decoder all parse untrusted journal
+# and wire bytes. Go runs one -fuzz pattern per invocation, so the
+# target loops; the committed corpus under each package's testdata/fuzz
+# seeds every run. FUZZTIME bounds each target's budget.
+FUZZTIME ?= 30s
+COLBLOB_FUZZ = FuzzReadFloats FuzzFrameReader FuzzDecodeBlob FuzzFloatValues
+
+fuzz:
+	@for t in $(COLBLOB_FUZZ); do \
+		echo "== $$t"; \
+		$(GO) test -run='^$$' -fuzz="^$$t$$" -fuzztime=$(FUZZTIME) ./internal/colblob || exit 1; \
+	done
+	@echo "== FuzzBinaryRecord"
+	@$(GO) test -run='^$$' -fuzz='^FuzzBinaryRecord$$' -fuzztime=$(FUZZTIME) ./internal/clarinet
 
 # Serving-layer smoke: boots a race-built noised on an ephemeral port,
 # drives it with noisectl over a netgen workload, checks the

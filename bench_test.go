@@ -7,20 +7,26 @@
 package main
 
 import (
+	"bytes"
+	"context"
 	"fmt"
 	"math"
 	"os"
 	"strconv"
 	"testing"
+	"time"
 
 	"repro/internal/clarinet"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/lsim"
+	"repro/internal/metrics"
 	"repro/internal/mna"
 	"repro/internal/mor"
 	"repro/internal/netlist"
 	"repro/internal/repro"
+	"repro/internal/warmstore"
 	"repro/internal/waveform"
 	"repro/internal/workload"
 )
@@ -530,4 +536,120 @@ func BenchmarkAblationAggressorTransient(b *testing.B) {
 		b.ReportMetric(100*math.Abs(1-plain.DelayNoise/golden.DelayNoise), "plain-err-%")
 		b.ReportMetric(100*math.Abs(1-ext.DelayNoise/golden.DelayNoise), "ext-err-%")
 	}
+}
+
+// journalBenchRecords builds a reference batch of journal records with
+// full-entropy solver floats (quantized values would print short in
+// JSON and flatter the binary ratio). Every tenth net is an error
+// record, mirroring a realistic rescue-ladder mix.
+func journalBenchRecords(n int) []clarinet.JournalRecord {
+	state := uint64(0x9e3779b97f4a7c15)
+	next := func(scale float64) float64 {
+		state ^= state << 13
+		state ^= state >> 7
+		state ^= state << 17
+		return scale * (1 + float64(state>>11)/(1<<53))
+	}
+	recs := make([]clarinet.JournalRecord, n)
+	for i := range recs {
+		name := fmt.Sprintf("net%04d", i)
+		if i%10 == 9 {
+			recs[i] = clarinet.JournalRecord{
+				Net: name, Class: "convergence",
+				Error: fmt.Sprintf("nlsim: newton stalled at t=%g", next(1e-10)),
+			}
+			continue
+		}
+		quiet, noise := next(2e-10), next(2e-11)
+		recs[i] = clarinet.JournalRecord{
+			Net: name, Quality: "exact",
+			Result: &clarinet.JournalResult{
+				VictimCeff: next(1e-13), VictimRth: next(800), VictimRtr: next(600),
+				PulseHeight: next(0.4), PulseWidth: next(3e-11), TPeak: next(1.5e-10),
+				QuietCombinedDelay: quiet, NoisyCombinedDelay: quiet + noise,
+				DelayNoise: noise, InterconnectDelayNoise: next(1e-12),
+				Iterations: 2 + i%5,
+			},
+		}
+	}
+	return recs
+}
+
+// BenchmarkJournalCodec encodes the 300-net reference batch through
+// both journal codecs and reports bytes per net for each — the binary
+// codec's acceptance bar is >=5x fewer bytes per net than JSONL.
+func BenchmarkJournalCodec(b *testing.B) {
+	recs := journalBenchRecords(300)
+	encode := func(codec clarinet.JournalCodec) int {
+		var buf bytes.Buffer
+		w := codec.NewWriter(&buf)
+		for _, rec := range recs {
+			if err := w.WriteRecord(rec); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return buf.Len()
+	}
+	var binLen, jsonlLen int
+	for i := 0; i < b.N; i++ {
+		binLen = encode(clarinet.Binary)
+		jsonlLen = encode(clarinet.JSONL)
+	}
+	nets := float64(len(recs))
+	b.ReportMetric(float64(binLen)/nets, "journal-B/net")
+	b.ReportMetric(float64(jsonlLen)/nets, "jsonl-B/net")
+	b.ReportMetric(float64(jsonlLen)/float64(binLen), "jsonl/binary-x")
+}
+
+// BenchmarkWarmStart measures second-process session startup: a cold
+// session builds its alignment tables from scratch; a warm one loads
+// them from a content-addressed warmstore entry saved by an earlier
+// process. The acceptance bar is a >=10x faster warm start.
+func BenchmarkWarmStart(b *testing.B) {
+	ctx := context.Background()
+	st, err := warmstore.Open(b.TempDir(), metrics.NewRegistry())
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := func() engine.Config {
+		return engine.Config{PrecharGrid: 5, Metrics: metrics.NewRegistry()}
+	}
+	startup := func(warm bool) {
+		s := engine.New(cfg())
+		if warm {
+			ok, err := s.LoadWarm(st)
+			if err != nil || !ok {
+				b.Fatalf("LoadWarm = (%v, %v), want hit", ok, err)
+			}
+		}
+		for _, cellName := range []string{"INVX2", "NAND2X1"} {
+			cell, err := s.Cell(cellName)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, rising := range []bool{true, false} {
+				if _, err := s.Table(ctx, cell, rising); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		if !warm {
+			if err := s.SaveWarm(st); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	var coldNs, warmNs time.Duration
+	for i := 0; i < b.N; i++ {
+		start := time.Now()
+		startup(false)
+		coldNs += time.Since(start)
+		start = time.Now()
+		startup(true)
+		warmNs += time.Since(start)
+	}
+	n := float64(b.N)
+	b.ReportMetric(float64(coldNs)/float64(time.Millisecond)/n, "cold-ms")
+	b.ReportMetric(float64(warmNs)/float64(time.Millisecond)/n, "warm-ms")
+	b.ReportMetric(float64(coldNs)/float64(warmNs), "warm-speedup-x")
 }

@@ -10,7 +10,8 @@
 //
 //	clarinet -i nets.json [-hold thevenin|transient] [-align exhaustive|input|prechar]
 //	         [-workers N] [-timeout 30s] [-net-timeout 5s] [-rescue] [-fallback]
-//	         [-journal run.jsonl] [-resume run.jsonl] [-quality] [-metrics run.json]
+//	         [-journal run.journal] [-journal-format binary|jsonl] [-resume run.journal]
+//	         [-quality] [-metrics run.json] [-warm-store dir]
 //
 // -workers 0 (the default) uses one worker per available core
 // (runtime.GOMAXPROCS); negative values are rejected. -char-cache-res
@@ -25,11 +26,22 @@
 // batch continues. -quality appends a report column recording how each
 // result was obtained (exact / rescued / fallback).
 //
-// Checkpoint/resume: -journal appends one JSONL record per completed
-// net as it lands, so a killed run loses at most one line. -resume
-// replays such a journal, skips the nets it already covers, appends
-// new records to the same file, and produces the same merged report an
-// uninterrupted run would have.
+// Checkpoint/resume: -journal appends one record per completed net as
+// it lands, so a killed run loses at most one record. The default
+// encoding is the compact colblob binary framing; -journal-format=jsonl
+// keeps the human-readable JSONL debug view. -resume replays a journal
+// of either format (sniffed from the first byte), skips the nets it
+// already covers, appends new records to the same file in its existing
+// format, and produces the same merged report an uninterrupted run
+// would have — both codecs round-trip float64 bit-exactly.
+//
+// Warm start: -warm-store points at a content-addressed store of
+// session state (alignment tables, driver characterizations, PRIMA
+// models). The batch loads the entry matching its exact configuration
+// before analyzing and saves its accumulated state after, so repeated
+// runs skip re-characterization entirely. State computed under a
+// different technology, library, or cache configuration lives under a
+// different key and reads as a clean miss.
 //
 // The run aborts cleanly on SIGINT/SIGTERM or when -timeout fires:
 // in-flight nets stop at the next solver checkpoint and the partial
@@ -49,6 +61,7 @@ import (
 	"repro/internal/cliutil"
 	"repro/internal/funcnoise"
 	"repro/internal/resilience"
+	"repro/internal/warmstore"
 )
 
 func main() {
@@ -62,10 +75,12 @@ func main() {
 	netTimeout := flag.Duration("net-timeout", 0, "per-net analysis budget, rescue included (0 = no limit)")
 	rescueFlag := flag.Bool("rescue", false, "arm the full convergence rescue ladder (homotopy, timestep halving, prechar fallback)")
 	fallback := flag.Bool("fallback", false, "fall back to prechar alignment when the exhaustive search fails to converge")
-	journalPath := flag.String("journal", "", "append one JSONL record per completed net to this file")
+	journalPath := flag.String("journal", "", "append one record per completed net to this file")
+	journalFormat := flag.String("journal-format", "binary", "journal encoding: binary (compact colblob frames) | jsonl (debug view)")
 	resumePath := flag.String("resume", "", "resume from this journal: skip its completed nets and append new records to it")
 	quality := flag.Bool("quality", false, "append a result-quality column (exact / rescued / fallback) to the report")
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
+	warmStore := flag.String("warm-store", "", "content-addressed warm-start store directory: load session state before the batch, save it after")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	flag.Parse()
 	cliutil.ExitIfVersion()
@@ -107,6 +122,20 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var store *warmstore.Store
+	if *warmStore != "" {
+		store, err = warmstore.Open(*warmStore, tool.Metrics())
+		if err != nil {
+			log.Fatal(err)
+		}
+		if ok, err := tool.Session().LoadWarm(store); err != nil {
+			log.Fatal(err)
+		} else if ok {
+			log.Printf("warm start: loaded session state from %s (%d alignment tables resident)",
+				*warmStore, tool.Session().TableCount())
+		}
+	}
+
 	// Resume before opening the journal for append: the journal file and
 	// the resume file are usually the same path.
 	var prior map[string]clarinet.NetReport
@@ -126,7 +155,11 @@ func main() {
 	}
 	var journal *clarinet.Journal
 	if *journalPath != "" {
-		j, closeJournal, err := clarinet.OpenJournal(*journalPath)
+		codec, err := clarinet.CodecByName(*journalFormat)
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		j, closeJournal, err := clarinet.OpenJournal(*journalPath, codec)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -155,6 +188,13 @@ func main() {
 	clarinet.WriteMetricsSummary(os.Stdout, tool)
 	if err := ctx.Err(); err != nil {
 		log.Printf("batch interrupted: %v", err)
+	}
+	if store != nil {
+		// A failed save costs the next run its warm start, not this run
+		// its report.
+		if err := tool.Session().SaveWarm(store); err != nil {
+			log.Printf("warm store save failed: %v", err)
+		}
 	}
 	cliutil.MustWriteMetrics(*metricsOut, tool.Metrics().Snapshot())
 	cliutil.ExitIfDeadline(ctx, *timeout)

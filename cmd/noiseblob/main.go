@@ -1,0 +1,265 @@
+// Command noiseblob inspects and converts the repository's binary
+// artifacts: colblob-framed journals (clarinet -journal, noised
+// server-side journals), the colblob wire stream, and warm-store
+// entries. Everything decodes to JSON, so the compact formats stay
+// greppable.
+//
+// Usage:
+//
+//	noiseblob dump <file>                     decode a journal (binary or
+//	                                          JSONL, sniffed) or a
+//	                                          .warm store entry to JSON
+//	noiseblob convert -to binary|jsonl <in> <out>
+//	                                          re-encode a journal; decoded
+//	                                          values are identical across
+//	                                          formats
+//	noiseblob store <dir>                     list warm-store entries with
+//	                                          sizes
+//
+// dump emits one JSON object per journal record (NDJSON, same shape as
+// the jsonl journal encoding); warm-store entries and stream summary
+// frames emit their JSON payload as-is. convert reads either format and
+// writes the requested one — converting a binary journal to jsonl is
+// the escape hatch when a debugging session needs grep and jq on a
+// production journal.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"os"
+
+	"repro/internal/clarinet"
+	"repro/internal/cliutil"
+	"repro/internal/colblob"
+	"repro/internal/warmstore"
+)
+
+func main() {
+	cliutil.Init("noiseblob")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage:\n  noiseblob dump <file>\n  noiseblob convert -to binary|jsonl <in> <out>\n  noiseblob store <dir>\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	cliutil.ExitIfVersion()
+	args := flag.Args()
+	if len(args) == 0 {
+		cliutil.Usagef("missing subcommand")
+	}
+	switch args[0] {
+	case "dump":
+		if len(args) != 2 {
+			cliutil.Usagef("dump takes exactly one file")
+		}
+		if err := dump(os.Stdout, args[1]); err != nil {
+			log.Fatal(err)
+		}
+	case "convert":
+		fs := flag.NewFlagSet("convert", flag.ExitOnError)
+		to := fs.String("to", "jsonl", "target journal encoding: binary | jsonl")
+		fs.Parse(args[1:])
+		if fs.NArg() != 2 {
+			cliutil.Usagef("convert takes an input and an output file")
+		}
+		if err := convert(fs.Arg(0), fs.Arg(1), *to); err != nil {
+			log.Fatal(err)
+		}
+	case "store":
+		if len(args) != 2 {
+			cliutil.Usagef("store takes exactly one directory")
+		}
+		if err := listStore(os.Stdout, args[1]); err != nil {
+			log.Fatal(err)
+		}
+	default:
+		cliutil.Usagef("unknown subcommand %q", args[0])
+	}
+}
+
+// dump decodes a file to JSON on w. The format is sniffed: a colblob
+// magic byte selects frame-by-frame decoding (journal records, stream
+// summaries, warm-store entries, whatever the file holds); anything
+// else is read as a JSONL journal.
+func dump(w io.Writer, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	br := bufio.NewReader(f)
+	first, err := br.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return nil // empty file: nothing to dump
+		}
+		return err
+	}
+	out := bufio.NewWriter(w)
+	defer out.Flush()
+	if first[0] == colblob.FrameMagic {
+		return dumpFrames(out, br)
+	}
+	return dumpJSONL(out, br)
+}
+
+// dumpFrames walks a colblob-framed file, decoding each frame by its
+// kind. A torn tail (the crash-truncation case journals are designed
+// for) ends the dump cleanly; mid-file corruption is an error.
+func dumpFrames(w *bufio.Writer, r io.Reader) error {
+	fr := colblob.NewFrameReader(r)
+	var dec clarinet.BinaryRecordDecoder
+	enc := json.NewEncoder(w)
+	for {
+		kind, payload, err := fr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if colblob.Corrupt(err) {
+			fmt.Fprintf(os.Stderr, "noiseblob: torn tail: %v\n", err)
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		switch kind {
+		case colblob.FrameRecord:
+			rec, err := dec.Decode(payload)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "noiseblob: torn record: %v\n", err)
+				return nil
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		case colblob.FrameSummary, warmstore.FrameEntry:
+			// The payload is already JSON; pass it through compacted so
+			// the output stays one object per line.
+			var buf []byte
+			if json.Valid(payload) {
+				buf = payload
+			} else {
+				buf, _ = json.Marshal(map[string]any{"malformed_payload_bytes": len(payload)})
+			}
+			if _, err := w.Write(append(buf, '\n')); err != nil {
+				return err
+			}
+		default:
+			if err := enc.Encode(map[string]any{"unknown_frame_kind": kind, "payload_bytes": len(payload)}); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dumpJSONL validates and re-emits a JSONL journal record by record, so
+// a malformed line is reported rather than passed through.
+func dumpJSONL(w *bufio.Writer, r io.Reader) error {
+	rr := clarinet.JSONL.NewReader(r)
+	enc := json.NewEncoder(w)
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, clarinet.ErrBadRecord) {
+			fmt.Fprintf(os.Stderr, "noiseblob: skipping malformed line: %v\n", err)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
+}
+
+// convert re-encodes a journal. Records stream through the codec pair
+// one at a time, so journals larger than memory convert fine; decoded
+// values are bit-identical across formats by the codecs' contract.
+func convert(inPath, outPath, format string) error {
+	codec, err := clarinet.CodecByName(format)
+	if err != nil {
+		return err
+	}
+	in, err := os.Open(inPath)
+	if err != nil {
+		return err
+	}
+	defer in.Close()
+	br := bufio.NewReader(in)
+	first, err := br.Peek(1)
+	if err != nil && err != io.EOF {
+		return err
+	}
+	var rr clarinet.RecordReader
+	if len(first) > 0 {
+		rr = clarinet.SniffCodec(first[0]).NewReader(br)
+	}
+	out, err := os.Create(outPath)
+	if err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(out)
+	rw := codec.NewWriter(bw)
+	n := 0
+	for rr != nil {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			break
+		}
+		if errors.Is(err, clarinet.ErrBadRecord) {
+			fmt.Fprintf(os.Stderr, "noiseblob: skipping malformed record: %v\n", err)
+			continue
+		}
+		if colblob.Corrupt(err) {
+			fmt.Fprintf(os.Stderr, "noiseblob: torn tail after %d records: %v\n", n, err)
+			break
+		}
+		if err != nil {
+			out.Close()
+			return err
+		}
+		if err := rw.WriteRecord(rec); err != nil {
+			out.Close()
+			return err
+		}
+		n++
+	}
+	if err := bw.Flush(); err != nil {
+		out.Close()
+		return err
+	}
+	if err := out.Close(); err != nil {
+		return err
+	}
+	log.Printf("converted %d records to %s (%s)", n, outPath, codec.Name())
+	return nil
+}
+
+// listStore prints one line per warm-store entry: key and size.
+func listStore(w io.Writer, dir string) error {
+	st, err := warmstore.Open(dir, nil)
+	if err != nil {
+		return err
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		return err
+	}
+	for _, k := range keys {
+		info, err := os.Stat(dir + string(os.PathSeparator) + k + ".warm")
+		size := int64(-1)
+		if err == nil {
+			size = info.Size()
+		}
+		fmt.Fprintf(w, "%s\t%d\n", k, size)
+	}
+	return nil
+}

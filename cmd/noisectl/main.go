@@ -10,6 +10,12 @@
 //	         [-hold thevenin|transient] [-align exhaustive|input|prechar]
 //	         [-rescue=true|false] [-net-timeout 5s] [-timeout 10m]
 //	         [-request-id name] [-quality] [-retries N] [-progress]
+//	         [-wire ndjson|colblob]
+//
+// -wire colblob negotiates the compact binary result stream
+// (application/x-noise-colblob); a server that does not speak it
+// answers NDJSON and the client decodes that instead, so the flag is
+// always safe to pass.
 //
 // Shed requests (503 + Retry-After), connect failures, and streams that
 // die mid-flight are retried with jittered exponential backoff; -retries
@@ -46,6 +52,7 @@ func main() {
 	quality := flag.Bool("quality", false, "append a result-quality column (exact / rescued / fallback) to the report")
 	retries := flag.Int("retries", 5, "total attempts before giving up")
 	progress := flag.Bool("progress", false, "log each net as its result arrives")
+	wire := flag.String("wire", "", "result stream encoding: ndjson | colblob (empty = ndjson)")
 	flag.Parse()
 	cliutil.ExitIfVersion()
 
@@ -72,10 +79,11 @@ func main() {
 	c, err := client.New(client.Config{
 		BaseURL:     *server,
 		MaxAttempts: *retries,
+		Wire:        *wire,
 		Logf:        log.Printf,
 	})
 	if err != nil {
-		log.Fatal(err)
+		cliutil.Usagef("%v", err)
 	}
 
 	ctx, cancel := cliutil.Context(0)

@@ -11,7 +11,8 @@
 //	       [-workers N] [-rescue] [-net-timeout 5s]
 //	       [-max-inflight N] [-max-queue N] [-max-nets N]
 //	       [-request-timeout 15m] [-drain-timeout 60s] [-retry-after 1s]
-//	       [-journal-dir dir] [-char-cache-res R] [-prechar-grid N]
+//	       [-journal-dir dir] [-journal-format binary|jsonl] [-warm-store dir]
+//	       [-char-cache-res R] [-prechar-grid N]
 //
 // The API:
 //
@@ -26,6 +27,14 @@
 // daemon drains: /readyz flips to 503, new analyses are refused, and
 // in-flight streams finish within -drain-timeout. A second signal
 // forces immediate exit.
+//
+// -warm-store points at a content-addressed store of session state
+// (alignment tables, driver characterizations, PRIMA models): at
+// startup the daemon loads the entry matching its exact configuration
+// (store.hits / store.misses appear under /metrics) and on drain it
+// saves the state it accumulated, so the next process starts warm. A
+// store survives technology or library changes safely — mismatched
+// state lives under a different key and simply misses.
 package main
 
 import (
@@ -56,6 +65,8 @@ func main() {
 	drainTimeout := flag.Duration("drain-timeout", noised.DefaultDrainTimeout, "graceful drain budget after the first signal")
 	retryAfter := flag.Duration("retry-after", noised.DefaultRetryAfter, "backoff hint on 503 responses")
 	journalDir := flag.String("journal-dir", "", "journal requests carrying a request_id under this directory (enables resume)")
+	journalFormat := flag.String("journal-format", "binary", "encoding for new server-side journals: binary (compact colblob frames) | jsonl (debug view)")
+	warmStore := flag.String("warm-store", "", "content-addressed warm-start store directory: load session state at startup, save it on drain")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
 	precharGrid := flag.Int("prechar-grid", 0, "alignment-table search grid (0 = default)")
 	flag.Parse()
@@ -68,6 +79,10 @@ func main() {
 	alignMethod, err := clarinet.ParseAlign(*alignFlag)
 	if err != nil {
 		cliutil.Usagef("unknown alignment method %q", *alignFlag)
+	}
+	codec, err := clarinet.CodecByName(*journalFormat)
+	if err != nil {
+		cliutil.Usagef("%v", err)
 	}
 	var policy resilience.Policy
 	if *rescue {
@@ -95,6 +110,8 @@ func main() {
 		DrainTimeout:      *drainTimeout,
 		RetryAfter:        *retryAfter,
 		JournalDir:        *journalDir,
+		JournalCodec:      codec,
+		WarmStoreDir:      *warmStore,
 	})
 	if err != nil {
 		log.Fatal(err)

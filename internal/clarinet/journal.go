@@ -2,10 +2,11 @@ package clarinet
 
 import (
 	"bufio"
-	"encoding/json"
+	"errors"
 	"io"
 	"sync"
 
+	"repro/internal/colblob"
 	"repro/internal/delaynoise"
 	"repro/internal/noiseerr"
 	"repro/internal/resilience"
@@ -72,6 +73,22 @@ func ToRecord(r NetReport) (JournalRecord, bool) {
 	return rec, true
 }
 
+// ToWireRecord serializes one report for a result stream. Unlike the
+// journal form (ToRecord), canceled nets are transmitted — class
+// "canceled", no result — because the client needs to know which nets a
+// dying request never finished, even though a resumed request will
+// re-analyze them.
+func ToWireRecord(r NetReport) JournalRecord {
+	if rec, ok := ToRecord(r); ok {
+		return rec
+	}
+	return JournalRecord{
+		Net:   r.Name,
+		Class: noiseerr.ClassName(r.Err),
+		Error: r.Err.Error(),
+	}
+}
+
 // Report reconstructs the report a record describes. Torn records — no
 // net name, or neither a result nor an error — return ok=false.
 // encoding/json round-trips float64 exactly, so a reconstructed report
@@ -106,18 +123,39 @@ func (rec JournalRecord) Report() (NetReport, bool) {
 	return rep, true
 }
 
-// Journal appends completed net reports to a JSONL stream. Every record
-// is written (and flushed to w) individually under a mutex, so a killed
-// run loses at most the line being written — which ReadJournal
-// tolerates. A nil *Journal is a valid no-op sink.
+// Journal appends completed net reports to a record stream through a
+// JournalCodec. Every record is encoded and written individually under
+// a mutex, so a killed run loses at most the record being written —
+// which readers of either codec tolerate (torn JSONL line, torn binary
+// frame). A nil *Journal is a valid no-op sink.
 type Journal struct {
-	mu sync.Mutex
-	w  io.Writer
+	mu    sync.Mutex
+	rw    RecordWriter
+	codec JournalCodec
 }
 
-// NewJournal wraps w as a journal sink. Pass an *os.File opened with
-// O_APPEND to make each record durable as it lands.
-func NewJournal(w io.Writer) *Journal { return &Journal{w: w} }
+// NewJournal wraps w as a JSONL journal sink — the historical default
+// for raw writers and the debug view. File-backed journals go through
+// OpenJournal, which defaults to the binary codec. Pass an *os.File
+// opened with O_APPEND to make each record durable as it lands.
+func NewJournal(w io.Writer) *Journal { return NewJournalWith(w, JSONL) }
+
+// NewJournalWith wraps w as a journal sink using the given codec (nil
+// means the binary default).
+func NewJournalWith(w io.Writer, codec JournalCodec) *Journal {
+	if codec == nil {
+		codec = Binary
+	}
+	return &Journal{rw: codec.NewWriter(w), codec: codec}
+}
+
+// Codec reports the journal's encoding.
+func (j *Journal) Codec() JournalCodec {
+	if j == nil {
+		return nil
+	}
+	return j.codec
+}
 
 // Record appends one report. Cancellation-class reports are skipped —
 // a net aborted by a dying batch has no outcome worth replaying, and
@@ -132,15 +170,9 @@ func (j *Journal) Record(r NetReport) error {
 	if !ok {
 		return nil
 	}
-	line, err := json.Marshal(rec)
-	if err != nil {
-		return err
-	}
-	line = append(line, '\n')
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	_, err = j.w.Write(line)
-	return err
+	return j.rw.WriteRecord(rec)
 }
 
 // resumedError reconstructs a journaled failure: Error() reproduces the
@@ -156,23 +188,32 @@ func (e *resumedError) Error() string { return e.msg }
 
 func (e *resumedError) Unwrap() error { return e.class }
 
-// ReadJournal parses a JSONL batch journal into reports keyed by net
-// name, ready to hand to AnalyzeBatch as prior results. Malformed lines
-// — including the torn final line of a killed run — are skipped, and
-// the last record for a net wins, so journals survive crashes and
-// appended resume runs.
+// ReadJournal parses a batch journal — either codec, sniffed from the
+// first byte — into reports keyed by net name, ready to hand to
+// AnalyzeBatch as prior results. Malformed records — including the torn
+// tail of a killed run — are skipped, the last record for a net wins,
+// so journals survive crashes and appended resume runs.
 func ReadJournal(r io.Reader) (map[string]NetReport, error) {
 	out := map[string]NetReport{}
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64*1024)
+	first, err := br.Peek(1)
+	if err != nil {
+		if err == io.EOF {
+			return out, nil
 		}
-		var rec JournalRecord
-		if err := json.Unmarshal(line, &rec); err != nil {
-			continue
+		return out, err
+	}
+	rr := SniffCodec(first[0]).NewReader(br)
+	for {
+		rec, err := rr.Next()
+		switch {
+		case err == nil:
+		case errors.Is(err, ErrBadRecord):
+			continue // one malformed record; the stream goes on
+		case err == io.EOF || colblob.Corrupt(err):
+			return out, nil // clean end, or the torn tail of a killed run
+		default:
+			return out, err
 		}
 		rep, ok := rec.Report()
 		if !ok {
@@ -180,8 +221,4 @@ func ReadJournal(r io.Reader) (map[string]NetReport, error) {
 		}
 		out[rec.Net] = rep
 	}
-	if err := sc.Err(); err != nil {
-		return out, err
-	}
-	return out, nil
 }

@@ -2,11 +2,131 @@ package clarinet
 
 import (
 	"fmt"
+	"io"
 	"os"
+
+	"repro/internal/colblob"
 )
 
+// sniffJournalFile identifies the codec of an existing journal file, or
+// returns nil for a missing/empty file (no format committed yet).
+func sniffJournalFile(path string) (JournalCodec, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, err
+	}
+	defer f.Close()
+	var b [1]byte
+	if _, err := f.Read(b[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, err
+	}
+	return SniffCodec(b[0]), nil
+}
+
+// repairJournalFile fixes the torn tail a killed run leaves behind, in
+// the file's own format: a JSONL file ending mid-line gets a newline so
+// appended records start fresh; a binary file with a truncated or
+// corrupt tail is truncated back to the end of its last valid record
+// (frames are not line-oriented, so the JSONL trick of writing a
+// separator cannot resynchronize a binary stream). Returns the detected
+// codec — nil for a missing/empty file — and, for binary journals, the
+// compression state at the repaired end, which a writer appending to the
+// file must resume from (binary records chain on their predecessors).
+func repairJournalFile(path string) (JournalCodec, binState, error) {
+	codec, err := sniffJournalFile(path)
+	if err != nil || codec == nil {
+		return nil, binState{}, err
+	}
+	switch codec.Name() {
+	case "jsonl":
+		if !journalEndsMidLine(path) {
+			return codec, binState{}, nil
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return codec, binState{}, err
+		}
+		defer f.Close()
+		if _, err := f.WriteString("\n"); err != nil {
+			return codec, binState{}, err
+		}
+	case "binary":
+		end, torn, st, err := scanBinaryJournal(path)
+		if err != nil {
+			return codec, binState{}, err
+		}
+		if torn {
+			if err := os.Truncate(path, end); err != nil {
+				return codec, st, err
+			}
+		}
+		return codec, st, nil
+	}
+	return codec, binState{}, nil
+}
+
+// scanBinaryJournal replays a binary journal and returns the byte offset
+// just past its last valid record, whether anything unusable (a torn
+// tail) follows that offset, and the codec state at that point. A frame
+// whose checksum passes but whose payload does not decode counts as torn
+// too: records chain, so nothing past it can be appended to coherently.
+func scanBinaryJournal(path string) (end int64, torn bool, st binState, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, false, st, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, false, st, err
+	}
+	cr := &countingReader{r: f}
+	fr := colblob.NewFrameReader(cr)
+	var dec BinaryRecordDecoder
+	for {
+		kind, payload, ferr := fr.Next()
+		if ferr == io.EOF {
+			return end, end < fi.Size(), st, nil
+		}
+		if ferr != nil {
+			return end, true, st, nil
+		}
+		if kind == colblob.FrameRecord {
+			if _, derr := dec.Decode(payload); derr != nil {
+				// A failed decode may have half-mutated dec; st still
+				// holds the state as of the last good record.
+				return end, true, st, nil
+			}
+		}
+		// The frame decoded; NewFrameReader buffers ahead, so compute the
+		// consumed offset as the reader position minus what is still
+		// buffered.
+		end = cr.n - int64(fr.Buffered())
+		st = dec.st
+	}
+}
+
+// countingReader counts bytes handed to the frame reader's buffer.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (c *countingReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.n += int64(n)
+	return n, err
+}
+
 // journalEndsMidLine reports whether the journal at path ends without a
-// trailing newline — the torn final record a killed run leaves behind.
+// trailing newline — the torn final record a killed JSONL run leaves
+// behind.
 func journalEndsMidLine(path string) bool {
 	f, err := os.Open(path)
 	if err != nil {
@@ -25,28 +145,38 @@ func journalEndsMidLine(path string) bool {
 }
 
 // OpenJournal opens (creating if absent) the journal at path for
-// appending, repairing the torn final record a killed run leaves
-// behind: if the file ends mid-line, a newline is written first so
-// appended records start fresh instead of merging into the torn one.
+// appending, repairing any torn final record a killed run left behind.
+// codec selects the encoding for a new journal (nil means the binary
+// default); an existing non-empty journal keeps its own sniffed format
+// regardless, so resume runs never interleave encodings in one file.
 // The caller must invoke close when done with the journal.
-func OpenJournal(path string) (j *Journal, close func() error, err error) {
-	torn := journalEndsMidLine(path)
+func OpenJournal(path string, codec JournalCodec) (j *Journal, close func() error, err error) {
+	if codec == nil {
+		codec = Binary
+	}
+	detected, st, err := repairJournalFile(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("clarinet: repair torn journal %s: %w", path, err)
+	}
+	if detected != nil {
+		codec = detected
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, nil, fmt.Errorf("clarinet: open journal: %w", err)
 	}
-	if torn {
-		if _, err := f.WriteString("\n"); err != nil {
-			f.Close()
-			return nil, nil, fmt.Errorf("clarinet: repair torn journal %s: %w", path, err)
-		}
+	if codec.Name() == "binary" {
+		// Appended binary records chain on the file's existing tail:
+		// resume the encoder from the replayed compression state.
+		rw := &binaryWriter{w: f, enc: BinaryRecordEncoder{st: st}}
+		return &Journal{rw: rw, codec: codec}, f.Close, nil
 	}
-	return NewJournal(f), f.Close, nil
+	return NewJournalWith(f, codec), f.Close, nil
 }
 
-// ReadJournalFile loads the journal at path as prior reports for a
-// resumed batch. A missing file is not an error: it returns an empty
-// map, the natural state of a first run.
+// ReadJournalFile loads the journal at path (either codec, sniffed) as
+// prior reports for a resumed batch. A missing file is not an error: it
+// returns an empty map, the natural state of a first run.
 func ReadJournalFile(path string) (map[string]NetReport, error) {
 	f, err := os.Open(path)
 	if err != nil {

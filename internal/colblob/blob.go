@@ -1,0 +1,467 @@
+package colblob
+
+import (
+	"encoding/binary"
+	"math/bits"
+)
+
+// Columnar blob layout (version 1). Everything after the 5-byte header
+// is a sequence of sections in fixed order; the trailing checksum
+// covers the whole body so a truncated or bit-rotted file is rejected
+// instead of misread:
+//
+//	"NCB1" version
+//	uvarint nRecords, uvarint nMetrics
+//	metric names        nMetrics × string
+//	record names        nRecords × string
+//	quality column      dictionary (uvarint n, n × string) + nRecords × uvarint index
+//	class column        same shape
+//	error column        nRecords × string (almost always empty → 1 byte)
+//	iterations column   nRecords × uvarint
+//	metric columns      nMetrics × float column (each nRecords long)
+//	waveform section    per record: uvarint nWaves, then per wave
+//	                    string name + float column T + float column V
+//	index               uvarint tableSize (power of two) + tableSize ×
+//	                    (u64 id, uvarint recordIndex+1; 0 = empty slot)
+//	checksum            u32 over everything before it
+//
+// Low-cardinality string columns (quality, class) are dictionary-coded;
+// float columns pick the cheapest of the raw/XOR/delta/delta-of-delta
+// encodings per column (see floatcol.go). The index is an open-addressed
+// hash table over ID(name), sized ≥ 2× the record count, giving O(1)
+// expected Lookup straight off the decoded blob.
+
+// Series is one named waveform of a record: time and value columns of
+// equal length.
+type Series struct {
+	Name string
+	T, V []float64
+}
+
+// Record is one net's row of a blob.
+type Record struct {
+	Name    string
+	Quality string
+	Class   string
+	Error   string
+	Iters   int64
+	// Metrics aligns with the blob's metric-name schema, one value per
+	// metric column.
+	Metrics []float64
+	Waves   []Series
+}
+
+// Builder accumulates records and encodes them as one blob. Encoding is
+// deterministic: the same records in the same order produce identical
+// bytes, which the golden-fixture test pins across versions.
+type Builder struct {
+	metricNames []string
+	recs        []Record
+}
+
+// NewBuilder starts a blob with the given metric-column schema.
+func NewBuilder(metricNames ...string) *Builder {
+	return &Builder{metricNames: metricNames}
+}
+
+// Add appends one record. Records with the same name may coexist; the
+// index resolves Lookup to the last one added.
+func (b *Builder) Add(r Record) error {
+	if len(r.Metrics) != len(b.metricNames) {
+		return corruptf("builder: record %q has %d metrics, schema wants %d",
+			r.Name, len(r.Metrics), len(b.metricNames))
+	}
+	for _, w := range r.Waves {
+		if len(w.T) != len(w.V) {
+			return corruptf("builder: record %q wave %q: %d times vs %d values",
+				r.Name, w.Name, len(w.T), len(w.V))
+		}
+	}
+	b.recs = append(b.recs, r)
+	return nil
+}
+
+// Len reports the records added so far.
+func (b *Builder) Len() int { return len(b.recs) }
+
+// Encode serializes the blob.
+func (b *Builder) Encode() []byte {
+	dst := append([]byte(blobMagic), BlobVersion)
+	body := len(dst)
+	dst = binary.AppendUvarint(dst, uint64(len(b.recs)))
+	dst = binary.AppendUvarint(dst, uint64(len(b.metricNames)))
+	for _, m := range b.metricNames {
+		dst = AppendString(dst, m)
+	}
+	for i := range b.recs {
+		dst = AppendString(dst, b.recs[i].Name)
+	}
+	dst = appendDictColumn(dst, b.recs, func(r *Record) string { return r.Quality })
+	dst = appendDictColumn(dst, b.recs, func(r *Record) string { return r.Class })
+	for i := range b.recs {
+		dst = AppendString(dst, b.recs[i].Error)
+	}
+	for i := range b.recs {
+		dst = binary.AppendUvarint(dst, zigzag(b.recs[i].Iters))
+	}
+	col := make([]float64, 0, len(b.recs))
+	for j := range b.metricNames {
+		col = col[:0]
+		for i := range b.recs {
+			col = append(col, b.recs[i].Metrics[j])
+		}
+		dst = AppendFloats(dst, col)
+	}
+	for i := range b.recs {
+		dst = binary.AppendUvarint(dst, uint64(len(b.recs[i].Waves)))
+		for _, w := range b.recs[i].Waves {
+			dst = AppendString(dst, w.Name)
+			dst = AppendFloats(dst, w.T)
+			dst = AppendFloats(dst, w.V)
+		}
+	}
+	dst = appendIndex(dst, b.recs)
+	return binary.LittleEndian.AppendUint32(dst, checksum32(dst[body:]))
+}
+
+// appendDictColumn dictionary-codes one low-cardinality string column:
+// the distinct values in first-appearance order, then one index per
+// record.
+func appendDictColumn(dst []byte, recs []Record, get func(*Record) string) []byte {
+	dict := make(map[string]uint64, 8)
+	var values []string
+	idx := make([]uint64, len(recs))
+	for i := range recs {
+		v := get(&recs[i])
+		j, ok := dict[v]
+		if !ok {
+			j = uint64(len(values))
+			dict[v] = j
+			values = append(values, v)
+		}
+		idx[i] = j
+	}
+	dst = binary.AppendUvarint(dst, uint64(len(values)))
+	for _, v := range values {
+		dst = AppendString(dst, v)
+	}
+	for _, j := range idx {
+		dst = binary.AppendUvarint(dst, j)
+	}
+	return dst
+}
+
+// appendIndex writes the open-addressed id table. Slots hold
+// recordIndex+1 so zero means empty; collisions probe linearly. Later
+// records override earlier ones with the same name (last wins, the
+// journal merge rule).
+func appendIndex(dst []byte, recs []Record) []byte {
+	size := indexSize(len(recs))
+	dst = binary.AppendUvarint(dst, uint64(size))
+	ids := make([]uint64, size)
+	slots := make([]uint64, size)
+	mask := uint64(size - 1)
+	for i := range recs {
+		id := IDString(recs[i].Name)
+		at := id & mask
+		for {
+			// Overwrite only a true duplicate name (last wins); a mere
+			// 64-bit id collision between different names keeps probing
+			// so both stay findable.
+			if slots[at] == 0 || (ids[at] == id && recs[slots[at]-1].Name == recs[i].Name) {
+				ids[at] = id
+				slots[at] = uint64(i) + 1
+				break
+			}
+			at = (at + 1) & mask
+		}
+	}
+	for k := 0; k < size; k++ {
+		dst = binary.LittleEndian.AppendUint64(dst, ids[k])
+		dst = binary.AppendUvarint(dst, slots[k])
+	}
+	return dst
+}
+
+// indexSize picks the table size: the next power of two at or above
+// twice the record count (load factor ≤ 0.5), minimum 2.
+func indexSize(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return 1 << bits.Len(uint(2*n-1))
+}
+
+// Blob is a decoded columnar blob. Decode materializes the columns once
+// (strings stay views into the input buffer); iteration afterwards does
+// not allocate.
+type Blob struct {
+	metricNames []string
+	names       [][]byte
+	quality     dictColumn
+	class       dictColumn
+	errs        [][]byte
+	iters       []int64
+	metrics     [][]float64
+	waves       [][]Series
+
+	indexIDs   []uint64
+	indexSlots []uint32
+}
+
+type dictColumn struct {
+	values [][]byte
+	idx    []uint32
+}
+
+func (d *dictColumn) at(i int) []byte { return d.values[d.idx[i]] }
+
+// Decode parses a blob. The Blob keeps string views into data; the
+// caller must not mutate it afterwards.
+func Decode(data []byte) (*Blob, error) {
+	if len(data) < len(blobMagic)+1+4 || string(data[:4]) != blobMagic {
+		return nil, corruptf("blob: bad magic")
+	}
+	if v := data[4]; v != BlobVersion {
+		return nil, corruptf("blob: unknown version %d", v)
+	}
+	body, sum := data[5:len(data)-4], data[len(data)-4:]
+	if binary.LittleEndian.Uint32(sum) != checksum32(body) {
+		return nil, corruptf("blob: checksum mismatch")
+	}
+	src := body
+	nRec64, src, err := ReadUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	nMet64, src, err := ReadUvarint(src)
+	if err != nil {
+		return nil, err
+	}
+	// Every record costs at least ~4 bytes across the mandatory columns;
+	// reject counts the body cannot hold before allocating for them.
+	if nRec64 > uint64(len(body)) || nMet64 > uint64(len(body)) {
+		return nil, corruptf("blob: %d records / %d metrics in %d bytes", nRec64, nMet64, len(body))
+	}
+	nRec, nMet := int(nRec64), int(nMet64)
+	bl := &Blob{
+		metricNames: make([]string, nMet),
+		names:       make([][]byte, nRec),
+		errs:        make([][]byte, nRec),
+		iters:       make([]int64, nRec),
+		metrics:     make([][]float64, nMet),
+		waves:       make([][]Series, nRec),
+	}
+	for j := range bl.metricNames {
+		if bl.metricNames[j], src, err = ReadString(src); err != nil {
+			return nil, err
+		}
+	}
+	for i := range bl.names {
+		if bl.names[i], src, err = ReadStringBytes(src); err != nil {
+			return nil, err
+		}
+	}
+	if bl.quality, src, err = readDictColumn(src, nRec); err != nil {
+		return nil, err
+	}
+	if bl.class, src, err = readDictColumn(src, nRec); err != nil {
+		return nil, err
+	}
+	for i := range bl.errs {
+		if bl.errs[i], src, err = ReadStringBytes(src); err != nil {
+			return nil, err
+		}
+	}
+	for i := range bl.iters {
+		var z uint64
+		if z, src, err = ReadUvarint(src); err != nil {
+			return nil, err
+		}
+		bl.iters[i] = unzigzag(z)
+	}
+	for j := range bl.metrics {
+		if bl.metrics[j], src, err = ReadFloats(src); err != nil {
+			return nil, err
+		}
+		if len(bl.metrics[j]) != nRec {
+			return nil, corruptf("blob: metric column %d has %d values, want %d", j, len(bl.metrics[j]), nRec)
+		}
+	}
+	for i := 0; i < nRec; i++ {
+		var nw uint64
+		if nw, src, err = ReadUvarint(src); err != nil {
+			return nil, err
+		}
+		if nw > uint64(len(src)) {
+			return nil, corruptf("blob: record %d claims %d waves", i, nw)
+		}
+		for w := uint64(0); w < nw; w++ {
+			var s Series
+			if s.Name, src, err = ReadString(src); err != nil {
+				return nil, err
+			}
+			if s.T, src, err = ReadFloats(src); err != nil {
+				return nil, err
+			}
+			if s.V, src, err = ReadFloats(src); err != nil {
+				return nil, err
+			}
+			if len(s.T) != len(s.V) {
+				return nil, corruptf("blob: record %d wave %q: %d times vs %d values", i, s.Name, len(s.T), len(s.V))
+			}
+			bl.waves[i] = append(bl.waves[i], s)
+		}
+	}
+	if src, err = bl.readIndex(src, nRec); err != nil {
+		return nil, err
+	}
+	if len(src) != 0 {
+		return nil, corruptf("blob: %d trailing bytes", len(src))
+	}
+	return bl, nil
+}
+
+func readDictColumn(src []byte, nRec int) (dictColumn, []byte, error) {
+	var d dictColumn
+	nv, src, err := ReadUvarint(src)
+	if err != nil || nv > uint64(len(src)) {
+		return d, src, corruptf("dict column: value count")
+	}
+	d.values = make([][]byte, nv)
+	for i := range d.values {
+		if d.values[i], src, err = ReadStringBytes(src); err != nil {
+			return d, src, err
+		}
+	}
+	d.idx = make([]uint32, nRec)
+	for i := range d.idx {
+		var j uint64
+		if j, src, err = ReadUvarint(src); err != nil || j >= nv {
+			return d, src, corruptf("dict column: index %d", i)
+		}
+		d.idx[i] = uint32(j)
+	}
+	return d, src, nil
+}
+
+func (bl *Blob) readIndex(src []byte, nRec int) ([]byte, error) {
+	size, src, err := ReadUvarint(src)
+	if err != nil || size == 0 || size&(size-1) != 0 || size > uint64(len(src)) {
+		return src, corruptf("blob index: bad table size")
+	}
+	bl.indexIDs = make([]uint64, size)
+	bl.indexSlots = make([]uint32, size)
+	for k := range bl.indexIDs {
+		if bl.indexIDs[k], src, err = ReadU64(src); err != nil {
+			return src, corruptf("blob index: id %d", k)
+		}
+		var slot uint64
+		if slot, src, err = ReadUvarint(src); err != nil || slot > uint64(nRec) {
+			return src, corruptf("blob index: slot %d", k)
+		}
+		bl.indexSlots[k] = uint32(slot)
+	}
+	return src, nil
+}
+
+// Len reports the record count.
+func (bl *Blob) Len() int { return len(bl.names) }
+
+// MetricNames returns the metric-column schema.
+func (bl *Blob) MetricNames() []string { return bl.metricNames }
+
+// Find returns the record index for a net name via the id table —
+// O(1) expected — or -1 when absent. Collisions on the 64-bit id are
+// resolved by comparing the stored name.
+func (bl *Blob) Find(name string) int {
+	if len(bl.indexIDs) == 0 {
+		return -1
+	}
+	id := IDString(name)
+	mask := uint64(len(bl.indexIDs) - 1)
+	for at := id & mask; ; at = (at + 1) & mask {
+		slot := bl.indexSlots[at]
+		if slot == 0 {
+			return -1
+		}
+		if bl.indexIDs[at] == id {
+			if i := int(slot - 1); string(bl.names[i]) == name {
+				return i
+			}
+			// Id collision with a different name: keep probing.
+		}
+	}
+}
+
+// Lookup returns the record for a net name (last one added under that
+// name), allocating fresh strings and slices the caller may keep.
+func (bl *Blob) Lookup(name string) (Record, bool) {
+	i := bl.Find(name)
+	if i < 0 {
+		return Record{}, false
+	}
+	return bl.At(i), true
+}
+
+// At materializes record i with owned strings and slices.
+func (bl *Blob) At(i int) Record {
+	r := Record{
+		Name:    string(bl.names[i]),
+		Quality: string(bl.quality.at(i)),
+		Class:   string(bl.class.at(i)),
+		Error:   string(bl.errs[i]),
+		Iters:   bl.iters[i],
+		Waves:   bl.waves[i],
+	}
+	if len(bl.metrics) > 0 {
+		r.Metrics = make([]float64, len(bl.metrics))
+		for j := range bl.metrics {
+			r.Metrics[j] = bl.metrics[j][i]
+		}
+	}
+	return r
+}
+
+// Iter returns a cursor over the records. The accessor methods return
+// views into the decoded blob, so a full pass allocates nothing.
+func (bl *Blob) Iter() Iter { return Iter{bl: bl, i: -1} }
+
+// Iter is a zero-allocation cursor over a blob's records.
+type Iter struct {
+	bl *Blob
+	i  int
+}
+
+// Next advances the cursor; it returns false once the records are
+// exhausted.
+func (it *Iter) Next() bool {
+	it.i++
+	return it.i < len(it.bl.names)
+}
+
+// Index reports the current record index.
+func (it *Iter) Index() int { return it.i }
+
+// Name returns the current record's name as a view (valid while the
+// blob lives; copy to keep).
+func (it *Iter) Name() []byte { return it.bl.names[it.i] }
+
+// Quality returns the current record's quality label view.
+func (it *Iter) Quality() []byte { return it.bl.quality.at(it.i) }
+
+// Class returns the current record's error-class label view.
+func (it *Iter) Class() []byte { return it.bl.class.at(it.i) }
+
+// Error returns the current record's error-message view (empty for
+// successes).
+func (it *Iter) Error() []byte { return it.bl.errs[it.i] }
+
+// Iters returns the current record's iteration count.
+func (it *Iter) Iters() int64 { return it.bl.iters[it.i] }
+
+// Metric returns metric column j at the current record.
+func (it *Iter) Metric(j int) float64 { return it.bl.metrics[j][it.i] }
+
+// Waves returns the current record's waveform series (shared slices).
+func (it *Iter) Waves() []Series { return it.bl.waves[it.i] }

@@ -1,0 +1,372 @@
+package colblob
+
+import (
+	"bytes"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// floatCases covers every encoding's sweet spot plus the bit patterns
+// that break naive float arithmetic codecs.
+var floatCases = map[string][]float64{
+	"empty":       {},
+	"single":      {3.25e-12},
+	"uniformGrid": grid(0, 1e-12, 512),         // delta2: ~1 byte/sample
+	"repeats":     {5, 5, 5, 5, 5, 5, 5, 5, 5}, // xor: 1 byte/sample
+	"monotone":    {1, 2, 3, 5, 8, 13, 21, 34}, // delta
+	"mixedSigns":  {-1.5, 2.25, -3.75, 0, 4.5}, // raw-ish
+	"specials":    {math.NaN(), math.Inf(1), math.Inf(-1), math.Copysign(0, -1), 0, math.MaxFloat64, math.SmallestNonzeroFloat64},
+	"wave": func() []float64 {
+		v := make([]float64, 300)
+		for i := range v {
+			v[i] = 0.9 * math.Exp(-float64(i)/60) * math.Sin(float64(i)/9)
+		}
+		return v
+	}(),
+}
+
+func grid(t0, dt float64, n int) []float64 {
+	g := make([]float64, n)
+	for i := range g {
+		g[i] = t0 + float64(i)*dt
+	}
+	return g
+}
+
+// equalBits compares float slices bit-exactly (NaN == NaN).
+func equalBits(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Float64bits(a[i]) != math.Float64bits(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFloatColumnRoundTrip(t *testing.T) {
+	for name, vals := range floatCases {
+		t.Run(name, func(t *testing.T) {
+			enc := AppendFloats(nil, vals)
+			got, rest, err := ReadFloats(enc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rest) != 0 {
+				t.Fatalf("%d unconsumed bytes", len(rest))
+			}
+			if !equalBits(vals, got) {
+				t.Fatalf("round trip mismatch:\n in  %v\n out %v", vals, got)
+			}
+		})
+	}
+}
+
+// TestFloatColumnEveryEncodingRoundTrips forces each encoding onto each
+// case, so the non-winning decoders stay correct too.
+func TestFloatColumnEveryEncodingRoundTrips(t *testing.T) {
+	for name, vals := range floatCases {
+		for enc := colRaw; enc <= colDelta2; enc++ {
+			buf := forceEncode(enc, vals)
+			got, rest, err := ReadFloats(buf)
+			if err != nil {
+				t.Fatalf("%s enc %d: %v", name, enc, err)
+			}
+			if len(rest) != 0 || !equalBits(vals, got) {
+				t.Fatalf("%s enc %d: round trip mismatch", name, enc)
+			}
+		}
+	}
+}
+
+// forceEncode re-runs the column writer with a pinned encoding.
+func forceEncode(enc byte, vals []float64) []byte {
+	dst := []byte{enc}
+	dst = AppendUvarint(dst, uint64(len(vals)))
+	var prevBits, prevDelta uint64
+	for _, v := range vals {
+		bits := math.Float64bits(v)
+		switch enc {
+		case colRaw:
+			dst = AppendU64(dst, bits)
+		case colXOR:
+			dst = AppendUvarint(dst, bits^prevBits)
+		case colDelta:
+			dst = AppendUvarint(dst, zigzag(int64(bits-prevBits)))
+		case colDelta2:
+			delta := bits - prevBits
+			dst = AppendUvarint(dst, zigzag(int64(delta-prevDelta)))
+			prevDelta = delta
+		}
+		prevBits = bits
+	}
+	return dst
+}
+
+func TestFloatColumnCompression(t *testing.T) {
+	vals := grid(0, 2e-12, 1000)
+	enc := AppendFloats(nil, vals)
+	if raw := 8 * len(vals); len(enc)*4 > raw {
+		t.Fatalf("uniform grid encoded to %d bytes; want < 1/4 of raw %d", len(enc), raw)
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf []byte
+	payloads := [][]byte{[]byte("alpha"), {}, bytes.Repeat([]byte{0xCB}, 300)}
+	for i, p := range payloads {
+		buf = AppendFrame(buf, byte(i+1), p)
+	}
+	fr := NewFrameReader(bytes.NewReader(buf))
+	for i, p := range payloads {
+		kind, got, err := fr.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if kind != byte(i+1) || !bytes.Equal(got, p) {
+			t.Fatalf("frame %d: kind %d payload %q", i, kind, got)
+		}
+	}
+	if _, _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("want io.EOF at end, got %v", err)
+	}
+}
+
+// TestFrameTornTail truncates a two-frame stream at every length: the
+// first frame must always decode intact, and the damaged remainder must
+// come back as ErrTorn or EOF — never as a record.
+func TestFrameTornTail(t *testing.T) {
+	var buf []byte
+	buf = AppendFrame(buf, FrameRecord, []byte("complete-record"))
+	whole := len(buf)
+	buf = AppendFrame(buf, FrameRecord, []byte("torn-record"))
+	for cut := whole; cut < len(buf); cut++ {
+		fr := NewFrameReader(bytes.NewReader(buf[:cut]))
+		kind, payload, err := fr.Next()
+		if err != nil || kind != FrameRecord || string(payload) != "complete-record" {
+			t.Fatalf("cut %d: first frame broke: %v", cut, err)
+		}
+		_, _, err = fr.Next()
+		if cut == whole {
+			if err != io.EOF {
+				t.Fatalf("cut %d: want EOF, got %v", cut, err)
+			}
+			continue
+		}
+		if err != ErrTorn && !Corrupt(err) {
+			t.Fatalf("cut %d: want torn, got %v", cut, err)
+		}
+	}
+}
+
+// TestFrameCorruptPayload flips one payload byte: the checksum must
+// catch it.
+func TestFrameCorruptPayload(t *testing.T) {
+	buf := AppendFrame(nil, FrameRecord, []byte("payload-bytes"))
+	buf[5] ^= 0x40
+	if _, _, err := NewFrameReader(bytes.NewReader(buf)).Next(); err != ErrTorn {
+		t.Fatalf("want ErrTorn on corrupt payload, got %v", err)
+	}
+}
+
+func testRecords() (metrics []string, recs []Record) {
+	metrics = []string{"delayNoise", "pulseHeight", "victimRth"}
+	recs = []Record{
+		{
+			Name: "net0001", Quality: "exact", Class: "", Error: "",
+			Iters: 4, Metrics: []float64{12.5e-12, 0.41, 350},
+			Waves: []Series{{Name: "composite", T: grid(0, 1e-12, 64), V: grid(0.5, -0.001, 64)}},
+		},
+		{
+			Name: "net0002", Quality: "rescued", Class: "", Error: "",
+			Iters: 9, Metrics: []float64{9.75e-12, 0.38, 410},
+		},
+		{
+			Name: "net0003", Quality: "", Class: "convergence",
+			Error: "nlsim: newton stalled", Iters: 0, Metrics: []float64{0, 0, 0},
+		},
+	}
+	return
+}
+
+func buildTestBlob(t testing.TB) ([]byte, []Record) {
+	t.Helper()
+	metrics, recs := testRecords()
+	b := NewBuilder(metrics...)
+	for _, r := range recs {
+		if err := b.Add(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Encode(), recs
+}
+
+func TestBlobRoundTrip(t *testing.T) {
+	data, recs := buildTestBlob(t)
+	bl, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != len(recs) {
+		t.Fatalf("Len = %d, want %d", bl.Len(), len(recs))
+	}
+	if !reflect.DeepEqual(bl.MetricNames(), []string{"delayNoise", "pulseHeight", "victimRth"}) {
+		t.Fatalf("metric names %v", bl.MetricNames())
+	}
+	for i, want := range recs {
+		got := bl.At(i)
+		if !reflect.DeepEqual(got, normalize(want)) {
+			t.Fatalf("record %d:\n got  %+v\n want %+v", i, got, want)
+		}
+		byName, ok := bl.Lookup(want.Name)
+		if !ok || !reflect.DeepEqual(byName, got) {
+			t.Fatalf("Lookup(%q) mismatch", want.Name)
+		}
+	}
+	if _, ok := bl.Lookup("no-such-net"); ok {
+		t.Fatal("Lookup invented a record")
+	}
+	if i := bl.Find("no-such-net"); i != -1 {
+		t.Fatalf("Find = %d for absent name", i)
+	}
+}
+
+// normalize maps a builder-input record onto its decoded shape (nil wave
+// slices stay nil).
+func normalize(r Record) Record { return r }
+
+func TestBlobDuplicateNameLastWins(t *testing.T) {
+	b := NewBuilder("m")
+	for i, v := range []float64{1, 2, 3} {
+		_ = i
+		if err := b.Add(Record{Name: "dup", Metrics: []float64{v}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	bl, err := Decode(b.Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, ok := bl.Lookup("dup")
+	if !ok || r.Metrics[0] != 3 {
+		t.Fatalf("Lookup(dup) = %+v, %v; want last record", r, ok)
+	}
+}
+
+func TestBlobEmpty(t *testing.T) {
+	bl, err := Decode(NewBuilder().Encode())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bl.Len() != 0 {
+		t.Fatalf("Len = %d", bl.Len())
+	}
+	it := bl.Iter()
+	if it.Next() {
+		t.Fatal("iterator over empty blob advanced")
+	}
+}
+
+func TestBlobSchemaMismatch(t *testing.T) {
+	b := NewBuilder("a", "b")
+	if err := b.Add(Record{Name: "x", Metrics: []float64{1}}); err == nil {
+		t.Fatal("Add accepted a metric-arity mismatch")
+	}
+	if err := b.Add(Record{Name: "x", Metrics: []float64{1, 2},
+		Waves: []Series{{Name: "w", T: []float64{0, 1}, V: []float64{0}}}}); err == nil {
+		t.Fatal("Add accepted a ragged wave")
+	}
+}
+
+func TestBlobRejectsCorruption(t *testing.T) {
+	data, _ := buildTestBlob(t)
+	if _, err := Decode(data[:len(data)-3]); err == nil {
+		t.Fatal("truncated blob decoded")
+	}
+	for _, at := range []int{0, 4, 6, len(data) / 2, len(data) - 2} {
+		bad := bytes.Clone(data)
+		bad[at] ^= 0x10
+		if _, err := Decode(bad); err == nil {
+			t.Fatalf("bit flip at %d decoded", at)
+		}
+	}
+}
+
+// TestBlobIterZeroAlloc pins the zero-allocation iteration guarantee: a
+// full pass over a decoded blob, touching every column, allocates
+// nothing.
+func TestBlobIterZeroAlloc(t *testing.T) {
+	data, _ := buildTestBlob(t)
+	bl, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sink float64
+	var names int
+	allocs := testing.AllocsPerRun(100, func() {
+		for it := bl.Iter(); it.Next(); {
+			names += len(it.Name()) + len(it.Quality()) + len(it.Class()) + len(it.Error())
+			sink += float64(it.Iters())
+			for j := 0; j < len(bl.MetricNames()); j++ {
+				sink += it.Metric(j)
+			}
+			for _, w := range it.Waves() {
+				sink += w.T[0] + w.V[len(w.V)-1]
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("iteration allocated %.1f times per pass", allocs)
+	}
+	_ = sink
+}
+
+func TestIDStableAndConsistent(t *testing.T) {
+	// The id function is part of the on-disk format: pin a known vector
+	// so it can never drift silently.
+	if got := IDString("net0001"); got != ID([]byte("net0001")) {
+		t.Fatal("IDString and ID disagree")
+	}
+	const want = uint64(0xc927c7c9db4d8b2b)
+	if got := IDString("clarinet"); got != want {
+		t.Fatalf("IDString(clarinet) = %#x, want %#x (format-breaking change!)", got, want)
+	}
+}
+
+// TestGoldenBlob is the cross-version decode fixture: the committed
+// blob must decode to exactly these records, and the current encoder
+// must reproduce it byte-identically, in every future PR. Regenerate
+// (only on a deliberate, version-bumped format change) with
+// COLBLOB_WRITE_GOLDEN=1 go test ./internal/colblob -run TestGoldenBlob
+func TestGoldenBlob(t *testing.T) {
+	path := filepath.Join("testdata", "golden_v1.blob")
+	data, recs := buildTestBlob(t)
+	if os.Getenv("COLBLOB_WRITE_GOLDEN") != "" {
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	golden, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(golden, data) {
+		t.Fatalf("encoder no longer reproduces the golden blob (%d vs %d bytes); "+
+			"a format change must bump BlobVersion and add a new fixture", len(data), len(golden))
+	}
+	bl, err := Decode(golden)
+	if err != nil {
+		t.Fatalf("golden blob no longer decodes: %v", err)
+	}
+	for i, want := range recs {
+		if got := bl.At(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("golden record %d drifted:\n got  %+v\n want %+v", i, got, want)
+		}
+	}
+}

@@ -1,23 +1,28 @@
 package rules
 
 import (
+	"go/ast"
 	"go/types"
 
 	"repro/internal/lint"
 )
 
 // CacheKey audits the key types of the single-flight caches in
-// internal/memo. The caches deduplicate concurrent computations by key
-// equality, so a key must be a pure comparable value: a pointer, slice,
-// map, channel, function, or interface component makes equality mean
-// identity (two structurally equal requests miss each other, or worse,
-// two different requests collide after the pointee mutates), and a
-// float component breaks the cache for NaN (NaN != NaN, so the entry
-// can never be hit again).
+// internal/memo and the identity values addressing the warm-start store
+// in internal/warmstore. Both deduplicate by key equality — the caches
+// at runtime, the store across processes — so a key must be a pure
+// comparable value: a pointer, slice, map, channel, function, or
+// interface component makes equality mean identity (two structurally
+// equal requests miss each other, or worse, two different requests
+// collide after the pointee mutates), and a float component breaks the
+// cache for NaN (NaN != NaN, so the entry can never be hit again). For
+// the store the float hazard is formatting, not NaN alone: the key is
+// derived from the identity's rendered value, so any component whose
+// rendering can drift must be pinned to exact bits first.
 var CacheKey = &lint.Analyzer{
 	Name: "cachekey",
-	Doc: "memo cache key types must be pure comparable values: no pointers, " +
-		"slices, maps, channels, funcs, interfaces, or floats",
+	Doc: "memo cache key and warmstore identity types must be pure comparable " +
+		"values: no pointers, slices, maps, channels, funcs, interfaces, or floats",
 	Run: runCacheKey,
 }
 
@@ -26,6 +31,7 @@ func runCacheKey(pass *lint.Pass) error {
 		return nil
 	}
 	memoPath := internalPrefix + "memo"
+	warmPath := internalPrefix + "warmstore"
 	if pass.Path == memoPath {
 		// memo's own generic code instantiates Cache[K, V] with its
 		// abstract type parameters; only concrete client keys matter.
@@ -44,6 +50,36 @@ func runCacheKey(pass *lint.Pass) error {
 			pass.Reportf(id.Pos(), "cache key type %s %s",
 				types.TypeString(key, types.RelativeTo(pass.Pkg)), msg)
 		}
+	}
+	if pass.Path == warmPath {
+		// warmstore.Key's own body handles the opaque any; only concrete
+		// identity values at call sites matter.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) != 1 {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+			if !ok || fn.Name() != "Key" || fn.Pkg() == nil || fn.Pkg().Path() != warmPath {
+				return true
+			}
+			arg := pass.Info.Types[call.Args[0]].Type
+			if arg == nil {
+				return true
+			}
+			if msg := keyProblem(arg, map[types.Type]bool{}); msg != "" {
+				pass.Reportf(call.Args[0].Pos(), "warm-store identity type %s %s",
+					types.TypeString(arg, types.RelativeTo(pass.Pkg)), msg)
+			}
+			return true
+		})
 	}
 	return nil
 }

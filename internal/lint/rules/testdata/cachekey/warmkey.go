@@ -1,0 +1,35 @@
+package cachekeydata
+
+import "repro/internal/warmstore"
+
+// A warm-store identity addresses persisted state by content, so it
+// obeys the same discipline as a memo cache key: pure comparable
+// fields, floats pinned to exact bits.
+type goodIdentity struct {
+	Tech    string
+	Library uint64
+	Grid    int
+	CharRes uint64 // float carried as IEEE-754 bits, the sanctioned spelling
+}
+
+var goodWarmKey = warmstore.Key(goodIdentity{Tech: "t180"})
+
+type floatIdentity struct {
+	Tech string
+	Res  float64
+}
+
+var badWarmFloat = warmstore.Key(floatIdentity{}) // want "warm-store identity type floatIdentity field Res embeds a float"
+
+type ptrIdentity struct {
+	Lib *int
+}
+
+var badWarmPtr = warmstore.Key(ptrIdentity{}) // want "warm-store identity type ptrIdentity field Lib embeds a pointer"
+
+var badWarmSlice = warmstore.Key([]string{"cells"}) // want "warm-store identity type \\[\\]string embeds a slice"
+
+var _ = goodWarmKey
+var _ = badWarmFloat
+var _ = badWarmPtr
+var _ = badWarmSlice

@@ -84,6 +84,50 @@ func (c *Cache[K, V]) Get(key K) (v V, ok bool) {
 	}
 }
 
+// Snapshot copies out every completed, successful entry — the state
+// worth persisting to a warm-start store. In-flight and failed entries
+// are skipped. The returned map is the caller's; values are shared (the
+// cache's values are treated as immutable everywhere).
+func (c *Cache[K, V]) Snapshot() map[K]V {
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	entries := make(map[K]*entry[V], len(c.m))
+	for k, e := range c.m {
+		entries[k] = e
+	}
+	c.mu.Unlock()
+	out := make(map[K]V, len(entries))
+	for k, e := range entries {
+		select {
+		case <-e.done:
+			if e.err == nil {
+				out[k] = e.val
+			}
+		default:
+		}
+	}
+	return out
+}
+
+// Seed installs a precomputed value for key — the warm-start inverse of
+// Snapshot. An existing entry (completed or in flight) wins: seeding
+// never clobbers fresher work.
+func (c *Cache[K, V]) Seed(key K, val V) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.m[key]; ok {
+		return
+	}
+	e := &entry[V]{done: make(chan struct{}), val: val}
+	close(e.done)
+	c.m[key] = e
+}
+
 // Len returns the number of resident entries (including in-flight ones).
 func (c *Cache[K, V]) Len() int {
 	if c == nil {

@@ -1,0 +1,69 @@
+package mna_test
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mna"
+	"repro/internal/waveform"
+)
+
+func smallSystem(t *testing.T) *mna.System {
+	t.Helper()
+	g := linalg.NewMatrix(2, 2)
+	g.Add(0, 0, 2.5)
+	g.Add(0, 1, -1.25)
+	g.Add(1, 0, -1.25)
+	g.Add(1, 1, 0x1.fedcba9876543p-1) // full-entropy mantissa must survive
+	c := linalg.NewMatrix(2, 2)
+	c.Add(0, 0, 1e-15)
+	c.Add(1, 1, 2e-15)
+	b := linalg.NewMatrix(2, 1)
+	b.Add(0, 0, 1)
+	in := waveform.New([]float64{0, 1e-9}, []float64{0, 1.8})
+	sys, err := mna.NewSystem(g, c, b, []*waveform.PWL{in}, []string{"agg", "vict"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestSystemJSONRoundTrip(t *testing.T) {
+	sys := smallSystem(t)
+	blob, err := json.Marshal(sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back mna.System
+	if err := json.Unmarshal(blob, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(back.G, sys.G) || !reflect.DeepEqual(back.C, sys.C) || !reflect.DeepEqual(back.B, sys.B) {
+		t.Fatal("matrices did not round-trip bit-exactly")
+	}
+	if !reflect.DeepEqual(back.Nodes, sys.Nodes) || !reflect.DeepEqual(back.Inputs, sys.Inputs) {
+		t.Fatal("nodes/inputs did not round-trip")
+	}
+	// The derived node index must be rebuilt, not lost.
+	i, err := back.NodeIndex("vict")
+	if err != nil || i != 1 {
+		t.Fatalf("NodeIndex after round-trip = (%d, %v), want 1", i, err)
+	}
+}
+
+func TestSystemJSONRejectsCorrupt(t *testing.T) {
+	var sys mna.System
+	for _, blob := range []string{
+		`{}`,               // missing matrices
+		`{"G":null}`,       // explicit null
+		`{"G":{"Rows":1}}`, // G present, C/B missing
+		`[1,2,3]`,          // wrong shape entirely
+		`{"G":{"Rows":2,"Cols":2,"Data":[1,0,0,1]},"C":{"Rows":2,"Cols":2,"Data":[0,0,0,0]},"B":{"Rows":3,"Cols":1,"Data":[0,0,0]},"Inputs":[],"Nodes":["a","b"]}`, // inconsistent shapes
+	} {
+		if err := json.Unmarshal([]byte(blob), &sys); err == nil {
+			t.Fatalf("corrupt system %s must not unmarshal", blob)
+		}
+	}
+}

@@ -121,6 +121,29 @@ func factorG(g *linalg.Matrix) (gSolver, error) {
 	return linalg.FactorLU(g)
 }
 
+// Full returns the full-order system whose node voltages the ROM
+// recovers. Callers must treat it as immutable; it exists so a warm-start
+// store can persist the ROM's complete state.
+func (r *ROM) Full() *mna.System { return r.full }
+
+// Restore rebuilds a ROM from persisted parts — the inverse of reading
+// Reduced/V/Full()/Order. full may equal reduced (identity projection);
+// passing nil full aliases the reduced system, preserving that case
+// across serialization boundaries that deduplicate the two.
+func Restore(reduced *mna.System, v *linalg.Matrix, full *mna.System, order int) (*ROM, error) {
+	if reduced == nil || v == nil {
+		return nil, noiseerr.Invalidf("mor: restore needs a reduced system and a basis")
+	}
+	if full == nil {
+		full = reduced
+	}
+	if v.Rows != full.NumStates() || v.Cols != reduced.NumStates() {
+		return nil, noiseerr.Invalidf("mor: basis is %dx%d for a %d-state full / %d-state reduced system",
+			v.Rows, v.Cols, full.NumStates(), reduced.NumStates())
+	}
+	return &ROM{Reduced: reduced, V: v, full: full, Order: order}, nil
+}
+
 // WithInputs returns a ROM sharing this model's projection basis and
 // reduced matrices but driving different source waveforms. The reduction
 // depends only on G, C, and B, so a ROM computed once for a circuit

@@ -1,0 +1,94 @@
+package mor_test
+
+import (
+	"testing"
+
+	"repro/internal/linalg"
+	"repro/internal/mna"
+	"repro/internal/mor"
+	"repro/internal/waveform"
+)
+
+func ladder(t *testing.T, n int) *mna.System {
+	t.Helper()
+	g := linalg.NewMatrix(n, n)
+	c := linalg.NewMatrix(n, n)
+	b := linalg.NewMatrix(n, 1)
+	for i := 0; i < n; i++ {
+		g.Add(i, i, 2)
+		if i+1 < n {
+			g.Add(i, i+1, -1)
+			g.Add(i+1, i, -1)
+		}
+		c.Add(i, i, 1e-15)
+	}
+	b.Add(0, 0, 1)
+	in := waveform.New([]float64{0, 1e-9}, []float64{0, 1.8})
+	sys, err := mna.NewSystem(g, c, b, []*waveform.PWL{in}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func TestRestoreRoundTrip(t *testing.T) {
+	sys := ladder(t, 8)
+	rom, err := mor.Reduce(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := mor.Restore(rom.Reduced, rom.V, rom.Full(), rom.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Reduced != rom.Reduced || back.V != rom.V || back.Full() != rom.Full() || back.Order != rom.Order {
+		t.Fatal("Restore must reassemble exactly the parts it was given")
+	}
+}
+
+// The identity-projection case (q >= n) aliases full and reduced; a
+// store deduplicates that by persisting full as nil, and Restore must
+// rebuild the aliasing so WithInputs keeps its rebind invariant.
+func TestRestoreNilFullAliasesReduced(t *testing.T) {
+	sys := ladder(t, 3)
+	rom, err := mor.Reduce(sys, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rom.Full() != rom.Reduced {
+		t.Fatal("identity projection must alias full and reduced")
+	}
+	back, err := mor.Restore(rom.Reduced, rom.V, nil, rom.Order)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Full() != back.Reduced {
+		t.Fatal("Restore(nil full) must rebuild the aliasing")
+	}
+	in := waveform.New([]float64{0, 1e-9}, []float64{0, 1})
+	rebound, err := back.WithInputs([]*waveform.PWL{in})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rebound.Full() != rebound.Reduced {
+		t.Fatal("aliasing must survive WithInputs on a restored ROM")
+	}
+}
+
+func TestRestoreRejectsBadParts(t *testing.T) {
+	sys := ladder(t, 8)
+	rom, err := mor.Reduce(sys, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mor.Restore(nil, rom.V, nil, 2); err == nil {
+		t.Fatal("nil reduced must be rejected")
+	}
+	if _, err := mor.Restore(rom.Reduced, nil, nil, 2); err == nil {
+		t.Fatal("nil basis must be rejected")
+	}
+	// Basis shape inconsistent with the full system.
+	if _, err := mor.Restore(rom.Reduced, rom.V, ladder(t, 5), rom.Order); err == nil {
+		t.Fatal("mismatched basis/full shapes must be rejected")
+	}
+}

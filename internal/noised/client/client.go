@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"repro/internal/clarinet"
+	"repro/internal/colblob"
 	"repro/internal/noised"
 	"repro/internal/noiseerr"
 )
@@ -45,6 +46,12 @@ type Config struct {
 	MaxBackoff  time.Duration
 	// Logf receives retry decisions (nil = silent).
 	Logf func(format string, args ...any)
+	// Wire selects the stream encoding to request: "" or "ndjson" for
+	// the JSON lines default, "colblob" to negotiate the compact binary
+	// framing (Accept: application/x-noise-colblob). The client decodes
+	// whatever Content-Type the server actually answers with, so a
+	// server predating the binary wire degrades cleanly to NDJSON.
+	Wire string
 }
 
 // Options are the per-request query parameters of an analyze call; zero
@@ -131,6 +138,11 @@ func New(cfg Config) (*Client, error) {
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
+	switch cfg.Wire {
+	case "", "ndjson", "colblob":
+	default:
+		return nil, noiseerr.Invalidf("client: unknown wire %q (want ndjson or colblob)", cfg.Wire)
+	}
 	return &Client{cfg: cfg}, nil
 }
 
@@ -214,6 +226,9 @@ func (c *Client) attempt(ctx context.Context, u string, cases []byte, res *Resul
 		return true, fmt.Errorf("client: build request: %w", err)
 	}
 	req.Header.Set("Content-Type", "application/json")
+	if c.cfg.Wire == "colblob" {
+		req.Header.Set("Accept", clarinet.ContentTypeColblob)
+	}
 	resp, err := c.cfg.HTTPClient.Do(req)
 	if err != nil {
 		if ctx.Err() != nil {
@@ -239,7 +254,27 @@ func (c *Client) attempt(ctx context.Context, u string, cases []byte, res *Resul
 		}
 		return true, noiseerr.Internalf("client: server answered %s: %s", resp.Status, body)
 	}
-	sc := bufio.NewScanner(resp.Body)
+	// Decode by what the server actually sent, not what was requested:
+	// an NDJSON-only server answering a colblob Accept still works.
+	if strings.HasPrefix(resp.Header.Get("Content-Type"), clarinet.ContentTypeColblob) {
+		done, err = c.consumeColblob(resp.Body, res, seen, onRecord)
+	} else {
+		done, err = c.consumeNDJSON(resp.Body, res, seen, onRecord)
+	}
+	if done || err == nil {
+		return done, err
+	}
+	if ctx.Err() != nil {
+		return true, ctx.Err()
+	}
+	return false, err
+}
+
+// consumeNDJSON folds the JSON lines wire into res. A nil error with
+// done=true means the summary arrived; done=false errors are
+// retryable.
+func (c *Client) consumeNDJSON(body io.Reader, res *Result, seen map[string]int, onRecord func(clarinet.JournalRecord)) (bool, error) {
+	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := sc.Bytes()
@@ -251,26 +286,63 @@ func (c *Client) attempt(ctx context.Context, u string, cases []byte, res *Resul
 			return false, &retryableError{err: fmt.Errorf("client: malformed stream line: %w", err)}
 		}
 		if sl.Summary != nil {
-			res.Summary = *sl.Summary
-			if res.Summary.Deadline {
-				return true, fmt.Errorf("client: %w: server request deadline cut the stream short (%d of %d nets)",
-					noiseerr.ErrDeadline, res.Summary.OK+res.Summary.Failed, res.Summary.Nets)
-			}
-			return true, nil
+			return true, c.finish(res, *sl.Summary)
 		}
 		if sl.Net == "" {
 			continue
 		}
 		c.fold(res, seen, sl.JournalRecord, onRecord)
 	}
-	err = sc.Err()
+	err := sc.Err()
 	if err == nil {
 		err = io.ErrUnexpectedEOF // stream ended without a summary line
 	}
-	if ctx.Err() != nil {
-		return true, ctx.Err()
-	}
 	return false, &retryableError{err: fmt.Errorf("client: stream interrupted: %w", err)}
+}
+
+// consumeColblob folds the binary wire into res: record frames decode
+// through the shared clarinet binary codec (stateful — records chain on
+// their predecessors within one response stream), the summary frame
+// carries the same JSON summary the NDJSON wire ends with.
+func (c *Client) consumeColblob(body io.Reader, res *Result, seen map[string]int, onRecord func(clarinet.JournalRecord)) (bool, error) {
+	fr := colblob.NewFrameReader(body)
+	var dec clarinet.BinaryRecordDecoder
+	for {
+		kind, payload, err := fr.Next()
+		if err != nil {
+			// EOF, a torn tail, or frame corruption: the summary never
+			// arrived, so the stream was interrupted — retry.
+			return false, &retryableError{err: fmt.Errorf("client: stream interrupted: %w", err)}
+		}
+		switch kind {
+		case colblob.FrameRecord:
+			rec, err := dec.Decode(payload)
+			if err != nil {
+				return false, &retryableError{err: fmt.Errorf("client: malformed stream record: %w", err)}
+			}
+			if rec.Net == "" {
+				continue
+			}
+			c.fold(res, seen, rec, onRecord)
+		case colblob.FrameSummary:
+			var sum noised.Summary
+			if err := json.Unmarshal(payload, &sum); err != nil {
+				return false, &retryableError{err: fmt.Errorf("client: malformed stream summary: %w", err)}
+			}
+			return true, c.finish(res, sum)
+		}
+	}
+}
+
+// finish records the terminal summary and maps a deadline-cut stream
+// onto its error.
+func (c *Client) finish(res *Result, sum noised.Summary) error {
+	res.Summary = sum
+	if sum.Deadline {
+		return fmt.Errorf("client: %w: server request deadline cut the stream short (%d of %d nets)",
+			noiseerr.ErrDeadline, sum.OK+sum.Failed, sum.Nets)
+	}
+	return nil
 }
 
 // fold merges one record into the result set. The first real outcome

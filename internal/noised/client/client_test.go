@@ -1,6 +1,7 @@
 package client
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
@@ -12,6 +13,7 @@ import (
 	"time"
 
 	"repro/internal/clarinet"
+	"repro/internal/colblob"
 	"repro/internal/noiseerr"
 )
 
@@ -48,6 +50,28 @@ func summaryLine(nets, ok int, deadline bool) string {
 	return fmt.Sprintf(`{"summary":{"nets":%d,"ok":%d,"deadline":%v}}`+"\n", nets, ok, deadline)
 }
 
+// colblobBody renders a binary wire body: one record frame per net,
+// then (unless empty) sum as the JSON payload of a summary frame.
+func colblobBody(t *testing.T, sum string, nets ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	rw := clarinet.Binary.NewWriter(&buf)
+	for _, n := range nets {
+		rec := clarinet.JournalRecord{
+			Net:     n,
+			Quality: "exact",
+			Result:  &clarinet.JournalResult{DelayNoise: 1e-12, Iterations: 1},
+		}
+		if err := rw.WriteRecord(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sum != "" {
+		buf.Write(colblob.AppendFrame(nil, colblob.FrameSummary, []byte(sum)))
+	}
+	return buf.String()
+}
+
 // scriptedServer answers the i-th attempt with the i-th script entry;
 // each entry is a status code plus a raw body. A negative status means
 // "stream the body with 200, NDJSON style".
@@ -58,9 +82,10 @@ type scriptedServer struct {
 }
 
 type scriptStep struct {
-	status     int
-	body       string
-	retryAfter string
+	status      int
+	body        string
+	retryAfter  string
+	contentType string // streamed 200 body's Content-Type; NDJSON default
 }
 
 func (s *scriptedServer) handler(w http.ResponseWriter, r *http.Request) {
@@ -78,12 +103,20 @@ func (s *scriptedServer) handler(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, step.body, step.status)
 		return
 	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	ct := step.contentType
+	if ct == "" {
+		ct = "application/x-ndjson"
+	}
+	w.Header().Set("Content-Type", ct)
 	w.WriteHeader(http.StatusOK)
 	w.Write([]byte(step.body))
 }
 
 func newScripted(t *testing.T, steps ...scriptStep) (*scriptedServer, *Client) {
+	return newScriptedWire(t, "", steps...)
+}
+
+func newScriptedWire(t *testing.T, wire string, steps ...scriptStep) (*scriptedServer, *Client) {
 	t.Helper()
 	pinJitter(t)
 	s := &scriptedServer{t: t, scripts: steps}
@@ -91,6 +124,7 @@ func newScripted(t *testing.T, steps ...scriptStep) (*scriptedServer, *Client) {
 	t.Cleanup(ts.Close)
 	c, err := New(Config{
 		BaseURL:     ts.URL,
+		Wire:        wire,
 		BaseBackoff: time.Millisecond,
 		MaxBackoff:  5 * time.Millisecond,
 		MaxAttempts: 4,
@@ -261,5 +295,105 @@ func TestOptionsQuery(t *testing.T) {
 	}
 	if got := (Options{}).query(); got != "" {
 		t.Fatalf("zero options render %q, want empty", got)
+	}
+}
+
+// TestColblobWireRoundTrip: a Wire:"colblob" client negotiates the
+// binary stream (Accept header out, Content-Type dispatch in) and folds
+// it into the same Result the NDJSON wire produces.
+func TestColblobWireRoundTrip(t *testing.T) {
+	body := colblobBody(t, `{"nets":2,"ok":2}`, "a", "b")
+	srv, c := newScriptedWire(t, "colblob",
+		scriptStep{body: body, contentType: clarinet.ContentTypeColblob},
+	)
+	var streamed []string
+	res, err := c.Analyze(context.Background(), []byte(`{}`), Options{}, func(rec clarinet.JournalRecord) {
+		streamed = append(streamed, rec.Net)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.calls != 1 {
+		t.Fatalf("calls = %d, want 1", srv.calls)
+	}
+	if len(res.Reports) != 2 || res.Summary.Nets != 2 || res.Summary.OK != 2 {
+		t.Fatalf("result = %+v", res)
+	}
+	if strings.Join(streamed, ",") != "a,b" {
+		t.Fatalf("streamed = %v", streamed)
+	}
+	for _, rep := range res.Reports {
+		if rep.Res == nil || rep.Res.DelayNoise != 1e-12 {
+			t.Fatalf("report %s = %+v, want DelayNoise 1e-12", rep.Name, rep)
+		}
+	}
+}
+
+// TestColblobAcceptHeader: the colblob client advertises the binary
+// wire; the plain client does not.
+func TestColblobAcceptHeader(t *testing.T) {
+	pinJitter(t)
+	var accepts []string
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		accepts = append(accepts, r.Header.Get("Accept"))
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.Write([]byte(okRecord("a") + summaryLine(1, 1, false)))
+	}))
+	t.Cleanup(ts.Close)
+	for _, wire := range []string{"", "colblob"} {
+		c, err := New(Config{BaseURL: ts.URL, Wire: wire, MaxAttempts: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Analyze(context.Background(), []byte(`{}`), Options{}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if strings.Contains(accepts[0], clarinet.ContentTypeColblob) {
+		t.Fatalf("default client sent Accept %q", accepts[0])
+	}
+	if !strings.Contains(accepts[1], clarinet.ContentTypeColblob) {
+		t.Fatalf("colblob client sent Accept %q", accepts[1])
+	}
+}
+
+// TestColblobFallsBackToNDJSON: a colblob-capable client against a
+// server that answers NDJSON decodes by response Content-Type — wire
+// negotiation degrades, never breaks.
+func TestColblobFallsBackToNDJSON(t *testing.T) {
+	_, c := newScriptedWire(t, "colblob",
+		scriptStep{body: okRecord("a") + summaryLine(1, 1, false)},
+	)
+	res, err := c.Analyze(context.Background(), []byte(`{}`), Options{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Reports) != 1 || res.Summary.OK != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+}
+
+// TestColblobMidStreamRetry: a binary stream cut before its summary is
+// retried like the NDJSON one, and the replayed nets deduplicate.
+func TestColblobMidStreamRetry(t *testing.T) {
+	srv, c := newScriptedWire(t, "colblob",
+		scriptStep{body: colblobBody(t, "", "a"), contentType: clarinet.ContentTypeColblob},
+		scriptStep{body: colblobBody(t, `{"nets":2,"ok":2}`, "a", "b"), contentType: clarinet.ContentTypeColblob},
+	)
+	var streamed []string
+	res, err := c.Analyze(context.Background(), []byte(`{}`), Options{}, func(rec clarinet.JournalRecord) {
+		streamed = append(streamed, rec.Net)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.calls != 2 || res.Attempts != 2 {
+		t.Fatalf("calls = %d attempts = %d, want 2/2", srv.calls, res.Attempts)
+	}
+	if len(res.Reports) != 2 {
+		t.Fatalf("reports = %+v", res.Reports)
+	}
+	if strings.Join(streamed, ",") != "a,b" {
+		t.Fatalf("streamed = %v (replayed net delivered twice?)", streamed)
 	}
 }

@@ -4,13 +4,16 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"regexp"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/clarinet"
+	"repro/internal/colblob"
 	"repro/internal/delaynoise"
 	"repro/internal/noiseerr"
 	"repro/internal/resilience"
@@ -146,19 +149,61 @@ func (s *Server) parseAnalyzeOptions(r *http.Request) (analyzeOptions, error) {
 	return opt, nil
 }
 
-// toWire serializes one report for the stream. Unlike the journal form,
-// canceled nets are transmitted (class "canceled", no result): the
-// client needs to know which nets a dying request never finished, even
-// though a resumed request will re-analyze them.
-func toWire(r clarinet.NetReport) clarinet.JournalRecord {
-	if rec, ok := clarinet.ToRecord(r); ok {
-		return rec
+// streamWriter abstracts the analyze response encoding: NDJSON (the
+// default) or the negotiated colblob binary framing. Both carry the
+// same records — clarinet.ToWireRecord shapes them — so the two wires
+// decode to identical values.
+type streamWriter interface {
+	record(rec clarinet.JournalRecord) error
+	summary(sum *Summary) error
+}
+
+// ndjsonStream writes the JSON lines wire: one StreamLine per record,
+// the summary as the terminal line.
+type ndjsonStream struct{ enc *json.Encoder }
+
+func (s ndjsonStream) record(rec clarinet.JournalRecord) error { return s.enc.Encode(rec) }
+func (s ndjsonStream) summary(sum *Summary) error {
+	return s.enc.Encode(StreamLine{Summary: sum})
+}
+
+// colblobStream writes the binary wire: each record as one colblob
+// record frame (the same chained encoding the binary journal uses, so
+// the codec's writer carries this stream's compression state), the
+// summary as a summary frame with a JSON payload (it occurs once, so
+// its schema stays shared with the NDJSON wire).
+type colblobStream struct {
+	w   io.Writer
+	rw  clarinet.RecordWriter
+	buf []byte
+}
+
+func newColblobStream(w io.Writer) *colblobStream {
+	return &colblobStream{w: w, rw: clarinet.Binary.NewWriter(w)}
+}
+
+func (s *colblobStream) record(rec clarinet.JournalRecord) error {
+	return s.rw.WriteRecord(rec)
+}
+
+func (s *colblobStream) summary(sum *Summary) error {
+	payload, err := json.Marshal(sum)
+	if err != nil {
+		return err
 	}
-	return clarinet.JournalRecord{
-		Net:   r.Name,
-		Class: noiseerr.ClassName(r.Err),
-		Error: r.Err.Error(),
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameSummary, payload)
+	_, err = s.w.Write(s.buf)
+	return err
+}
+
+// negotiateStream picks the response encoding from the Accept header:
+// a client that asks for application/x-noise-colblob gets the binary
+// wire, everyone else the NDJSON default.
+func negotiateStream(r *http.Request, w http.ResponseWriter) (streamWriter, string) {
+	if strings.Contains(r.Header.Get("Accept"), clarinet.ContentTypeColblob) {
+		return newColblobStream(w), clarinet.ContentTypeColblob
 	}
+	return ndjsonStream{enc: json.NewEncoder(w)}, clarinet.ContentTypeNDJSON
 }
 
 // handleAnalyze is POST /v1/analyze: admission, per-request deadline,
@@ -234,7 +279,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if len(prior) > 0 {
 			s.reg.Counter("server.requests.resumed").Inc()
 		}
-		j, closeJournal, err := clarinet.OpenJournal(path)
+		j, closeJournal, err := clarinet.OpenJournal(path, s.cfg.JournalCodec)
 		if err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 			return
@@ -255,7 +300,8 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	}
 	defer cancel()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	stream, contentType := negotiateStream(r, w)
+	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Cache-Control", "no-store")
 	if opt.requestID != "" {
 		w.Header().Set("X-Request-ID", opt.requestID)
@@ -268,7 +314,6 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 
 	start := time.Now()
 	sum := Summary{RequestID: opt.requestID, Nets: len(cases), Resumed: len(prior)}
-	enc := json.NewEncoder(w)
 	writeOK := true
 	for rep := range s.runBatch(tool, ctx, names, cases, prior, journal) {
 		switch {
@@ -283,7 +328,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			continue // keep draining the pool after a broken pipe
 		}
 		s.reg.Counter("server.nets.streamed").Inc()
-		if err := enc.Encode(toWire(rep)); err != nil {
+		if err := stream.record(clarinet.ToWireRecord(rep)); err != nil {
 			writeOK = false
 			cancel() // stop analyzing for a client that is gone
 			continue
@@ -296,7 +341,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	sum.ElapsedMS = time.Since(start).Milliseconds()
 	sum.Deadline = ctx.Err() == context.DeadlineExceeded
 	sum.Draining = s.adm.draining()
-	if err := enc.Encode(StreamLine{Summary: &sum}); err == nil {
+	if err := stream.summary(&sum); err == nil {
 		rc.Flush()
 	}
 }

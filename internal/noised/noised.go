@@ -36,6 +36,7 @@ package noised
 
 import (
 	"context"
+	"log"
 	"net/http"
 	"time"
 
@@ -45,6 +46,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/noiseerr"
 	"repro/internal/resilience"
+	"repro/internal/warmstore"
 )
 
 // Config assembles a Server. The zero value is usable: library defaults
@@ -103,9 +105,20 @@ type Config struct {
 
 	// JournalDir enables server-side journaling: each request carrying
 	// a request_id appends its completed nets to
-	// <JournalDir>/<request_id>.jsonl and a resubmitted request_id
-	// resumes from that file. Empty disables journaling.
+	// <JournalDir>/<request_id>.journal and a resubmitted request_id
+	// resumes from that file (legacy <request_id>.jsonl journals are
+	// merged underneath). Empty disables journaling.
 	JournalDir string
+	// JournalCodec selects the journal encoding for new journal files
+	// (nil = the compact binary default; clarinet.JSONL for the debug
+	// view). Existing journals keep their own sniffed format.
+	JournalCodec clarinet.JournalCodec
+
+	// WarmStoreDir enables the content-addressed warm-start store: at
+	// startup the session seeds its caches from the entry matching its
+	// identity (store.hits / store.misses in /metrics), and on drain it
+	// saves the accumulated state back. Empty disables the store.
+	WarmStoreDir string
 
 	// Metrics receives server and engine instrumentation (nil installs
 	// a fresh registry). Ignored when Session is set.
@@ -168,6 +181,7 @@ type runBatchFunc func(t *clarinet.Tool, ctx context.Context, names []string, ca
 type Server struct {
 	cfg     Config
 	session *engine.Session
+	store   *warmstore.Store
 	reg     *metrics.Registry
 	adm     *admission
 	mux     *http.ServeMux
@@ -191,9 +205,26 @@ func New(cfg Config) (*Server, error) {
 			DisableROMCache: cfg.DisableROMCache,
 		})
 	}
+	var store *warmstore.Store
+	if cfg.WarmStoreDir != "" {
+		var err error
+		store, err = warmstore.Open(cfg.WarmStoreDir, sess.Metrics())
+		if err != nil {
+			return nil, err
+		}
+		if ok, err := sess.LoadWarm(store); err != nil {
+			return nil, err
+		} else if ok {
+			log.Printf("warm start: loaded session state from %s (%d alignment tables resident)",
+				cfg.WarmStoreDir, sess.TableCount())
+		} else {
+			log.Printf("warm start: no state for this session identity in %s (cold start)", cfg.WarmStoreDir)
+		}
+	}
 	s := &Server{
 		cfg:     cfg,
 		session: sess,
+		store:   store,
 		reg:     sess.Metrics(),
 		started: time.Now(),
 		runBatch: func(t *clarinet.Tool, ctx context.Context, names []string, cases []*delaynoise.Case, prior map[string]clarinet.NetReport, j *clarinet.Journal) <-chan clarinet.NetReport {
@@ -207,6 +238,16 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s, nil
+}
+
+// SaveWarm persists the session's accumulated state to the warm store
+// (no-op without one). Serve calls it after the drain completes; it is
+// also safe to call at any quiescent point.
+func (s *Server) SaveWarm() error {
+	if s.store == nil {
+		return nil
+	}
+	return s.session.SaveWarm(s.store)
 }
 
 // Session returns the server's warm engine session.

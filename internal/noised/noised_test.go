@@ -14,8 +14,10 @@ import (
 	"time"
 
 	"repro/internal/clarinet"
+	"repro/internal/colblob"
 	"repro/internal/delaynoise"
 	"repro/internal/device"
+	"repro/internal/engine"
 	"repro/internal/workload"
 )
 
@@ -160,6 +162,79 @@ func TestAnalyzeStream(t *testing.T) {
 		}
 	}
 	if sum == nil || sum.Nets != 4 || sum.OK != 4 || sum.Failed != 0 || sum.Canceled != 0 {
+		t.Fatalf("summary = %+v", sum)
+	}
+}
+
+// TestAnalyzeStreamColblob: a client that sends
+// Accept: application/x-noise-colblob gets the binary wire — the same
+// records as NDJSON, in colblob frames, with the summary as a JSON
+// payload in a summary frame.
+func TestAnalyzeStreamColblob(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	s.runBatch = instantBatch
+	names, body := testBody(t, 4)
+
+	req, err := http.NewRequest("POST", ts.URL+"/v1/analyze", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set("Accept", clarinet.ContentTypeColblob)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != clarinet.ContentTypeColblob {
+		t.Fatalf("content type = %q", ct)
+	}
+	fr := colblob.NewFrameReader(resp.Body)
+	var dec clarinet.BinaryRecordDecoder
+	seen := map[string]bool{}
+	var sum *Summary
+	for {
+		kind, payload, err := fr.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch kind {
+		case colblob.FrameRecord:
+			if sum != nil {
+				t.Fatal("record frame after the summary frame")
+			}
+			rec, err := dec.Decode(payload)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rec.Result == nil || rec.Error != "" {
+				t.Fatalf("record %+v is not a clean success", rec)
+			}
+			seen[rec.Net] = true
+		case colblob.FrameSummary:
+			if sum != nil {
+				t.Fatal("two summary frames")
+			}
+			sum = &Summary{}
+			if err := json.Unmarshal(payload, sum); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unexpected frame kind %#x", kind)
+		}
+	}
+	for _, n := range names {
+		if !seen[n] {
+			t.Fatalf("net %s missing from stream", n)
+		}
+	}
+	if sum == nil || sum.Nets != 4 || sum.OK != 4 || sum.Failed != 0 {
 		t.Fatalf("summary = %+v", sum)
 	}
 }
@@ -553,5 +628,50 @@ func TestMetricsEndpoint(t *testing.T) {
 	}
 	if _, ok := snap.Gauges["server.inflight"]; !ok {
 		t.Fatal("gauges must include server.inflight")
+	}
+}
+
+// TestWarmStoreAcrossServers is the restart contract: a server built
+// over a warm store loads the state a previous server saved, so the
+// second process serves from seeded caches instead of recomputing.
+func TestWarmStoreAcrossServers(t *testing.T) {
+	dir := t.TempDir()
+	sess1 := engine.New(engine.Config{PrecharGrid: 5})
+	srv1, err := New(Config{Session: sess1, WarmStoreDir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := sess1.Cell("INVX1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess1.Table(context.Background(), cell, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv1.SaveWarm(); err != nil {
+		t.Fatal(err)
+	}
+
+	sess2 := engine.New(engine.Config{PrecharGrid: 5})
+	if _, err := New(Config{Session: sess2, WarmStoreDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if sess2.TableCount() != 1 {
+		t.Fatalf("restarted server has %d tables resident, want 1", sess2.TableCount())
+	}
+	if hits := sess2.Metrics().Counter("store.hits").Value(); hits != 1 {
+		t.Fatalf("store.hits = %d, want 1", hits)
+	}
+
+	// A server with a differently-configured session misses cleanly.
+	sess3 := engine.New(engine.Config{PrecharGrid: 7})
+	if _, err := New(Config{Session: sess3, WarmStoreDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	if sess3.TableCount() != 0 {
+		t.Fatal("a differently-configured session must not load foreign state")
+	}
+	if misses := sess3.Metrics().Counter("store.misses").Value(); misses != 1 {
+		t.Fatalf("store.misses = %d, want 1", misses)
 	}
 }

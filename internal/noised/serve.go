@@ -42,7 +42,22 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		// contexts cancel and the process can exit.
 		log.Printf("drain budget exhausted: %v; closing remaining connections", err)
 		srv.Close()
+		s.saveWarmLogged()
 		return err
 	}
+	s.saveWarmLogged()
 	return nil
+}
+
+// saveWarmLogged persists the session's warm state at shutdown; a save
+// failure costs the next process its warm start, not this drain.
+func (s *Server) saveWarmLogged() {
+	if s.store == nil {
+		return
+	}
+	if err := s.SaveWarm(); err != nil {
+		log.Printf("warm store save failed: %v", err)
+		return
+	}
+	log.Printf("warm store saved to %s", s.store.Dir())
 }

@@ -1,0 +1,197 @@
+package warmstore_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/warmstore"
+)
+
+type payload struct {
+	A int
+	B string
+	F float64
+}
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st, err := warmstore.Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := payload{A: 7, B: "hold", F: 0x1.fedcba987654p-3}
+	if err := st.Save("k1", &want); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err := st.Load("k1", &got)
+	if err != nil || !ok {
+		t.Fatalf("Load = (%v, %v), want hit", ok, err)
+	}
+	if got != want {
+		t.Fatalf("round-trip mismatch: got %+v want %+v", got, want)
+	}
+	if n := reg.Counter("store.saves").Value(); n != 1 {
+		t.Fatalf("store.saves = %d, want 1", n)
+	}
+	if n := reg.Counter("store.hits").Value(); n != 1 {
+		t.Fatalf("store.hits = %d, want 1", n)
+	}
+	if reg.Counter("store.bytes.written").Value() == 0 || reg.Counter("store.bytes.read").Value() == 0 {
+		t.Fatal("byte counters must move")
+	}
+}
+
+func TestLoadMissing(t *testing.T) {
+	reg := metrics.NewRegistry()
+	st, err := warmstore.Open(t.TempDir(), reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	ok, err := st.Load("absent", &got)
+	if err != nil || ok {
+		t.Fatalf("Load of missing key = (%v, %v), want clean miss", ok, err)
+	}
+	if n := reg.Counter("store.misses").Value(); n != 1 {
+		t.Fatalf("store.misses = %d, want 1", n)
+	}
+}
+
+// A store entry that was torn, overwritten with garbage, or written by
+// an incompatible future version must read as a miss — warm start can
+// never fail a run.
+func TestLoadCorruptEntryIsMiss(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		muck func(path string) error
+	}{
+		{"garbage", func(p string) error { return os.WriteFile(p, []byte("not a frame"), 0o644) }},
+		{"truncated", func(p string) error {
+			b, err := os.ReadFile(p)
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(p, b[:len(b)/2], 0o644)
+		}},
+		{"empty", func(p string) error { return os.WriteFile(p, nil, 0o644) }},
+		{"wrong-shape", func(p string) error {
+			// A valid frame whose payload decodes but is not the expected
+			// shape: overwrite the entry with a saved JSON array, then try
+			// to load it as a struct.
+			st, err := warmstore.Open(filepath.Dir(p), nil)
+			if err != nil {
+				return err
+			}
+			return st.Save("k", []int{1, 2})
+		}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			reg := metrics.NewRegistry()
+			st, err := warmstore.Open(t.TempDir(), reg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := st.Save("k", &payload{A: 1}); err != nil {
+				t.Fatal(err)
+			}
+			if err := tc.muck(filepath.Join(st.Dir(), "k.warm")); err != nil {
+				t.Fatal(err)
+			}
+			var got payload
+			ok, err := st.Load("k", &got)
+			if err != nil || ok {
+				t.Fatalf("Load of corrupt entry = (%v, %v), want clean miss", ok, err)
+			}
+			if n := reg.Counter("store.corrupt").Value(); n != 1 {
+				t.Fatalf("store.corrupt = %d, want 1", n)
+			}
+		})
+	}
+}
+
+func TestNilStoreIsNoOp(t *testing.T) {
+	var st *warmstore.Store
+	if err := st.Save("k", &payload{}); err != nil {
+		t.Fatalf("nil Save: %v", err)
+	}
+	var got payload
+	ok, err := st.Load("k", &got)
+	if err != nil || ok {
+		t.Fatalf("nil Load = (%v, %v), want miss", ok, err)
+	}
+	if keys, err := st.Keys(); err != nil || keys != nil {
+		t.Fatalf("nil Keys = (%v, %v)", keys, err)
+	}
+	if st.Dir() != "" {
+		t.Fatal("nil Dir must be empty")
+	}
+}
+
+func TestKeysListsEntries(t *testing.T) {
+	st, err := warmstore.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"aaa", "bbb"} {
+		if err := st.Save(k, &payload{B: k}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// A stray non-entry file must not be listed.
+	if err := os.WriteFile(filepath.Join(st.Dir(), "README"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	keys, err := st.Keys()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(keys) != 2 {
+		t.Fatalf("Keys = %v, want [aaa bbb]", keys)
+	}
+}
+
+func TestSaveOverwritesAtomically(t *testing.T) {
+	st, err := warmstore.Open(t.TempDir(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("k", &payload{A: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Save("k", &payload{A: 2}); err != nil {
+		t.Fatal(err)
+	}
+	var got payload
+	if ok, err := st.Load("k", &got); err != nil || !ok || got.A != 2 {
+		t.Fatalf("Load after overwrite = (%v, %v, %+v), want A=2", ok, err, got)
+	}
+	// No temp files left behind.
+	ents, err := os.ReadDir(st.Dir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 1 {
+		t.Fatalf("store dir has %d files after overwrite, want 1", len(ents))
+	}
+}
+
+type identA struct {
+	Tech string
+	Res  uint64
+}
+
+func TestKeyIsContentAddressed(t *testing.T) {
+	a := identA{Tech: "t180", Res: 42}
+	if warmstore.Key(a) != warmstore.Key(identA{Tech: "t180", Res: 42}) {
+		t.Fatal("equal identities must share a key")
+	}
+	if warmstore.Key(a) == warmstore.Key(identA{Tech: "t180", Res: 43}) {
+		t.Fatal("distinct identities must not collide on the key")
+	}
+	if len(warmstore.Key(a)) != 16 {
+		t.Fatalf("key %q is not 16 hex digits", warmstore.Key(a))
+	}
+}

@@ -29,18 +29,23 @@ go build -o "$workdir/netgen" ./cmd/netgen
 echo "== workload"
 "$workdir/netgen" -n 2 -seed 11 -o "$workdir/nets.json" >/dev/null
 
+boot() {
+  : >"$workdir/addr"
+  "$workdir/noised" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
+    -journal-dir "$workdir/journals" -warm-store "$workdir/wstore" &
+  daemon_pid=$!
+  for _ in $(seq 1 100); do
+    [ -s "$workdir/addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { echo "noised died during boot" >&2; exit 1; }
+    sleep 0.1
+  done
+  [ -s "$workdir/addr" ] || { echo "noised never wrote $workdir/addr" >&2; exit 1; }
+  base="http://$(cat "$workdir/addr")"
+  echo "   $base"
+}
+
 echo "== boot"
-"$workdir/noised" -addr 127.0.0.1:0 -addr-file "$workdir/addr" \
-  -journal-dir "$workdir/journals" &
-daemon_pid=$!
-for _ in $(seq 1 100); do
-  [ -s "$workdir/addr" ] && break
-  kill -0 "$daemon_pid" 2>/dev/null || { echo "noised died during boot" >&2; exit 1; }
-  sleep 0.1
-done
-[ -s "$workdir/addr" ] || { echo "noised never wrote $workdir/addr" >&2; exit 1; }
-base="http://$(cat "$workdir/addr")"
-echo "   $base"
+boot
 
 curl -fsS "$base/healthz" >/dev/null
 curl -fsS "$base/readyz" >/dev/null
@@ -67,12 +72,40 @@ if [ "$warm_tables" != "$cold_tables" ] || [ "$warm_hold" != "$cold_hold" ]; the
   exit 1
 fi
 
+echo "== colblob wire variant (decoded values identical to NDJSON)"
+# The trailing "analyzed N nets in <elapsed>" line is timing-dependent;
+# compare only the report table.
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -quality -wire colblob |
+  sed '/^analyzed /d' > "$workdir/report-colblob.txt"
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -quality |
+  sed '/^analyzed /d' > "$workdir/report-ndjson.txt"
+diff "$workdir/report-colblob.txt" "$workdir/report-ndjson.txt" ||
+  { echo "colblob wire decoded to a different report" >&2; exit 1; }
+
 echo "== journal resume"
-[ -s "$workdir/journals/smoke-1.jsonl" ] || { echo "request journal missing" >&2; exit 1; }
+[ -s "$workdir/journals/smoke-1.journal" ] || { echo "request journal missing" >&2; exit 1; }
 "$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -request-id smoke-1 |
   grep -q "2 resumed" || { echo "resubmitted request_id did not resume" >&2; exit 1; }
 
-echo "== graceful drain"
+echo "== graceful drain (saves the warm store)"
+kill -TERM "$daemon_pid"
+wait "$daemon_pid" || { echo "noised exited non-zero on SIGTERM" >&2; exit 1; }
+daemon_pid=""
+ls "$workdir/wstore"/*.warm >/dev/null 2>&1 ||
+  { echo "drain left no warm-store entry" >&2; exit 1; }
+
+echo "== restart warm (expect store hit, zero recharacterization)"
+boot
+store_hits=$(counter 'store\.hits')
+[ "$store_hits" -ge 1 ] || { echo "restarted daemon missed the warm store" >&2; exit 1; }
+restart_tables_before=$(counter 'cache\.tables\.miss')
+"$workdir/noisectl" -server "$base" -i "$workdir/nets.json" -quality
+restart_tables=$(counter 'cache\.tables\.miss')
+if [ "$restart_tables" != "$restart_tables_before" ]; then
+  echo "restarted daemon rebuilt alignment tables from a warm store:" \
+       "$restart_tables_before -> $restart_tables misses" >&2
+  exit 1
+fi
 kill -TERM "$daemon_pid"
 wait "$daemon_pid" || { echo "noised exited non-zero on SIGTERM" >&2; exit 1; }
 daemon_pid=""
