@@ -28,6 +28,9 @@ chaos:
 	CHAOS_SEED=$(CHAOS_SEED) CHAOS_JOURNAL_OUT=$(CHAOS_JOURNAL_OUT) \
 		$(GO) test -race -run 'TestChaosBatch|TestResumeByteIdentical' -v ./internal/clarinet/
 
+# The full lint suite over ./...: every noiselint analyzer, go vet,
+# and a gofmt check. CI's noiselint job runs the same checker with a
+# problem matcher and a build cache keyed on go.sum + the lint sources.
 lint: noiselint
 	$(GO) vet ./...
 	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
@@ -36,8 +39,11 @@ lint: noiselint
 
 # Domain-specific analyzers (see DESIGN.md "Static analysis"): context
 # twins, stage-name drift, error-taxonomy wrapping, cache-key purity,
-# and numeric-kernel float hygiene. Dependency-free: the checker is part
-# of this module.
+# numeric-kernel float hygiene, recover scoping, goroutine lifecycles
+# (goleak), flow-sensitive mutex discipline (lockflow), hot-path
+# allocation freedom (//lint:hot + hotalloc), and metric-name constants
+# (metricflow). Dependency-free: the checker is part of this module;
+# `-list` enumerates the analyzers, `-json` emits findings for tooling.
 noiselint:
 	$(GO) run ./cmd/noiselint ./...
 

@@ -4,17 +4,21 @@
 //
 // Usage:
 //
-//	noiselint [-list] [packages]
+//	noiselint [-list] [-json] [packages]
 //
 // With no patterns it analyzes ./... relative to the current directory.
 // Findings print one per line as file:line:col: message (noiselint/<analyzer>)
-// and a non-zero exit status reports that findings exist. Suppress a
+// — the shape .github/noiselint-problem-matcher.json teaches GitHub to
+// annotate — or, with -json, as a JSON array of
+// {file, line, col, message, analyzer} objects on stdout for tooling.
+// A non-zero exit status reports that findings exist. Suppress a
 // finding with a directive on the offending line or the line above:
 //
 //	//lint:ignore noiselint/<analyzer> <reason>
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,8 +31,9 @@ import (
 func main() {
 	cliutil.Init("noiselint")
 	listOnly := flag.Bool("list", false, "list the registered analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array instead of text")
 	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: noiselint [-list] [packages]\n\n")
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: noiselint [-list] [-json] [packages]\n\n")
 		fmt.Fprintf(flag.CommandLine.Output(), "Analyzers:\n")
 		for _, a := range rules.All() {
 			fmt.Fprintf(flag.CommandLine.Output(), "  noiselint/%s\n      %s\n", a.Name, a.Doc)
@@ -62,8 +67,34 @@ func main() {
 		fmt.Fprintln(os.Stderr, "noiselint:", err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		type finding struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Col      int    `json:"col"`
+			Message  string `json:"message"`
+			Analyzer string `json:"analyzer"`
+		}
+		findings := make([]finding, 0, len(diags))
+		for _, d := range diags {
+			findings = append(findings, finding{
+				File:     d.Pos.Filename,
+				Line:     d.Pos.Line,
+				Col:      d.Pos.Column,
+				Message:  d.Message,
+				Analyzer: d.Analyzer,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			fmt.Fprintln(os.Stderr, "noiselint:", err)
+			os.Exit(2)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "noiselint: %d finding(s)\n", len(diags))

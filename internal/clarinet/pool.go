@@ -40,7 +40,7 @@ var (
 func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
 	m := t.session.Metrics()
 	if err := ctx.Err(); err != nil {
-		m.Counter("nets.canceled").Inc()
+		m.Counter(mNetsCanceled).Inc()
 		return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.Canceled(err))}
 	}
 	start := time.Now()
@@ -70,34 +70,34 @@ func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) 
 	if err != nil && noiseerr.Class(err) == noiseerr.ErrConvergence && netCtx.Err() == nil {
 		res, quality, err = t.rescue(netCtx, c, opt, pol, err)
 	}
-	m.Observe("net.analyze", time.Since(start))
+	m.Observe(mNetAnalyze, time.Since(start))
 
 	if err != nil {
 		switch {
 		case ctx.Err() != nil:
 			// The caller gave up on the whole batch: not a per-net
 			// failure, and not analyzed either.
-			m.Counter("nets.canceled").Inc()
+			m.Counter(mNetsCanceled).Inc()
 		case errors.Is(netCtx.Err(), context.DeadlineExceeded):
 			// The net's own budget expired while the batch kept going.
-			m.Counter("nets.analyzed").Inc()
-			m.Counter("nets.deadline").Inc()
-			m.Counter("nets.failed").Inc()
+			m.Counter(mNetsAnalyzed).Inc()
+			m.Counter(mNetsDeadline).Inc()
+			m.Counter(mNetsFailed).Inc()
 			err = noiseerr.Reclass(noiseerr.ErrDeadline, err)
 		default:
-			m.Counter("nets.analyzed").Inc()
-			m.Counter("nets.failed").Inc()
+			m.Counter(mNetsAnalyzed).Inc()
+			m.Counter(mNetsFailed).Inc()
 		}
 		return NetReport{Name: name, Err: noiseerr.WithNet(name, err)}
 	}
-	m.Counter("nets.analyzed").Inc()
+	m.Counter(mNetsAnalyzed).Inc()
 	switch quality {
 	case resilience.QualityRescued:
-		m.Counter("nets.rescued").Inc()
+		m.Counter(mNetsRescued).Inc()
 	case resilience.QualityFallback:
-		m.Counter("nets.fallback").Inc()
+		m.Counter(mNetsFallback).Inc()
 	default:
-		m.Counter("nets.exact").Inc()
+		m.Counter(mNetsExact).Inc()
 	}
 	return NetReport{Name: name, Res: res, Quality: quality}
 }
@@ -133,12 +133,12 @@ func (t *Tool) rescue(ctx context.Context, c *delaynoise.Case, opt delaynoise.Op
 			fopt := opt
 			fopt.Align = delaynoise.AlignPrechar
 			fopt.Table = tab
-			m.Counter("rescue.attempts").Inc()
-			m.Counter("rescue." + rung.Name).Inc()
+			m.Counter(mRescueAttempts).Inc()
+			m.Counter(mRescuePrefix + rung.Name).Inc()
 			res, rerr = analyze(ctx, c, fopt)
 		} else {
-			m.Counter("rescue.attempts").Inc()
-			m.Counter("rescue." + rung.Name).Inc()
+			m.Counter(mRescueAttempts).Inc()
+			m.Counter(mRescuePrefix + rung.Name).Inc()
 			res, rerr = analyze(resilience.WithSolverRescue(ctx, rung.Solver), c, opt)
 		}
 		if rerr == nil {
@@ -158,18 +158,18 @@ func (t *Tool) rescue(ctx context.Context, c *delaynoise.Case, opt delaynoise.Op
 // under the noiseerr.ErrInternal class.
 func (t *Tool) panicReport(name string, p *noiseerr.PanicError) NetReport {
 	m := t.session.Metrics()
-	m.Counter("nets.analyzed").Inc()
-	m.Counter("nets.panicked").Inc()
-	m.Counter("nets.failed").Inc()
+	m.Counter(mNetsAnalyzed).Inc()
+	m.Counter(mNetsPanicked).Inc()
+	m.Counter(mNetsFailed).Inc()
 	return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.InStage(noiseerr.StageResilience, p))}
 }
 
 // funcPanicReport is panicReport for the functional-noise flow.
 func (t *Tool) funcPanicReport(name string, p *noiseerr.PanicError) FuncReport {
 	m := t.session.Metrics()
-	m.Counter("nets.analyzed").Inc()
-	m.Counter("nets.panicked").Inc()
-	m.Counter("nets.failed").Inc()
+	m.Counter(mNetsAnalyzed).Inc()
+	m.Counter(mNetsPanicked).Inc()
+	m.Counter(mNetsFailed).Inc()
 	return FuncReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.InStage(noiseerr.StageResilience, p))}
 }
 
@@ -259,7 +259,7 @@ func (t *Tool) AnalyzeBatch(ctx context.Context, names []string, cases []*delayn
 		if r, ok := prior[name]; ok {
 			r.Name = name
 			reports[i] = r
-			m.Counter("nets.resumed").Inc()
+			m.Counter(mNetsResumed).Inc()
 			continue
 		}
 		pending = append(pending, i)
@@ -302,7 +302,7 @@ func (t *Tool) StreamBatch(ctx context.Context, names []string, cases []*delayno
 		if r, ok := prior[name]; ok {
 			r.Name = name
 			resumed = append(resumed, r)
-			m.Counter("nets.resumed").Inc()
+			m.Counter(mNetsResumed).Inc()
 			continue
 		}
 		pending = append(pending, i)
@@ -311,6 +311,10 @@ func (t *Tool) StreamBatch(ctx context.Context, names []string, cases []*delayno
 	go func() {
 		defer close(out)
 		for _, r := range resumed {
+			// The doc contract above bounds this goroutine: exactly
+			// len(cases) reports are delivered and the caller must drain,
+			// so every send completes.
+			//lint:ignore noiselint/goleak the caller-must-drain contract (doc comment) bounds the sends
 			out <- r
 		}
 		fanOut(t.Cfg.Workers, len(pending),
@@ -346,22 +350,22 @@ func (t *Tool) FunctionalAllContext(ctx context.Context, names []string, cases [
 	fanOut(t.Cfg.Workers, len(cases),
 		func(i int) FuncReport {
 			if err := ctx.Err(); err != nil {
-				m.Counter("nets.canceled").Inc()
+				m.Counter(mNetsCanceled).Inc()
 				return FuncReport{Name: names[i], Err: noiseerr.WithNet(names[i], noiseerr.Canceled(err))}
 			}
 			start := time.Now()
 			res, err := analyzeFunc(ctx, cases[i], opt)
-			m.Observe("net.functional", time.Since(start))
+			m.Observe(mNetFunctional, time.Since(start))
 			if err != nil {
 				if ctx.Err() != nil {
-					m.Counter("nets.canceled").Inc()
+					m.Counter(mNetsCanceled).Inc()
 				} else {
-					m.Counter("nets.analyzed").Inc()
-					m.Counter("nets.failed").Inc()
+					m.Counter(mNetsAnalyzed).Inc()
+					m.Counter(mNetsFailed).Inc()
 				}
 				return FuncReport{Name: names[i], Err: noiseerr.WithNet(names[i], err)}
 			}
-			m.Counter("nets.analyzed").Inc()
+			m.Counter(mNetsAnalyzed).Inc()
 			return FuncReport{Name: names[i], Res: res}
 		},
 		func(i int, r FuncReport) { reports[i] = r },

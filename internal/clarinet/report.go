@@ -95,16 +95,16 @@ func WriteFuncReport(w io.Writer, reports []FuncReport) {
 func WriteMetricsSummary(w io.Writer, t *Tool) {
 	s := t.Metrics().Snapshot()
 	fmt.Fprintf(w, "nets analyzed: %d (%d failed), workers: %d\n",
-		s.Counters["nets.analyzed"], s.Counters["nets.failed"], t.Workers())
+		s.Counters[mNetsAnalyzed], s.Counters[mNetsFailed], t.Workers())
 	// Resilience breakdown, shown once any net deviated from the plain
 	// exact path (cancellation is excluded from the failure totals above
 	// and itemized here instead).
-	if s.Counters["nets.rescued"]+s.Counters["nets.fallback"]+s.Counters["nets.canceled"]+
-		s.Counters["nets.deadline"]+s.Counters["nets.panicked"]+s.Counters["nets.resumed"] > 0 {
+	if s.Counters[mNetsRescued]+s.Counters[mNetsFallback]+s.Counters[mNetsCanceled]+
+		s.Counters[mNetsDeadline]+s.Counters[mNetsPanicked]+s.Counters[mNetsResumed] > 0 {
 		fmt.Fprintf(w, "resilience: %d exact, %d rescued, %d fallback, %d deadline, %d panicked, %d canceled, %d resumed\n",
-			s.Counters["nets.exact"], s.Counters["nets.rescued"], s.Counters["nets.fallback"],
-			s.Counters["nets.deadline"], s.Counters["nets.panicked"],
-			s.Counters["nets.canceled"], s.Counters["nets.resumed"])
+			s.Counters[mNetsExact], s.Counters[mNetsRescued], s.Counters[mNetsFallback],
+			s.Counters[mNetsDeadline], s.Counters[mNetsPanicked],
+			s.Counters[mNetsCanceled], s.Counters[mNetsResumed])
 	}
 	fmt.Fprintf(w, "simulations: %d linear, %d nonlinear receiver\n",
 		s.Counters["sim.linear"], s.Counters["sim.nonlinear.receiver"])

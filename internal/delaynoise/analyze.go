@@ -192,7 +192,7 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 		Receiver:     c.Receiver,
 		Load:         c.ReceiverLoad,
 		VictimRising: c.Victim.OutputRising,
-		Sims:         opt.Metrics.Counter("sim.nonlinear.receiver"),
+		Sims:         opt.Metrics.Counter(mSimNonlinearReceiver),
 		Ctx:          ctx,
 	}
 

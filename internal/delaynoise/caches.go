@@ -112,9 +112,9 @@ func (cc *CharCache) count(base string, hit bool) {
 		return
 	}
 	if hit {
-		cc.metrics.Counter(base + ".hit").Inc()
+		cc.metrics.Counter(base + mHitSuffix).Inc()
 	} else {
-		cc.metrics.Counter(base + ".miss").Inc()
+		cc.metrics.Counter(base + mMissSuffix).Inc()
 	}
 }
 
@@ -131,7 +131,7 @@ func (cc *CharCache) RoughFit(ctx context.Context, cell *device.Cell, slew float
 		m, _, err := thevenin.FitContext(ctx, cell, sq, inRising, lq)
 		return m, err
 	})
-	cc.count("cache.char.rough", hit)
+	cc.count(mCacheCharRough, hit)
 	return m, err
 }
 
@@ -147,7 +147,7 @@ func (cc *CharCache) Characterize(ctx context.Context, cell *device.Cell, slew f
 	res, hit, err := cc.full.Do(key, func() (ceff.Result, error) {
 		return ceff.ComputeContext(ctx, cell, slew, inRising, net, node, ceff.Options{})
 	})
-	cc.count("cache.char.full", hit)
+	cc.count(mCacheCharFull, hit)
 	return res, err
 }
 
@@ -168,7 +168,7 @@ func (cc *CharCache) HoldRes(ctx context.Context, cell *device.Cell, slew float6
 	res, hit, err := cc.hold.Do(key, func() (*holdres.Result, error) {
 		return holdres.ComputeContext(ctx, cell, slew, inRising, cEff, rth, vn)
 	})
-	cc.count("cache.holdres", hit)
+	cc.count(mCacheHoldres, hit)
 	return res, err
 }
 
@@ -202,9 +202,9 @@ func (rc *ROMCache) Reduce(ctx context.Context, sys *mna.System, q int) (*mor.RO
 		return mor.ReduceContext(ctx, sys, q)
 	})
 	if hit {
-		rc.metrics.Counter("cache.rom.hit").Inc()
+		rc.metrics.Counter(mCacheROMHit).Inc()
 	} else {
-		rc.metrics.Counter("cache.rom.miss").Inc()
+		rc.metrics.Counter(mCacheROMMiss).Inc()
 	}
 	if err != nil {
 		return nil, err

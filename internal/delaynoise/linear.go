@@ -145,7 +145,7 @@ func (e *engine) runLinear(ckt *netlist.Circuit) (map[string]*waveform.PWL, erro
 
 // runLinearProbes is runLinear with an explicit probe list.
 func (e *engine) runLinearProbes(ckt *netlist.Circuit, probes []string) (map[string]*waveform.PWL, error) {
-	e.opt.Metrics.Counter("sim.linear").Inc()
+	e.opt.Metrics.Counter(mSimLinear).Inc()
 	start := time.Now()
 	defer func() { e.opt.Metrics.Observe(noiseerr.StageSimulate.TimerName(), time.Since(start)) }()
 	sys, err := mna.Build(ckt)

@@ -22,6 +22,14 @@ import (
 	"repro/internal/noiseerr"
 )
 
+// Metric-name constant table (enforced by noiselint/metricflow): the
+// session's single-flight table cache reports its hit ratio under
+// these names.
+const (
+	mCacheTablesHit  = "cache.tables.hit"
+	mCacheTablesMiss = "cache.tables.miss"
+)
+
 // Config assembles a Session. The zero value is usable: it selects the
 // default 0.18 um-class technology, a fresh library and registry, and
 // enables every cache at its default resolution.
@@ -139,9 +147,9 @@ func (s *Session) Table(ctx context.Context, recv *device.Cell, victimRising boo
 		return align.PrecharacterizeContext(ctx, recv, victimRising, cfg)
 	})
 	if hit {
-		s.metrics.Counter("cache.tables.hit").Inc()
+		s.metrics.Counter(mCacheTablesHit).Inc()
 	} else {
-		s.metrics.Counter("cache.tables.miss").Inc()
+		s.metrics.Counter(mCacheTablesMiss).Inc()
 	}
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageCharacterize, err)

@@ -207,6 +207,8 @@ func (f *BandedChol) Solve(b []float64) []float64 {
 // SolveTo solves A*x = b into dst without allocating, using scratch
 // (length n) for the permuted intermediate. dst may alias b; scratch
 // must not alias either.
+//
+//lint:hot
 func (f *BandedChol) SolveTo(dst, b, scratch []float64) {
 	n, bw := f.n, f.bw
 	if len(b) != n || len(dst) != n || len(scratch) != n {

@@ -103,6 +103,8 @@ func (f *LU) Solve(b []float64) []float64 {
 
 // SolveTo solves A*x = b into dst without allocating. dst must not
 // alias b: the pivot permutation reads b while writing dst.
+//
+//lint:hot
 func (f *LU) SolveTo(dst, b []float64) {
 	if len(b) != f.n || len(dst) != f.n {
 		panic(fmt.Sprintf("linalg: LU solve lengths dst=%d b=%d, want %d", len(dst), len(b), f.n))
@@ -120,6 +122,8 @@ func (f *LU) SolveTo(dst, b []float64) {
 // overwritten with the solution. Most callers want Solve; this entry point
 // avoids allocation in tight simulation loops where the caller applies the
 // permutation itself.
+//
+//lint:hot
 func (f *LU) SolveInPlace(x []float64) {
 	n := f.n
 	d := f.lu.Data

@@ -149,6 +149,8 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 }
 
 // MulVecTo computes dst = m*x without allocating. dst must not alias x.
+//
+//lint:hot
 func (m *Matrix) MulVecTo(dst, x []float64) {
 	if m.Cols != len(x) || m.Rows != len(dst) {
 		panic(fmt.Sprintf("linalg: mulvec shape mismatch %dx%d * %d -> %d", m.Rows, m.Cols, len(x), len(dst)))

@@ -1,0 +1,568 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// This file is the control-flow half of the flow-sensitive layer: a
+// per-function CFG built from the AST alone (plus go/types to classify
+// terminating calls), consumed by the dataflow kit in dataflow.go. The
+// graph is statement-granular: every executable statement and control
+// expression appears in execution order in exactly one basic block, so
+// an analyzer can replay a block's effects node by node from the
+// block's computed in-state. Walk a block's nodes with InspectNode —
+// not ast.Inspect — so nested statement bodies (which belong to other
+// blocks) and function literals (which have their own CFGs) stay out.
+
+// TermKind classifies how control leaves a block whose successor is the
+// synthetic Exit block. Analyzers use it to treat the exit edges
+// differently: a held lock matters on return and panic edges, but not
+// on a process-exit edge (os.Exit, log.Fatal) where the whole process
+// dies anyway.
+type TermKind int
+
+const (
+	// TermFall marks an ordinary block: control falls to the listed
+	// successors (branch targets, loop heads, merge points).
+	TermFall TermKind = iota
+	// TermReturn marks a block ending in a return statement (or the
+	// implicit return at the end of the body).
+	TermReturn
+	// TermPanic marks a block ending in a call to panic or log.Panic*.
+	TermPanic
+	// TermProcessExit marks a block ending in a call that never returns
+	// and does not unwind: os.Exit, log.Fatal*, runtime.Goexit, and the
+	// cliutil usage helpers.
+	TermProcessExit
+)
+
+// A Block is one basic block: a maximal run of nodes with one entry
+// point and branch-free execution.
+type Block struct {
+	Index int
+	// Nodes are the block's statements and control expressions in
+	// execution order. Control expressions (if/for conditions, switch
+	// tags) appear as bare ast.Expr entries; range and select
+	// statements appear as themselves (walk them with InspectNode).
+	Nodes []ast.Node
+	Succs []*Block
+	Preds []*Block
+	// Term describes how the block transfers to Exit, when it does.
+	Term TermKind
+}
+
+// A CFG is the control-flow graph of one function body.
+type CFG struct {
+	Blocks []*Block
+	// Entry is the first executed block.
+	Entry *Block
+	// Exit is the synthetic sink every return, panic, and process-exit
+	// edge flows into. It holds no nodes and is last in Blocks.
+	Exit *Block
+	// Defers lists every defer statement of the body, outermost
+	// function level only (defers inside nested function literals
+	// belong to those literals' own CFGs). Deferred calls run on every
+	// return and panic edge; a defer nested under a conditional may not
+	// have been pushed, so treating Defers as always-run is the
+	// permissive direction for leak checks.
+	Defers []*ast.DeferStmt
+}
+
+// NewCFG builds the CFG of body. info, when non-nil, sharpens the
+// classification of terminating calls (panic vs os.Exit vs ordinary);
+// with a nil info only the builtin panic is recognized, by name.
+func NewCFG(body *ast.BlockStmt, info *types.Info) *CFG {
+	b := &cfgBuilder{
+		cfg:    &CFG{},
+		info:   info,
+		labels: map[string]*Block{},
+	}
+	b.cfg.Exit = b.newBlock()
+	b.cfg.Entry = b.newBlock()
+	b.cur = b.cfg.Entry
+	b.stmtList(body.List)
+	if b.cur != nil {
+		// Falling off the end of the body is an implicit return.
+		b.cur.Term = TermReturn
+		b.edge(b.cur, b.cfg.Exit)
+	}
+	for _, g := range b.gotos {
+		if t := b.labels[g.label]; t != nil {
+			b.edge(g.from, t)
+		} else {
+			// A goto whose label block never materialized (malformed
+			// code): route to Exit so the block is not a dangling leaf.
+			b.edge(g.from, b.cfg.Exit)
+		}
+	}
+	// Rotate Exit (built first) to the end so iteration in Blocks order
+	// visits it after the blocks that feed it.
+	blocks := b.cfg.Blocks
+	copy(blocks, blocks[1:])
+	blocks[len(blocks)-1] = b.cfg.Exit
+	for i, blk := range blocks {
+		blk.Index = i
+	}
+	return b.cfg
+}
+
+// InspectNode walks one CFG block node like ast.Inspect but stays
+// within the node's basic block: it does not descend into nested
+// statement bodies (which the builder placed in other blocks) or into
+// function literal bodies (which have their own CFGs). The literal
+// itself is still visited, so an analyzer can account for the closure
+// value without seeing the closed-over code.
+func InspectNode(n ast.Node, fn func(ast.Node) bool) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.BlockStmt:
+			return false
+		case *ast.FuncLit:
+			fn(n)
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// FuncCFG returns the control-flow graph of fn's body, where fn is an
+// *ast.FuncDecl or *ast.FuncLit, building and caching it on first use.
+// A declaration without a body (external linkage) returns nil.
+func (p *Pass) FuncCFG(fn ast.Node) *CFG {
+	var body *ast.BlockStmt
+	switch fn := fn.(type) {
+	case *ast.FuncDecl:
+		body = fn.Body
+	case *ast.FuncLit:
+		body = fn.Body
+	}
+	if body == nil {
+		return nil
+	}
+	if p.cfgs == nil {
+		p.cfgs = map[ast.Node]*CFG{}
+	}
+	if g, ok := p.cfgs[fn]; ok {
+		return g
+	}
+	g := NewCFG(body, p.Info)
+	p.cfgs[fn] = g
+	return g
+}
+
+// pendingGoto is a goto recorded before label resolution.
+type pendingGoto struct {
+	from  *Block
+	label string
+}
+
+// loopFrame is one enclosing breakable construct on the builder stack.
+// contTo is nil for switch/select frames, which break but don't
+// continue.
+type loopFrame struct {
+	label   string
+	breakTo *Block
+	contTo  *Block
+}
+
+type cfgBuilder struct {
+	cfg    *CFG
+	info   *types.Info
+	cur    *Block // nil while the current point is unreachable
+	frames []loopFrame
+	labels map[string]*Block
+	gotos  []pendingGoto
+	// labelNext carries a label down to the loop/switch/select it
+	// labels, so labeled break/continue resolve through the frame
+	// stack.
+	labelNext string
+}
+
+func (b *cfgBuilder) newBlock() *Block {
+	blk := &Block{Index: len(b.cfg.Blocks)}
+	b.cfg.Blocks = append(b.cfg.Blocks, blk)
+	return blk
+}
+
+func (b *cfgBuilder) edge(from, to *Block) {
+	from.Succs = append(from.Succs, to)
+	to.Preds = append(to.Preds, from)
+}
+
+// ensure returns the current block, starting a fresh unreachable one
+// (no predecessors) after a return/branch killed the flow.
+func (b *cfgBuilder) ensure() *Block {
+	if b.cur == nil {
+		b.cur = b.newBlock()
+	}
+	return b.cur
+}
+
+// startBlock closes the current block into a new successor and makes
+// the successor current.
+func (b *cfgBuilder) startBlock() *Block {
+	nb := b.newBlock()
+	if b.cur != nil {
+		b.edge(b.cur, nb)
+	}
+	b.cur = nb
+	return nb
+}
+
+func (b *cfgBuilder) add(n ast.Node) {
+	if n == nil {
+		return
+	}
+	blk := b.ensure()
+	blk.Nodes = append(blk.Nodes, n)
+}
+
+func (b *cfgBuilder) stmtList(list []ast.Stmt) {
+	for _, s := range list {
+		b.stmt(s)
+	}
+}
+
+func (b *cfgBuilder) stmt(s ast.Stmt) {
+	switch s := s.(type) {
+	case *ast.BlockStmt:
+		b.stmtList(s.List)
+	case *ast.LabeledStmt:
+		// The labeled statement starts its own block so gotos can land
+		// on it.
+		lb := b.startBlock()
+		b.labels[s.Label.Name] = lb
+		b.labelNext = s.Label.Name
+		b.stmt(s.Stmt)
+		b.labelNext = ""
+	case *ast.ReturnStmt:
+		b.add(s)
+		blk := b.ensure()
+		blk.Term = TermReturn
+		b.edge(blk, b.cfg.Exit)
+		b.cur = nil
+	case *ast.BranchStmt:
+		b.branch(s)
+	case *ast.IfStmt:
+		b.ifStmt(s)
+	case *ast.ForStmt:
+		b.forStmt(s)
+	case *ast.RangeStmt:
+		b.rangeStmt(s)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		if s.Tag != nil {
+			b.add(s.Tag)
+		}
+		b.switchBody(s.Body)
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			b.stmt(s.Init)
+		}
+		b.add(s.Assign)
+		b.switchBody(s.Body)
+	case *ast.SelectStmt:
+		b.selectStmt(s)
+	case *ast.DeferStmt:
+		b.cfg.Defers = append(b.cfg.Defers, s)
+		b.add(s)
+	case *ast.ExprStmt:
+		b.add(s)
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if term := b.terminates(call); term != TermFall {
+				blk := b.ensure()
+				blk.Term = term
+				b.edge(blk, b.cfg.Exit)
+				b.cur = nil
+			}
+		}
+	case *ast.EmptyStmt:
+		// nothing
+	default:
+		// Assignments, declarations, sends, inc/dec, go statements:
+		// straight-line nodes.
+		b.add(s)
+	}
+}
+
+// branch resolves break/continue/goto. Fallthrough is handled by
+// switchBody, which knows the next clause.
+func (b *cfgBuilder) branch(s *ast.BranchStmt) {
+	if s.Tok == token.FALLTHROUGH {
+		return
+	}
+	b.add(s)
+	blk := b.ensure()
+	label := ""
+	if s.Label != nil {
+		label = s.Label.Name
+	}
+	switch s.Tok {
+	case token.GOTO:
+		b.gotos = append(b.gotos, pendingGoto{from: blk, label: label})
+	case token.BREAK, token.CONTINUE:
+		if t := b.frameFor(label, s.Tok == token.CONTINUE); t != nil {
+			b.edge(blk, t)
+		} else {
+			b.edge(blk, b.cfg.Exit)
+		}
+	}
+	b.cur = nil
+}
+
+// frameFor finds the break (wantCont=false) or continue target of the
+// innermost matching frame.
+func (b *cfgBuilder) frameFor(label string, wantCont bool) *Block {
+	for i := len(b.frames) - 1; i >= 0; i-- {
+		f := b.frames[i]
+		if label != "" && f.label != label {
+			continue
+		}
+		if wantCont {
+			if f.contTo != nil {
+				return f.contTo
+			}
+			continue // continue skips switch/select frames
+		}
+		return f.breakTo
+	}
+	return nil
+}
+
+func (b *cfgBuilder) ifStmt(s *ast.IfStmt) {
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	b.add(s.Cond)
+	cond := b.ensure()
+	after := b.newBlock()
+
+	thenB := b.newBlock()
+	b.edge(cond, thenB)
+	b.cur = thenB
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, after)
+	}
+
+	if s.Else != nil {
+		elseB := b.newBlock()
+		b.edge(cond, elseB)
+		b.cur = elseB
+		b.stmt(s.Else)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	} else {
+		b.edge(cond, after)
+	}
+	b.cur = after
+}
+
+func (b *cfgBuilder) forStmt(s *ast.ForStmt) {
+	label := b.labelNext
+	b.labelNext = ""
+	if s.Init != nil {
+		b.stmt(s.Init)
+	}
+	head := b.startBlock()
+	if s.Cond != nil {
+		b.add(s.Cond)
+	}
+	after := b.newBlock()
+	post := b.newBlock()
+	if s.Cond != nil {
+		b.edge(head, after)
+	}
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: post})
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, post)
+	}
+	b.cur = post
+	if s.Post != nil {
+		b.stmt(s.Post)
+	}
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) rangeStmt(s *ast.RangeStmt) {
+	label := b.labelNext
+	b.labelNext = ""
+	head := b.startBlock()
+	// The whole range statement is the head's node: InspectNode visits
+	// its operand and iteration variables but not its body.
+	head.Nodes = append(head.Nodes, s)
+	after := b.newBlock()
+	b.edge(head, after)
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after, contTo: head})
+
+	body := b.newBlock()
+	b.edge(head, body)
+	b.cur = body
+	b.stmtList(s.Body.List)
+	if b.cur != nil {
+		b.edge(b.cur, head)
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// switchBody builds the clause blocks of a switch or type switch whose
+// head expressions are already in the current block.
+func (b *cfgBuilder) switchBody(body *ast.BlockStmt) {
+	label := b.labelNext
+	b.labelNext = ""
+	head := b.ensure()
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+
+	var clauses []*ast.CaseClause
+	for _, cs := range body.List {
+		if cc, ok := cs.(*ast.CaseClause); ok {
+			clauses = append(clauses, cc)
+		}
+	}
+	entries := make([]*Block, len(clauses))
+	hasDefault := false
+	for i, cc := range clauses {
+		entries[i] = b.newBlock()
+		b.edge(head, entries[i])
+		if cc.List == nil {
+			hasDefault = true
+		}
+	}
+	if !hasDefault {
+		b.edge(head, after)
+	}
+	for i, cc := range clauses {
+		b.cur = entries[i]
+		for _, e := range cc.List {
+			b.add(e)
+		}
+		fell := false
+		for _, st := range cc.Body {
+			if br, ok := st.(*ast.BranchStmt); ok && br.Tok == token.FALLTHROUGH {
+				fell = true
+				break
+			}
+			b.stmt(st)
+		}
+		switch {
+		case fell && i+1 < len(entries):
+			if b.cur != nil {
+				b.edge(b.cur, entries[i+1])
+				b.cur = nil
+			}
+		case b.cur != nil:
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+func (b *cfgBuilder) selectStmt(s *ast.SelectStmt) {
+	label := b.labelNext
+	b.labelNext = ""
+	// The select statement is the head's node: analyzers inspect it for
+	// blocking semantics (a select without default blocks), and
+	// InspectNode stops at its body, whose statements live in the
+	// clause blocks below.
+	b.add(s)
+	head := b.ensure()
+	after := b.newBlock()
+	b.frames = append(b.frames, loopFrame{label: label, breakTo: after})
+	for _, cs := range s.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		entry := b.newBlock()
+		b.edge(head, entry)
+		b.cur = entry
+		if cc.Comm != nil {
+			b.stmt(cc.Comm)
+		}
+		b.stmtList(cc.Body)
+		if b.cur != nil {
+			b.edge(b.cur, after)
+		}
+	}
+	b.frames = b.frames[:len(b.frames)-1]
+	b.cur = after
+}
+
+// terminates classifies a call that ends its block: builtin panic
+// (TermPanic) or a never-returning process exit (TermProcessExit).
+// Ordinary calls return TermFall.
+func (b *cfgBuilder) terminates(call *ast.CallExpr) TermKind {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if b.info == nil {
+			if fun.Name == "panic" {
+				return TermPanic
+			}
+			return TermFall
+		}
+		if blt, ok := b.info.Uses[fun].(*types.Builtin); ok && blt.Name() == "panic" {
+			return TermPanic
+		}
+		if fn, ok := b.info.Uses[fun].(*types.Func); ok {
+			return exitKind(fn)
+		}
+	case *ast.SelectorExpr:
+		if b.info == nil {
+			return TermFall
+		}
+		if fn, ok := b.info.Uses[fun.Sel].(*types.Func); ok {
+			return exitKind(fn)
+		}
+	}
+	return TermFall
+}
+
+// exitKind reports whether fn never returns because it panics or exits
+// the process (or goroutine) outright.
+func exitKind(fn *types.Func) TermKind {
+	if fn.Pkg() == nil {
+		return TermFall
+	}
+	switch fn.Pkg().Path() {
+	case "os":
+		if fn.Name() == "Exit" {
+			return TermProcessExit
+		}
+	case "log":
+		switch fn.Name() {
+		case "Panic", "Panicf", "Panicln":
+			return TermPanic
+		case "Fatal", "Fatalf", "Fatalln":
+			return TermProcessExit
+		}
+	case "runtime":
+		if fn.Name() == "Goexit" {
+			return TermProcessExit
+		}
+	}
+	if fn.Name() == "Usagef" && fn.Pkg().Path() == internalCliutilPath {
+		return TermProcessExit
+	}
+	return TermFall
+}
+
+// internalCliutilPath is the one repository package whose helpers are
+// process exits the builder should know about.
+const internalCliutilPath = "repro/internal/cliutil"

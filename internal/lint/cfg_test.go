@@ -1,0 +1,495 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+// buildCFG parses src (a complete file with no imports), type-checks
+// it, and returns the CFG of the first function declaration.
+func buildCFG(t *testing.T, src string) (*CFG, *token.FileSet) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg_test.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	info := &types.Info{
+		Uses:  map[*ast.Ident]types.Object{},
+		Defs:  map[*ast.Ident]types.Object{},
+		Types: map[ast.Expr]types.TypeAndValue{},
+	}
+	conf := types.Config{Error: func(error) {}}
+	conf.Check("cfgtest", fset, []*ast.File{f}, info) // errors tolerated: fixtures are tiny
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+			return NewCFG(fd.Body, info), fset
+		}
+	}
+	t.Fatal("no function declaration in source")
+	return nil, nil
+}
+
+// findBlock returns the unique block holding a node matched by pred.
+func findBlock(t *testing.T, g *CFG, pred func(ast.Node) bool) *Block {
+	t.Helper()
+	var found *Block
+	for _, b := range g.Blocks {
+		for _, n := range b.Nodes {
+			hit := false
+			InspectNode(n, func(n ast.Node) bool {
+				if pred(n) {
+					hit = true
+				}
+				return true
+			})
+			if hit {
+				if found != nil && found != b {
+					t.Fatalf("node matched in two blocks (%d and %d)", found.Index, b.Index)
+				}
+				found = b
+			}
+		}
+	}
+	if found == nil {
+		t.Fatal("no block matched")
+	}
+	return found
+}
+
+// incOf matches the statement `name++`.
+func incOf(name string) func(ast.Node) bool {
+	return func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok || inc.Tok != token.INC {
+			return false
+		}
+		id, ok := inc.X.(*ast.Ident)
+		return ok && id.Name == name
+	}
+}
+
+// reachable reports the blocks reachable from Entry.
+func reachable(g *CFG) map[*Block]bool {
+	seen := map[*Block]bool{g.Entry: true}
+	stack := []*Block{g.Entry}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs {
+			if !seen[s] {
+				seen[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	return seen
+}
+
+func TestCFGStraightLine(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f() int {
+	x := 1
+	x++
+	return x
+}`)
+	if g.Exit != g.Blocks[len(g.Blocks)-1] {
+		t.Fatal("Exit is not the last block")
+	}
+	if len(g.Entry.Nodes) != 3 {
+		t.Fatalf("entry has %d nodes, want 3", len(g.Entry.Nodes))
+	}
+	if g.Entry.Term != TermReturn {
+		t.Fatalf("entry Term = %v, want TermReturn", g.Entry.Term)
+	}
+	if len(g.Entry.Succs) != 1 || g.Entry.Succs[0] != g.Exit {
+		t.Fatal("entry does not flow straight to Exit")
+	}
+}
+
+func TestCFGIfEarlyReturn(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	x := 0
+	if c {
+		return
+	}
+	x++
+	_ = x
+}`)
+	after := findBlock(t, g, incOf("x"))
+	if !reachable(g)[after] {
+		t.Fatal("code after the early return must stay reachable")
+	}
+	returns := 0
+	for _, b := range g.Blocks {
+		if b.Term == TermReturn {
+			returns++
+		}
+	}
+	if returns != 2 { // the explicit return and the implicit fall-off
+		t.Fatalf("got %d TermReturn blocks, want 2", returns)
+	}
+}
+
+func TestCFGForLoopBackEdge(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(n int) {
+	s := 0
+	for i := 0; i < n; i++ {
+		s++
+	}
+	s--
+	_ = s
+}`)
+	body := findBlock(t, g, incOf("s"))
+	after := findBlock(t, g, func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		return ok && inc.Tok == token.DEC
+	})
+	r := reachable(g)
+	if !r[body] || !r[after] {
+		t.Fatal("loop body and loop exit must both be reachable")
+	}
+	// The body must loop back: some path from body re-enters body.
+	onCycle := false
+	stack := append([]*Block{}, body.Succs...)
+	seen := map[*Block]bool{}
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b == body {
+			onCycle = true
+			break
+		}
+		if !seen[b] {
+			seen[b] = true
+			stack = append(stack, b.Succs...)
+		}
+	}
+	if !onCycle {
+		t.Fatal("no back edge: loop body cannot reach itself")
+	}
+}
+
+func TestCFGBreakAndContinue(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	for {
+		if c {
+			break
+		}
+		continue
+	}
+	x := 0
+	x++
+	_ = x
+}`)
+	after := findBlock(t, g, incOf("x"))
+	if !reachable(g)[after] {
+		t.Fatal("break must make the code after an infinite loop reachable")
+	}
+}
+
+func TestCFGUnreachableAfterInfiniteLoop(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f() {
+	x := 0
+	for {
+		x--
+	}
+	x++
+	_ = x
+}`)
+	dead := findBlock(t, g, incOf("x"))
+	if reachable(g)[dead] {
+		t.Fatal("code after a breakless for{} must be unreachable")
+	}
+}
+
+func TestCFGPanicTerminatesBlock(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	if c {
+		panic("boom")
+	}
+	x := 0
+	x++
+	_ = x
+}`)
+	pb := findBlock(t, g, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return false
+		}
+		id, ok := call.Fun.(*ast.Ident)
+		return ok && id.Name == "panic"
+	})
+	if pb.Term != TermPanic {
+		t.Fatalf("panic block Term = %v, want TermPanic", pb.Term)
+	}
+	if len(pb.Succs) != 1 || pb.Succs[0] != g.Exit {
+		t.Fatal("panic block must flow only to Exit")
+	}
+	if !reachable(g)[findBlock(t, g, incOf("x"))] {
+		t.Fatal("the non-panicking path must stay reachable")
+	}
+}
+
+func TestCFGSelectClauses(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(a, b chan int, done chan struct{}) {
+	x := 0
+	select {
+	case v := <-a:
+		_ = v
+	case b <- 1:
+		x++
+	case <-done:
+		return
+	}
+	_ = x
+}`)
+	head := findBlock(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.SelectStmt)
+		return ok
+	})
+	if len(head.Succs) != 3 {
+		t.Fatalf("select head has %d successors, want one per clause (3)", len(head.Succs))
+	}
+	// The send statement must land in a clause block, not in the head.
+	send := findBlock(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.SendStmt)
+		return ok
+	})
+	if send == head {
+		t.Fatal("comm statement leaked into the select head block")
+	}
+}
+
+func TestCFGSwitchDefaultAndFallthrough(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(n int) {
+	x := 0
+	switch n {
+	case 0:
+		x++
+		fallthrough
+	case 1:
+		x--
+	}
+	y := 0
+	y++
+	_, _ = x, y
+}`)
+	// Without a default clause the head must edge to after directly.
+	after := findBlock(t, g, incOf("y"))
+	if !reachable(g)[after] {
+		t.Fatal("switch without default must be able to skip all clauses")
+	}
+	case0 := findBlock(t, g, incOf("x"))
+	case1 := findBlock(t, g, func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		if !ok || inc.Tok != token.DEC {
+			return false
+		}
+		id, ok := inc.X.(*ast.Ident)
+		return ok && id.Name == "x"
+	})
+	linked := false
+	for _, s := range case0.Succs {
+		if s == case1 {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("fallthrough did not link case 0 to case 1")
+	}
+}
+
+func TestCFGGoto(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	x := 0
+	if c {
+		goto done
+	}
+	x++
+done:
+	_ = x
+}`)
+	gotoBlk := findBlock(t, g, func(n ast.Node) bool {
+		br, ok := n.(*ast.BranchStmt)
+		return ok && br.Tok == token.GOTO
+	})
+	label := findBlock(t, g, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return false
+		}
+		_, blank := a.Lhs[0].(*ast.Ident)
+		return blank && a.Lhs[0].(*ast.Ident).Name == "_"
+	})
+	linked := false
+	for _, s := range gotoBlk.Succs {
+		if s == label {
+			linked = true
+		}
+	}
+	if !linked {
+		t.Fatal("goto block does not edge to its label block")
+	}
+}
+
+func TestCFGDefersRecorded(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	defer func() {}()
+	if c {
+		defer func() {}()
+	}
+	go func() {
+		defer func() {}() // nested literal: belongs to its own CFG
+	}()
+}`)
+	if len(g.Defers) != 2 {
+		t.Fatalf("recorded %d defers, want 2 (nested literals excluded)", len(g.Defers))
+	}
+}
+
+func TestCFGRangeLoop(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(xs []int) {
+	s := 0
+	for _, v := range xs {
+		s += v
+	}
+	s++
+	_ = s
+}`)
+	head := findBlock(t, g, func(n ast.Node) bool {
+		_, ok := n.(*ast.RangeStmt)
+		return ok
+	})
+	body := findBlock(t, g, func(n ast.Node) bool {
+		a, ok := n.(*ast.AssignStmt)
+		return ok && a.Tok == token.ADD_ASSIGN
+	})
+	if head == body {
+		t.Fatal("range body statements leaked into the head block")
+	}
+	back := false
+	for _, s := range body.Succs {
+		if s == head {
+			back = true
+		}
+	}
+	if !back {
+		t.Fatal("range body does not loop back to the head")
+	}
+	if !reachable(g)[findBlock(t, g, incOf("s"))] {
+		t.Fatal("code after the range loop must be reachable")
+	}
+}
+
+func TestExitKindClassification(t *testing.T) {
+	sig := types.NewSignatureType(nil, nil, nil, nil, nil, false)
+	mk := func(pkg, name string) *types.Func {
+		return types.NewFunc(token.NoPos, types.NewPackage(pkg, pkg[strings.LastIndex(pkg, "/")+1:]), name, sig)
+	}
+	cases := []struct {
+		fn   *types.Func
+		want TermKind
+	}{
+		{mk("os", "Exit"), TermProcessExit},
+		{mk("log", "Fatalf"), TermProcessExit},
+		{mk("log", "Panicln"), TermPanic},
+		{mk("runtime", "Goexit"), TermProcessExit},
+		{mk(internalCliutilPath, "Usagef"), TermProcessExit},
+		{mk("fmt", "Println"), TermFall},
+		{mk("os", "Getenv"), TermFall},
+	}
+	for _, c := range cases {
+		if got := exitKind(c.fn); got != c.want {
+			t.Errorf("exitKind(%s.%s) = %v, want %v", c.fn.Pkg().Path(), c.fn.Name(), got, c.want)
+		}
+	}
+}
+
+func TestForwardFlowLoopFixpoint(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f(c bool) {
+	x := 0
+	for c {
+		x++
+	}
+	x--
+	_ = x
+}`)
+	body := findBlock(t, g, incOf("x"))
+	after := findBlock(t, g, func(n ast.Node) bool {
+		inc, ok := n.(*ast.IncDecStmt)
+		return ok && inc.Tok == token.DEC
+	})
+	in := FactsFlow(g, Facts{"entry": token.NoPos}, func(b *Block, s Facts) Facts {
+		if b == body {
+			out := s.Clone()
+			out["loop"] = token.NoPos
+			return out
+		}
+		return s
+	})
+	if _, ok := in[after]["entry"]; !ok {
+		t.Fatal("entry fact did not reach the block after the loop")
+	}
+	if _, ok := in[after]["loop"]; !ok {
+		t.Fatal("loop-generated fact did not flow around the back edge to the exit path")
+	}
+	if _, ok := in[body]["loop"]; !ok {
+		t.Fatal("loop-generated fact did not reach the body via the back edge (fixpoint did not iterate)")
+	}
+}
+
+func TestForwardFlowSkipsUnreachable(t *testing.T) {
+	g, _ := buildCFG(t, `package p
+func f() {
+	x := 0
+	for {
+		x--
+	}
+	x++
+	_ = x
+}`)
+	dead := findBlock(t, g, incOf("x"))
+	in := FactsFlow(g, Facts{}, func(b *Block, s Facts) Facts { return s })
+	if _, ok := in[dead]; ok {
+		t.Fatal("unreachable block must be absent from the flow result")
+	}
+}
+
+func TestFactsOps(t *testing.T) {
+	a := Facts{"l1": token.Pos(1)}
+	b := Facts{"l1": token.Pos(9), "l2": token.Pos(2)}
+	u := a.Union(b)
+	if len(u) != 2 || u["l1"] != token.Pos(1) || u["l2"] != token.Pos(2) {
+		t.Fatalf("Union = %v, want l1@1 and l2@2", u)
+	}
+	if len(a) != 1 || len(b) != 2 {
+		t.Fatal("Union mutated an argument")
+	}
+	if !u.SameKeys(Facts{"l1": 0, "l2": 0}) {
+		t.Fatal("SameKeys must ignore positions")
+	}
+	if u.SameKeys(a) {
+		t.Fatal("SameKeys must compare the full key set")
+	}
+	c := a.Clone()
+	c["l3"] = 3
+	if _, ok := a["l3"]; ok {
+		t.Fatal("Clone shares storage with the original")
+	}
+}

@@ -1,0 +1,109 @@
+package lint
+
+import "go/token"
+
+// This file is the dataflow half of the flow-sensitive layer: a
+// forward fixpoint solver over the CFGs built in cfg.go, plus the small
+// gen/kill fact-set lattice most analyzers need. The solver is
+// deliberately tiny — one generic worklist loop — because every client
+// so far (lockflow's may-held lock sets, goleak's spawn reachability)
+// is a monotone union-of-facts analysis that converges in a handful of
+// passes over the blocks of a function body.
+
+// ForwardFlow solves a forward dataflow problem over g and returns the
+// in-state of every reachable block. Unreachable blocks (dead code
+// after a terminating statement) are absent from the result; analyzers
+// replaying block effects should skip blocks without an entry.
+//
+// init is the entry block's in-state. merge joins the out-states of a
+// block's predecessors (it may mutate neither argument), equal decides
+// convergence, and transfer computes a block's out-state from its
+// in-state (again without mutating the input). For the fixpoint to
+// terminate, transfer and merge must be monotone over a finite lattice
+// — true by construction for the Facts gen/kill sets below.
+func ForwardFlow[S any](g *CFG, init S, merge func(S, S) S, equal func(S, S) bool, transfer func(*Block, S) S) map[*Block]S {
+	in := map[*Block]S{g.Entry: init}
+	queued := make([]bool, len(g.Blocks))
+	var work []*Block
+	push := func(b *Block) {
+		if !queued[b.Index] {
+			queued[b.Index] = true
+			work = append(work, b)
+		}
+	}
+	push(g.Entry)
+	for len(work) > 0 {
+		b := work[0]
+		work = work[1:]
+		queued[b.Index] = false
+		out := transfer(b, in[b])
+		for _, succ := range b.Succs {
+			cur, seen := in[succ]
+			if !seen {
+				in[succ] = out
+				push(succ)
+				continue
+			}
+			next := merge(cur, out)
+			if !equal(cur, next) {
+				in[succ] = next
+				push(succ)
+			}
+		}
+	}
+	return in
+}
+
+// Facts is the workhorse lattice for gen/kill analyses: a set of named
+// facts, each carrying the position that generated it so a diagnostic
+// can point at the origin (the Lock call, the go statement). Merge is
+// union — the may-analysis direction — and equality compares the key
+// set only, so the fixpoint is monotone regardless of which path's
+// position survives a merge.
+type Facts map[string]token.Pos
+
+// Clone returns an independent copy of s (never nil).
+func (s Facts) Clone() Facts {
+	out := make(Facts, len(s))
+	for k, v := range s {
+		out[k] = v
+	}
+	return out
+}
+
+// Union returns a new set holding every fact of s and t. On a key
+// collision s's position wins, keeping merge deterministic in argument
+// order.
+func (s Facts) Union(t Facts) Facts {
+	out := s.Clone()
+	for k, v := range t {
+		if _, ok := out[k]; !ok {
+			out[k] = v
+		}
+	}
+	return out
+}
+
+// SameKeys reports whether s and t contain the same fact names,
+// ignoring positions (two paths generating the same fact at different
+// sites are the same lattice point).
+func (s Facts) SameKeys(t Facts) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for k := range s {
+		if _, ok := t[k]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// FactsFlow runs ForwardFlow with the Facts lattice: union merge,
+// key-set equality.
+func FactsFlow(g *CFG, init Facts, transfer func(*Block, Facts) Facts) map[*Block]Facts {
+	return ForwardFlow(g, init,
+		func(a, b Facts) Facts { return a.Union(b) },
+		func(a, b Facts) bool { return a.SameKeys(b) },
+		transfer)
+}

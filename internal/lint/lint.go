@@ -58,6 +58,10 @@ type Pass struct {
 	Info  *types.Info
 
 	report func(Diagnostic)
+	// cfgs caches FuncCFG results. Run shares one map across the
+	// analyzers of a package so each function body is translated once
+	// per package, not once per analyzer.
+	cfgs map[ast.Node]*CFG
 }
 
 // Reportf records a finding at pos.

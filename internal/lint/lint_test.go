@@ -147,8 +147,47 @@ var todo = 1
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(diags) != 1 || diags[0].Analyzer != "todo" {
-		t.Fatalf("got %v, want the todo finding to survive", diags)
+	// The finding survives, and the directive — naming an analyzer that
+	// ran but flagged nothing here — is reported as stale.
+	var sawFinding, sawStale bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "todo":
+			sawFinding = true
+		case IgnoreAnalyzerName:
+			sawStale = true
+			if !strings.Contains(d.Message, "stale suppression") {
+				t.Errorf("ignore diagnostic = %q, want a stale-suppression message", d.Message)
+			}
+		}
+	}
+	if !sawFinding || !sawStale || len(diags) != 2 {
+		t.Fatalf("got %v, want the todo finding plus a stale-suppression report", diags)
+	}
+}
+
+func TestStaleSuppressionIsFlagged(t *testing.T) {
+	diags := run(t, `package p
+
+//lint:ignore noiselint/todo nothing on the next line triggers it anymore
+var x = 1
+`)
+	if len(diags) != 1 || diags[0].Analyzer != IgnoreAnalyzerName {
+		t.Fatalf("got %v, want one noiselint/ignore diagnostic", diags)
+	}
+	if !strings.Contains(diags[0].Message, "stale suppression") {
+		t.Errorf("message = %q, want stale-suppression report", diags[0].Message)
+	}
+}
+
+func TestLiveSuppressionNotStale(t *testing.T) {
+	diags := run(t, `package p
+
+//lint:ignore noiselint/todo exercised by the var below
+var todo = 1
+`)
+	if len(diags) != 0 {
+		t.Fatalf("live suppression misreported: %v", diags)
 	}
 }
 

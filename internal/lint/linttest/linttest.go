@@ -11,6 +11,7 @@ import (
 	"go/ast"
 	"go/parser"
 	"go/token"
+	"go/types"
 	"os"
 	"path/filepath"
 	"regexp"
@@ -66,11 +67,33 @@ type want struct {
 
 var wantRE = regexp.MustCompile(`// want (.*)$`)
 
+// fixtureImporter resolves the subdirectory packages of a multi-package
+// fixture from their freshly checked form and everything else from the
+// module's export data.
+type fixtureImporter struct {
+	base types.Importer
+	deps map[string]*types.Package
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if p, ok := fi.deps[path]; ok {
+		return p, nil
+	}
+	return fi.base.Import(path)
+}
+
 // TestAnalyzer runs a through the framework (suppression directives
 // included) over the testdata package in srcDir, type-checked under
 // importPath, and compares the diagnostics against the package's
 // `// want` comments. Choosing importPath places the fake package in or
 // out of an analyzer's scope exactly like a real tree package.
+//
+// A subdirectory of srcDir is a dependency package: it is type-checked
+// first, becomes importable from the fixture as importPath/<subdir>,
+// and is not itself analyzed (cross-package rules like goleak's
+// lifecycle-parameter check need real imported signatures, not just
+// export data of the production tree). Subdirectories are checked in
+// name order, so a dep may import an earlier-named sibling.
 func TestAnalyzer(t *testing.T, a *lint.Analyzer, srcDir, importPath string) {
 	t.Helper()
 	_, exports, err := moduleExports()
@@ -82,10 +105,21 @@ func TestAnalyzer(t *testing.T, a *lint.Analyzer, srcDir, importPath string) {
 		t.Fatal(err)
 	}
 	fset := token.NewFileSet()
+	imp := &fixtureImporter{base: exports.Importer(fset), deps: map[string]*types.Package{}}
 	var files []*ast.File
 	var wants []*want
 	for _, e := range entries {
-		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+		if e.IsDir() {
+			depPath := importPath + "/" + e.Name()
+			depFiles := parseDir(t, fset, filepath.Join(srcDir, e.Name()))
+			depPkg, _, err := lint.Check(depPath, fset, depFiles, imp)
+			if err != nil {
+				t.Fatalf("type-checking fixture dependency %s: %v", depPath, err)
+			}
+			imp.deps[depPath] = depPkg
+			continue
+		}
+		if filepath.Ext(e.Name()) != ".go" {
 			continue
 		}
 		path := filepath.Join(srcDir, e.Name())
@@ -103,7 +137,7 @@ func TestAnalyzer(t *testing.T, a *lint.Analyzer, srcDir, importPath string) {
 	if len(files) == 0 {
 		t.Fatalf("no Go files in %s", srcDir)
 	}
-	pkg, info, err := lint.Check(importPath, fset, files, exports.Importer(fset))
+	pkg, info, err := lint.Check(importPath, fset, files, imp)
 	if err != nil {
 		t.Fatalf("type-checking %s: %v", srcDir, err)
 	}
@@ -128,6 +162,30 @@ func TestAnalyzer(t *testing.T, a *lint.Analyzer, srcDir, importPath string) {
 			t.Errorf("%s:%d: no diagnostic matching %q", w.file, w.line, w.pattern)
 		}
 	}
+}
+
+// parseDir parses every .go file of one fixture-dependency directory.
+func parseDir(t *testing.T, fset *token.FileSet, dir string) []*ast.File {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no Go files in fixture dependency %s", dir)
+	}
+	return files
 }
 
 // parseWants extracts the expectations of one file. Every quoted string

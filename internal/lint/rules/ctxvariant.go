@@ -12,10 +12,12 @@ import (
 // analysis entry points (exported Analyze*/Run*/Simulate* functions in
 // internal packages) must either take a context.Context themselves or
 // ship a delegating ...Context twin, so every pipeline stage can be
-// canceled end to end. Library code must not mint its own root context:
+// canceled end to end. Module code must not mint its own root context:
 // context.Background()/context.TODO() calls are confined to the
 // non-Context half of such a twin pair, where they exist only to feed
-// the Context variant.
+// the Context variant. The twin requirement applies to internal/...
+// only; the root-context ban also covers cmd/..., where commands get
+// their signal-wired context from cliutil.Context instead.
 var CtxVariant = &lint.Analyzer{
 	Name: "ctxvariant",
 	Doc: "exported Analyze*/Run*/Simulate* entry points need a ...Context twin, " +
@@ -28,7 +30,7 @@ var CtxVariant = &lint.Analyzer{
 var entryPrefixes = []string{"Analyze", "Run", "Simulate"}
 
 func runCtxVariant(pass *lint.Pass) error {
-	if !inInternal(pass.Path) {
+	if !inModule(pass.Path) {
 		return nil
 	}
 	// Index every function declaration of the package by
@@ -41,7 +43,13 @@ func runCtxVariant(pass *lint.Pass) error {
 			}
 		}
 	}
-	for key, fd := range decls {
+	// The twin requirement serves callers, and commands are leaves:
+	// nothing calls into cmd/..., so only internal packages owe twins.
+	twinScope := decls
+	if !inInternal(pass.Path) {
+		twinScope = nil
+	}
+	for key, fd := range twinScope {
 		name := fd.Name.Name
 		if !ast.IsExported(name) || strings.HasSuffix(name, "Context") {
 			continue
@@ -83,9 +91,15 @@ func runCtxVariant(pass *lint.Pass) error {
 					return true
 				}
 				if !allowed {
-					pass.Reportf(call.Pos(),
-						"library code must not call context.%s; accept a context.Context (or add a %sContext twin that does)",
-						fn.Name(), fd.Name.Name)
+					if inInternal(pass.Path) {
+						pass.Reportf(call.Pos(),
+							"library code must not call context.%s; accept a context.Context (or add a %sContext twin that does)",
+							fn.Name(), fd.Name.Name)
+					} else {
+						pass.Reportf(call.Pos(),
+							"command code must not call context.%s; use cliutil.Context for a signal-wired root context",
+							fn.Name())
+					}
 				}
 				return true
 			})

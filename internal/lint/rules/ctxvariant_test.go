@@ -10,6 +10,10 @@ func TestCtxVariant(t *testing.T) {
 	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant", "repro/internal/ctxvariantdata")
 }
 
-func TestCtxVariantSkipsCommands(t *testing.T) {
-	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant_outofscope", "repro/cmd/ctxvariantdata")
+func TestCtxVariantInCommands(t *testing.T) {
+	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant_cmd", "repro/cmd/ctxvariantdata")
+}
+
+func TestCtxVariantSkipsPackagesOutsideModuleScope(t *testing.T) {
+	linttest.TestAnalyzer(t, CtxVariant, "testdata/ctxvariant_outofscope", "repro/examples/ctxvariantdata")
 }

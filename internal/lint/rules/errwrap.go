@@ -15,6 +15,9 @@ import (
 // callers can classify failures with errors.Is instead of string
 // matching. A bare fmt.Errorf severs the chain: the CLI loses the
 // exit-code mapping and the batch runner loses its per-class metrics.
+// The chain-severing check (an error value formatted with %v instead of
+// %w) also covers cmd/...: a command that re-wraps an engine error with
+// %v strips the class the exit-code mapping needs.
 var ErrWrap = &lint.Analyzer{
 	Name: "errwrap",
 	Doc: "errors created in pipeline packages must wrap a noiseerr class sentinel " +
@@ -33,7 +36,7 @@ var errwrapPackages = []string{
 }
 
 func runErrWrap(pass *lint.Pass) error {
-	if !inInternal(pass.Path) {
+	if !inModule(pass.Path) {
 		return nil
 	}
 	inScope := inPackages(pass.Path, errwrapPackages...)

@@ -10,6 +10,10 @@ func TestErrWrap(t *testing.T) {
 	linttest.TestAnalyzer(t, ErrWrap, "testdata/errwrap", "repro/internal/sweep/errwrapdata")
 }
 
+func TestErrWrapInCommands(t *testing.T) {
+	linttest.TestAnalyzer(t, ErrWrap, "testdata/errwrap_cmd", "repro/cmd/errwrapdata")
+}
+
 func TestErrWrapOutsidePipelineScope(t *testing.T) {
 	linttest.TestAnalyzer(t, ErrWrap, "testdata/errwrap_outofscope", "repro/internal/stats/errwrapdata")
 }

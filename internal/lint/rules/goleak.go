@@ -1,0 +1,374 @@
+package rules
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// GoLeak enforces the goroutine lifecycle discipline the pool, the
+// server, and the coming scatter-gather coordinator depend on: a
+// spawned goroutine must be bounded by something its spawner controls.
+// Concretely, every `go` statement must be lifecycle-bound — the
+// goroutine selects on a context.Context/done channel, is joined
+// through a sync.WaitGroup, drains a channel the spawner closes, or
+// delegates to a callee that takes one of those — and an unbuffered
+// channel send inside a spawned goroutine must sit in a select with a
+// cancellation arm (or a default), because a bare send blocks forever
+// the moment the receiver stops listening, which is exactly the leak
+// shape a cancelled scatter-gather merge produces.
+var GoLeak = &lint.Analyzer{
+	Name: "goleak",
+	Doc: "go statements must be lifecycle-bound (context/done select, WaitGroup " +
+		"join, channel drain, or a lifecycle-taking callee), and unbuffered sends " +
+		"in spawned goroutines must sit in a select with a cancellation arm",
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *lint.Pass) error {
+	if !inModule(pass.Path) {
+		return nil
+	}
+	unbuffered := unbufferedChans(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			g, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			if !spawnBounded(pass.Info, g) {
+				pass.Reportf(g.Pos(), "goroutine is not lifecycle-bound: select on a "+
+					"context.Context/done channel, join it with a sync.WaitGroup before "+
+					"returning, or pass one to the callee")
+			}
+			if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+				checkSpawnedSends(pass, lit.Body, unbuffered)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// spawnBounded reports whether the spawned call is lifecycle-bound.
+func spawnBounded(info *types.Info, g *ast.GoStmt) bool {
+	// A lifecycle value handed to the callee binds the goroutine to it.
+	for _, arg := range g.Call.Args {
+		if tv, ok := info.Types[arg]; ok && isLifecycleType(tv.Type) {
+			return true
+		}
+	}
+	if lit, ok := ast.Unparen(g.Call.Fun).(*ast.FuncLit); ok {
+		return bodyBounded(info, lit.Body)
+	}
+	// Named spawn: judge the callee's signature. Dynamic calls (func
+	// values) with no lifecycle argument stay unbounded.
+	if fn := callee(info, g.Call); fn != nil {
+		return signatureBounded(fn)
+	}
+	return false
+}
+
+// bodyBounded reports whether a goroutine body contains a bounding
+// construct: a receive from a done channel (ctx.Done() included, by its
+// <-chan struct{} type), a WaitGroup.Done call, a range over a channel
+// the spawner can close, or a call into a function that takes a
+// lifecycle value.
+func bodyBounded(info *types.Info, body *ast.BlockStmt) bool {
+	bounded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if bounded {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if tv, ok := info.Types[n.X]; ok && isDoneChan(tv.Type) {
+					bounded = true
+				}
+			}
+		case *ast.RangeStmt:
+			if tv, ok := info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					bounded = true
+				}
+			}
+		case *ast.CallExpr:
+			if fn := callee(info, n); fn != nil {
+				if isWaitGroupDone(fn) || signatureBounded(fn) {
+					bounded = true
+				}
+			}
+			for _, arg := range n.Args {
+				if tv, ok := info.Types[arg]; ok && isLifecycleType(tv.Type) {
+					bounded = true
+				}
+			}
+		}
+		return !bounded
+	})
+	return bounded
+}
+
+// signatureBounded reports whether fn accepts a lifecycle value (its
+// caller can cancel or join it through the parameter).
+func signatureBounded(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		if isLifecycleType(params.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isLifecycleType reports whether t carries goroutine lifecycle:
+// context.Context, a struct{} channel, or a *sync.WaitGroup.
+func isLifecycleType(t types.Type) bool {
+	if isContextType(t) || isDoneChan(t) {
+		return true
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		return isWaitGroupType(p.Elem())
+	}
+	return false
+}
+
+func isContextType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "context" && obj.Name() == "Context"
+}
+
+// isDoneChan reports whether t is a channel of empty struct (any
+// direction) — the conventional cancellation signal, and the type of
+// ctx.Done().
+func isDoneChan(t types.Type) bool {
+	ch, ok := t.Underlying().(*types.Chan)
+	if !ok {
+		return false
+	}
+	st, ok := ch.Elem().Underlying().(*types.Struct)
+	return ok && st.NumFields() == 0
+}
+
+func isWaitGroupType(t types.Type) bool {
+	n, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == "sync" && obj.Name() == "WaitGroup"
+}
+
+func isWaitGroupDone(fn *types.Func) bool {
+	if fn.Name() != "Done" || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	return ok && sig.Recv() != nil
+}
+
+// unbufferedChans maps channel variables to whether any of their
+// package-local make sites is provably unbuffered (no capacity, or a
+// constant zero capacity). Channels of unknown origin — parameters,
+// fields, cross-package values — are absent and never flagged: the
+// analyzer only reports sends it can prove block.
+func unbufferedChans(pass *lint.Pass) map[types.Object]bool {
+	out := map[types.Object]bool{}
+	record := func(lhs ast.Expr, rhs ast.Expr) {
+		id, ok := lhs.(*ast.Ident)
+		if !ok {
+			return
+		}
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		if obj == nil {
+			return
+		}
+		call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || id.Name != "make" {
+			return
+		}
+		tv, ok := pass.Info.Types[rhs]
+		if !ok || tv.Type == nil {
+			return
+		}
+		if _, isChan := tv.Type.Underlying().(*types.Chan); !isChan {
+			return
+		}
+		if len(call.Args) < 2 {
+			out[obj] = true
+			return
+		}
+		if tv, ok := pass.Info.Types[call.Args[1]]; ok && tv.Value != nil {
+			if cap, ok := constant.Int64Val(tv.Value); ok && cap == 0 {
+				out[obj] = true
+			}
+		}
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				if len(n.Lhs) == len(n.Rhs) {
+					for i := range n.Lhs {
+						record(n.Lhs[i], n.Rhs[i])
+					}
+				}
+			case *ast.ValueSpec:
+				if len(n.Names) == len(n.Values) {
+					for i := range n.Names {
+						record(n.Names[i], n.Values[i])
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkSpawnedSends flags provably unbuffered sends in a goroutine body
+// that are not guarded by a select with a cancellation arm or default.
+// Nested go statements are skipped — they are spawns in their own right
+// and get their own visit.
+func checkSpawnedSends(pass *lint.Pass, body *ast.BlockStmt, unbuffered map[types.Object]bool) {
+	var walk func(n ast.Node, sel *ast.SelectStmt)
+	walkStmts := func(list []ast.Stmt, sel *ast.SelectStmt) {
+		for _, s := range list {
+			walk(s, sel)
+		}
+	}
+	walk = func(n ast.Node, sel *ast.SelectStmt) {
+		switch n := n.(type) {
+		case nil:
+			return
+		case *ast.GoStmt:
+			return
+		case *ast.SendStmt:
+			if !sendIsProvablyUnbuffered(pass.Info, n, unbuffered) {
+				return
+			}
+			if sel == nil || !selectHasEscapeArm(pass.Info, sel, n) {
+				pass.Reportf(n.Pos(), "unbuffered channel send in spawned goroutine "+
+					"must sit in a select with a cancellation arm (the send blocks "+
+					"forever once the receiver is gone)")
+			}
+		case *ast.SelectStmt:
+			for _, cs := range n.Body.List {
+				cc, ok := cs.(*ast.CommClause)
+				if !ok {
+					continue
+				}
+				// The comm statement is guarded by this select; the
+				// clause body is past the rendezvous and is not.
+				walk(cc.Comm, n)
+				walkStmts(cc.Body, nil)
+			}
+		case *ast.BlockStmt:
+			walkStmts(n.List, sel)
+		case *ast.IfStmt:
+			walk(n.Init, sel)
+			walk(n.Body, sel)
+			walk(n.Else, sel)
+		case *ast.ForStmt:
+			walk(n.Init, sel)
+			walk(n.Post, sel)
+			walk(n.Body, sel)
+		case *ast.RangeStmt:
+			walk(n.Body, sel)
+		case *ast.SwitchStmt:
+			walk(n.Init, sel)
+			walk(n.Body, sel)
+		case *ast.TypeSwitchStmt:
+			walk(n.Init, sel)
+			walk(n.Body, sel)
+		case *ast.CaseClause:
+			walkStmts(n.Body, sel)
+		case *ast.LabeledStmt:
+			walk(n.Stmt, sel)
+		case *ast.DeferStmt:
+			if lit, ok := ast.Unparen(n.Call.Fun).(*ast.FuncLit); ok {
+				walk(lit.Body, sel)
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(n.X).(*ast.CallExpr); ok {
+				if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+					walk(lit.Body, sel)
+				}
+			}
+		}
+	}
+	walk(body, nil)
+}
+
+// sendIsProvablyUnbuffered reports whether the send's channel resolves
+// to a package-local variable with a provably unbuffered make site.
+func sendIsProvablyUnbuffered(info *types.Info, s *ast.SendStmt, unbuffered map[types.Object]bool) bool {
+	id, ok := ast.Unparen(s.Chan).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	obj := info.Uses[id]
+	if obj == nil {
+		obj = info.Defs[id]
+	}
+	return obj != nil && unbuffered[obj]
+}
+
+// selectHasEscapeArm reports whether sel can abandon the send: a
+// default clause, or a receive arm on a done channel.
+func selectHasEscapeArm(info *types.Info, sel *ast.SelectStmt, send *ast.SendStmt) bool {
+	for _, cs := range sel.Body.List {
+		cc, ok := cs.(*ast.CommClause)
+		if !ok {
+			continue
+		}
+		if cc.Comm == nil {
+			return true // default: the send is non-blocking
+		}
+		if cc.Comm == ast.Stmt(send) {
+			continue
+		}
+		if recvIsDone(info, cc.Comm) {
+			return true
+		}
+	}
+	return false
+}
+
+// recvIsDone reports whether a comm statement receives from a done
+// channel (ctx.Done() included).
+func recvIsDone(info *types.Info, comm ast.Stmt) bool {
+	var rhs ast.Expr
+	switch comm := comm.(type) {
+	case *ast.ExprStmt:
+		rhs = comm.X
+	case *ast.AssignStmt:
+		if len(comm.Rhs) == 1 {
+			rhs = comm.Rhs[0]
+		}
+	}
+	u, ok := ast.Unparen(rhs).(*ast.UnaryExpr)
+	if !ok || u.Op != token.ARROW {
+		return false
+	}
+	tv, ok := info.Types[u.X]
+	return ok && isDoneChan(tv.Type)
+}

@@ -1,0 +1,15 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestGoLeak(t *testing.T) {
+	linttest.TestAnalyzer(t, GoLeak, "testdata/goleak", "repro/internal/goleakdata")
+}
+
+func TestGoLeakSkipsPackagesOutsideModuleScope(t *testing.T) {
+	linttest.TestAnalyzer(t, GoLeak, "testdata/goleak_outofscope", "repro/examples/goleakdata")
+}

@@ -1,0 +1,274 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// HotAlloc turns the zero-allocation guarantee of the solver kernels
+// from a benchmark-gated property into a compile-time one. A function
+// annotated with a `//lint:hot` comment (on its doc comment or the line
+// above the declaration) is a steady-state stepping path: the lsim and
+// nlsim time loops, the waveform series ops, the linalg solve-into
+// workspaces. Inside one, the analyzer flags the constructs that
+// allocate per call or per iteration:
+//
+//   - append (it may grow and reallocate the backing array — hot paths
+//     write into preallocated workspaces instead);
+//   - make with a non-constant size (a constant-size make can stay on
+//     the stack, a dynamic one cannot);
+//   - slice/map composite literals and address-taken composite
+//     literals (both escape to the heap);
+//   - float values boxed into interface parameters (every box is an
+//     allocation; fmt-style calls belong on the error path);
+//   - closures capturing loop variables (one closure allocation per
+//     iteration).
+//
+// Cold paths inside a hot function are exempt where the CFG proves
+// them cold: blocks that terminate in a panic, and arguments to
+// error-constructing callees (anything returning an error), are
+// error-path work that only runs when the step already failed.
+var HotAlloc = &lint.Analyzer{
+	Name: "hotalloc",
+	Doc: "//lint:hot functions must not allocate: no append, non-constant make, " +
+		"escaping composite literals, float-to-interface boxing, or loop-variable closures",
+	Run: runHotAlloc,
+}
+
+// hotDirective marks a function as a steady-state allocation-free path.
+const hotDirective = "//lint:hot"
+
+func runHotAlloc(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		hotLines := map[int]bool{}
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, hotDirective) {
+					hotLines[pass.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		if len(hotLines) == 0 {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotFunc(pass, fd, hotLines) {
+				continue
+			}
+			checkHotBlocks(pass, fd)
+			checkLoopClosures(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotFunc reports whether fd carries the hot directive: in its doc
+// comment or on the line immediately above the declaration.
+func isHotFunc(pass *lint.Pass, fd *ast.FuncDecl, hotLines map[int]bool) bool {
+	if fd.Doc != nil {
+		for _, c := range fd.Doc.List {
+			if strings.HasPrefix(c.Text, hotDirective) {
+				return true
+			}
+		}
+	}
+	return hotLines[pass.Fset.Position(fd.Pos()).Line-1]
+}
+
+// checkHotBlocks walks the function's CFG and flags allocating
+// constructs in every block that is not a proven cold path.
+func checkHotBlocks(pass *lint.Pass, fd *ast.FuncDecl) {
+	cfg := pass.FuncCFG(fd)
+	if cfg == nil {
+		return
+	}
+	for _, b := range cfg.Blocks {
+		if b.Term == lint.TermPanic {
+			// The block ends in a panic: failure-path work (building
+			// the panic message, say) is not steady-state.
+			continue
+		}
+		for _, n := range b.Nodes {
+			lint.InspectNode(n, func(m ast.Node) bool {
+				switch m := m.(type) {
+				case *ast.CallExpr:
+					return checkHotCall(pass, m)
+				case *ast.UnaryExpr:
+					if m.Op == token.AND {
+						if _, ok := ast.Unparen(m.X).(*ast.CompositeLit); ok {
+							pass.Reportf(m.Pos(), "address-taken composite literal escapes to the "+
+								"heap in a hot function; reuse a preallocated value")
+						}
+					}
+				case *ast.CompositeLit:
+					if tv, ok := pass.Info.Types[m]; ok && tv.Type != nil {
+						switch tv.Type.Underlying().(type) {
+						case *types.Slice, *types.Map:
+							pass.Reportf(m.Pos(), "slice/map literal allocates on every call of a "+
+								"hot function; hoist it to a package variable or a workspace")
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+}
+
+// checkHotCall flags allocating calls; it returns false to skip the
+// arguments of exempt (error-path) callees.
+func checkHotCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if blt, ok := pass.Info.Uses[id].(*types.Builtin); ok {
+			switch blt.Name() {
+			case "append":
+				pass.Reportf(call.Pos(), "append in a hot function may grow and reallocate; "+
+					"write into a preallocated workspace (grow only in setup code)")
+			case "make":
+				for _, arg := range call.Args[1:] {
+					if tv, ok := pass.Info.Types[arg]; !ok || tv.Value == nil {
+						pass.Reportf(call.Pos(), "make with a non-constant size allocates in a "+
+							"hot function; size the workspace once in setup code")
+						break
+					}
+				}
+			}
+			return true
+		}
+	}
+	// A conversion to an interface type boxes its operand.
+	if tv, ok := pass.Info.Types[call.Fun]; ok && tv.IsType() {
+		if _, isIface := tv.Type.Underlying().(*types.Interface); isIface && len(call.Args) == 1 {
+			if isFloatExpr(pass, call.Args[0]) {
+				pass.Reportf(call.Pos(), "float converted to interface allocates a box in a "+
+					"hot function; keep the value concrete")
+			}
+		}
+		return true
+	}
+	fn := callee(pass.Info, call)
+	if fn == nil {
+		return true
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return true
+	}
+	if returnsError(sig) {
+		// Error constructors (noiseerr.Numericalf and friends) only run
+		// on the failure path; their boxing is cold by definition.
+		return false
+	}
+	params := sig.Params()
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if sl, ok := params.At(params.Len() - 1).Type().(*types.Slice); ok {
+				pt = sl.Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt == nil {
+			continue
+		}
+		if _, isIface := pt.Underlying().(*types.Interface); isIface && isFloatExpr(pass, arg) {
+			pass.Reportf(arg.Pos(), "float argument boxed into an interface parameter allocates "+
+				"in a hot function; move the formatting to the error path")
+		}
+	}
+	return true
+}
+
+func returnsError(sig *types.Signature) bool {
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if named, ok := res.At(i).Type().(*types.Named); ok {
+			obj := named.Obj()
+			if obj.Pkg() == nil && obj.Name() == "error" {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkLoopClosures flags function literals created inside a loop that
+// capture that loop's iteration variables: one heap-allocated closure
+// per iteration.
+func checkLoopClosures(pass *lint.Pass, fd *ast.FuncDecl) {
+	var active []map[types.Object]bool
+	capturesActive := func(lit *ast.FuncLit) bool {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok || found {
+				return !found
+			}
+			obj := pass.Info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, vars := range active {
+				if vars[obj] {
+					found = true
+				}
+			}
+			return !found
+		})
+		return found
+	}
+	var walk func(n ast.Node)
+	walk = func(n ast.Node) {
+		ast.Inspect(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.ForStmt:
+				vars := map[types.Object]bool{}
+				if init, ok := m.Init.(*ast.AssignStmt); ok {
+					for _, lhs := range init.Lhs {
+						if id, ok := lhs.(*ast.Ident); ok {
+							if obj := pass.Info.Defs[id]; obj != nil {
+								vars[obj] = true
+							}
+						}
+					}
+				}
+				active = append(active, vars)
+				walk(m.Body)
+				active = active[:len(active)-1]
+				return false
+			case *ast.RangeStmt:
+				vars := map[types.Object]bool{}
+				for _, e := range []ast.Expr{m.Key, m.Value} {
+					if id, ok := e.(*ast.Ident); ok {
+						if obj := pass.Info.Defs[id]; obj != nil {
+							vars[obj] = true
+						}
+					}
+				}
+				active = append(active, vars)
+				walk(m.Body)
+				active = active[:len(active)-1]
+				return false
+			case *ast.FuncLit:
+				if len(active) > 0 && capturesActive(m) {
+					pass.Reportf(m.Pos(), "closure capturing a loop variable allocates once per "+
+						"iteration in a hot function; hoist the closure or pass the value as a parameter")
+				}
+				// Keep walking: the literal may itself contain loops
+				// with their own capturing closures.
+			}
+			return true
+		})
+	}
+	walk(fd.Body)
+}

@@ -1,0 +1,11 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestHotAlloc(t *testing.T) {
+	linttest.TestAnalyzer(t, HotAlloc, "testdata/hotalloc", "repro/internal/hotallocdata")
+}

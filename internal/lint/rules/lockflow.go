@@ -1,0 +1,366 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// LockFlow is the flow-sensitive mutex discipline check. It runs a
+// may-held lock-set dataflow over each function's CFG and reports
+// three hazards the compiler and vet cannot see together:
+//
+//   - a Lock with no Unlock reachable on some path out of the function
+//     (early returns and panic edges included) — the classic leak that
+//     deadlocks the next caller;
+//   - a lock held across a blocking operation (channel send/receive, a
+//     select without default, WaitGroup/Cond Wait, sleeps, HTTP and
+//     file I/O) — the shape that turns one slow request into a
+//     pile-up behind the mutex;
+//   - a mutex-bearing type copied by value through a receiver or
+//     parameter, which silently forks the lock.
+//
+// Deferred unlocks are credited on every exit edge. The analysis keys
+// locks by their receiver expression spelling, so aliasing through
+// assignment is invisible to it — the repository convention of locking
+// named struct fields (s.mu) keeps that sound in practice.
+var LockFlow = &lint.Analyzer{
+	Name: "lockflow",
+	Doc: "flow-sensitive mutex discipline: every Lock needs an Unlock on every " +
+		"path, no lock held across blocking calls, no mutex copied by value",
+	Run: runLockFlow,
+}
+
+func runLockFlow(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				checkMutexCopies(pass, n.Recv, n.Type)
+				lockflowFunc(pass, n)
+			case *ast.FuncLit:
+				checkMutexCopies(pass, nil, n.Type)
+				lockflowFunc(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// lockKind tags a fact with the half of an RWMutex it holds, so an
+// RUnlock cannot release a write lock.
+const (
+	lockKindWrite = "/w"
+	lockKindRead  = "/r"
+)
+
+// lockflowFunc runs the may-held analysis over one function body.
+// Nested function literals are visited separately by runLockFlow; their
+// bodies are excluded from this function's CFG by construction.
+func lockflowFunc(pass *lint.Pass, fn ast.Node) {
+	cfg := pass.FuncCFG(fn)
+	if cfg == nil {
+		return
+	}
+	// Fast path: a function that never locks (the overwhelming majority)
+	// needs no flow solve. A lock live only mid-block never reaches an
+	// out-state, so this must scan the nodes, not the solved states.
+	if !acquiresLock(pass, cfg) {
+		return
+	}
+	replay := func(b *lint.Block, in lint.Facts, report bool) lint.Facts {
+		return replayLocks(pass, b, in, report)
+	}
+	in := lint.FactsFlow(cfg, lint.Facts{}, func(b *lint.Block, s lint.Facts) lint.Facts {
+		return replay(b, s, false)
+	})
+	// Second pass over the solved states: report blocking ops under a
+	// held lock, block by block from each in-state.
+	for _, b := range cfg.Blocks {
+		if s, ok := in[b]; ok {
+			replay(b, s, true)
+		}
+	}
+	// Exit-edge audit: whatever is still held when a return or panic
+	// block transfers to Exit must be covered by a deferred unlock.
+	// TermProcessExit edges are exempt — the process is gone.
+	deferred := deferredUnlockKeys(pass, cfg)
+	leaked := map[string]token.Pos{}
+	for _, b := range cfg.Blocks {
+		if b.Term != lint.TermReturn && b.Term != lint.TermPanic {
+			continue
+		}
+		s, ok := in[b]
+		if !ok {
+			continue
+		}
+		for key, pos := range replay(b, s, false) {
+			if !deferred[key] {
+				leaked[key] = pos
+			}
+		}
+	}
+	for key, pos := range leaked {
+		pass.Reportf(pos, "mutex %s locked here is not unlocked on every path out of the function "+
+			"(early returns and panics included); unlock it or defer the unlock", lockKeyExpr(key))
+	}
+}
+
+// acquiresLock reports whether any block of the CFG calls a mutex Lock
+// or RLock method.
+func acquiresLock(pass *lint.Pass, cfg *lint.CFG) bool {
+	found := false
+	for _, b := range cfg.Blocks {
+		for _, n := range b.Nodes {
+			lint.InspectNode(n, func(m ast.Node) bool {
+				if call, ok := m.(*ast.CallExpr); ok {
+					if _, name, ok := mutexMethod(pass.Info, call); ok && (name == "Lock" || name == "RLock") {
+						found = true
+					}
+				}
+				return !found
+			})
+			if found {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// replayLocks applies one block's lock effects to a held-set copy,
+// optionally reporting blocking operations performed under a held lock.
+func replayLocks(pass *lint.Pass, b *lint.Block, in lint.Facts, report bool) lint.Facts {
+	held := in.Clone()
+	reportHeld := func(pos token.Pos, what string) {
+		if !report {
+			return
+		}
+		for key := range held {
+			pass.Reportf(pos, "lock %s is held across %s; release it first (a blocked "+
+				"holder stalls every other user of the mutex)", lockKeyExpr(key), what)
+		}
+	}
+	for _, n := range b.Nodes {
+		if _, isDefer := n.(*ast.DeferStmt); isDefer {
+			// Deferred effects run on exit edges; deferredUnlockKeys
+			// credits them there.
+			continue
+		}
+		switch n := n.(type) {
+		case *ast.SelectStmt:
+			if !selectHasDefault(n) {
+				reportHeld(n.Pos(), "a select with no default")
+			}
+			continue
+		case *ast.RangeStmt:
+			if tv, ok := pass.Info.Types[n.X]; ok {
+				if _, isChan := tv.Type.Underlying().(*types.Chan); isChan {
+					reportHeld(n.Pos(), "a channel range")
+				}
+			}
+			continue
+		}
+		lint.InspectNode(n, func(m ast.Node) bool {
+			switch m := m.(type) {
+			case *ast.SendStmt:
+				reportHeld(m.Pos(), "a channel send")
+			case *ast.UnaryExpr:
+				if m.Op == token.ARROW {
+					reportHeld(m.Pos(), "a channel receive")
+				}
+			case *ast.CallExpr:
+				if recv, name, ok := mutexMethod(pass.Info, m); ok {
+					key := lockKey(recv, name)
+					switch name {
+					case "Lock", "RLock":
+						if _, ok := held[key]; !ok {
+							held[key] = m.Pos()
+						}
+					case "Unlock", "RUnlock":
+						delete(held, key)
+					}
+					return true
+				}
+				if what, blocking := blockingCall(pass.Info, m); blocking {
+					reportHeld(m.Pos(), what)
+				}
+			}
+			return true
+		})
+	}
+	return held
+}
+
+// mutexMethod matches a direct call to a sync.Mutex/RWMutex lock
+// method and returns its receiver expression ("" receiver for embedded
+// promotion resolves to the selector base) and method name.
+func mutexMethod(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, isFn := info.Uses[sel.Sel].(*types.Func)
+	if !isFn || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return nil, "", false
+	}
+	sig, isSig := fn.Type().(*types.Signature)
+	if !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	switch fn.Name() {
+	case "Lock", "Unlock", "RLock", "RUnlock":
+		return sel.X, fn.Name(), true
+	}
+	return nil, "", false
+}
+
+// lockKey renders a stable fact name for the lock guarding expression,
+// tagged by which half of the mutex the method touches.
+func lockKey(recv ast.Expr, method string) string {
+	kind := lockKindWrite
+	if method == "RLock" || method == "RUnlock" {
+		kind = lockKindRead
+	}
+	return types.ExprString(recv) + kind
+}
+
+// lockKeyExpr strips the kind tag back off for diagnostics.
+func lockKeyExpr(key string) string {
+	return key[:len(key)-len(lockKindWrite)]
+}
+
+func selectHasDefault(s *ast.SelectStmt) bool {
+	for _, cs := range s.Body.List {
+		if cc, ok := cs.(*ast.CommClause); ok && cc.Comm == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// blockingCall classifies direct calls that can block indefinitely on
+// I/O or synchronization. Dynamic and interface calls are deliberately
+// excluded — treating every unknown call as blocking would drown the
+// real findings.
+func blockingCall(info *types.Info, call *ast.CallExpr) (string, bool) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	name := fn.Name()
+	switch fn.Pkg().Path() {
+	case "sync":
+		if name == "Wait" { // WaitGroup.Wait, Cond.Wait
+			return "a sync Wait", true
+		}
+	case "time":
+		if name == "Sleep" {
+			return "a sleep", true
+		}
+	case "net/http":
+		switch name {
+		case "Get", "Post", "Head", "PostForm", "Do",
+			"ListenAndServe", "ListenAndServeTLS", "Serve", "ServeTLS":
+			return "an HTTP call", true
+		}
+	case "os":
+		switch name {
+		case "Open", "OpenFile", "Create", "ReadFile", "WriteFile", "ReadDir":
+			return "file I/O", true
+		}
+	case "os/exec":
+		switch name {
+		case "Run", "Output", "CombinedOutput", "Wait", "Start":
+			return "a subprocess call", true
+		}
+	case "io":
+		if name == "ReadAll" || name == "Copy" {
+			return "stream I/O", true
+		}
+	}
+	return "", false
+}
+
+// deferredUnlockKeys collects the lock keys released by the function's
+// defers, including unlocks wrapped in a deferred closure. Conditional
+// defers count — assuming a deferred unlock runs is the permissive
+// direction.
+func deferredUnlockKeys(pass *lint.Pass, cfg *lint.CFG) map[string]bool {
+	out := map[string]bool{}
+	record := func(call *ast.CallExpr) {
+		if recv, name, ok := mutexMethod(pass.Info, call); ok {
+			if name == "Unlock" || name == "RUnlock" {
+				out[lockKey(recv, name)] = true
+			}
+		}
+	}
+	for _, d := range cfg.Defers {
+		record(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			ast.Inspect(lit.Body, func(n ast.Node) bool {
+				if call, ok := n.(*ast.CallExpr); ok {
+					record(call)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// checkMutexCopies flags value receivers and parameters whose type
+// embeds a mutex: calling the function copies the lock, forking its
+// state.
+func checkMutexCopies(pass *lint.Pass, recv *ast.FieldList, ftype *ast.FuncType) {
+	check := func(fl *ast.FieldList, what string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			tv, ok := pass.Info.Types[field.Type]
+			if !ok || tv.Type == nil {
+				continue
+			}
+			if containsMutex(tv.Type, map[types.Type]bool{}) {
+				pass.Reportf(field.Type.Pos(), "%s copies a mutex by value; use a pointer "+
+					"(each copy is an independent lock guarding nothing)", what)
+			}
+		}
+	}
+	check(recv, "value receiver")
+	check(ftype.Params, "parameter")
+}
+
+// containsMutex reports whether t holds a sync.Mutex or sync.RWMutex by
+// value (directly, in a struct field, or in an array element).
+func containsMutex(t types.Type, seen map[types.Type]bool) bool {
+	if seen[t] {
+		return false
+	}
+	seen[t] = true
+	if n, ok := t.(*types.Named); ok {
+		obj := n.Obj()
+		if obj.Pkg() != nil && obj.Pkg().Path() == "sync" &&
+			(obj.Name() == "Mutex" || obj.Name() == "RWMutex") {
+			return true
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if containsMutex(u.Field(i).Type(), seen) {
+				return true
+			}
+		}
+	case *types.Array:
+		return containsMutex(u.Elem(), seen)
+	}
+	return false
+}

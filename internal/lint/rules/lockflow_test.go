@@ -1,0 +1,15 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestLockFlow(t *testing.T) {
+	linttest.TestAnalyzer(t, LockFlow, "testdata/lockflow", "repro/internal/lockflowdata")
+}
+
+func TestLockFlowSkipsCommandPackages(t *testing.T) {
+	linttest.TestAnalyzer(t, LockFlow, "testdata/lockflow_outofscope", "repro/cmd/lockflowdata")
+}

@@ -1,0 +1,150 @@
+package rules
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/lint"
+)
+
+// MetricFlow extends stagename's drift protection to every metric
+// name. The metrics registry addresses counters, gauges, and timers by
+// string, so a typo in one call site ("nets.analysed") silently forks
+// the series and every dashboard summing it reads low. The rule:
+// a metric name reaching the registry must come from a declared
+// constant, never from a string literal at the call site — the
+// constant table is the single place a name can be spelled.
+//
+// The analyzer finds the registry's name sinks (Counter, Gauge, Timer,
+// Add, Set, Observe, CacheRatio — the methods whose first parameter is
+// a name string), plus package-local wrappers that forward one of
+// their own string parameters into a sink (warmstore's s.count,
+// delaynoise's cc.count), and flags any string literal appearing
+// inside a name argument. Named constants pass; so do variables and
+// parameters, which trace back to a constant at their own
+// declarations.
+var MetricFlow = &lint.Analyzer{
+	Name: "metricflow",
+	Doc: "metric names must come from declared constants: no string literal may " +
+		"appear in a metrics Counter/Gauge/Timer name argument or in a wrapper's name",
+	Run: runMetricFlow,
+}
+
+// metricsPath is the home of the registry.
+const metricsPath = internalPrefix + "metrics"
+
+func runMetricFlow(pass *lint.Pass) error {
+	if !inInternal(pass.Path) {
+		return nil
+	}
+	derived := derivedNameSinks(pass)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if name, ok := metricsNameArg(pass.Info, call); ok {
+				flagNameLiterals(pass, name)
+				return true
+			}
+			if fn := callee(pass.Info, call); fn != nil {
+				if idx, ok := derived[fn]; ok && idx < len(call.Args) {
+					flagNameLiterals(pass, call.Args[idx])
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// metricsNameArg returns the name argument of a direct registry sink
+// call: a metrics-package method whose first parameter is the name
+// string.
+func metricsNameArg(info *types.Info, call *ast.CallExpr) (ast.Expr, bool) {
+	fn := callee(info, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != metricsPath {
+		return nil, false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil || sig.Params().Len() == 0 || len(call.Args) == 0 {
+		return nil, false
+	}
+	first, ok := sig.Params().At(0).Type().Underlying().(*types.Basic)
+	if !ok || first.Info()&types.IsString == 0 {
+		return nil, false
+	}
+	return call.Args[0], true
+}
+
+// derivedNameSinks finds package-local functions that forward one of
+// their own string parameters into a metrics name sink, one level deep:
+// their callers are held to the same no-literal rule.
+func derivedNameSinks(pass *lint.Pass) map[*types.Func]int {
+	out := map[*types.Func]int{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || fd.Type.Params == nil {
+				continue
+			}
+			fnObj, ok := pass.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			paramIdx := map[types.Object]int{}
+			i := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pass.Info.Defs[name]; obj != nil {
+						if b, ok := obj.Type().Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+							paramIdx[obj] = i
+						}
+					}
+					i++
+				}
+			}
+			if len(paramIdx) == 0 {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				name, ok := metricsNameArg(pass.Info, call)
+				if !ok {
+					return true
+				}
+				ast.Inspect(name, func(m ast.Node) bool {
+					id, ok := m.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					if idx, ok := paramIdx[pass.Info.Uses[id]]; ok {
+						out[fnObj] = idx
+					}
+					return true
+				})
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// flagNameLiterals reports every string literal inside a metric name
+// expression.
+func flagNameLiterals(pass *lint.Pass, name ast.Expr) {
+	ast.Inspect(name, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok || lit.Kind != token.STRING {
+			return true
+		}
+		pass.Reportf(lit.Pos(), "metric name built from string literal %s; declare it in the "+
+			"package's metric-name constant table so the spelling has one home", lit.Value)
+		return true
+	})
+}

@@ -1,0 +1,11 @@
+package rules
+
+import (
+	"testing"
+
+	"repro/internal/lint/linttest"
+)
+
+func TestMetricFlow(t *testing.T) {
+	linttest.TestAnalyzer(t, MetricFlow, "testdata/metricflow", "repro/internal/metricflowdata")
+}

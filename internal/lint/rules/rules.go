@@ -16,13 +16,21 @@ import (
 
 // All returns every noiselint analyzer, in stable order.
 func All() []*lint.Analyzer {
-	return []*lint.Analyzer{CtxVariant, StageName, ErrWrap, CacheKey, FloatSafe, RecoverScope}
+	return []*lint.Analyzer{
+		CtxVariant, StageName, ErrWrap, CacheKey, FloatSafe, RecoverScope,
+		GoLeak, LockFlow, HotAlloc, MetricFlow,
+	}
 }
 
 // internalPrefix scopes the analyzers to the module's library packages.
-// cmd/ and examples/ are deliberately out of scope: entry points own
-// root contexts and report errors to humans, not to the taxonomy.
+// examples/ is deliberately out of scope.
 const internalPrefix = "repro/internal/"
+
+// cmdPrefix scopes the subset of analyzers that are sound on entry
+// points (errwrap's chain-severing check, ctxvariant's root-context
+// ban, goleak) to the CLIs as well: cmd/noised and cmd/noisectl own
+// real goroutines and real error chains.
+const cmdPrefix = "repro/cmd/"
 
 // noiseerrPath is the home of the error taxonomy and the stage set.
 const noiseerrPath = "repro/internal/noiseerr"
@@ -30,6 +38,12 @@ const noiseerrPath = "repro/internal/noiseerr"
 // inInternal reports whether path is a library package.
 func inInternal(path string) bool {
 	return strings.HasPrefix(path, internalPrefix)
+}
+
+// inModule reports whether path is a library package or a CLI — the
+// scope of the analyzers that also apply to entry points.
+func inModule(path string) bool {
+	return inInternal(path) || strings.HasPrefix(path, cmdPrefix)
 }
 
 // inPackages reports whether path is one of the named internal packages

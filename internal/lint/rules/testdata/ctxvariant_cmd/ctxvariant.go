@@ -1,0 +1,21 @@
+// Package main stands in for a cmd/ entry point: commands owe no
+// ...Context twins (nothing calls into them), but the root-context ban
+// still applies — a command's context comes from cliutil.Context.
+package main
+
+import "context"
+
+// Run has no twin: clean in a command.
+func Run() error {
+	return work(context.TODO()) // want "command code must not call context.TODO"
+}
+
+func work(ctx context.Context) error {
+	<-ctx.Done()
+	return nil
+}
+
+func main() {
+	ctx := context.Background() // want "command code must not call context.Background"
+	_ = ctx
+}

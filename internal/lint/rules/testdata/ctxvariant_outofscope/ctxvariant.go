@@ -1,0 +1,14 @@
+// Package ctxvariantdata stands in for an examples/ package: outside
+// both internal/... and cmd/..., so the root-context call and the
+// twinless Run stay unflagged.
+package ctxvariantdata
+
+import "context"
+
+// Run would need a twin inside internal/; outside the module scope it
+// is fine.
+func Run() error {
+	ctx := context.Background()
+	_ = ctx
+	return nil
+}

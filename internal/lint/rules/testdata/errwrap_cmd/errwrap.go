@@ -1,0 +1,28 @@
+// Package main stands in for a cmd/ entry point: commands are outside
+// the pipeline scope (bare fmt.Errorf is fine), but formatting an error
+// value with a non-wrapping verb still severs the chain the exit-code
+// mapping classifies on.
+package main
+
+import (
+	"errors"
+	"fmt"
+)
+
+func usage(flag string) error {
+	return fmt.Errorf("usage: -%s is required", flag)
+}
+
+func rewrap(err error) error {
+	return fmt.Errorf("run failed: %v", err) // want "error formatted with %v loses the error chain"
+}
+
+func wrap(err error) error {
+	return fmt.Errorf("run failed: %w", err)
+}
+
+func main() {
+	_ = usage("in")
+	_ = rewrap(errors.New("x"))
+	_ = wrap(errors.New("y"))
+}

@@ -1,0 +1,128 @@
+// Package goleakdata exercises the goleak analyzer: lifecycle-bound and
+// unbounded spawns, and guarded and bare unbuffered sends.
+package goleakdata
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/goleakdata/helper"
+)
+
+func work()     {}
+func use(v int) { _ = v }
+func fire()     {}
+
+// ctxCallee is bounded by its context parameter: clean.
+func ctxCallee(ctx context.Context) { <-ctx.Done() }
+
+// spawnUnjoined has no context, done channel, WaitGroup, or lifecycle
+// callee anywhere in the body.
+func spawnUnjoined() {
+	go func() { // want "goroutine is not lifecycle-bound"
+		work()
+	}()
+}
+
+// spawnNamedUnjoined spawns a named callee with no lifecycle parameter.
+func spawnNamedUnjoined() {
+	go fire() // want "goroutine is not lifecycle-bound"
+}
+
+// spawnCtxArg hands the callee a context: clean.
+func spawnCtxArg(ctx context.Context) {
+	go ctxCallee(ctx)
+}
+
+// spawnHelper delegates to an imported lifecycle-taking callee: clean,
+// and proves the analyzer reads cross-package signatures.
+func spawnHelper(ctx context.Context, out chan int) {
+	go helper.Pump(ctx, out)
+}
+
+// spawnWaitGroup is joined before return: clean.
+func spawnWaitGroup() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		work()
+	}()
+	wg.Wait()
+}
+
+// spawnDrain ranges over a channel the spawner closes: clean.
+func spawnDrain(in chan int) {
+	go func() {
+		for v := range in {
+			use(v)
+		}
+	}()
+}
+
+// bareSend sends on a provably unbuffered channel with no select: the
+// send blocks forever once the receiver stops listening. The spawn is
+// also unbounded.
+func bareSend(vals []int) <-chan int {
+	out := make(chan int)
+	go func() { // want "goroutine is not lifecycle-bound"
+		for _, v := range vals {
+			out <- v // want "unbuffered channel send in spawned goroutine"
+		}
+		close(out)
+	}()
+	return out
+}
+
+// guardedSend wraps the same send in a select with a cancellation arm:
+// clean, and the done receive also bounds the spawn.
+func guardedSend(done chan struct{}, vals []int) <-chan int {
+	out := make(chan int)
+	go func() {
+		defer close(out)
+		for _, v := range vals {
+			select {
+			case out <- v:
+			case <-done:
+				return
+			}
+		}
+	}()
+	return out
+}
+
+// defaultSend uses a default arm, so the send cannot block: clean (the
+// spawn is bounded by the context argument to the callee).
+func defaultSend(ctx context.Context, out2 chan int) {
+	out := make(chan int)
+	go func() {
+		ctxCallee(ctx)
+		select {
+		case out <- 1:
+		default:
+		}
+	}()
+	_ = out2
+}
+
+// bufferedSend sends on a channel with capacity: the send cannot block
+// while the buffer has room, so only the spawn boundedness matters, and
+// the done receive provides it. Clean.
+func bufferedSend(done chan struct{}) <-chan int {
+	buf := make(chan int, 4)
+	go func() {
+		buf <- 1
+		<-done
+	}()
+	return buf
+}
+
+// unknownChan sends on a channel parameter whose make site is not
+// visible: the analyzer cannot prove it unbuffered and stays quiet (the
+// ctx argument bounds the spawn).
+func unknownChan(ctx context.Context, out chan int) {
+	go func() {
+		ctxCallee(ctx)
+		out <- 1
+	}()
+}

@@ -1,0 +1,20 @@
+// Package helper is an imported dependency of the goleak fixture: the
+// analyzer must resolve lifecycle parameters through a cross-package
+// call, not just within the fixture file.
+package helper
+
+import "context"
+
+// Pump forwards values until ctx is canceled: a lifecycle-taking callee.
+func Pump(ctx context.Context, out chan<- int) {
+	for i := 0; ; i++ {
+		select {
+		case out <- i:
+		case <-ctx.Done():
+			return
+		}
+	}
+}
+
+// Fire is a lifecycle-free callee: spawning it is an unbounded spawn.
+func Fire() {}

@@ -1,0 +1,94 @@
+// Package hotallocdata exercises the hotalloc analyzer: allocating
+// constructs inside //lint:hot functions, the cold-path exemptions, and
+// the unannotated control group.
+package hotallocdata
+
+type point struct{ x, y float64 }
+
+func sink(v any)          { _ = v }
+func fmtMsg(v any) string { _ = v; return "bad value" }
+func failf(format string, args ...any) error {
+	_, _ = format, args
+	return nil
+}
+
+// step writes into its preallocated workspace: the clean hot shape.
+//
+//lint:hot
+func step(state, work []float64) {
+	for i := range state {
+		work[i] = state[i] * 0.5
+	}
+}
+
+// okMake sizes its allocation with a constant, which can stay on the
+// stack: clean.
+//
+//lint:hot
+func okMake() []float64 {
+	return make([]float64, 8)
+}
+
+//lint:hot
+func badAppend(out []float64, vs []float64) []float64 {
+	for _, v := range vs {
+		out = append(out, v) // want "append in a hot function may grow and reallocate"
+	}
+	return out
+}
+
+//lint:hot
+func badMake(n int) []float64 {
+	return make([]float64, n) // want "make with a non-constant size allocates in a hot function"
+}
+
+//lint:hot
+func badEscape(x, y float64) *point {
+	return &point{x, y} // want "address-taken composite literal escapes to the heap"
+}
+
+//lint:hot
+func badLiteral(x float64) []float64 {
+	return []float64{x, 2 * x} // want "slice/map literal allocates on every call"
+}
+
+//lint:hot
+func badBox(x float64) {
+	sink(x) // want "float argument boxed into an interface parameter allocates"
+}
+
+// guarded hands its float to an error constructor, which only runs on
+// the failure path: exempt, clean.
+//
+//lint:hot
+func guarded(x float64) error {
+	if x < 0 {
+		return failf("negative input %v", x)
+	}
+	return nil
+}
+
+// mustPositive boxes a float while building a panic message — but the
+// block ends in the panic, so the CFG proves it cold: clean.
+//
+//lint:hot
+func mustPositive(x float64) {
+	if x <= 0 {
+		panic(fmtMsg(x))
+	}
+}
+
+//lint:hot
+func badClosures(vs []float64) float64 {
+	total := 0.0
+	apply := func(f func() float64) { total += f() }
+	for _, v := range vs {
+		apply(func() float64 { return v }) // want "closure capturing a loop variable allocates once per"
+	}
+	return total
+}
+
+// coldAppend is not annotated: the analyzer leaves it alone.
+func coldAppend(out []float64, v float64) []float64 {
+	return append(out, v)
+}

@@ -1,0 +1,99 @@
+// Package lockflowdata exercises the lockflow analyzer: unlock-on-every-
+// path auditing, blocking operations under a held lock, and by-value
+// mutex copies.
+package lockflowdata
+
+import (
+	"os"
+	"sync"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// inc is the balanced shape: clean.
+func (c *counter) inc() {
+	c.mu.Lock()
+	c.n++
+	c.mu.Unlock()
+}
+
+// get defers the unlock, which covers every exit edge: clean.
+func (c *counter) get() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.n
+}
+
+// leakyInc returns early with the lock still held.
+func (c *counter) leakyInc(limit int) bool {
+	c.mu.Lock() // want "mutex c.mu locked here is not unlocked on every path"
+	if c.n >= limit {
+		return false
+	}
+	c.n++
+	c.mu.Unlock()
+	return true
+}
+
+// panicLeak exits through a panic edge with the lock held.
+func (c *counter) panicLeak() {
+	c.mu.Lock() // want "mutex c.mu locked here is not unlocked on every path"
+	if c.n < 0 {
+		panic("negative count")
+	}
+	c.n++
+	c.mu.Unlock()
+}
+
+// publish sends on a channel while holding the lock: every other user
+// of c.mu stalls until a receiver shows up.
+func (c *counter) publish(ch chan<- int) {
+	c.mu.Lock()
+	ch <- c.n // want "lock c.mu is held across a channel send"
+	c.mu.Unlock()
+}
+
+// flush performs file I/O under the lock.
+func (c *counter) flush(path string) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return os.WriteFile(path, nil, 0o644) // want "lock c.mu is held across file I/O"
+}
+
+// snapshotSend releases the lock before the blocking send: clean.
+func (c *counter) snapshotSend(ch chan<- int) {
+	c.mu.Lock()
+	n := c.n
+	c.mu.Unlock()
+	ch <- n
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int
+}
+
+// lookup balances the read half of the RWMutex: clean.
+func (t *table) lookup(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k]
+}
+
+// badCopy takes the counter by value, forking its mutex.
+func (c counter) badCopy() int { // want "value receiver copies a mutex by value"
+	return c.n
+}
+
+// sumCopies takes mutex-bearing values as a parameter.
+func sumCopies(a counter, b int) int { // want "parameter copies a mutex by value"
+	return a.n + b
+}
+
+// sumPtr takes the counter by pointer: clean.
+func sumPtr(a *counter, b int) int {
+	return a.n + b
+}

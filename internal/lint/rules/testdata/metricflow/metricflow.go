@@ -1,0 +1,47 @@
+// Package metricflowdata exercises the metricflow analyzer: literal
+// metric names at registry sinks and through package-local wrappers,
+// against the declared-constant discipline.
+package metricflowdata
+
+import "repro/internal/metrics"
+
+// The package's metric-name constant table.
+const (
+	mGood      = "fixture.good"
+	mDepth     = "fixture.depth"
+	mHitSuffix = ".hit"
+)
+
+// record uses declared constants everywhere: clean.
+func record(reg *metrics.Registry) {
+	reg.Counter(mGood).Inc()
+	reg.Gauge(mDepth).Set(1)
+	reg.Counter(mGood + mHitSuffix).Inc()
+}
+
+func badLiteral(reg *metrics.Registry) {
+	reg.Counter("fixture.bad").Inc() // want "metric name built from string literal"
+}
+
+func badSuffix(reg *metrics.Registry) {
+	reg.Gauge(mGood + ".depth").Set(2) // want "metric name built from string literal"
+}
+
+// count forwards its name parameter into a sink, which makes it a
+// derived sink: its callers are held to the same rule.
+func count(reg *metrics.Registry, name string) {
+	reg.Counter(name).Inc()
+}
+
+func useWrapper(reg *metrics.Registry) {
+	count(reg, mGood)
+	count(reg, "fixture.wrapped") // want "metric name built from string literal"
+}
+
+// dynamic passes variables, which trace back to constants at their own
+// declarations: clean.
+func dynamic(reg *metrics.Registry, names []string) {
+	for _, n := range names {
+		reg.Counter(n).Inc()
+	}
+}

@@ -67,13 +67,16 @@ func directives(fset *token.FileSet, files []*ast.File) []directive {
 //lint:ignore noiselint/ctxvariant analyzer passes are in-memory AST walks with no cancellation points
 func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	known := map[string]bool{IgnoreAnalyzerName: true}
+	ran := map[string]bool{}
 	for _, a := range analyzers {
 		known[a.Name] = true
+		ran[a.Name] = true
 	}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		dirs := directives(pkg.Fset, pkg.Files)
 		var raw []Diagnostic
+		cfgs := map[ast.Node]*CFG{}
 		for _, a := range analyzers {
 			pass := &Pass{
 				Analyzer: a,
@@ -83,21 +86,35 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 				Pkg:      pkg.Pkg,
 				Info:     pkg.Info,
 				report:   func(d Diagnostic) { raw = append(raw, d) },
+				cfgs:     cfgs,
 			}
 			if err := a.Run(pass); err != nil {
 				return nil, err
 			}
 		}
+		used := make([]bool, len(dirs))
 		for _, d := range raw {
-			if !suppressed(d, dirs) {
+			matched := false
+			for i, dir := range dirs {
+				if suppresses(dir, d) {
+					used[i] = true
+					matched = true
+				}
+			}
+			if !matched {
 				out = append(out, d)
 			}
 		}
 		// Malformed directives are findings in their own right: a
-		// suppression without a reason defeats the audit trail, and one
+		// suppression without a reason defeats the audit trail, one
 		// naming an unknown analyzer suppresses nothing and usually
-		// means a typo.
-		for _, dir := range dirs {
+		// means a typo, and one that no longer matches any finding is
+		// rot — the code it excused has moved or been fixed, and the
+		// stale directive would silently excuse a future regression.
+		// Staleness is only judged for analyzers in this run's set: a
+		// single-analyzer run (linttest) cannot tell whether another
+		// analyzer's directive still earns its keep.
+		for i, dir := range dirs {
 			switch {
 			case !known[dir.analyzer]:
 				out = append(out, Diagnostic{
@@ -110,6 +127,13 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 					Analyzer: IgnoreAnalyzerName,
 					Pos:      pkg.Fset.Position(dir.pos),
 					Message:  "suppression of " + qualifier + dir.analyzer + " needs a reason",
+				})
+			case ran[dir.analyzer] && !used[i]:
+				out = append(out, Diagnostic{
+					Analyzer: IgnoreAnalyzerName,
+					Pos:      pkg.Fset.Position(dir.pos),
+					Message: "stale suppression: no " + qualifier + dir.analyzer +
+						" finding here to suppress",
 				})
 			}
 		}
@@ -130,15 +154,10 @@ func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	return out, nil
 }
 
-// suppressed reports whether a well-formed directive targets d: same
+// suppresses reports whether a well-formed directive targets d: same
 // analyzer, same file, on the flagged line or the line above it.
-func suppressed(d Diagnostic, dirs []directive) bool {
-	for _, dir := range dirs {
-		if dir.analyzer == d.Analyzer && dir.reason != "" &&
-			dir.file == d.Pos.Filename &&
-			(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1) {
-			return true
-		}
-	}
-	return false
+func suppresses(dir directive, d Diagnostic) bool {
+	return dir.analyzer == d.Analyzer && dir.reason != "" &&
+		dir.file == d.Pos.Filename &&
+		(dir.line == d.Pos.Line || dir.line == d.Pos.Line-1)
 }

@@ -270,6 +270,8 @@ func prepare(sys *mna.System, opt Options) (*stepper, error) {
 
 // step advances the solution from step k-1 to step k (1-based) and
 // records it. It performs no allocations.
+//
+//lint:hot
 func (s *stepper) step(k int) error {
 	t := s.tStart + float64(k)*s.h
 	s.sys.InputAtTo(s.uNow, t)
@@ -306,6 +308,8 @@ func (s *stepper) step(k int) error {
 }
 
 // run executes every step with periodic cancellation checks.
+//
+//lint:hot
 func (s *stepper) run(ctx context.Context) error {
 	for k := 1; k <= s.steps; k++ {
 		if k%CtxCheckInterval == 0 {

@@ -518,6 +518,8 @@ type transient struct {
 // once with per-iteration refactoring — exactly the pre-cache engine —
 // so the factor cache can only ever cost iterations, never a
 // convergence failure the full-Newton engine would not also have had.
+//
+//lint:hot
 func (tr *transient) step(t, h float64) (int, bool, error) {
 	iters, ok, err := tr.attempt(t, h, tr.s.fullNewton)
 	if err != nil || ok || tr.s.fullNewton {
@@ -529,6 +531,8 @@ func (tr *transient) step(t, h float64) (int, bool, error) {
 
 // attempt is one Newton solve of the trapezoidal step; fullNewton
 // forces a fresh Jacobian factorization on every iteration.
+//
+//lint:hot
 func (tr *transient) attempt(t, h float64, fullNewton bool) (int, bool, error) {
 	s, opt, n := tr.s, tr.opt, tr.s.n
 	if h <= 0 {

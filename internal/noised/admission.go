@@ -36,8 +36,8 @@ func newAdmission(maxInflight, maxQueue int, reg *metrics.Registry) *admission {
 	return &admission{
 		slots:      make(chan struct{}, maxInflight),
 		maxQueue:   maxQueue,
-		inflight:   reg.Gauge("server.inflight"),
-		queueDepth: reg.Gauge("server.queue_depth"),
+		inflight:   reg.Gauge(mServerInflight),
+		queueDepth: reg.Gauge(mServerQueueDepth),
 	}
 }
 

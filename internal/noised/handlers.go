@@ -209,32 +209,32 @@ func negotiateStream(r *http.Request, w http.ResponseWriter) (streamWriter, stri
 // handleAnalyze is POST /v1/analyze: admission, per-request deadline,
 // the streamed batch, and the terminal summary.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
-	s.reg.Counter("server.requests").Inc()
+	s.reg.Counter(mServerRequests).Inc()
 	if s.adm.draining() {
-		s.reg.Counter("server.rejected.draining").Inc()
+		s.reg.Counter(mServerRejectedDraining).Inc()
 		s.unavailable(w, "draining")
 		return
 	}
 	opt, err := s.parseAnalyzeOptions(r)
 	if err != nil {
-		s.reg.Counter("server.rejected.validation").Inc()
+		s.reg.Counter(mServerRejectedValidation).Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	r.Body = http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	names, cases, err := workload.Load(r.Body, s.session.Lib())
 	if err != nil {
-		s.reg.Counter("server.rejected.validation").Inc()
+		s.reg.Counter(mServerRejectedValidation).Inc()
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	if len(cases) == 0 {
-		s.reg.Counter("server.rejected.validation").Inc()
+		s.reg.Counter(mServerRejectedValidation).Inc()
 		http.Error(w, "noised: empty case set", http.StatusBadRequest)
 		return
 	}
 	if len(cases) > s.cfg.MaxNets {
-		s.reg.Counter("server.rejected.validation").Inc()
+		s.reg.Counter(mServerRejectedValidation).Inc()
 		http.Error(w, fmt.Sprintf("noised: %d nets exceeds the per-request limit %d", len(cases), s.cfg.MaxNets),
 			http.StatusRequestEntityTooLarge)
 		return
@@ -245,7 +245,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	case nil:
 		defer s.adm.release()
 	case errQueueFull, errDraining:
-		s.reg.Counter("server.rejected.queue").Inc()
+		s.reg.Counter(mServerRejectedQueue).Inc()
 		s.unavailable(w, err.Error())
 		return
 	default:
@@ -277,7 +277,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		if len(prior) > 0 {
-			s.reg.Counter("server.requests.resumed").Inc()
+			s.reg.Counter(mServerRequestsResumed).Inc()
 		}
 		j, closeJournal, err := clarinet.OpenJournal(path, s.cfg.JournalCodec)
 		if err != nil {
@@ -327,7 +327,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		if !writeOK {
 			continue // keep draining the pool after a broken pipe
 		}
-		s.reg.Counter("server.nets.streamed").Inc()
+		s.reg.Counter(mServerNetsStreamed).Inc()
 		if err := stream.record(clarinet.ToWireRecord(rep)); err != nil {
 			writeOK = false
 			cancel() // stop analyzing for a client that is gone
@@ -366,8 +366,8 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		Build:        buildinfo.Current(),
 		UptimeS:      time.Since(s.started).Seconds(),
 		Draining:     s.adm.draining(),
-		Inflight:     snap.Gauges["server.inflight"],
-		QueueDepth:   snap.Gauges["server.queue_depth"],
+		Inflight:     snap.Gauges[mServerInflight],
+		QueueDepth:   snap.Gauges[mServerQueueDepth],
 		TablesCached: s.session.TableCount(),
 		NetsAnalyzed: snap.Counters["nets.analyzed"],
 	}

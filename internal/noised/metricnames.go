@@ -1,0 +1,20 @@
+package noised
+
+// Metric-name constant table (enforced by noiselint/metricflow): the
+// server.* series in one place. The request counters partition intake
+// outcomes (accepted work increments server.requests; each rejection
+// class has its own counter), the two gauges mirror the admission
+// controller's live state, and the streaming counters size the NDJSON
+// traffic.
+const (
+	mServerRequests        = "server.requests"
+	mServerRequestsResumed = "server.requests.resumed"
+	mServerNetsStreamed    = "server.nets.streamed"
+
+	mServerRejectedDraining   = "server.rejected.draining"
+	mServerRejectedValidation = "server.rejected.validation"
+	mServerRejectedQueue      = "server.rejected.queue"
+
+	mServerInflight   = "server.inflight"
+	mServerQueueDepth = "server.queue_depth"
+)

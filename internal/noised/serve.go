@@ -22,6 +22,10 @@ func (s *Server) Serve(ctx context.Context, ln net.Listener) error {
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
+	// The acceptor is bounded by srv's lifetime: Serve returns once
+	// Shutdown or Close runs below, the buffered send never blocks, and
+	// both drain branches join it by receiving from errCh.
+	//lint:ignore noiselint/goleak bounded by srv.Shutdown/Close below; errCh is buffered and drained on both exits
 	go func() { errCh <- srv.Serve(ln) }()
 	select {
 	case err := <-errCh:

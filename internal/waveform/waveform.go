@@ -64,6 +64,8 @@ func (w *PWL) Clone() *PWL {
 
 // At evaluates the waveform at time t, holding end values outside the
 // breakpoint range.
+//
+//lint:hot
 func (w *PWL) At(t float64) float64 {
 	n := len(w.T)
 	if n == 0 {
@@ -180,6 +182,8 @@ func Sub(a, b *PWL) *PWL { return Sum(a, b.Scale(-1)) }
 
 // Integral returns ∫ w dt over the waveform's full breakpoint span
 // (trapezoidal, exact for PWL).
+//
+//lint:hot
 func (w *PWL) Integral() float64 {
 	s := 0.0
 	for i := 1; i < len(w.T); i++ {
