@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race chaos lint noiselint staticcheck vuln fuzz bench bench-report bench-compare server-smoke
+.PHONY: build test race chaos lint noiselint staticcheck vuln fuzz bench bench-report bench-compare server-smoke cluster-smoke
 
 build:
 	$(GO) build ./...
@@ -15,10 +15,10 @@ build:
 test:
 	$(GO) test ./...
 
-# Race-detector pass over the concurrent packages (the worker pool and
-# the shared caches live here); CI runs the same set.
+# Race-detector pass over the concurrent packages (the worker pool, the
+# shared caches, and the scatter-gather gateway); CI runs the same set.
 race:
-	$(GO) test -race ./internal/clarinet/... ./internal/core/... ./internal/noised/...
+	$(GO) test -race ./internal/clarinet/... ./internal/core/... ./internal/noised/... ./internal/noisegw/...
 
 # Fault-injected batch smoke under the race detector: seeded
 # convergence failures, one panic, one stalled net, plus the journal
@@ -87,6 +87,13 @@ fuzz:
 # warm-session guarantee and graceful drain. Mirrors the CI job.
 server-smoke:
 	RACE=1 ./scripts/server_smoke.sh
+
+# Cluster smoke: three replicas behind a noisegw gateway, one replica
+# SIGKILLed mid-stream; the merged report must be byte-identical to a
+# single-replica golden run and the gateway must record a reshard.
+# Mirrors the CI job.
+cluster-smoke:
+	RACE=1 ./scripts/cluster_smoke.sh
 
 # One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet
 # batch metrics JSON.

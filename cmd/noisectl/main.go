@@ -10,7 +10,7 @@
 //	         [-hold thevenin|transient] [-align exhaustive|input|prechar]
 //	         [-rescue=true|false] [-net-timeout 5s] [-timeout 10m]
 //	         [-request-id name] [-quality] [-retries N] [-progress]
-//	         [-wire ndjson|colblob]
+//	         [-wire ndjson|colblob] [-max-retry-after 30s]
 //
 // -wire colblob negotiates the compact binary result stream
 // (application/x-noise-colblob); a server that does not speak it
@@ -19,7 +19,9 @@
 //
 // Shed requests (503 + Retry-After), connect failures, and streams that
 // die mid-flight are retried with jittered exponential backoff; -retries
-// bounds the attempts. With -request-id set, retries resume from the
+// bounds the attempts, -max-retry-after caps how long a server's
+// Retry-After hint can park the client, and a backoff that would
+// outlive -timeout fails immediately instead of sleeping. With -request-id set, retries resume from the
 // server-side journal instead of re-analyzing completed nets. A stream
 // cut short by the server's per-request deadline renders the partial
 // report and exits with status 3 (cliutil.ExitCodeDeadline).
@@ -51,6 +53,7 @@ func main() {
 	requestID := flag.String("request-id", "", "name the request for server-side journaling and resume")
 	quality := flag.Bool("quality", false, "append a result-quality column (exact / rescued / fallback) to the report")
 	retries := flag.Int("retries", 5, "total attempts before giving up")
+	maxRetryAfter := flag.Duration("max-retry-after", 30*time.Second, "cap on the server's Retry-After backoff hint")
 	progress := flag.Bool("progress", false, "log each net as its result arrives")
 	wire := flag.String("wire", "", "result stream encoding: ndjson | colblob (empty = ndjson)")
 	flag.Parse()
@@ -77,10 +80,11 @@ func main() {
 		}
 	}
 	c, err := client.New(client.Config{
-		BaseURL:     *server,
-		MaxAttempts: *retries,
-		Wire:        *wire,
-		Logf:        log.Printf,
+		BaseURL:       *server,
+		MaxAttempts:   *retries,
+		MaxRetryAfter: *maxRetryAfter,
+		Wire:          *wire,
+		Logf:          log.Printf,
 	})
 	if err != nil {
 		cliutil.Usagef("%v", err)

@@ -11,6 +11,7 @@
 //	       [-workers N] [-rescue] [-net-timeout 5s]
 //	       [-max-inflight N] [-max-queue N] [-max-nets N]
 //	       [-request-timeout 15m] [-drain-timeout 60s] [-retry-after 1s]
+//	       [-heartbeat 10s]
 //	       [-journal-dir dir] [-journal-format binary|jsonl] [-warm-store dir]
 //	       [-char-cache-res R] [-prechar-grid N]
 //
@@ -64,6 +65,7 @@ func main() {
 	requestTimeout := flag.Duration("request-timeout", noised.DefaultMaxRequestTimeout, "per-request deadline cap (negative disables)")
 	drainTimeout := flag.Duration("drain-timeout", noised.DefaultDrainTimeout, "graceful drain budget after the first signal")
 	retryAfter := flag.Duration("retry-after", noised.DefaultRetryAfter, "backoff hint on 503 responses")
+	heartbeat := flag.Duration("heartbeat", noised.DefaultHeartbeat, "keepalive interval on idle analyze streams (negative disables)")
 	journalDir := flag.String("journal-dir", "", "journal requests carrying a request_id under this directory (enables resume)")
 	journalFormat := flag.String("journal-format", "binary", "encoding for new server-side journals: binary (compact colblob frames) | jsonl (debug view)")
 	warmStore := flag.String("warm-store", "", "content-addressed warm-start store directory: load session state at startup, save it on drain")
@@ -109,6 +111,7 @@ func main() {
 		MaxRequestTimeout: *requestTimeout,
 		DrainTimeout:      *drainTimeout,
 		RetryAfter:        *retryAfter,
+		Heartbeat:         *heartbeat,
 		JournalDir:        *journalDir,
 		JournalCodec:      codec,
 		WarmStoreDir:      *warmStore,

@@ -1,0 +1,320 @@
+// Command noiseload is the load generator and chaos harness for a
+// noised fleet — usually fronted by noisegw. It synthesizes workload
+// batches, drives them at controlled concurrency, measures request and
+// per-net latencies, and can inject chaos mid-run (SIGKILL a replica by
+// pidfile once enough nets have completed) to exercise the gateway's
+// reshard path under real load.
+//
+// Usage:
+//
+//	noiseload -server http://127.0.0.1:8462
+//	          [-nets 100000] [-batch 500] [-concurrency 4] [-seed 7]
+//	          [-kill-pid-file noised.pid] [-kill-after-nets 1000]
+//	          [-golden http://127.0.0.1:9001] [-timeout 0]
+//	          [-retries 5] [-wire ndjson|colblob]
+//
+// -nets is the total synthetic net count, issued as ceil(nets/batch)
+// requests of -batch cases each; unique per-request net names keep
+// every batch independently checkable for exactly-once delivery.
+//
+// -kill-pid-file arms the chaos trigger: once -kill-after-nets net
+// records have been observed fleet-wide, the process whose pid the file
+// holds is SIGKILLed — no drain, no goodbye — which is exactly the
+// failure the gateway must absorb by resharding onto survivors. The
+// tool keeps separate latency histograms for before and after the kill
+// so the recovery cost is visible.
+//
+// -golden runs a correctness pass after the load: one batch is analyzed
+// through -server and again directly against the -golden replica, and
+// the two record sets must match byte-for-byte (sorted by net). The
+// engine is deterministic, so any divergence means merged results are
+// wrong, and noiseload exits nonzero.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/cliutil"
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/noised/client"
+	"repro/internal/workload"
+)
+
+func main() {
+	cliutil.Init("noiseload")
+	server := flag.String("server", "http://127.0.0.1:8462", "gateway (or single noised) base URL")
+	nets := flag.Int("nets", 10000, "total synthetic nets to push")
+	batch := flag.Int("batch", 500, "nets per request")
+	concurrency := flag.Int("concurrency", 4, "requests in flight at once")
+	seed := flag.Int64("seed", 7, "workload generator seed")
+	killPidFile := flag.String("kill-pid-file", "", "SIGKILL the process in this pidfile mid-run (chaos)")
+	killAfter := flag.Int64("kill-after-nets", 1000, "net records to observe before the kill fires")
+	golden := flag.String("golden", "", "single-replica base URL for the byte-identity verification pass")
+	timeout := flag.Duration("timeout", 0, "per-request deadline (0 = server cap)")
+	retries := flag.Int("retries", 5, "client attempts per request")
+	wire := flag.String("wire", "", "stream encoding: ndjson | colblob")
+	flag.Parse()
+	cliutil.ExitIfVersion()
+
+	if *nets <= 0 || *batch <= 0 || *concurrency <= 0 {
+		cliutil.Usagef("-nets, -batch and -concurrency must be positive")
+	}
+
+	ctx, cancel := cliutil.Context(0)
+	defer cancel()
+
+	c, err := client.New(client.Config{
+		BaseURL:     *server,
+		MaxAttempts: *retries,
+		Wire:        *wire,
+		Logf:        log.Printf,
+	})
+	if err != nil {
+		cliutil.Usagef("%v", err)
+	}
+
+	// One template batch, renamed per request: generation cost is paid
+	// once however many millions of nets the run pushes.
+	lib := device.NewLibrary(device.Default180())
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), *seed)
+	template, err := gen.Population(*batch)
+	if err != nil {
+		log.Fatal(err)
+	}
+	requests := (*nets + *batch - 1) / *batch
+
+	st := &loadState{killAfter: *killAfter}
+	if *killPidFile != "" {
+		st.killPid = func() int {
+			b, err := os.ReadFile(*killPidFile)
+			if err != nil {
+				log.Printf("chaos: pidfile: %v", err)
+				return 0
+			}
+			pid, err := strconv.Atoi(strings.TrimSpace(string(b)))
+			if err != nil {
+				log.Printf("chaos: pidfile: %v", err)
+				return 0
+			}
+			return pid
+		}
+	}
+
+	log.Printf("pushing %d nets as %d requests of %d at concurrency %d against %s",
+		requests**batch, requests, *batch, *concurrency, *server)
+	start := time.Now()
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				st.oneRequest(ctx, c, lib.Tech.Name, template, i, *timeout)
+			}
+		}()
+	}
+feed:
+	for i := 0; i < requests; i++ {
+		select {
+		case next <- i:
+		case <-ctx.Done():
+			break feed
+		}
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	st.report(elapsed)
+	failed := st.failedRequests.Load() > 0 || st.missing.Load() > 0
+	if *golden != "" {
+		if err := verifyAgainstGolden(ctx, c, *golden, lib.Tech.Name, template, *retries, *wire, *timeout); err != nil {
+			log.Printf("VERIFY FAIL: %v", err)
+			failed = true
+		} else {
+			log.Printf("VERIFY OK: merged records are byte-identical to the golden replica")
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}
+
+// loadState aggregates outcomes across the worker pool.
+type loadState struct {
+	mu          sync.Mutex
+	reqLat      []time.Duration // completed request latencies
+	reqLatAfter []time.Duration // ... after the chaos kill fired
+
+	netsDone       atomic.Int64
+	netsOK         atomic.Int64
+	netsFailed     atomic.Int64
+	netsCanceled   atomic.Int64
+	missing        atomic.Int64 // nets a request never got a record for
+	failedRequests atomic.Int64
+
+	killAfter int64
+	killPid   func() int // nil = chaos disabled
+	killed    atomic.Bool
+}
+
+// oneRequest drives a single batch: rename the template cases into the
+// request's namespace, analyze, and account for every net.
+func (st *loadState) oneRequest(ctx context.Context, c *client.Client, tech string, template []*delaynoise.Case, i int, timeout time.Duration) {
+	names := make([]string, len(template))
+	for j := range names {
+		names[j] = fmt.Sprintf("req%04d-net%04d", i, j)
+	}
+	var buf bytes.Buffer
+	if err := workload.Save(&buf, tech, names, template); err != nil {
+		log.Printf("request %d: %v", i, err)
+		st.failedRequests.Add(1)
+		return
+	}
+	reqStart := time.Now()
+	res, err := c.Analyze(ctx, buf.Bytes(), client.Options{Timeout: timeout}, func(rec clarinet.JournalRecord) {
+		st.onRecord(rec)
+	})
+	lat := time.Since(reqStart)
+	if err != nil {
+		if ctx.Err() != nil {
+			return // interrupted, not a server failure
+		}
+		log.Printf("request %d failed after %v: %v", i, lat.Round(time.Millisecond), err)
+		st.failedRequests.Add(1)
+		return
+	}
+	if got := len(res.Reports); got < len(names) {
+		st.missing.Add(int64(len(names) - got))
+		log.Printf("request %d: only %d of %d nets reported", i, got, len(names))
+	}
+	st.mu.Lock()
+	if st.killed.Load() {
+		st.reqLatAfter = append(st.reqLatAfter, lat)
+	} else {
+		st.reqLat = append(st.reqLat, lat)
+	}
+	st.mu.Unlock()
+}
+
+// onRecord counts one net outcome and fires the chaos kill when the
+// threshold is crossed.
+func (st *loadState) onRecord(rec clarinet.JournalRecord) {
+	done := st.netsDone.Add(1)
+	switch {
+	case rec.Error == "":
+		st.netsOK.Add(1)
+	case rec.Class == "canceled":
+		st.netsCanceled.Add(1)
+	default:
+		st.netsFailed.Add(1)
+	}
+	if st.killPid != nil && done >= st.killAfter && st.killed.CompareAndSwap(false, true) {
+		pid := st.killPid()
+		if pid <= 0 {
+			return
+		}
+		proc, err := os.FindProcess(pid)
+		if err == nil {
+			err = proc.Kill()
+		}
+		if err != nil {
+			log.Printf("chaos: kill pid %d: %v", pid, err)
+			return
+		}
+		log.Printf("chaos: SIGKILLed pid %d after %d nets", pid, done)
+	}
+}
+
+func (st *loadState) report(elapsed time.Duration) {
+	done := st.netsDone.Load()
+	fmt.Printf("\n%d nets in %v (%.0f nets/s): %d ok, %d failed, %d canceled, %d missing, %d failed requests\n",
+		done, elapsed.Round(time.Millisecond), float64(done)/elapsed.Seconds(),
+		st.netsOK.Load(), st.netsFailed.Load(), st.netsCanceled.Load(),
+		st.missing.Load(), st.failedRequests.Load())
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	printPercentiles("request latency", st.reqLat)
+	if st.killed.Load() {
+		printPercentiles("request latency after kill", st.reqLatAfter)
+	}
+}
+
+func printPercentiles(label string, lats []time.Duration) {
+	if len(lats) == 0 {
+		fmt.Printf("%-28s (no samples)\n", label)
+		return
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pick := func(p float64) time.Duration {
+		return lats[int(p*float64(len(lats)-1))]
+	}
+	fmt.Printf("%-28s p50 %v  p95 %v  p99 %v  max %v  (%d samples)\n",
+		label, pick(0.50).Round(time.Millisecond), pick(0.95).Round(time.Millisecond),
+		pick(0.99).Round(time.Millisecond), lats[len(lats)-1].Round(time.Millisecond), len(lats))
+}
+
+// verifyAgainstGolden analyzes one batch through the load target and
+// again directly against a single golden replica, and requires the two
+// record sets to be byte-identical once sorted by net.
+func verifyAgainstGolden(ctx context.Context, c *client.Client, golden, tech string, template []*delaynoise.Case, retries int, wire string, timeout time.Duration) error {
+	gc, err := client.New(client.Config{BaseURL: golden, MaxAttempts: retries, Wire: wire})
+	if err != nil {
+		return err
+	}
+	names := make([]string, len(template))
+	for j := range names {
+		names[j] = fmt.Sprintf("verify-net%04d", j)
+	}
+	var buf bytes.Buffer
+	if err := workload.Save(&buf, tech, names, template); err != nil {
+		return err
+	}
+	opt := client.Options{Timeout: timeout}
+	viaTarget, err := c.Analyze(ctx, buf.Bytes(), opt, nil)
+	if err != nil {
+		return fmt.Errorf("noiseload: verify via target: %w", err)
+	}
+	viaGolden, err := gc.Analyze(ctx, buf.Bytes(), opt, nil)
+	if err != nil {
+		return fmt.Errorf("noiseload: verify via golden: %w", err)
+	}
+	a, err := canonicalReports(viaTarget.Reports)
+	if err != nil {
+		return err
+	}
+	b, err := canonicalReports(viaGolden.Reports)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(a, b) {
+		return fmt.Errorf("noiseload: %d-net verify batch diverges between target and golden", len(names))
+	}
+	return nil
+}
+
+// canonicalReports renders reports as wire records sorted by net — the
+// order-independent byte form the identity check compares.
+func canonicalReports(reports []clarinet.NetReport) ([]byte, error) {
+	recs := make([]clarinet.JournalRecord, len(reports))
+	for i, r := range reports {
+		recs[i] = clarinet.ToWireRecord(r)
+	}
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Net < recs[j].Net })
+	return json.Marshal(recs)
+}

@@ -31,6 +31,11 @@ const (
 	// it occurs once per stream, so compactness does not matter and the
 	// summary schema stays shared with the NDJSON wire).
 	FrameSummary byte = 0x02
+	// FrameHeartbeat is an empty keepalive frame the serving layer
+	// interleaves into an idle wire stream so clients (and the gateway's
+	// stall detector) can tell a slow net from a dead replica. Decoders
+	// that predate it skip it like any unknown kind.
+	FrameHeartbeat byte = 0x03
 )
 
 // maxFramePayload bounds a single frame. Records are ~100 bytes; a

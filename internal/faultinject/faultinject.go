@@ -31,6 +31,7 @@ import (
 	"hash/fnv"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/delaynoise"
@@ -68,6 +69,25 @@ const (
 	// error while the solver rescue aids are unarmed; once the ladder
 	// arms them (resilience.WithSolverRescue) the solves succeed.
 	KindSolverConvergence
+	// Network-seam kinds, injected by WrapHandler at the HTTP streaming
+	// seam (see httpseam.go) rather than the per-net analyze seam. They
+	// are keyed by request identity, not net name, and heal after
+	// Config.HealAfter attempts like KindConvergence — the shapes a
+	// scatter-gather client must survive.
+	//
+	// KindConnReset: the connection is torn down before any response
+	// bytes are written — the client sees a connect-level failure.
+	KindConnReset
+	// KindStalledStream: the response streams normally up to a byte
+	// cutoff, then every further write (records and heartbeats alike)
+	// blocks until the request context dies — the shape only a
+	// stall/heartbeat timeout can detect, since the stream never EOFs.
+	KindStalledStream
+	// KindTruncatedFrame: the response streams normally up to a byte
+	// cutoff chosen to land mid-frame, then the connection is torn down
+	// — the client sees a checksum-detectable torn tail (colblob) or a
+	// summary-less stream (NDJSON).
+	KindTruncatedFrame
 )
 
 // String names the kind for diagnostics and Expect maps.
@@ -87,6 +107,12 @@ func (k Kind) String() string {
 		return "stall"
 	case KindSolverConvergence:
 		return "solver-convergence"
+	case KindConnReset:
+		return "conn-reset"
+	case KindStalledStream:
+		return "stalled-stream"
+	case KindTruncatedFrame:
+		return "truncated-frame"
 	}
 	return fmt.Sprintf("kind(%d)", int(k))
 }
@@ -102,9 +128,16 @@ type Config struct {
 	StallFrac       float64
 	SolverFrac      float64
 
+	// Network-seam fractions, applied by WrapHandler to request keys
+	// rather than net names. They share the same hash bands (after the
+	// analysis-level fractions) so a plan may mix both seams.
+	ConnResetFrac      float64
+	StalledStreamFrac  float64
+	TruncatedFrameFrac float64
+
 	// HealAfter is the number of failed attempts a KindConvergence net
-	// suffers before healing (default 1: the first attempt fails, the
-	// first retry succeeds).
+	// (or a network-seam request key) suffers before healing (default 1:
+	// the first attempt fails, the first retry succeeds).
 	HealAfter int
 
 	// StallFor bounds KindStall faults in wall-clock time. Zero stalls
@@ -121,6 +154,11 @@ type AnalyzeFunc func(ctx context.Context, c *delaynoise.Case, opt delaynoise.Op
 type Plan struct {
 	seed uint64
 	cfg  Config
+
+	// ordinal numbers keyless HTTP requests for the network seam
+	// (httpseam.go), so even requests without a request_id draw a
+	// deterministic (arrival-ordered) fault schedule.
+	ordinal atomic.Int64
 
 	mu       sync.Mutex
 	attempts map[string]int
@@ -188,6 +226,9 @@ func (p *Plan) Kind(net string) Kind {
 		{p.cfg.PanicFrac, KindPanic},
 		{p.cfg.StallFrac, KindStall},
 		{p.cfg.SolverFrac, KindSolverConvergence},
+		{p.cfg.ConnResetFrac, KindConnReset},
+		{p.cfg.StalledStreamFrac, KindStalledStream},
+		{p.cfg.TruncatedFrameFrac, KindTruncatedFrame},
 	} {
 		if u < band.frac {
 			return band.kind

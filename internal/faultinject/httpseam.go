@@ -1,0 +1,131 @@
+package faultinject
+
+import (
+	"fmt"
+	"net/http"
+)
+
+// Network-seam injection. WrapHandler sits between an HTTP server and
+// its real handler and injects transport-shaped faults — the failure
+// modes a scatter-gather client must survive but unit tests cannot
+// produce from inside the handler: connections reset before headers,
+// streams that go silent without closing, and responses torn mid-frame.
+//
+// Faults are keyed by the request's "request_id" query parameter (the
+// identity noised and noisegw already carry) so a seeded plan assigns
+// the same schedule to the same logical request across retries, and
+// HealAfter makes the fault transient: after HealAfter injected
+// failures the same key passes through untouched, which is exactly the
+// shape a retry/re-shard path must exploit.
+
+// requestKey identifies a request for fault assignment: the request_id
+// query parameter when present, else a per-plan ordinal so keyless
+// requests still draw deterministic (if arrival-ordered) faults.
+func (p *Plan) requestKey(r *http.Request) string {
+	if id := r.URL.Query().Get("request_id"); id != "" {
+		return id
+	}
+	return fmt.Sprintf("req%d", p.ordinal.Add(1))
+}
+
+// cutoff picks the byte offset at which a stream-level fault engages,
+// derived from the key hash so the same request tears at the same
+// point on every run of a seed. The range [64, 1088) lands inside the
+// body of any multi-net response in either wire format — past the
+// colblob header frame, before the summary.
+func (p *Plan) cutoff(key string) int {
+	return 64 + int(p.hash01("cutoff:"+key)*1024)
+}
+
+// WrapHandler wraps an HTTP handler with the plan's network-seam
+// faults. Requests whose key draws an analysis-level kind (or
+// KindNone), and requests whose key has already healed, pass through
+// untouched.
+func (p *Plan) WrapHandler(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		key := p.requestKey(r)
+		kind := p.Kind(key)
+		switch kind {
+		case KindConnReset, KindStalledStream, KindTruncatedFrame:
+		default:
+			next.ServeHTTP(w, r)
+			return
+		}
+		if p.attempt(key) > p.cfg.HealAfter {
+			next.ServeHTTP(w, r)
+			return
+		}
+		switch kind {
+		case KindConnReset:
+			// Abort before any bytes: net/http recovers
+			// ErrAbortHandler and drops the connection, so the
+			// client sees a connect/read failure with no response.
+			panic(http.ErrAbortHandler)
+		case KindStalledStream:
+			next.ServeHTTP(&stallingWriter{rw: w, remaining: p.cutoff(key), done: r.Context().Done()}, r)
+		case KindTruncatedFrame:
+			next.ServeHTTP(&truncatingWriter{rw: w, remaining: p.cutoff(key)}, r)
+		}
+	})
+}
+
+// truncatingWriter forwards writes until its byte budget is exhausted,
+// then forwards the partial prefix of the crossing write and aborts the
+// handler — the connection dies with a torn frame on the wire.
+type truncatingWriter struct {
+	rw        http.ResponseWriter
+	remaining int
+}
+
+func (t *truncatingWriter) Header() http.Header  { return t.rw.Header() }
+func (t *truncatingWriter) WriteHeader(code int) { t.rw.WriteHeader(code) }
+
+func (t *truncatingWriter) Write(b []byte) (int, error) {
+	if len(b) < t.remaining {
+		t.remaining -= len(b)
+		return t.rw.Write(b)
+	}
+	t.rw.Write(b[:t.remaining]) // partial on purpose; aborting regardless
+	if f, ok := t.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+	panic(http.ErrAbortHandler)
+}
+
+func (t *truncatingWriter) Flush() {
+	if f, ok := t.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// stallingWriter forwards writes until its byte budget is exhausted,
+// then blocks every further write until the request context dies — the
+// stream goes silent without an EOF, which only a client-side stall or
+// heartbeat timeout can detect.
+type stallingWriter struct {
+	rw        http.ResponseWriter
+	remaining int
+	done      <-chan struct{}
+}
+
+func (s *stallingWriter) Header() http.Header  { return s.rw.Header() }
+func (s *stallingWriter) WriteHeader(code int) { s.rw.WriteHeader(code) }
+
+func (s *stallingWriter) Write(b []byte) (int, error) {
+	if len(b) < s.remaining {
+		s.remaining -= len(b)
+		return s.rw.Write(b)
+	}
+	s.rw.Write(b[:s.remaining]) // partial on purpose; stalling regardless
+	if f, ok := s.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+	<-s.done
+	panic(http.ErrAbortHandler)
+}
+
+func (s *stallingWriter) Flush() {
+	if f, ok := s.rw.(http.Flusher); ok {
+		f.Flush()
+	}
+}

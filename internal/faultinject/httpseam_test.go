@@ -1,0 +1,205 @@
+package faultinject
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chattyHandler streams a fixed number of lines with flushes between
+// them, the shape of an NDJSON record stream.
+func chattyHandler(lines, width int) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		f, _ := w.(http.Flusher)
+		for i := 0; i < lines; i++ {
+			fmt.Fprintf(w, "%s\n", strings.Repeat("x", width-1))
+			if f != nil {
+				f.Flush()
+			}
+		}
+	})
+}
+
+func TestWrapHandlerPassThrough(t *testing.T) {
+	p := New(1, Config{}) // no network fractions: everything passes
+	srv := httptest.NewServer(p.WrapHandler(chattyHandler(4, 16)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	if len(body) != 4*16 {
+		t.Fatalf("body = %d bytes, want %d", len(body), 4*16)
+	}
+}
+
+func TestWrapHandlerConnReset(t *testing.T) {
+	p := New(1, Config{HealAfter: 2})
+	p.Assign("r1", KindConnReset)
+	srv := httptest.NewServer(p.WrapHandler(chattyHandler(4, 16)))
+	defer srv.Close()
+
+	// First HealAfter attempts fail before any response bytes.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(srv.URL + "?request_id=r1")
+		if err == nil {
+			// Some transports surface the abort as a read error
+			// instead of a request error.
+			_, err = io.ReadAll(resp.Body)
+			resp.Body.Close()
+		}
+		if err == nil {
+			t.Fatalf("attempt %d: want connection error, got clean response", i+1)
+		}
+	}
+	// Healed: the third attempt passes through.
+	resp, err := http.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 4*16 {
+		t.Fatalf("healed read: %d bytes, err %v", len(body), err)
+	}
+	if got := p.Attempts("r1"); got != 3 {
+		t.Fatalf("attempts = %d, want 3 (every visit counts, as at the analyze seam)", got)
+	}
+}
+
+func TestWrapHandlerTruncatedFrame(t *testing.T) {
+	p := New(7, Config{HealAfter: 1})
+	p.Assign("r1", KindTruncatedFrame)
+	srv := httptest.NewServer(p.WrapHandler(chattyHandler(64, 64)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("want torn read error, got clean EOF after %d bytes", len(body))
+	}
+	want := p.cutoff("r1")
+	if len(body) != want {
+		t.Fatalf("torn body = %d bytes, want cutoff %d", len(body), want)
+	}
+	// Deterministic: the same seed+key tears at the same offset.
+	if p2 := New(7, Config{}); p2.cutoff("r1") != want {
+		t.Fatalf("cutoff not deterministic: %d vs %d", p2.cutoff("r1"), want)
+	}
+
+	// Healed on retry.
+	resp, err = http.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 64*64 {
+		t.Fatalf("healed read: %d bytes, err %v", len(body), err)
+	}
+}
+
+func TestWrapHandlerStalledStream(t *testing.T) {
+	p := New(3, Config{HealAfter: 1})
+	p.Assign("r1", KindStalledStream)
+	srv := httptest.NewServer(p.WrapHandler(chattyHandler(64, 64)))
+	defer srv.Close()
+
+	// A client read deadline is the only way out of a stalled stream.
+	client := &http.Client{Timeout: 300 * time.Millisecond}
+	resp, err := client.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("get: %v", err)
+	}
+	start := time.Now()
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err == nil {
+		t.Fatalf("want stalled read to time out, got clean EOF after %d bytes", len(body))
+	}
+	if elapsed := time.Since(start); elapsed < 200*time.Millisecond {
+		t.Fatalf("read returned after %v; a stall should hold until the client deadline", elapsed)
+	}
+	if len(body) != p.cutoff("r1") {
+		t.Fatalf("stalled body = %d bytes, want cutoff %d", len(body), p.cutoff("r1"))
+	}
+
+	// Healed on retry.
+	resp, err = http.Get(srv.URL + "?request_id=r1")
+	if err != nil {
+		t.Fatalf("healed get: %v", err)
+	}
+	body, err = io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || len(body) != 64*64 {
+		t.Fatalf("healed read: %d bytes, err %v", len(body), err)
+	}
+}
+
+func TestWrapHandlerKeylessOrdinals(t *testing.T) {
+	// Without request_id, requests draw ordinal keys req1, req2, ... —
+	// assign a fault to req1 and observe exactly the first request fail.
+	p := New(1, Config{HealAfter: 99})
+	p.Assign("req1", KindConnReset)
+	srv := httptest.NewServer(p.WrapHandler(chattyHandler(2, 8)))
+	defer srv.Close()
+
+	resp, err := http.Get(srv.URL)
+	if err == nil {
+		_, err = io.ReadAll(resp.Body)
+		resp.Body.Close()
+	}
+	if err == nil {
+		t.Fatal("first keyless request: want conn reset")
+	}
+	resp, err = http.Get(srv.URL)
+	if err != nil {
+		t.Fatalf("second keyless request: %v", err)
+	}
+	if _, err := io.ReadAll(resp.Body); err != nil {
+		t.Fatalf("second keyless read: %v", err)
+	}
+	resp.Body.Close()
+}
+
+func TestNetworkKindBands(t *testing.T) {
+	// The network fractions occupy bands after the analysis fractions
+	// and produce roughly proportional assignment.
+	p := New(42, Config{
+		ConnResetFrac:      0.2,
+		StalledStreamFrac:  0.2,
+		TruncatedFrameFrac: 0.2,
+	})
+	counts := map[Kind]int{}
+	for i := 0; i < 1000; i++ {
+		counts[p.Kind(fmt.Sprintf("req%03d", i))]++
+	}
+	for _, k := range []Kind{KindConnReset, KindStalledStream, KindTruncatedFrame} {
+		if counts[k] < 120 || counts[k] > 280 {
+			t.Fatalf("kind %v: %d of 1000, want ~200", k, counts[k])
+		}
+	}
+	if counts[KindNone] < 300 {
+		t.Fatalf("KindNone: %d of 1000, want ~400", counts[KindNone])
+	}
+	for _, k := range []Kind{KindConnReset, KindStalledStream, KindTruncatedFrame} {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Fatalf("kind %d has no name", int(k))
+		}
+	}
+}

@@ -31,7 +31,7 @@ var ErrWrap = &lint.Analyzer{
 var errwrapPackages = []string{
 	"align", "ceff", "clarinet", "core", "delaynoise", "device", "engine",
 	"faultinject", "funcnoise", "gatesim", "holdres", "linalg", "lsim",
-	"mna", "mor", "nlsim", "noised", "sta", "sweep", "thevenin",
+	"mna", "mor", "nlsim", "noised", "noisegw", "sta", "sweep", "thevenin",
 	"waveform", "workload",
 }
 

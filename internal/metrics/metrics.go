@@ -125,20 +125,113 @@ func (t *Timer) Total() time.Duration {
 	return time.Duration(t.ns.Load())
 }
 
-// Registry is a named collection of counters, gauges, and timers.
+// histBuckets is the bucket count of a Histogram: 64 octaves of
+// nanoseconds, each split into 4 quarter-octave sub-buckets, covering
+// every representable duration with ~±12% relative resolution.
+const histBuckets = 64 * 4
+
+// Histogram accumulates duration observations into exponentially sized
+// buckets for cheap tail-quantile estimates. Unlike Timer (count +
+// total only), a Histogram answers p50/p95/p99 questions — the load
+// signals a latency-sensitive serving layer is judged by. Observation
+// is lock-free (one atomic add); quantiles are computed at snapshot
+// time. Safe for concurrent use; every method tolerates a nil receiver.
+type Histogram struct {
+	count   atomic.Int64
+	sumNs   atomic.Int64
+	buckets [histBuckets]atomic.Int64
+}
+
+// histIndex maps a duration to its bucket: the octave (bit length of
+// the nanosecond count) selects the coarse bucket, the two bits below
+// the leading bit the quarter-octave within it.
+func histIndex(d time.Duration) int {
+	ns := uint64(d.Nanoseconds())
+	if ns == 0 {
+		return 0
+	}
+	octave := 63
+	for ns>>uint(octave)&1 == 0 {
+		octave--
+	}
+	var minor uint64
+	if octave >= 2 {
+		minor = (ns >> uint(octave-2)) & 3
+	}
+	return octave*4 + int(minor)
+}
+
+// histBucketValue is the representative duration of a bucket: the
+// midpoint of its quarter-octave range.
+func histBucketValue(i int) float64 {
+	octave, minor := i/4, i%4
+	lo := float64(uint64(1)<<uint(octave)) * (1 + float64(minor)/4)
+	return lo * 1.125 // midpoint of a quarter-octave span
+}
+
+// Observe records one duration. Safe on a nil Histogram.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	h.count.Add(1)
+	h.sumNs.Add(int64(d))
+	h.buckets[histIndex(d)].Add(1)
+}
+
+// Count returns the number of observations. Safe on a nil Histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Quantile estimates the q-quantile (0 < q ≤ 1) in nanoseconds from the
+// bucket counts, to the bucket resolution (~±12%). Zero observations
+// yield 0. Safe on a nil Histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i := 0; i < histBuckets; i++ {
+		cum += h.buckets[i].Load()
+		if cum >= rank {
+			return histBucketValue(i)
+		}
+	}
+	return histBucketValue(histBuckets - 1)
+}
+
+// Registry is a named collection of counters, gauges, timers, and
+// histograms.
 type Registry struct {
-	mu       sync.Mutex
-	counters map[string]*Counter
-	gauges   map[string]*Gauge
-	timers   map[string]*Timer
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	timers     map[string]*Timer
+	histograms map[string]*Histogram
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: map[string]*Counter{},
-		gauges:   map[string]*Gauge{},
-		timers:   map[string]*Timer{},
+		counters:   map[string]*Counter{},
+		gauges:     map[string]*Gauge{},
+		timers:     map[string]*Timer{},
+		histograms: map[string]*Histogram{},
 	}
 }
 
@@ -190,6 +283,22 @@ func (r *Registry) Timer(name string) *Timer {
 	return t
 }
 
+// Histogram returns (creating on first use) the named histogram. A nil
+// registry returns a nil histogram, whose methods are no-ops.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.histograms[name]
+	if !ok {
+		h = &Histogram{}
+		r.histograms[name] = h
+	}
+	return h
+}
+
 // Add is shorthand for Counter(name).Add(delta).
 func (r *Registry) Add(name string, delta int64) { r.Counter(name).Add(delta) }
 
@@ -206,12 +315,23 @@ type TimerStat struct {
 	MeanNs  float64 `json:"mean_ns"`
 }
 
+// HistogramStat is the snapshotted state of one histogram: the count,
+// mean, and the three tail quantiles the serving layers report.
+type HistogramStat struct {
+	Count  int64   `json:"count"`
+	MeanNs float64 `json:"mean_ns"`
+	P50Ns  float64 `json:"p50_ns"`
+	P95Ns  float64 `json:"p95_ns"`
+	P99Ns  float64 `json:"p99_ns"`
+}
+
 // Snapshot is a point-in-time copy of a registry, suitable for JSON
 // export and comparison.
 type Snapshot struct {
-	Counters map[string]int64     `json:"counters"`
-	Gauges   map[string]int64     `json:"gauges"`
-	Timers   map[string]TimerStat `json:"timers"`
+	Counters   map[string]int64         `json:"counters"`
+	Gauges     map[string]int64         `json:"gauges"`
+	Timers     map[string]TimerStat     `json:"timers"`
+	Histograms map[string]HistogramStat `json:"histograms,omitempty"`
 }
 
 // Snapshot copies the registry's current state. A nil registry yields an
@@ -236,6 +356,22 @@ func (r *Registry) Snapshot() Snapshot {
 			ts.MeanNs = float64(ts.TotalNs) / float64(n)
 		}
 		s.Timers[name] = ts
+	}
+	for name, h := range r.histograms {
+		n := h.Count()
+		hs := HistogramStat{
+			Count: n,
+			P50Ns: h.Quantile(0.50),
+			P95Ns: h.Quantile(0.95),
+			P99Ns: h.Quantile(0.99),
+		}
+		if n > 0 {
+			hs.MeanNs = float64(h.sumNs.Load()) / float64(n)
+		}
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramStat{}
+		}
+		s.Histograms[name] = hs
 	}
 	return s
 }
@@ -275,6 +411,18 @@ func (s Snapshot) WriteText(w io.Writer) {
 		fmt.Fprintf(w, "%-32s %d calls, %v total, %v mean\n",
 			name, t.Count, time.Duration(t.TotalNs).Round(time.Microsecond),
 			time.Duration(t.MeanNs).Round(time.Microsecond))
+	}
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		h := s.Histograms[name]
+		fmt.Fprintf(w, "%-32s %d obs, p50 %v, p95 %v, p99 %v\n",
+			name, h.Count, time.Duration(h.P50Ns).Round(time.Microsecond),
+			time.Duration(h.P95Ns).Round(time.Microsecond),
+			time.Duration(h.P99Ns).Round(time.Microsecond))
 	}
 }
 

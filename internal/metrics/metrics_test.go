@@ -163,3 +163,88 @@ func TestTimerTime(t *testing.T) {
 		t.Fatalf("timed total = %v", r.Timer("t").Total())
 	}
 }
+
+// TestHistogramQuantiles feeds a known distribution and checks the
+// estimated tails land within the bucket resolution (~±12%).
+func TestHistogramQuantiles(t *testing.T) {
+	h := &Histogram{}
+	// 99 observations at 1ms, one at 100ms: p50 ≈ 1ms, p99 hits the
+	// straggler bucket boundary, p999 clearly the straggler.
+	for i := 0; i < 99; i++ {
+		h.Observe(time.Millisecond)
+	}
+	h.Observe(100 * time.Millisecond)
+	if n := h.Count(); n != 100 {
+		t.Fatalf("count = %d", n)
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 0.8e6 || p50 > 1.3e6 {
+		t.Fatalf("p50 = %.0fns, want ≈1ms", p50)
+	}
+	p999 := h.Quantile(0.999)
+	if p999 < 80e6 || p999 > 130e6 {
+		t.Fatalf("p99.9 = %.0fns, want ≈100ms", p999)
+	}
+	// Monotonicity across the quantile range.
+	last := 0.0
+	for _, q := range []float64{0.1, 0.5, 0.9, 0.99, 1.0} {
+		v := h.Quantile(q)
+		if v < last {
+			t.Fatalf("quantile %.2f = %.0f < previous %.0f", q, v, last)
+		}
+		last = v
+	}
+}
+
+// TestHistogramNilAndZero covers the nil-receiver contract and empty
+// histograms.
+func TestHistogramNilAndZero(t *testing.T) {
+	var h *Histogram
+	h.Observe(time.Second) // must not panic
+	if h.Count() != 0 || h.Quantile(0.99) != 0 {
+		t.Fatal("nil histogram must be a no-op")
+	}
+	var r *Registry
+	if r.Histogram("x") != nil {
+		t.Fatal("nil registry must hand out nil histograms")
+	}
+	h2 := &Histogram{}
+	if h2.Quantile(0.5) != 0 {
+		t.Fatal("empty histogram quantile must be 0")
+	}
+	h2.Observe(0) // zero and negative durations land in bucket 0
+	h2.Observe(-time.Second)
+	if h2.Count() != 2 {
+		t.Fatalf("count = %d", h2.Count())
+	}
+}
+
+// TestHistogramSnapshot checks the registry wiring and the JSON shape.
+func TestHistogramSnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("gw.net.latency").Observe(2 * time.Millisecond)
+	r.Histogram("gw.net.latency").Observe(4 * time.Millisecond)
+	s := r.Snapshot()
+	hs, ok := s.Histograms["gw.net.latency"]
+	if !ok || hs.Count != 2 {
+		t.Fatalf("snapshot histograms = %+v", s.Histograms)
+	}
+	if hs.MeanNs < 2.9e6 || hs.MeanNs > 3.1e6 {
+		t.Fatalf("mean = %.0f, want ≈3ms", hs.MeanNs)
+	}
+	if hs.P99Ns < hs.P50Ns {
+		t.Fatalf("p99 %.0f < p50 %.0f", hs.P99Ns, hs.P50Ns)
+	}
+	var buf bytes.Buffer
+	if err := s.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "histograms") {
+		t.Fatal("JSON snapshot missing histograms")
+	}
+	buf.Reset()
+	s.WriteText(&buf)
+	if !strings.Contains(buf.String(), "gw.net.latency") {
+		t.Fatalf("text snapshot missing histogram:\n%s", buf.String())
+	}
+}

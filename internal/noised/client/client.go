@@ -41,9 +41,14 @@ type Config struct {
 	MaxAttempts int
 	// BaseBackoff is the first retry delay (default 200ms); each retry
 	// doubles it up to MaxBackoff (default 10s), with ±50% jitter. A
-	// 503's Retry-After hint overrides the computed delay when larger.
+	// 503's Retry-After hint overrides the computed delay when larger,
+	// capped at MaxRetryAfter and jittered like any other delay.
 	BaseBackoff time.Duration
 	MaxBackoff  time.Duration
+	// MaxRetryAfter caps the server's Retry-After hint (default 30s). A
+	// misbehaving or malicious server must not be able to park the
+	// client for an hour by sending "Retry-After: 3600".
+	MaxRetryAfter time.Duration
 	// Logf receives retry decisions (nil = silent).
 	Logf func(format string, args ...any)
 	// Wire selects the stream encoding to request: "" or "ndjson" for
@@ -135,6 +140,9 @@ func New(cfg Config) (*Client, error) {
 	if cfg.MaxBackoff <= 0 {
 		cfg.MaxBackoff = 10 * time.Second
 	}
+	if cfg.MaxRetryAfter <= 0 {
+		cfg.MaxRetryAfter = 30 * time.Second
+	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
 	}
@@ -178,6 +186,16 @@ func (c *Client) Analyze(ctx context.Context, cases []byte, opt Options, onRecor
 			var rerr *retryableError
 			errors.As(lastErr, &rerr)
 			delay := c.backoff(attempt, rerr)
+			// A backoff the context deadline cannot outlive is a wasted
+			// sleep: fail now, with the real failure attached, instead of
+			// blocking until the deadline converts it into a bare
+			// context error.
+			if deadline, ok := ctx.Deadline(); ok {
+				if left := time.Until(deadline); left <= delay {
+					return res, fmt.Errorf("client: deadline (%v left) precedes the %v retry backoff: %w",
+						left.Round(time.Millisecond), delay.Round(time.Millisecond), lastErr)
+				}
+			}
 			c.cfg.Logf("client: attempt %d/%d failed (%v); retrying in %v",
 				attempt, c.cfg.MaxAttempts, lastErr, delay.Round(time.Millisecond))
 			select {
@@ -203,18 +221,26 @@ func (c *Client) Analyze(ctx context.Context, cases []byte, opt Options, onRecor
 	return res, fmt.Errorf("client: giving up after %d attempts: %w", res.Attempts, lastErr)
 }
 
-// backoff computes the next retry delay: exponential with ±50% jitter,
-// floored by the server's Retry-After hint when one arrived.
+// backoff computes the next retry delay: exponential, floored by the
+// server's Retry-After hint (capped at MaxRetryAfter so a misbehaving
+// server cannot park the client), then ±50% jitter over the whole
+// thing — the hint too, so a fleet of shed clients never reconverges on
+// the server at the same instant.
 func (c *Client) backoff(attempt int, rerr *retryableError) time.Duration {
 	d := c.cfg.BaseBackoff << (attempt - 1)
 	if d > c.cfg.MaxBackoff || d <= 0 {
 		d = c.cfg.MaxBackoff
 	}
-	d = time.Duration(float64(d) * (0.5 + jitter()))
-	if rerr != nil && rerr.after > d {
-		d = rerr.after
+	if rerr != nil {
+		hint := rerr.after
+		if hint > c.cfg.MaxRetryAfter {
+			hint = c.cfg.MaxRetryAfter
+		}
+		if hint > d {
+			d = hint
+		}
 	}
-	return d
+	return time.Duration(float64(d) * (0.5 + jitter()))
 }
 
 // attempt runs one HTTP request and folds its stream into res. done

@@ -1,0 +1,77 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/noiseerr"
+)
+
+// TestBackoffCapsRetryAfter: the server's Retry-After hint floors the
+// schedule only up to MaxRetryAfter — a misbehaving server cannot park
+// the client for an hour — and the hint is jittered like any computed
+// delay.
+func TestBackoffCapsRetryAfter(t *testing.T) {
+	pinJitter(t) // factor 1.0
+	c, err := New(Config{
+		BaseURL:       "http://example.invalid",
+		BaseBackoff:   10 * time.Millisecond,
+		MaxBackoff:    40 * time.Millisecond,
+		MaxRetryAfter: 2 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name string
+		rerr *retryableError
+		want time.Duration
+	}{
+		{"no hint", nil, 10 * time.Millisecond},
+		{"hint below schedule", &retryableError{after: 5 * time.Millisecond}, 10 * time.Millisecond},
+		{"hint floors schedule", &retryableError{after: time.Second}, time.Second},
+		{"hint capped", &retryableError{after: time.Hour}, 2 * time.Second},
+	}
+	for _, tc := range cases {
+		if got := c.backoff(1, tc.rerr); got != tc.want {
+			t.Errorf("%s: backoff = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+	// Jitter applies to the hint too: with jitter pinned at the floor,
+	// a capped hint halves — retry storms decorrelate.
+	jitter = func() float64 { return 0 }
+	if got := c.backoff(1, &retryableError{after: time.Hour}); got != time.Second {
+		t.Errorf("jittered capped hint = %v, want %v", got, time.Second)
+	}
+}
+
+// TestDeadlineFailsFastAcrossRetries: when the context deadline cannot
+// outlive the next backoff, Analyze returns immediately with the real
+// failure attached instead of sleeping into a bare deadline error.
+func TestDeadlineFailsFastAcrossRetries(t *testing.T) {
+	s, c := newScripted(t, scriptStep{status: 503, body: "shed", retryAfter: "30"})
+	c.cfg.MaxRetryAfter = time.Minute // let the 30s hint through
+
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	start := time.Now()
+	_, err := c.Analyze(ctx, []byte("{}"), Options{}, nil)
+	if elapsed := time.Since(start); elapsed > time.Second {
+		t.Fatalf("Analyze blocked %v; want immediate fail-fast", elapsed)
+	}
+	if err == nil {
+		t.Fatal("want error")
+	}
+	if !errors.Is(err, noiseerr.ErrInternal) {
+		t.Fatalf("err %v does not carry the underlying 503 failure", err)
+	}
+	if !strings.Contains(err.Error(), "backoff") {
+		t.Fatalf("err %q does not explain the fail-fast", err)
+	}
+	if s.calls != 1 {
+		t.Fatalf("attempts = %d, want 1", s.calls)
+	}
+}

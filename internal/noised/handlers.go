@@ -39,16 +39,21 @@ type Summary struct {
 	Draining bool `json:"draining,omitempty"`
 }
 
-// StreamLine is one NDJSON line of the analyze response: either a
-// per-net record (Net non-empty) or the terminal summary.
+// StreamLine is one NDJSON line of the analyze response: a per-net
+// record (Net non-empty), a keepalive heartbeat (Heartbeat true, no
+// other fields), or the terminal summary. Record consumers that predate
+// heartbeats already skip them: a heartbeat line has an empty Net, the
+// same shape they ignore for the summary.
 type StreamLine struct {
 	clarinet.JournalRecord
-	Summary *Summary `json:"summary,omitempty"`
+	Heartbeat bool     `json:"heartbeat,omitempty"`
+	Summary   *Summary `json:"summary,omitempty"`
 }
 
 // Health is the /healthz payload.
 type Health struct {
 	Status       string         `json:"status"`
+	Instance     string         `json:"instance"`
 	Build        buildinfo.Info `json:"build"`
 	UptimeS      float64        `json:"uptime_s"`
 	Draining     bool           `json:"draining"`
@@ -58,9 +63,20 @@ type Health struct {
 	NetsAnalyzed int64          `json:"nets_analyzed"`
 }
 
+// InstanceHeader carries the server's random per-process identity on
+// every analyze, healthz, and readyz response. The gateway compares it
+// across probes: a changed instance behind the same address means the
+// replica restarted, not blipped.
+const InstanceHeader = "X-Noised-Instance"
+
 // requestIDPattern bounds request IDs to filesystem- and header-safe
 // names, since they become journal file names.
 var requestIDPattern = regexp.MustCompile(`^[A-Za-z0-9][A-Za-z0-9._-]{0,99}$`)
+
+// ValidRequestID reports whether id is acceptable as a request_id —
+// the gateway validates client IDs against the same rule before
+// deriving its per-shard sub-request IDs from them.
+func ValidRequestID(id string) bool { return requestIDPattern.MatchString(id) }
 
 // retryAfterSeconds renders the Retry-After hint, rounding up so a
 // sub-second hint does not collapse to "0".
@@ -155,6 +171,7 @@ func (s *Server) parseAnalyzeOptions(r *http.Request) (analyzeOptions, error) {
 // decode to identical values.
 type streamWriter interface {
 	record(rec clarinet.JournalRecord) error
+	heartbeat() error
 	summary(sum *Summary) error
 }
 
@@ -163,6 +180,9 @@ type streamWriter interface {
 type ndjsonStream struct{ enc *json.Encoder }
 
 func (s ndjsonStream) record(rec clarinet.JournalRecord) error { return s.enc.Encode(rec) }
+func (s ndjsonStream) heartbeat() error {
+	return s.enc.Encode(StreamLine{Heartbeat: true})
+}
 func (s ndjsonStream) summary(sum *Summary) error {
 	return s.enc.Encode(StreamLine{Summary: sum})
 }
@@ -184,6 +204,12 @@ func newColblobStream(w io.Writer) *colblobStream {
 
 func (s *colblobStream) record(rec clarinet.JournalRecord) error {
 	return s.rw.WriteRecord(rec)
+}
+
+func (s *colblobStream) heartbeat() error {
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameHeartbeat, nil)
+	_, err := s.w.Write(s.buf)
+	return err
 }
 
 func (s *colblobStream) summary(sum *Summary) error {
@@ -303,6 +329,7 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	stream, contentType := negotiateStream(r, w)
 	w.Header().Set("Content-Type", contentType)
 	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(InstanceHeader, s.instance)
 	if opt.requestID != "" {
 		w.Header().Set("X-Request-ID", opt.requestID)
 	}
@@ -315,25 +342,58 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	start := time.Now()
 	sum := Summary{RequestID: opt.requestID, Nets: len(cases), Resumed: len(prior)}
 	writeOK := true
-	for rep := range s.runBatch(tool, ctx, names, cases, prior, journal) {
-		switch {
-		case rep.Err == nil:
-			sum.OK++
-		case noiseerr.Class(rep.Err) == noiseerr.ErrCanceled:
-			sum.Canceled++
-		default:
-			sum.Failed++
+	// Heartbeats keep an idle stream distinguishable from a dead
+	// server: whenever no record has gone out for a full interval, an
+	// empty keepalive line/frame does. The ticker resets on every real
+	// record so a busy stream never carries them.
+	var hbC <-chan time.Time
+	var hb *time.Ticker
+	if s.cfg.Heartbeat > 0 {
+		hb = time.NewTicker(s.cfg.Heartbeat)
+		defer hb.Stop()
+		hbC = hb.C
+	}
+	reports := s.runBatch(tool, ctx, names, cases, prior, journal)
+stream:
+	for {
+		select {
+		case rep, ok := <-reports:
+			if !ok {
+				break stream
+			}
+			switch {
+			case rep.Err == nil:
+				sum.OK++
+			case noiseerr.Class(rep.Err) == noiseerr.ErrCanceled:
+				sum.Canceled++
+			default:
+				sum.Failed++
+			}
+			if !writeOK {
+				continue // keep draining the pool after a broken pipe
+			}
+			s.reg.Counter(mServerNetsStreamed).Inc()
+			if err := stream.record(clarinet.ToWireRecord(rep)); err != nil {
+				writeOK = false
+				cancel() // stop analyzing for a client that is gone
+				continue
+			}
+			rc.Flush()
+			if hb != nil {
+				hb.Reset(s.cfg.Heartbeat)
+			}
+		case <-hbC:
+			if !writeOK {
+				continue
+			}
+			s.reg.Counter(mServerHeartbeats).Inc()
+			if err := stream.heartbeat(); err != nil {
+				writeOK = false
+				cancel()
+				continue
+			}
+			rc.Flush()
 		}
-		if !writeOK {
-			continue // keep draining the pool after a broken pipe
-		}
-		s.reg.Counter(mServerNetsStreamed).Inc()
-		if err := stream.record(clarinet.ToWireRecord(rep)); err != nil {
-			writeOK = false
-			cancel() // stop analyzing for a client that is gone
-			continue
-		}
-		rc.Flush()
 	}
 	if !writeOK {
 		return
@@ -363,6 +423,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	snap := s.reg.Snapshot()
 	h := Health{
 		Status:       "ok",
+		Instance:     s.instance,
 		Build:        buildinfo.Current(),
 		UptimeS:      time.Since(s.started).Seconds(),
 		Draining:     s.adm.draining(),
@@ -374,6 +435,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if h.Draining {
 		h.Status = "draining"
 	}
+	w.Header().Set(InstanceHeader, s.instance)
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
@@ -381,6 +443,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(InstanceHeader, s.instance)
 	if s.adm.draining() {
 		s.unavailable(w, "draining")
 		return

@@ -36,6 +36,8 @@ package noised
 
 import (
 	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"log"
 	"net/http"
 	"time"
@@ -102,6 +104,11 @@ type Config struct {
 	// DrainTimeout bounds the graceful drain after shutdown begins
 	// (default 60s).
 	DrainTimeout time.Duration
+	// Heartbeat is the keepalive interval of an idle analyze stream:
+	// when no record has been written for this long the server emits a
+	// heartbeat line (NDJSON) or frame (colblob) so clients can tell a
+	// slow net from a dead server (default 10s; negative disables).
+	Heartbeat time.Duration
 
 	// JournalDir enables server-side journaling: each request carrying
 	// a request_id appends its completed nets to
@@ -139,6 +146,7 @@ const (
 	DefaultRetryAfter        = time.Second
 	DefaultMaxRequestTimeout = 15 * time.Minute
 	DefaultDrainTimeout      = 60 * time.Second
+	DefaultHeartbeat         = 10 * time.Second
 )
 
 func (c *Config) defaults() {
@@ -168,6 +176,9 @@ func (c *Config) defaults() {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = DefaultDrainTimeout
 	}
+	if c.Heartbeat == 0 {
+		c.Heartbeat = DefaultHeartbeat
+	}
 }
 
 // runBatchFunc is the seam between the serving layer and the analysis
@@ -179,13 +190,14 @@ type runBatchFunc func(t *clarinet.Tool, ctx context.Context, names []string, ca
 // admission-controlled streaming HTTP API. Build one with New; it is
 // safe for concurrent use.
 type Server struct {
-	cfg     Config
-	session *engine.Session
-	store   *warmstore.Store
-	reg     *metrics.Registry
-	adm     *admission
-	mux     *http.ServeMux
-	started time.Time
+	cfg      Config
+	session  *engine.Session
+	store    *warmstore.Store
+	reg      *metrics.Registry
+	adm      *admission
+	mux      *http.ServeMux
+	started  time.Time
+	instance string
 
 	runBatch runBatchFunc
 }
@@ -222,11 +234,12 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:     cfg,
-		session: sess,
-		store:   store,
-		reg:     sess.Metrics(),
-		started: time.Now(),
+		cfg:      cfg,
+		session:  sess,
+		store:    store,
+		reg:      sess.Metrics(),
+		started:  time.Now(),
+		instance: newInstanceID(),
 		runBatch: func(t *clarinet.Tool, ctx context.Context, names []string, cases []*delaynoise.Case, prior map[string]clarinet.NetReport, j *clarinet.Journal) <-chan clarinet.NetReport {
 			return t.StreamBatch(ctx, names, cases, prior, j)
 		},
@@ -249,6 +262,23 @@ func (s *Server) SaveWarm() error {
 	}
 	return s.session.SaveWarm(s.store)
 }
+
+// newInstanceID mints the random per-process identity exposed on
+// /healthz and the X-Noised-Instance header. A gateway that sees the
+// instance change behind an address knows the replica restarted (and
+// lost any unjournaled state), not merely blipped.
+func newInstanceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand is documented never to fail on supported
+		// platforms; fall back to a stable marker rather than crash.
+		return "instance-unavailable"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// Instance returns the server's random per-process identity.
+func (s *Server) Instance() string { return s.instance }
 
 // Session returns the server's warm engine session.
 func (s *Server) Session() *engine.Session { return s.session }

@@ -116,6 +116,8 @@ func readStream(t *testing.T, body io.Reader) ([]clarinet.JournalRecord, *Summar
 				t.Fatal("record after the summary line")
 			}
 			recs = append(recs, sl.JournalRecord)
+		case sl.Heartbeat:
+			// keepalive only; carries no data
 		default:
 			t.Fatalf("unclassifiable stream line %q", sc.Text())
 		}

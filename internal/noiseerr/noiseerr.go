@@ -216,6 +216,13 @@ const (
 	StageReport       Stage = "report"
 	StageRescue       Stage = "rescue"
 	StageResilience   Stage = "resilience"
+	// StageReplica and StageReshard attribute cluster-layer failures:
+	// StageReplica covers one replica's sub-request (connect, shed,
+	// torn/stalled stream), StageReshard the gateway's redistribution of
+	// unfinished nets onto survivors (exhausted retry budgets, no
+	// healthy replicas left).
+	StageReplica Stage = "replica"
+	StageReshard Stage = "reshard"
 )
 
 // Stages lists every pipeline stage, in execution order (the resilience
@@ -229,6 +236,8 @@ var Stages = []Stage{
 	StageReport,
 	StageRescue,
 	StageResilience,
+	StageReplica,
+	StageReshard,
 }
 
 // stageTimerPrefix namespaces the per-stage metrics timers.

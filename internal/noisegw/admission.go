@@ -1,0 +1,88 @@
+package noisegw
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/metrics"
+)
+
+// The gateway's load gate is the same shape as noised's: a semaphore of
+// coordination slots fronted by a bounded wait queue, with live state
+// in the gw.inflight and gw.queue_depth gauges. Shedding here is what
+// completes the end-to-end backpressure story — replica sheds slow the
+// gateway's sub-requests, and the gateway's own gate sheds its clients
+// rather than queueing unboundedly on a saturated fleet.
+
+// errQueueFull is returned by acquire when the wait queue is at
+// capacity; the handler maps it to 503 + Retry-After.
+var errQueueFull = errors.New("noisegw: admission queue full")
+
+// errDraining is returned by acquire once the gateway has begun its
+// graceful drain.
+var errDraining = errors.New("noisegw: gateway draining")
+
+type admission struct {
+	slots    chan struct{}
+	mu       sync.Mutex
+	queued   int
+	maxQueue int
+	drained  atomic.Bool
+
+	inflight   *metrics.Gauge
+	queueDepth *metrics.Gauge
+}
+
+func newAdmission(maxInflight, maxQueue int, reg *metrics.Registry) *admission {
+	return &admission{
+		slots:      make(chan struct{}, maxInflight),
+		maxQueue:   maxQueue,
+		inflight:   reg.Gauge(mGwInflight),
+		queueDepth: reg.Gauge(mGwQueueDepth),
+	}
+}
+
+func (a *admission) drain()         { a.drained.Store(true) }
+func (a *admission) draining() bool { return a.drained.Load() }
+
+// acquire claims a coordination slot, waiting in the bounded queue when
+// every slot is busy; see noised's admission gate for the contract.
+func (a *admission) acquire(ctx context.Context) error {
+	if a.draining() {
+		return errDraining
+	}
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Inc()
+		return nil
+	default:
+	}
+	a.mu.Lock()
+	if a.queued >= a.maxQueue {
+		a.mu.Unlock()
+		return errQueueFull
+	}
+	a.queued++
+	a.queueDepth.Set(int64(a.queued))
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		a.queued--
+		a.queueDepth.Set(int64(a.queued))
+		a.mu.Unlock()
+	}()
+	select {
+	case a.slots <- struct{}{}:
+		a.inflight.Inc()
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+func (a *admission) release() {
+	<-a.slots
+	a.inflight.Dec()
+}

@@ -1,0 +1,63 @@
+package noisegw
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// BenchmarkScatterGather measures the gateway's coordination overhead
+// alone: three instant fake replicas, 256 nets per request, NDJSON in
+// and out. The replicas cost nothing, so the time is sharding, the
+// sub-request fan-out, stream parsing, and the exactly-once merge.
+func BenchmarkScatterGather(b *testing.B) {
+	replicas := make([]string, 3)
+	for i := range replicas {
+		ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+			if r.URL.Path == "/readyz" {
+				fmt.Fprintln(w, "ok")
+				return
+			}
+			var file workload.FileJSON
+			if err := json.NewDecoder(r.Body).Decode(&file); err != nil {
+				http.Error(w, err.Error(), http.StatusBadRequest)
+				return
+			}
+			serveAll(w, file, nil)
+		}))
+		b.Cleanup(ts.Close)
+		replicas[i] = ts.URL
+	}
+	g, err := New(Config{Replicas: replicas, StallTimeout: 30 * time.Second})
+	if err != nil {
+		b.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	b.Cleanup(ts.Close)
+
+	body, err := json.Marshal(workload.FileJSON{Technology: "default-180nm", Cases: testCases(256)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := http.Post(ts.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		n, err := io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK || n == 0 {
+			b.Fatalf("status %s, %d bytes, err %v", resp.Status, n, err)
+		}
+	}
+	b.ReportMetric(float64(b.N*256)/b.Elapsed().Seconds(), "nets/s")
+}

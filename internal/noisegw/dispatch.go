@@ -1,0 +1,461 @@
+package noisegw
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/noised"
+	"repro/internal/workload"
+)
+
+// The coordinator. One run fans a request's cases out as per-replica
+// shard streams, merges their records into a single sink channel, and
+// recovers from failures by re-sharding unfinished nets onto survivors.
+//
+// Exactly-once delivery rests on one invariant: a net is finalized (its
+// record sent to the sink) at most once, under r.mu, and only by a real
+// outcome — success or a definitive failure. Canceled placeholders (the
+// records a replica emits for nets cut off mid-run) never finalize, so
+// the nets they name stay eligible for the reshard that completes them.
+// Replays — from replica-side journal resume after a shed retry, or
+// from a hedged duplicate stream — hit the done map and drop. Workers
+// never fabricate failure records for nets they could not finish; the
+// handler emits those only after every worker has exited, when no
+// late stream can contradict them.
+
+// shedJitter is the randomness seam of the shed backoff; tests pin it.
+var shedJitter = rand.Float64
+
+// run is the per-request coordinator state.
+type run struct {
+	g      *Gateway
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+
+	tech      string     // technology echoed into shard bodies
+	query     url.Values // forwarded analysis options (no request_id)
+	requestID string     // the client's request_id ("" = unjournaled)
+
+	// sink carries finalized records to the handler's merge loop. It is
+	// closed by the closer goroutine once every worker has exited.
+	sink chan clarinet.JournalRecord
+
+	mu   sync.Mutex
+	done map[string]bool // net -> finalized
+
+	wg       sync.WaitGroup
+	reshards atomic.Int64
+	hedges   atomic.Int64
+}
+
+func (g *Gateway) newRun(ctx context.Context, cancel context.CancelFunc, tech string, query url.Values, requestID string) *run {
+	return &run{
+		g:         g,
+		ctx:       ctx,
+		cancel:    cancel,
+		start:     time.Now(),
+		tech:      tech,
+		query:     query,
+		requestID: requestID,
+		sink:      make(chan clarinet.JournalRecord, 64),
+		done:      map[string]bool{},
+	}
+}
+
+// scatter shards the cases over the currently healthy replicas and
+// spawns one worker per shard, plus the closer that ends the sink when
+// the last worker — initial, reshard, or hedge — exits.
+func (r *run) scatter(cases []workload.CaseJSON) error {
+	names := r.g.set.healthyNames()
+	if len(names) == 0 {
+		return errNoReplicas
+	}
+	for name, shard := range shardCases(cases, names) {
+		r.spawn(name, shard, 0)
+	}
+	// The closer is bounded by the workers, which are bounded by r.ctx:
+	// every worker path returns once the context dies, wg drains, and
+	// the close lets the handler's merge loop finish.
+	//lint:ignore noiselint/goleak joins r.wg, whose workers all exit once r.ctx dies; the close unblocks the merge loop
+	go func() {
+		r.wg.Wait()
+		close(r.sink)
+	}()
+	return nil
+}
+
+func (r *run) spawn(replica string, cases []workload.CaseJSON, attempt int) {
+	r.wg.Add(1)
+	//lint:ignore noiselint/goleak runShard defers wg.Done and every blocking path inside it selects on r.ctx; the closer joins the wg
+	go r.runShard(replica, cases, attempt)
+}
+
+// runShard drives one shard against one replica to completion, then
+// re-shards whatever remains unfinished. attempt counts the reshard
+// hops this slice of work has taken.
+func (r *run) runShard(replica string, cases []workload.CaseJSON, attempt int) {
+	defer r.wg.Done()
+	leftover, avoid := r.streamShard(replica, cases, attempt)
+	leftover = r.unfinished(leftover)
+	if len(leftover) == 0 || r.ctx.Err() != nil {
+		return
+	}
+	if attempt >= r.g.cfg.MaxReshards {
+		r.g.cfg.Logf("noisegw: %d nets exhausted their %d reshard hops", len(leftover), r.g.cfg.MaxReshards)
+		return // the handler reports them after wg.Wait
+	}
+	targets := r.g.set.healthyNames()
+	if avoid {
+		targets = r.g.set.healthyExcept(replica)
+	}
+	if len(targets) == 0 {
+		r.g.cfg.Logf("noisegw: %d nets unassigned: no healthy replicas to reshard onto", len(leftover))
+		return
+	}
+	r.g.reg.Counter(mGwReshards).Inc()
+	r.reshards.Add(1)
+	r.g.cfg.Logf("noisegw: resharding %d nets from %s over %d replicas (hop %d)",
+		len(leftover), replica, len(targets), attempt+1)
+	for name, shard := range shardCases(leftover, targets) {
+		r.spawn(name, shard, attempt+1)
+	}
+}
+
+// streamShard runs the shard's sub-request against one replica,
+// absorbing shed (503) responses with capped jittered backoff. avoid
+// reports that the reshard should go elsewhere: true after a replica
+// failure (struck) or an exhausted shed budget (saturated).
+func (r *run) streamShard(replica string, cases []workload.CaseJSON, attempt int) (leftover []workload.CaseJSON, avoid bool) {
+	body, err := shardBody(r.tech, cases)
+	if err != nil {
+		r.g.cfg.Logf("noisegw: shard body: %v", err)
+		return cases, true
+	}
+	sheds := 0
+	for {
+		outcome, retryAfter := r.streamOnce(replica, cases, body, attempt)
+		switch outcome {
+		case streamDone:
+			r.g.set.clearStrikes(replica)
+			// Normally nothing is left; canceled nets (replica deadline,
+			// drain) remain for the caller to reshard.
+			return cases, false
+		case streamShed:
+			sheds++
+			if sheds > r.g.cfg.ShedRetries {
+				return cases, true
+			}
+			if !r.sleepShed(sheds, retryAfter) {
+				return nil, false // run context died while backing off
+			}
+		case streamFailed:
+			r.g.set.strike(replica)
+			return cases, true
+		default: // streamCtxDone
+			return nil, false
+		}
+	}
+}
+
+// sleepShed backs off between shed retries: exponential from
+// ShedBackoff, floored by the replica's capped Retry-After hint,
+// jittered ±50%. Reports false when the run context died first.
+func (r *run) sleepShed(sheds int, retryAfter time.Duration) bool {
+	d := r.g.cfg.ShedBackoff << (sheds - 1)
+	if d > r.g.cfg.MaxShedBackoff || d <= 0 {
+		d = r.g.cfg.MaxShedBackoff
+	}
+	if retryAfter > r.g.cfg.MaxShedBackoff {
+		retryAfter = r.g.cfg.MaxShedBackoff
+	}
+	if retryAfter > d {
+		d = retryAfter
+	}
+	d = time.Duration(float64(d) * (0.5 + shedJitter()))
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-r.ctx.Done():
+		return false
+	}
+}
+
+// streamOutcome classifies one sub-request.
+type streamOutcome int
+
+const (
+	streamDone    streamOutcome = iota // summary arrived; the stream is complete
+	streamShed                         // 503/429: the replica asked us to back off
+	streamFailed                       // connect error, torn tail, or stall: strike and reshard
+	streamCtxDone                      // the run's own context died
+)
+
+// streamEvent is one parsed element of a shard stream.
+type streamEvent struct {
+	rec     clarinet.JournalRecord
+	summary *noised.Summary
+	err     error
+}
+
+// streamOnce opens one sub-request and consumes its stream, finalizing
+// records as they arrive. The watchdog turns silence into failure: any
+// event (records and heartbeats alike) resets the stall timer, so a
+// stream that goes quiet past StallTimeout — a SIGKILLed replica whose
+// socket lingers, a stalled response — is canceled and counted, and a
+// stream with no progress past HedgeAfter is duplicated onto another
+// replica (once) while this one keeps running.
+func (r *run) streamOnce(replica string, cases []workload.CaseJSON, body []byte, attempt int) (streamOutcome, time.Duration) {
+	subctx, subcancel := context.WithCancel(r.ctx)
+	defer subcancel()
+	shardStart := time.Now()
+
+	u := replica + "/v1/analyze"
+	if q := r.subQuery(cases); q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(subctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return streamFailed, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.g.client.Do(req)
+	if err != nil {
+		if r.ctx.Err() != nil {
+			return streamCtxDone, 0
+		}
+		return streamFailed, 0
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		r.g.reg.Counter(mGwShardShed).Inc()
+		return streamShed, parseRetryAfter(resp.Header.Get("Retry-After"))
+	default:
+		// The replica rejected a request the gateway already validated —
+		// a version skew or a bug, not load. Treat it as a failure so
+		// the work moves elsewhere.
+		r.g.cfg.Logf("noisegw: replica %s answered %s", replica, resp.Status)
+		return streamFailed, 0
+	}
+	r.g.reg.Counter(mGwShardStreams).Inc()
+
+	events := make(chan streamEvent)
+	// The reader is bounded by subctx (canceled on every return path
+	// above/below): each send selects on it, and body reads unblock
+	// when the request context dies.
+	go readShardStream(subctx, resp.Body, events)
+
+	stall := time.NewTimer(r.g.cfg.StallTimeout)
+	defer stall.Stop()
+	var hedgeC <-chan time.Time
+	if r.g.cfg.HedgeAfter > 0 {
+		hedge := time.NewTimer(r.g.cfg.HedgeAfter)
+		defer hedge.Stop()
+		hedgeC = hedge.C
+	}
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.err != nil {
+				// EOF without a summary, a scan error, a torn frame: the
+				// replica died mid-stream.
+				r.g.reg.Counter(mGwShardTorn).Inc()
+				return streamFailed, 0
+			}
+			if !stall.Stop() {
+				select {
+				case <-stall.C:
+				default:
+				}
+			}
+			stall.Reset(r.g.cfg.StallTimeout)
+			switch {
+			case ev.summary != nil:
+				r.g.reg.Histogram(mGwShardLatency).Observe(time.Since(shardStart))
+				return streamDone, 0
+			case ev.rec.Net != "":
+				r.finalize(ev.rec)
+			}
+		case <-stall.C:
+			r.g.reg.Counter(mGwShardStalled).Inc()
+			r.g.cfg.Logf("noisegw: replica %s stream stalled past %v", replica, r.g.cfg.StallTimeout)
+			return streamFailed, 0
+		case <-hedgeC:
+			r.g.reg.Counter(mGwHedges).Inc()
+			r.hedges.Add(1)
+			r.hedgeShard(replica, cases, attempt)
+		case <-r.ctx.Done():
+			return streamCtxDone, 0
+		}
+	}
+}
+
+// hedgeShard duplicates a slow shard's unfinished nets onto another
+// healthy replica; the done map makes whichever stream answers first
+// win and the loser's replays drop.
+func (r *run) hedgeShard(replica string, cases []workload.CaseJSON, attempt int) {
+	rest := r.unfinished(cases)
+	if len(rest) == 0 {
+		return
+	}
+	targets := r.g.set.healthyExcept(replica)
+	if len(targets) == 0 {
+		return
+	}
+	r.g.cfg.Logf("noisegw: hedging %d slow nets from %s", len(rest), replica)
+	for name, shard := range shardCases(rest, targets) {
+		r.spawn(name, shard, attempt+1)
+	}
+}
+
+// readShardStream parses the replica's NDJSON stream into events. It is
+// bounded by ctx: every send has a cancellation arm, and the channel
+// close signals end of stream.
+func readShardStream(ctx context.Context, body io.Reader, events chan<- streamEvent) {
+	defer close(events)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl noised.StreamLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			select {
+			case events <- streamEvent{err: fmt.Errorf("noisegw: malformed stream line: %w", err)}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		ev := streamEvent{rec: sl.JournalRecord, summary: sl.Summary}
+		select {
+		case events <- ev:
+		case <-ctx.Done():
+			return
+		}
+		if sl.Summary != nil {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		select {
+		case events <- streamEvent{err: err}:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// finalize merges one record: the first real outcome per net wins and
+// goes to the sink; duplicates and canceled placeholders drop (the
+// latter stay eligible for the reshard that completes them).
+func (r *run) finalize(rec clarinet.JournalRecord) {
+	if rec.Class == "canceled" {
+		return
+	}
+	r.mu.Lock()
+	if r.done[rec.Net] {
+		r.mu.Unlock()
+		r.g.reg.Counter(mGwNetsDuplicate).Inc()
+		return
+	}
+	r.done[rec.Net] = true
+	r.mu.Unlock()
+	r.g.reg.Counter(mGwNetsMerged).Inc()
+	r.g.reg.Histogram(mGwNetLatency).Observe(time.Since(r.start))
+	select {
+	case r.sink <- rec:
+	case <-r.ctx.Done():
+	}
+}
+
+// unfinished filters cases down to the nets no stream has finalized.
+func (r *run) unfinished(cases []workload.CaseJSON) []workload.CaseJSON {
+	if len(cases) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []workload.CaseJSON
+	for _, c := range cases {
+		if !r.done[c.Name] {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// finished reports whether a net has been finalized.
+func (r *run) finished(net string) bool {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.done[net]
+}
+
+// subQuery renders one shard's query string: the forwarded analysis
+// options plus the derived sub-request ID.
+func (r *run) subQuery(cases []workload.CaseJSON) string {
+	q := url.Values{}
+	for k, vs := range r.query {
+		q[k] = vs
+	}
+	if id := r.subRequestID(cases); id != "" {
+		q.Set("request_id", id)
+	}
+	return q.Encode()
+}
+
+// subRequestID derives a stable per-shard journal identity from the
+// client's request_id and the shard's net names: a shed retry of the
+// same shard presents the same ID, so the replica's journal replays
+// the nets it already finished instead of re-analyzing them. A
+// different shard (after a reshard) gets a different ID, so journals
+// never mix shards. Without a client ID there is no journaling.
+func (r *run) subRequestID(cases []workload.CaseJSON) string {
+	if r.requestID == "" {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, c := range cases {
+		h.Write([]byte(c.Name))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%s-s%08x", r.requestID, h.Sum64()&0xffffffff)
+}
+
+// shardBody serializes one shard as the workload JSON schema the
+// replicas parse.
+func shardBody(tech string, cases []workload.CaseJSON) ([]byte, error) {
+	return json.Marshal(workload.FileJSON{Technology: tech, Cases: cases})
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After value; anything
+// else maps to zero.
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,402 @@
+package noisegw
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/clarinet"
+	"repro/internal/colblob"
+	"repro/internal/noised"
+	"repro/internal/noiseerr"
+	"repro/internal/workload"
+)
+
+// errNoReplicas sheds a request when every replica is ejected: the
+// fleet is down, and queueing the work would only mask it.
+var errNoReplicas = errors.New("noisegw: no healthy replicas")
+
+// Health is the gateway /healthz payload.
+type Health struct {
+	Status          string          `json:"status"`
+	Instance        string          `json:"instance"`
+	Build           buildinfo.Info  `json:"build"`
+	UptimeS         float64         `json:"uptime_s"`
+	Draining        bool            `json:"draining"`
+	Inflight        int64           `json:"inflight"`
+	QueueDepth      int64           `json:"queue_depth"`
+	ReplicasHealthy int             `json:"replicas_healthy"`
+	Replicas        []replicaHealth `json:"replicas"`
+}
+
+// retryAfterSeconds renders the Retry-After hint, rounding up so a
+// sub-second hint does not collapse to "0".
+func (g *Gateway) retryAfterSeconds() string {
+	secs := int64((g.cfg.RetryAfter + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
+}
+
+// unavailable sheds one request: 503 with the Retry-After backoff hint.
+func (g *Gateway) unavailable(w http.ResponseWriter, reason string) {
+	w.Header().Set("Retry-After", g.retryAfterSeconds())
+	http.Error(w, reason, http.StatusServiceUnavailable)
+}
+
+// analyzeOptions are the validated per-request knobs. The analysis
+// options are forwarded to the replicas verbatim; only the timeout and
+// request ID have gateway-level meaning.
+type analyzeOptions struct {
+	forward   url.Values // hold/align/rescue/net_timeout/timeout, as received
+	timeout   time.Duration
+	requestID string
+}
+
+// parseAnalyzeOptions validates the query parameters the gateway
+// forwards, failing fast with 400 instead of scattering a request every
+// replica would reject.
+func (g *Gateway) parseAnalyzeOptions(r *http.Request) (analyzeOptions, error) {
+	q := r.URL.Query()
+	opt := analyzeOptions{forward: url.Values{}}
+	if v := q.Get("hold"); v != "" {
+		if _, err := clarinet.ParseHold(v); err != nil {
+			return opt, err
+		}
+		opt.forward.Set("hold", v)
+	}
+	if v := q.Get("align"); v != "" {
+		if _, err := clarinet.ParseAlign(v); err != nil {
+			return opt, err
+		}
+		opt.forward.Set("align", v)
+	}
+	if v := q.Get("rescue"); v != "" {
+		if _, err := strconv.ParseBool(v); err != nil {
+			return opt, noiseerr.Invalidf("noisegw: bad rescue %q: %w", v, err)
+		}
+		opt.forward.Set("rescue", v)
+	}
+	if v := q.Get("net_timeout"); v != "" {
+		if d, err := time.ParseDuration(v); err != nil || d < 0 {
+			return opt, noiseerr.Invalidf("noisegw: bad net_timeout %q", v)
+		}
+		opt.forward.Set("net_timeout", v)
+	}
+	if v := q.Get("timeout"); v != "" {
+		d, err := time.ParseDuration(v)
+		if err != nil || d < 0 {
+			return opt, noiseerr.Invalidf("noisegw: bad timeout %q", v)
+		}
+		opt.timeout = d
+		opt.forward.Set("timeout", v)
+	}
+	if limit := g.cfg.MaxRequestTimeout; limit > 0 {
+		if opt.timeout <= 0 || opt.timeout > limit {
+			opt.timeout = limit
+		}
+	}
+	opt.requestID = r.Header.Get("X-Request-ID")
+	if v := q.Get("request_id"); v != "" {
+		opt.requestID = v
+	}
+	if opt.requestID != "" && !noised.ValidRequestID(opt.requestID) {
+		return opt, noiseerr.Invalidf("noisegw: bad request_id %q", opt.requestID)
+	}
+	return opt, nil
+}
+
+// streamWriter mirrors the noised response encodings so noisectl and
+// client.Client speak to a gateway unchanged.
+type streamWriter interface {
+	record(rec clarinet.JournalRecord) error
+	heartbeat() error
+	summary(sum *noised.Summary) error
+}
+
+type ndjsonStream struct{ enc *json.Encoder }
+
+func (s ndjsonStream) record(rec clarinet.JournalRecord) error { return s.enc.Encode(rec) }
+func (s ndjsonStream) heartbeat() error {
+	return s.enc.Encode(noised.StreamLine{Heartbeat: true})
+}
+func (s ndjsonStream) summary(sum *noised.Summary) error {
+	return s.enc.Encode(noised.StreamLine{Summary: sum})
+}
+
+// colblobStream re-encodes the merged records on a fresh binary writer:
+// the per-replica streams each carried their own chained compression
+// state, so the gateway cannot splice their frames — it decodes and
+// re-encodes, which also normalizes the client's view.
+type colblobStream struct {
+	w   io.Writer
+	rw  clarinet.RecordWriter
+	buf []byte
+}
+
+func newColblobStream(w io.Writer) *colblobStream {
+	return &colblobStream{w: w, rw: clarinet.Binary.NewWriter(w)}
+}
+
+func (s *colblobStream) record(rec clarinet.JournalRecord) error {
+	return s.rw.WriteRecord(rec)
+}
+
+func (s *colblobStream) heartbeat() error {
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameHeartbeat, nil)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+func (s *colblobStream) summary(sum *noised.Summary) error {
+	payload, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameSummary, payload)
+	_, err = s.w.Write(s.buf)
+	return err
+}
+
+func negotiateStream(r *http.Request, w http.ResponseWriter) (streamWriter, string) {
+	if strings.Contains(r.Header.Get("Accept"), clarinet.ContentTypeColblob) {
+		return newColblobStream(w), clarinet.ContentTypeColblob
+	}
+	return ndjsonStream{enc: json.NewEncoder(w)}, clarinet.ContentTypeNDJSON
+}
+
+// handleAnalyze is POST /v1/analyze: validation, admission, scatter,
+// and the merge loop that streams finalized records to the client.
+func (g *Gateway) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter(mGwRequests).Inc()
+	if g.adm.draining() {
+		g.reg.Counter(mGwRejectedDraining).Inc()
+		g.unavailable(w, "draining")
+		return
+	}
+	opt, err := g.parseAnalyzeOptions(r)
+	if err != nil {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	// Structural parse only: the gateway shards cases without resolving
+	// them against a device library — validation against the technology
+	// stays at the replicas, which own the engine.
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	var file workload.FileJSON
+	if err := json.NewDecoder(r.Body).Decode(&file); err != nil {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, fmt.Sprintf("noisegw: decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if len(file.Cases) == 0 {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, "noisegw: empty case set", http.StatusBadRequest)
+		return
+	}
+	if len(file.Cases) > g.cfg.MaxNets {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, fmt.Sprintf("noisegw: %d nets exceeds the limit %d", len(file.Cases), g.cfg.MaxNets),
+			http.StatusRequestEntityTooLarge)
+		return
+	}
+	seen := make(map[string]bool, len(file.Cases))
+	for _, c := range file.Cases {
+		if c.Name == "" || seen[c.Name] {
+			g.reg.Counter(mGwRejectedValidation).Inc()
+			http.Error(w, fmt.Sprintf("noisegw: missing or duplicate net name %q", c.Name), http.StatusBadRequest)
+			return
+		}
+		seen[c.Name] = true
+	}
+
+	switch err := g.adm.acquire(r.Context()); err {
+	case nil:
+		defer g.adm.release()
+	case errQueueFull, errDraining:
+		g.reg.Counter(mGwRejectedQueue).Inc()
+		g.unavailable(w, err.Error())
+		return
+	default:
+		return // the client went away while queued
+	}
+
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if opt.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	run := g.newRun(ctx, cancel, file.Technology, opt.forward, opt.requestID)
+	if err := run.scatter(file.Cases); err != nil {
+		g.reg.Counter(mGwRejectedNoReplicas).Inc()
+		g.unavailable(w, err.Error())
+		return
+	}
+
+	stream, contentType := negotiateStream(r, w)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(noised.InstanceHeader, g.instance)
+	if opt.requestID != "" {
+		w.Header().Set("X-Request-ID", opt.requestID)
+	}
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	sum := noised.Summary{RequestID: opt.requestID, Nets: len(file.Cases)}
+	writeOK := true
+	var hbC <-chan time.Time
+	var hb *time.Ticker
+	if g.cfg.Heartbeat > 0 {
+		hb = time.NewTicker(g.cfg.Heartbeat)
+		defer hb.Stop()
+		hbC = hb.C
+	}
+merge:
+	for {
+		select {
+		case rec, ok := <-run.sink:
+			if !ok {
+				break merge
+			}
+			if rec.Error == "" {
+				sum.OK++
+			} else {
+				sum.Failed++
+			}
+			if !writeOK {
+				continue // drain the merge after a broken pipe
+			}
+			if err := stream.record(rec); err != nil {
+				writeOK = false
+				cancel() // stop the scatter for a client that is gone
+				continue
+			}
+			rc.Flush()
+			if hb != nil {
+				hb.Reset(g.cfg.Heartbeat)
+			}
+		case <-hbC:
+			if !writeOK {
+				continue
+			}
+			if err := stream.heartbeat(); err != nil {
+				writeOK = false
+				cancel()
+				continue
+			}
+			rc.Flush()
+		}
+	}
+	if !writeOK {
+		return
+	}
+	// Every worker has exited: nets still unfinalized are definitively
+	// incomplete — no late stream can contradict the records we emit
+	// now. Canceled when our own context died, reshard failures
+	// otherwise.
+	for _, c := range file.Cases {
+		if run.finished(c.Name) {
+			continue
+		}
+		g.reg.Counter(mGwNetsUnassigned).Inc()
+		rec := unfinishedRecord(c.Name, ctx)
+		if rec.Class == "canceled" {
+			sum.Canceled++
+		} else {
+			sum.Failed++
+		}
+		if err := stream.record(rec); err != nil {
+			return
+		}
+	}
+	sum.ElapsedMS = time.Since(run.start).Milliseconds()
+	sum.Deadline = ctx.Err() == context.DeadlineExceeded
+	sum.Draining = g.adm.draining()
+	if err := stream.summary(&sum); err == nil {
+		rc.Flush()
+	}
+}
+
+// unfinishedRecord renders the terminal record of a net no replica
+// finished: a canceled placeholder when the run itself was cut short,
+// an internal reshard failure when the recovery budget ran out.
+func unfinishedRecord(net string, ctx context.Context) clarinet.JournalRecord {
+	var err error
+	if ctx.Err() != nil {
+		err = noiseerr.Canceled(fmt.Errorf("noisegw: run canceled before net completed: %w", ctx.Err()))
+	} else {
+		err = noiseerr.InStage(noiseerr.StageReshard,
+			noiseerr.Internalf("noisegw: reshard budget exhausted with no healthy replica finishing the net"))
+	}
+	return clarinet.ToWireRecord(clarinet.NetReport{Name: net, Err: noiseerr.WithNet(net, err)})
+}
+
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	snap := g.reg.Snapshot()
+	replicas := g.set.health()
+	healthy := 0
+	for _, rh := range replicas {
+		if rh.Healthy {
+			healthy++
+		}
+	}
+	h := Health{
+		Status:          "ok",
+		Instance:        g.instance,
+		Build:           buildinfo.Current(),
+		UptimeS:         time.Since(g.started).Seconds(),
+		Draining:        g.adm.draining(),
+		Inflight:        snap.Gauges[mGwInflight],
+		QueueDepth:      snap.Gauges[mGwQueueDepth],
+		ReplicasHealthy: healthy,
+		Replicas:        replicas,
+	}
+	switch {
+	case h.Draining:
+		h.Status = "draining"
+	case healthy == 0:
+		h.Status = "no-replicas"
+	case healthy < len(replicas):
+		h.Status = "degraded"
+	}
+	w.Header().Set(noised.InstanceHeader, g.instance)
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(h)
+}
+
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set(noised.InstanceHeader, g.instance)
+	if g.adm.draining() {
+		g.unavailable(w, "draining")
+		return
+	}
+	if len(g.set.healthyNames()) == 0 {
+		g.unavailable(w, errNoReplicas.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	g.reg.Snapshot().WriteJSON(w)
+}

@@ -1,0 +1,103 @@
+package noisegw
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/device"
+	"repro/internal/noised"
+	"repro/internal/workload"
+)
+
+// realBody generates an n-net workload against the default library —
+// the exact bytes netgen would write.
+func realBody(t testing.TB, n int) []byte {
+	t.Helper()
+	lib := device.NewLibrary(device.Default180())
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), 7)
+	cases, err := gen.Population(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := make([]string, n)
+	for i := range names {
+		names[i] = fmt.Sprintf("net%02d", i)
+	}
+	var buf bytes.Buffer
+	if err := workload.Save(&buf, lib.Tech.Name, names, cases); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+func realReplica(t testing.TB) *httptest.Server {
+	t.Helper()
+	// Fast heartbeats keep the gateway's stall watchdog fed while the
+	// real engine characterizes (tens of seconds under -race).
+	s, err := noised.New(noised.Config{Heartbeat: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+// canonical renders records sorted by net as one JSON blob — the merge
+// order varies with scheduling, the content must not.
+func canonical(t testing.TB, recs []clarinet.JournalRecord) []byte {
+	t.Helper()
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Net < recs[j].Net })
+	b, err := json.Marshal(recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestGatewayMatchesSingleReplica is the result-integrity contract: a
+// batch scattered over real noised replicas and merged by the gateway
+// must produce byte-identical analysis records to the same batch run on
+// one replica directly. The engine is deterministic per net, so any
+// divergence is a gateway bug.
+func TestGatewayMatchesSingleReplica(t *testing.T) {
+	if testing.Short() {
+		t.Skip("real engine analysis")
+	}
+	body := realBody(t, 4)
+
+	// Golden: one replica, direct.
+	direct := realReplica(t)
+	resp, err := http.Post(direct.URL+"/v1/analyze", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	golden, gsum := readGatewayStream(t, resp.Body)
+	resp.Body.Close()
+	if gsum == nil || gsum.OK != 4 {
+		t.Fatalf("golden summary = %+v", gsum)
+	}
+
+	// Scattered: two replicas behind the gateway.
+	_, ts := newTestGateway(t, func(cfg *Config) {
+		cfg.Replicas = []string{realReplica(t).URL, realReplica(t).URL}
+		// Real analysis is slow (and ~10x slower under -race); the
+		// 1 s replica heartbeats are the liveness signal, so a stall
+		// window far above the heartbeat period never false-trips.
+		cfg.StallTimeout = 2 * time.Minute
+	})
+	recs, sum := postAnalyze(t, ts.URL, body)
+	if sum == nil || sum.Nets != 4 || sum.OK != 4 {
+		t.Fatalf("gateway summary = %+v", sum)
+	}
+	if got, want := canonical(t, recs), canonical(t, golden); !bytes.Equal(got, want) {
+		t.Fatalf("merged records diverge from the single-replica run:\n got %s\nwant %s", got, want)
+	}
+}

@@ -1,0 +1,38 @@
+package noisegw
+
+// Metric-name constant table (enforced by noiselint/metricflow): the
+// gw.* series in one place. Intake mirrors the noised server.* shape
+// (accepted work vs. per-class rejections); the shard counters size the
+// scatter side (streams opened, shed, torn, stalled); the replica
+// counters track the health state machine; gw.reshards and gw.hedges
+// count the two recovery moves; the histograms carry tail latency.
+const (
+	mGwRequests = "gw.requests"
+
+	mGwRejectedQueue      = "gw.rejected.queue"
+	mGwRejectedDraining   = "gw.rejected.draining"
+	mGwRejectedNoReplicas = "gw.rejected.noreplicas"
+	mGwRejectedValidation = "gw.rejected.validation"
+
+	mGwNetsMerged     = "gw.nets.merged"
+	mGwNetsUnassigned = "gw.nets.unassigned"
+	mGwNetsDuplicate  = "gw.nets.duplicate"
+
+	mGwReshards     = "gw.reshards"
+	mGwHedges       = "gw.hedges"
+	mGwShardStreams = "gw.shard.streams"
+	mGwShardShed    = "gw.shard.shed"
+	mGwShardTorn    = "gw.shard.torn"
+	mGwShardStalled = "gw.shard.stalled"
+
+	mGwReplicaEjections = "gw.replica.ejections"
+	mGwReplicaRejoins   = "gw.replica.rejoins"
+	mGwReplicaRestarts  = "gw.replica.restarts"
+
+	mGwReplicasHealthy = "gw.replicas_healthy"
+	mGwInflight        = "gw.inflight"
+	mGwQueueDepth      = "gw.queue_depth"
+
+	mGwShardLatency = "gw.shard.latency"
+	mGwNetLatency   = "gw.net.latency"
+)
