@@ -7,7 +7,7 @@ GO ?= go
 STATICCHECK_VERSION ?= 2024.1.1
 GOVULNCHECK_VERSION ?= v1.1.3
 
-.PHONY: build test race chaos lint noiselint staticcheck vuln fuzz bench bench-report bench-compare server-smoke cluster-smoke
+.PHONY: build test race chaos lint noiselint staticcheck vuln fuzz bench bench-report bench-compare server-smoke cluster-smoke path-smoke
 
 build:
 	$(GO) build ./...
@@ -94,6 +94,12 @@ server-smoke:
 # Mirrors the CI job.
 cluster-smoke:
 	RACE=1 ./scripts/cluster_smoke.sh
+
+# Path smoke: a 5-stage path run is SIGKILLed mid-path and resumed from
+# its stage journal; the resumed end-to-end report must be
+# byte-identical to an unjournaled golden run. Mirrors the CI job.
+path-smoke:
+	RACE=1 ./scripts/path_smoke.sh
 
 # One pass over every benchmark; REPRO_METRICS_OUT captures the clarinet
 # batch metrics JSON.

@@ -25,6 +25,7 @@ import (
 	"repro/internal/mna"
 	"repro/internal/mor"
 	"repro/internal/netlist"
+	"repro/internal/pathnoise"
 	"repro/internal/repro"
 	"repro/internal/warmstore"
 	"repro/internal/waveform"
@@ -652,4 +653,54 @@ func BenchmarkWarmStart(b *testing.B) {
 	b.ReportMetric(float64(coldNs)/float64(time.Millisecond)/n, "cold-ms")
 	b.ReportMetric(float64(warmNs)/float64(time.Millisecond)/n, "warm-ms")
 	b.ReportMetric(float64(coldNs)/float64(warmNs), "warm-speedup-x")
+}
+
+// BenchmarkPathBatch times path-mode analysis of 8 independent 4-stage
+// paths. The "serial" sub-benchmark forces one worker, so every stage
+// of every path executes back to back — the per-stage baseline a
+// non-DAG batch would pay — while "dag" runs the scheduler at the
+// default worker count, overlapping independent paths while respecting
+// stage dependencies within each. Comparing ns/op between the two gives
+// the scheduler speedup (acceptance bar: >1.5x on a multi-core runner);
+// stages/s counts stage executions and nets/s the underlying per-net
+// engine runs (two chains per stage).
+func BenchmarkPathBatch(b *testing.B) {
+	lib := device.NewLibrary(device.Default180())
+	gen := workload.NewGenerator(lib, workload.DefaultProfile(), 47)
+	_, _, paths, err := gen.PathPopulation(benchNets(8), 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	stageCount := 0
+	for _, p := range paths {
+		stageCount += len(p.Stages)
+	}
+	cfg := clarinet.Config{Hold: delaynoise.HoldTransient, Align: delaynoise.AlignReceiverInput}
+	for _, tc := range []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"dag", 0}, // tool default: one worker per core
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				tool := clarinet.MustNew(lib, cfg)
+				start := time.Now()
+				reports, err := pathnoise.Run(context.Background(), tool, paths,
+					pathnoise.Options{MaxIterations: 1, Workers: tc.workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+				for _, r := range reports {
+					if r.Failed() {
+						b.Fatalf("path %s: %s", r.Name, r.Error)
+					}
+				}
+				elapsed := time.Since(start).Seconds()
+				b.ReportMetric(float64(stageCount)/elapsed, "stages/s")
+				b.ReportMetric(float64(2*stageCount)/elapsed, "nets/s")
+			}
+		})
+	}
 }

@@ -12,6 +12,19 @@
 //	         [-workers N] [-timeout 30s] [-net-timeout 5s] [-rescue] [-fallback]
 //	         [-journal run.journal] [-journal-format binary|jsonl] [-resume run.journal]
 //	         [-quality] [-metrics run.json] [-warm-store dir]
+//	clarinet -path -i paths.json [-path-iterations 2] [-path-timeout 60s]
+//	         [-path-report report.json] [-journal run.journal] [-resume run.journal]
+//
+// Path mode (-path) analyzes the case file's multi-stage fabrics end to
+// end (netgen -topology path): each stage's noisy receiver-output
+// waveform becomes the next stage's victim input, and the report
+// decomposes the end-to-end 50%->50% path delay noise into per-stage
+// increments next to the per-stage worst-case sum. -journal/-resume
+// checkpoint at stage granularity — a killed path run resumes mid-path,
+// re-simulating nothing it already journaled, and produces a
+// byte-identical -path-report. The warm-store identity of a path run
+// includes the stage-graph topology hash, so path and per-net runs
+// never share warm state.
 //
 // -workers 0 (the default) uses one worker per available core
 // (runtime.GOMAXPROCS); negative values are rejected. -char-cache-res
@@ -59,7 +72,9 @@ import (
 
 	"repro/internal/clarinet"
 	"repro/internal/cliutil"
+	"repro/internal/delaynoise"
 	"repro/internal/funcnoise"
+	"repro/internal/pathnoise"
 	"repro/internal/resilience"
 	"repro/internal/warmstore"
 )
@@ -82,6 +97,10 @@ func main() {
 	metricsOut := flag.String("metrics", "", "write run metrics as JSON to this file")
 	warmStore := flag.String("warm-store", "", "content-addressed warm-start store directory: load session state before the batch, save it after")
 	charRes := flag.Float64("char-cache-res", 0, "driver characterization cache bucket resolution (0 = default, negative disables)")
+	pathMode := flag.Bool("path", false, "path mode: analyze the file's multi-stage fabrics end to end")
+	pathIters := flag.Int("path-iterations", 0, "window-fixpoint passes per path (0 = default)")
+	pathTimeout := flag.Duration("path-timeout", 0, "per-path analysis budget (0 = no limit)")
+	pathReport := flag.String("path-report", "", "write the canonical path report JSON to this file")
 	flag.Parse()
 	cliutil.ExitIfVersion()
 
@@ -99,6 +118,9 @@ func main() {
 	if (*journalPath != "" || *resumePath != "") && *mode != "delay" {
 		cliutil.Usagef("-journal/-resume only apply to -mode delay")
 	}
+	if *pathMode && *mode != "delay" {
+		cliutil.Usagef("-path only applies to -mode delay")
+	}
 
 	var policy resilience.Policy
 	if *rescueFlag {
@@ -106,8 +128,16 @@ func main() {
 	}
 
 	lib := cliutil.Library()
-	names, cases := cliutil.MustLoadCases(*in, lib)
-	log.Printf("loaded %d nets from %s", len(cases), *in)
+	var names []string
+	var cases []*delaynoise.Case
+	var paths []*pathnoise.Path
+	if *pathMode {
+		names, cases, paths = cliutil.MustLoadPaths(*in, lib)
+		log.Printf("loaded %d paths (%d stage cases) from %s", len(paths), len(cases), *in)
+	} else {
+		names, cases = cliutil.MustLoadCases(*in, lib)
+		log.Printf("loaded %d nets from %s", len(cases), *in)
+	}
 
 	tool, err := clarinet.New(lib, clarinet.Config{
 		Hold:              hold,
@@ -120,6 +150,11 @@ func main() {
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *pathMode {
+		// Before any warm-store traffic: path-mode warm state is keyed
+		// by the stage-graph topology, never shared with per-net runs.
+		tool.Session().SetTopology(pathnoise.TopologyHash(paths))
 	}
 
 	var store *warmstore.Store
@@ -134,6 +169,20 @@ func main() {
 			log.Printf("warm start: loaded session state from %s (%d alignment tables resident)",
 				*warmStore, tool.Session().TableCount())
 		}
+	}
+
+	if *pathMode {
+		runPathMode(tool, store, paths, pathFlags{
+			iterations:    *pathIters,
+			pathTimeout:   *pathTimeout,
+			timeout:       *timeout,
+			journalPath:   *journalPath,
+			journalFormat: *journalFormat,
+			resumePath:    *resumePath,
+			reportPath:    *pathReport,
+			metricsOut:    *metricsOut,
+		})
+		return
 	}
 
 	// Resume before opening the journal for append: the journal file and
@@ -198,4 +247,85 @@ func main() {
 	}
 	cliutil.MustWriteMetrics(*metricsOut, tool.Metrics().Snapshot())
 	cliutil.ExitIfDeadline(ctx, *timeout)
+}
+
+// pathFlags carries the -path mode flag values into runPathMode.
+type pathFlags struct {
+	iterations    int
+	pathTimeout   time.Duration
+	timeout       time.Duration
+	journalPath   string
+	journalFormat string
+	resumePath    string
+	reportPath    string
+	metricsOut    string
+}
+
+// runPathMode is the -path counterpart of the delay-mode batch flow:
+// stage-granular journal/resume, the end-to-end path report on stdout,
+// and the canonical report JSON for downstream byte comparison.
+func runPathMode(tool *clarinet.Tool, store *warmstore.Store, paths []*pathnoise.Path, f pathFlags) {
+	var prior map[pathnoise.StageKey]pathnoise.StageRecord
+	if f.resumePath != "" {
+		var err error
+		prior, err = pathnoise.ReadPathJournalFile(f.resumePath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(prior) > 0 {
+			log.Printf("resuming: %d stage records already in %s", len(prior), f.resumePath)
+		} else {
+			log.Printf("resume journal %s empty or absent; starting fresh", f.resumePath)
+		}
+		if f.journalPath == "" {
+			f.journalPath = f.resumePath
+		}
+	}
+	var journal *pathnoise.PathJournal
+	if f.journalPath != "" {
+		codec, err := pathnoise.StageCodecByName(f.journalFormat)
+		if err != nil {
+			cliutil.Usagef("%v", err)
+		}
+		j, closeJournal, err := pathnoise.OpenPathJournal(f.journalPath, codec)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer closeJournal()
+		journal = j
+	}
+
+	ctx, cancel := cliutil.Context(f.timeout)
+	defer cancel()
+
+	start := time.Now()
+	reports, err := pathnoise.Run(ctx, tool, paths, pathnoise.Options{
+		MaxIterations: f.iterations,
+		PathTimeout:   f.pathTimeout,
+		Journal:       journal,
+		Prior:         prior,
+	})
+	if err != nil {
+		log.Printf("path run interrupted: %v", err)
+	}
+	pathnoise.WriteReport(os.Stdout, reports)
+	fmt.Printf("\nanalyzed %d paths in %v\n", len(paths), time.Since(start).Round(time.Millisecond))
+	if f.reportPath != "" {
+		b, err := pathnoise.MarshalReport(reports)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := os.WriteFile(f.reportPath, b, 0o644); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("path report written to %s", f.reportPath)
+	}
+	clarinet.WriteMetricsSummary(os.Stdout, tool)
+	if store != nil {
+		if err := tool.Session().SaveWarm(store); err != nil {
+			log.Printf("warm store save failed: %v", err)
+		}
+	}
+	cliutil.MustWriteMetrics(f.metricsOut, tool.Metrics().Snapshot())
+	cliutil.ExitIfDeadline(ctx, f.timeout)
 }

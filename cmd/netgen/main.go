@@ -5,6 +5,12 @@
 // Usage:
 //
 //	netgen -n 300 -seed 20010618 -o nets.json [-spefdir dir]
+//	netgen -topology path -n 8 -stages 5 -o paths.json
+//
+// With -topology path the workload is n multi-stage fabrics of -stages
+// chained clusters each (stage k's receiver cell drives stage k+1's
+// victim net); the case file carries a "paths" section consumable by
+// clarinet -path and noised /v1/analyze-path.
 package main
 
 import (
@@ -15,46 +21,78 @@ import (
 	"path/filepath"
 
 	"repro/internal/cliutil"
+	"repro/internal/delaynoise"
 	"repro/internal/spef"
 	"repro/internal/workload"
 )
 
 func main() {
 	cliutil.Init("netgen")
-	n := flag.Int("n", 300, "number of nets to generate")
+	n := flag.Int("n", 300, "number of nets (or, with -topology path, paths) to generate")
 	seed := flag.Int64("seed", 20010618, "random seed")
 	out := flag.String("o", "nets.json", "output case file")
+	topology := flag.String("topology", "net", "workload topology: net (independent clusters) or path (chained stage graphs)")
+	stages := flag.Int("stages", 5, "stages per path (with -topology path)")
 	spefDir := flag.String("spefdir", "", "optional directory for per-net mini-SPEF files")
 	flag.Parse()
 	cliutil.ExitIfVersion()
 	if *n <= 0 {
-		cliutil.Usagef("need a positive net count, got %d", *n)
+		cliutil.Usagef("need a positive count, got %d", *n)
 	}
 
 	lib := cliutil.Library()
 	tech := lib.Tech
 	gen := workload.NewGenerator(lib, workload.DefaultProfile(), *seed)
-	cases, err := gen.Population(*n)
-	if err != nil {
-		log.Fatal(err)
-	}
-	names := make([]string, *n)
-	for i := range names {
-		names[i] = fmt.Sprintf("net%04d", i)
-	}
 
-	f, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
+	var names []string
+	var cases []*delaynoise.Case
+	switch *topology {
+	case "net":
+		var err error
+		cases, err = gen.Population(*n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names = make([]string, *n)
+		for i := range names {
+			names[i] = fmt.Sprintf("net%04d", i)
+		}
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := workload.Save(f, tech.Name, names, cases); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d cases to %s", *n, *out)
+	case "path":
+		if *stages <= 0 {
+			cliutil.Usagef("need a positive stage count, got %d", *stages)
+		}
+		ns, cs, paths, err := gen.PathPopulation(*n, *stages)
+		if err != nil {
+			log.Fatal(err)
+		}
+		names, cases = ns, cs
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := workload.SavePaths(f, tech.Name, names, cases, paths); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("wrote %d paths (%d stage cases) to %s", len(paths), len(cases), *out)
+	default:
+		cliutil.Usagef("unknown -topology %q (want net or path)", *topology)
 	}
-	defer f.Close()
-	if err := workload.Save(f, tech.Name, names, cases); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("wrote %d cases to %s", *n, *out)
 
 	if *spefDir != "" {
 		if err := os.MkdirAll(*spefDir, 0o755); err != nil {

@@ -1,13 +1,15 @@
 // Command noiseblob inspects and converts the repository's binary
 // artifacts: colblob-framed journals (clarinet -journal, noised
-// server-side journals), the colblob wire stream, and warm-store
-// entries. Everything decodes to JSON, so the compact formats stay
-// greppable.
+// server-side journals), path-mode stage journals (clarinet -path,
+// noised analyze-path) including their per-stage waveform series
+// columns, the colblob wire stream, and warm-store entries. Everything
+// decodes to JSON, so the compact formats stay greppable.
 //
 // Usage:
 //
 //	noiseblob dump <file>                     decode a journal (binary or
-//	                                          JSONL, sniffed) or a
+//	                                          JSONL, net or path-stage
+//	                                          records, sniffed) or a
 //	                                          .warm store entry to JSON
 //	noiseblob convert -to binary|jsonl <in> <out>
 //	                                          re-encode a journal; decoded
@@ -26,6 +28,7 @@ package main
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -37,6 +40,7 @@ import (
 	"repro/internal/clarinet"
 	"repro/internal/cliutil"
 	"repro/internal/colblob"
+	"repro/internal/pathnoise"
 	"repro/internal/warmstore"
 )
 
@@ -105,7 +109,52 @@ func dump(w io.Writer, path string) error {
 	if first[0] == colblob.FrameMagic {
 		return dumpFrames(out, br)
 	}
+	// Net-record and path-stage JSONL journals share the '{' first byte;
+	// the "path" key on the first line selects the stage schema.
+	head, _ := br.Peek(4096)
+	if isStageLine(head) {
+		return dumpStageJSONL(out, br)
+	}
 	return dumpJSONL(out, br)
+}
+
+// isStageLine reports whether a JSONL journal's first line carries a
+// path-stage record: stage records lead with the "path" key, which net
+// records never have.
+func isStageLine(head []byte) bool {
+	line, _, _ := bytes.Cut(head, []byte{'\n'})
+	var probe struct {
+		Path *string `json:"path"`
+	}
+	if err := json.Unmarshal(line, &probe); err != nil {
+		// The peek window may cut the first line mid-record; fall back to
+		// the prefix the stage writer emits (Path is its first field).
+		return bytes.HasPrefix(bytes.TrimSpace(head), []byte(`{"path":`))
+	}
+	return probe.Path != nil
+}
+
+// dumpStageJSONL validates and re-emits a JSONL path-stage journal,
+// waveform series columns included.
+func dumpStageJSONL(w *bufio.Writer, r io.Reader) error {
+	rr := pathnoise.JSONLStages.NewReader(r)
+	enc := json.NewEncoder(w)
+	for {
+		rec, err := rr.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if errors.Is(err, pathnoise.ErrBadStage) {
+			fmt.Fprintf(os.Stderr, "noiseblob: skipping malformed stage line: %v\n", err)
+			continue
+		}
+		if err != nil {
+			return err
+		}
+		if err := enc.Encode(rec); err != nil {
+			return err
+		}
+	}
 }
 
 // dumpFrames walks a colblob-framed file, decoding each frame by its
@@ -133,6 +182,18 @@ func dumpFrames(w *bufio.Writer, r io.Reader) error {
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "noiseblob: torn record: %v\n", err)
 				return nil
+			}
+			if err := enc.Encode(rec); err != nil {
+				return err
+			}
+		case colblob.FramePathStage:
+			// Path-stage frames are self-contained (scalar fields plus the
+			// stage's receiver-output waveform series columns), so one bad
+			// payload is skippable rather than terminal.
+			rec, err := pathnoise.DecodeStage(payload)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "noiseblob: skipping bad stage frame: %v\n", err)
+				continue
 			}
 			if err := enc.Encode(rec); err != nil {
 				return err

@@ -55,6 +55,13 @@ func (o Objective) OutputCross(in *waveform.PWL) (float64, error) {
 	if err != nil {
 		return 0, err
 	}
+	return o.Cross(out)
+}
+
+// Cross returns the final 50% crossing of a receiver output waveform —
+// the crossing OutputCross reports, split out so callers that retain
+// the output waveform (path-level propagation) measure it identically.
+func (o Objective) Cross(out *waveform.PWL) (float64, error) {
 	half := o.Vdd() / 2
 	if o.outputRising() {
 		return out.LastCrossRising(half)
@@ -62,6 +69,9 @@ func (o Objective) OutputCross(in *waveform.PWL) (float64, error) {
 	// Delay is set by the last crossing: noise can cause multiple.
 	return out.LastCrossFalling(half)
 }
+
+// OutputRising reports the receiver output transition direction.
+func (o Objective) OutputRising() bool { return o.outputRising() }
 
 // NoisyInput positions the noise pulse (peak at t = 0 by convention) so
 // its peak occurs at tPeak and superposes it on the noiseless input.

@@ -18,6 +18,7 @@ const (
 	mNetsResumed  = "nets.resumed"
 
 	mNetAnalyze    = "net.analyze"
+	mNetQuiet      = "net.quiet"
 	mNetFunctional = "net.functional"
 
 	mRescueAttempts = "rescue.attempts"

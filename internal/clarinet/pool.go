@@ -17,8 +17,9 @@ import (
 // fail per-net analyses without building pathological circuits
 // (internal/faultinject wraps them for the chaos suite).
 var (
-	analyze     = delaynoise.AnalyzeContext
-	analyzeFunc = funcnoise.AnalyzeContext
+	analyze      = delaynoise.AnalyzeContext
+	analyzeQuiet = delaynoise.AnalyzeQuietContext
+	analyzeFunc  = funcnoise.AnalyzeContext
 )
 
 // AnalyzeNet runs one net. A canceled context fails fast; an in-flight
@@ -38,6 +39,15 @@ var (
 // totals reflect real per-net outcomes, not how early the batch was
 // killed.
 func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
+	return t.AnalyzeNetWindow(ctx, name, c, nil)
+}
+
+// AnalyzeNetWindow is AnalyzeNet with a switching-window constraint on
+// the aggressor alignment: when win is non-nil the composite pulse peak
+// is clamped to it (delaynoise.Options.Window). Path-level analysis
+// uses this to thread the sta-style window/noise fixpoint through the
+// pool; a nil window is exactly AnalyzeNet.
+func (t *Tool) AnalyzeNetWindow(ctx context.Context, name string, c *delaynoise.Case, win *delaynoise.Window) NetReport {
 	m := t.session.Metrics()
 	if err := ctx.Err(); err != nil {
 		m.Counter(mNetsCanceled).Inc()
@@ -53,6 +63,9 @@ func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) 
 	defer cancel()
 
 	opt := t.analysisOptions()
+	if win != nil {
+		opt.Window = win
+	}
 	quality := resilience.QualityExact
 	var res *delaynoise.Result
 	var err error
@@ -100,6 +113,39 @@ func (t *Tool) AnalyzeNet(ctx context.Context, name string, c *delaynoise.Case) 
 		m.Counter(mNetsExact).Inc()
 	}
 	return NetReport{Name: name, Res: res, Quality: quality}
+}
+
+// AnalyzeQuietNet runs only the quiet half of one net's analysis
+// (driver characterization, noiseless victim simulation, one nonlinear
+// receiver simulation — delaynoise.AnalyzeQuietContext) under the same
+// session caches, per-net deadline budget, and error attribution as
+// AnalyzeNet. It deliberately does not touch the nets.* outcome
+// counters — those partition full noise analyses — and has no rescue
+// ladder: the quiet flow has no alignment search to fall back from, and
+// its simulations are the ones every full analysis already survives.
+// Path-level analysis uses it for the noiseless reference chain.
+func (t *Tool) AnalyzeQuietNet(ctx context.Context, name string, c *delaynoise.Case) NetReport {
+	if err := ctx.Err(); err != nil {
+		return NetReport{Name: name, Err: noiseerr.WithNet(name, noiseerr.Canceled(err))}
+	}
+	m := t.session.Metrics()
+	start := time.Now()
+	pol := t.Cfg.policy()
+	netCtx := resilience.WithNet(ctx, name)
+	cancel := func() {}
+	if pol.NetTimeout > 0 {
+		netCtx, cancel = context.WithTimeout(netCtx, pol.NetTimeout)
+	}
+	defer cancel()
+	res, err := analyzeQuiet(netCtx, c, t.analysisOptions())
+	m.Observe(mNetQuiet, time.Since(start))
+	if err != nil {
+		if ctx.Err() == nil && errors.Is(netCtx.Err(), context.DeadlineExceeded) {
+			err = noiseerr.Reclass(noiseerr.ErrDeadline, err)
+		}
+		return NetReport{Name: name, Err: noiseerr.WithNet(name, err)}
+	}
+	return NetReport{Name: name, Res: res, Quality: resilience.QualityExact}
 }
 
 // rescue climbs the policy's ladder after a convergence failure. Each

@@ -21,6 +21,7 @@ import (
 	"repro/internal/delaynoise"
 	"repro/internal/device"
 	"repro/internal/metrics"
+	"repro/internal/pathnoise"
 	"repro/internal/workload"
 )
 
@@ -82,6 +83,29 @@ func MustLoadCases(path string, lib *device.Library) (names []string, cases []*d
 		log.Fatal(err)
 	}
 	return names, cases
+}
+
+// LoadPaths reads a netgen case file with a paths section against lib.
+func LoadPaths(path string, lib *device.Library) ([]string, []*delaynoise.Case, []*pathnoise.Path, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	defer f.Close()
+	return workload.LoadPaths(f, lib)
+}
+
+// MustLoadPaths is LoadPaths with a fatal exit on failure or when the
+// file defines no paths.
+func MustLoadPaths(path string, lib *device.Library) ([]string, []*delaynoise.Case, []*pathnoise.Path) {
+	names, cases, paths, err := LoadPaths(path, lib)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if len(paths) == 0 {
+		log.Fatalf("%s defines no paths (generate one with netgen -topology path)", path)
+	}
+	return names, cases, paths
 }
 
 // FindNet resolves a -net flag value to a case index. An empty name

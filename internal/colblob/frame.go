@@ -36,6 +36,12 @@ const (
 	// stall detector) can tell a slow net from a dead replica. Decoders
 	// that predate it skip it like any unknown kind.
 	FrameHeartbeat byte = 0x03
+	// FramePathStage carries one path-mode stage record (see
+	// internal/pathnoise): scalar fields plus the stage's receiver-output
+	// waveform series as float columns. Self-contained — path journals do
+	// not chain cross-record state, so a reader can survive any single
+	// bad frame.
+	FramePathStage byte = 0x04
 )
 
 // maxFramePayload bounds a single frame. Records are ~100 bytes; a

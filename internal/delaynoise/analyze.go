@@ -146,6 +146,24 @@ type Result struct {
 	// Alignment.
 	TPeak float64 // chosen composite peak time (absolute)
 
+	// Nonlinear receiver outputs from the final report stage — the
+	// alignment-objective waveforms themselves, retained so path-level
+	// analysis can feed a stage's noisy output to the next stage's
+	// input without re-simulating. NoisyRecvIn is the superposed input
+	// (noiseless + composite shifted to TPeak) that produced
+	// NoisyRecvOut.
+	QuietRecvOut *waveform.PWL
+	NoisyRecvOut *waveform.PWL
+	NoisyRecvIn  *waveform.PWL
+	// OutputRising is the receiver output transition direction.
+	OutputRising bool
+	// Absolute crossing times backing the delay figures below:
+	// VictimDrv50 is the victim driver output 50% crossing,
+	// Quiet/NoisyOutCross the final receiver output 50% crossings.
+	VictimDrv50   float64
+	QuietOutCross float64
+	NoisyOutCross float64
+
 	// Delays (combined = victim driver output 50% to receiver output 50%).
 	QuietCombinedDelay float64
 	NoisyCombinedDelay float64
@@ -267,15 +285,26 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 	res.Composite = composite
 	res.TPeak = tPeak
 
-	// Final delay evaluation with nonlinear receiver simulations.
+	// Final delay evaluation with nonlinear receiver simulations. The
+	// output waveforms are retained on the result (not just their
+	// crossings): stage k's NoisyRecvOut is exactly what path-level
+	// analysis hands to stage k+1.
 	reportStart := time.Now()
 	defer func() { opt.Metrics.Observe(noiseerr.StageReport.TimerName(), time.Since(reportStart)) }()
 	noisyIn := align.NoisyInput(noiselessIn, composite, tPeak)
-	quietOut, err := obj.OutputCross(noiselessIn)
+	quietOutW, err := obj.Output(noiselessIn)
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noiseless receiver: %w", err))
 	}
-	noisyOut, err := obj.OutputCross(noisyIn)
+	quietOut, err := obj.Cross(quietOutW)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noiseless receiver: %w", err))
+	}
+	noisyOutW, err := obj.Output(noisyIn)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noisy receiver: %w", err))
+	}
+	noisyOut, err := obj.Cross(noisyOutW)
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noisy receiver: %w", err))
 	}
@@ -283,6 +312,13 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 	if err != nil {
 		return nil, noiseerr.InStage(noiseerr.StageReport, noiseerr.Numericalf("delaynoise: victim driver output: %w", err))
 	}
+	res.QuietRecvOut = quietOutW
+	res.NoisyRecvOut = noisyOutW
+	res.NoisyRecvIn = noisyIn
+	res.OutputRising = obj.OutputRising()
+	res.VictimDrv50 = drv50
+	res.QuietOutCross = quietOut
+	res.NoisyOutCross = noisyOut
 	res.QuietCombinedDelay = quietOut - drv50
 	res.NoisyCombinedDelay = noisyOut - drv50
 	res.DelayNoise = noisyOut - quietOut
@@ -292,6 +328,66 @@ func AnalyzeContext(ctx context.Context, c *Case, opt Options) (*Result, error) 
 			res.InterconnectDelayNoise = noisyInCross - quietIn
 		}
 	}
+	return res, nil
+}
+
+// AnalyzeQuiet runs only the quiet half of the flow: driver
+// characterization, the noiseless victim simulation (aggressor drivers
+// held), and one nonlinear receiver simulation. No aggressor noise
+// pulses are simulated and no alignment search runs, so it costs a
+// small fraction of AnalyzeContext. Path-level analysis uses it for the
+// noiseless reference chain; the populated fields are the driver
+// models, NoiselessRecvIn, QuietRecvOut, and the quiet delay figures.
+func AnalyzeQuiet(c *Case, opt Options) (*Result, error) {
+	return AnalyzeQuietContext(context.Background(), c, opt)
+}
+
+// AnalyzeQuietContext is AnalyzeQuiet with cancellation support.
+func AnalyzeQuietContext(ctx context.Context, c *Case, opt Options) (*Result, error) {
+	opt.defaults()
+	charStart := time.Now()
+	e, err := newEngine(ctx, c, opt)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageCharacterize, err)
+	}
+	opt.Metrics.Observe(noiseerr.StageCharacterize.TimerName(), time.Since(charStart))
+	noiselessIn, noiselessDrv, err := e.victimNoiseless()
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageSimulate, err)
+	}
+	res := &Result{
+		VictimCeff:      e.victim.ceff,
+		VictimRth:       e.victim.model.Rth,
+		VictimRtr:       e.victim.model.Rth,
+		NoiselessRecvIn: noiselessIn,
+		Iterations:      1,
+	}
+	obj := align.Objective{
+		Receiver:     c.Receiver,
+		Load:         c.ReceiverLoad,
+		VictimRising: c.Victim.OutputRising,
+		Sims:         opt.Metrics.Counter(mSimNonlinearReceiver),
+		Ctx:          ctx,
+	}
+	reportStart := time.Now()
+	defer func() { opt.Metrics.Observe(noiseerr.StageReport.TimerName(), time.Since(reportStart)) }()
+	quietOutW, err := obj.Output(noiselessIn)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noiseless receiver: %w", err))
+	}
+	quietOut, err := obj.Cross(quietOutW)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageReport, fmt.Errorf("delaynoise: noiseless receiver: %w", err))
+	}
+	drv50, err := cross50(noiselessDrv, c.vdd(), c.Victim.OutputRising)
+	if err != nil {
+		return nil, noiseerr.InStage(noiseerr.StageReport, noiseerr.Numericalf("delaynoise: victim driver output: %w", err))
+	}
+	res.QuietRecvOut = quietOutW
+	res.OutputRising = obj.OutputRising()
+	res.VictimDrv50 = drv50
+	res.QuietOutCross = quietOut
+	res.QuietCombinedDelay = quietOut - drv50
 	return res, nil
 }
 

@@ -64,15 +64,24 @@ type tableKey struct {
 // instrumentation, and the single-flight caches. Build one with New and
 // hand it to as many front-end views as needed.
 type Session struct {
-	tech    *device.Technology
-	lib     *device.Library
-	metrics *metrics.Registry
-	grid    int
+	tech     *device.Technology
+	lib      *device.Library
+	metrics  *metrics.Registry
+	grid     int
+	topology uint64
 
 	tables *memo.Cache[tableKey, *align.Table]
 	chars  *delaynoise.CharCache
 	roms   *delaynoise.ROMCache
 }
+
+// SetTopology records the workload's stage-graph topology hash in the
+// session's warm-store identity (see WarmIdentity). Per-net runs leave
+// it zero; path mode sets it to pathnoise.TopologyHash of the request's
+// path set, so per-net and path runs address disjoint warm-store keys
+// and can never serve each other a stale alignment-table snapshot. Set
+// it before LoadWarm/SaveWarm; it is not synchronized against them.
+func (s *Session) SetTopology(h uint64) { s.topology = h }
 
 // New builds a session from cfg (see Config for zero-value defaults).
 func New(cfg Config) *Session {

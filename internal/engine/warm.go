@@ -29,6 +29,13 @@ type Identity struct {
 	Library uint64 // fingerprint of the full library (cells, devices, Vdd)
 	Grid    int    // pre-characterization search grid (0 = default)
 	CharRes uint64 // char-cache bucket resolution, float bits (0 = cache off)
+	// Topology is the stage-graph topology hash of a path-mode workload
+	// (pathnoise.TopologyHash; 0 for per-net runs). Included so per-net
+	// and path runs never share a warm-store key: the characterization
+	// state a path run accumulates is conditioned on derived stage
+	// inputs, and a key collision would let either mode seed the other
+	// with alignment tables built for the wrong input population.
+	Topology uint64
 }
 
 // WarmIdentity captures everything the session's cached state depends
@@ -36,10 +43,11 @@ type Identity struct {
 // characterizations, and reductions.
 func (s *Session) WarmIdentity() Identity {
 	return Identity{
-		Tech:    s.tech.Name,
-		Library: fingerprintLibrary(s.lib),
-		Grid:    s.grid,
-		CharRes: math.Float64bits(s.chars.Res()),
+		Tech:     s.tech.Name,
+		Library:  fingerprintLibrary(s.lib),
+		Grid:     s.grid,
+		CharRes:  math.Float64bits(s.chars.Res()),
+		Topology: s.topology,
 	}
 }
 

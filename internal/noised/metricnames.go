@@ -10,6 +10,7 @@ const (
 	mServerRequests        = "server.requests"
 	mServerRequestsResumed = "server.requests.resumed"
 	mServerNetsStreamed    = "server.nets.streamed"
+	mServerStagesStreamed  = "server.stages.streamed"
 	mServerHeartbeats      = "server.heartbeats"
 
 	mServerRejectedDraining   = "server.rejected.draining"

@@ -15,6 +15,12 @@
 //	                  summary line. Analysis options (hold, align,
 //	                  rescue, net_timeout, timeout, request_id) ride in
 //	                  the query string.
+//	POST /v1/analyze-path  accepts a case file with a paths section
+//	                  (netgen -topology path) and streams one
+//	                  pathnoise.StageRecord per completed stage, ending
+//	                  with a summary that carries the assembled path
+//	                  reports (pathnoise.MarshalReport-canonical). Extra
+//	                  knobs: path_iterations, path_timeout.
 //	GET  /healthz     liveness + build identity + load snapshot.
 //	GET  /readyz      200 while accepting, 503 once draining.
 //	GET  /metrics     the engine metrics registry as JSON.
@@ -47,6 +53,7 @@ import (
 	"repro/internal/engine"
 	"repro/internal/metrics"
 	"repro/internal/noiseerr"
+	"repro/internal/pathnoise"
 	"repro/internal/resilience"
 	"repro/internal/warmstore"
 )
@@ -200,6 +207,7 @@ type Server struct {
 	instance string
 
 	runBatch runBatchFunc
+	runPaths runPathsFunc
 }
 
 // New builds a server from cfg (see Config for zero-value defaults).
@@ -243,10 +251,12 @@ func New(cfg Config) (*Server, error) {
 		runBatch: func(t *clarinet.Tool, ctx context.Context, names []string, cases []*delaynoise.Case, prior map[string]clarinet.NetReport, j *clarinet.Journal) <-chan clarinet.NetReport {
 			return t.StreamBatch(ctx, names, cases, prior, j)
 		},
+		runPaths: pathnoise.Run,
 	}
 	s.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, s.reg)
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("POST /v1/analyze-path", s.handleAnalyzePath)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)

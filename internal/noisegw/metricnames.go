@@ -18,6 +18,11 @@ const (
 	mGwNetsUnassigned = "gw.nets.unassigned"
 	mGwNetsDuplicate  = "gw.nets.duplicate"
 
+	mGwPathsMerged     = "gw.paths.merged"
+	mGwPathsUnassigned = "gw.paths.unassigned"
+	mGwStagesMerged    = "gw.stages.merged"
+	mGwStagesDuplicate = "gw.stages.duplicate"
+
 	mGwReshards     = "gw.reshards"
 	mGwHedges       = "gw.hedges"
 	mGwShardStreams = "gw.shard.streams"

@@ -237,6 +237,7 @@ func New(cfg Config) (*Gateway, error) {
 	g.adm = newAdmission(cfg.MaxInflight, cfg.MaxQueue, reg)
 	g.mux = http.NewServeMux()
 	g.mux.HandleFunc("POST /v1/analyze", g.handleAnalyze)
+	g.mux.HandleFunc("POST /v1/analyze-path", g.handleAnalyzePath)
 	g.mux.HandleFunc("GET /healthz", g.handleHealthz)
 	g.mux.HandleFunc("GET /readyz", g.handleReadyz)
 	g.mux.HandleFunc("GET /metrics", g.handleMetrics)

@@ -1,0 +1,695 @@
+package noisegw
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clarinet"
+	"repro/internal/colblob"
+	"repro/internal/noised"
+	"repro/internal/noiseerr"
+	"repro/internal/pathnoise"
+	"repro/internal/workload"
+)
+
+// Path routing. A path is analyzed end to end on one replica: its
+// stages chain (stage k's noisy receiver-output waveform is stage k+1's
+// victim input), so splitting one path across replicas would serialize
+// every boundary on a cross-replica handoff and forfeit the stage
+// journal's locality. The gateway therefore shards whole paths by
+// consistent hash of path name — one replica owns every stage of a
+// path — and merges the stage-record streams back to the client.
+//
+// Exactly-once per path rests on the Done record: pathnoise emits a
+// Done stage record when a path completes (success or a terminal
+// failure such as a per-path deadline) and journals nothing for
+// caller-canceled paths, so "no adopted report yet" is precisely "safe
+// to reshard onto a survivor".
+
+// shardPaths distributes whole paths over the named replicas by
+// consistent hash of path name. The "path/" prefix keeps path keys in
+// their own hash family, distinct from the per-net bucket keys.
+func shardPaths(paths []workload.PathJSON, names []string) map[string][]workload.PathJSON {
+	r := newRing(names)
+	out := make(map[string][]workload.PathJSON, len(names))
+	for _, p := range paths {
+		owner := r.owner("path/" + p.Name)
+		out[owner] = append(out[owner], p)
+	}
+	return out
+}
+
+// pathRun is the per-request coordinator state of one analyze-path
+// scatter.
+type pathRun struct {
+	g      *Gateway
+	ctx    context.Context
+	cancel context.CancelFunc
+	start  time.Time
+
+	tech       string
+	caseByName map[string]workload.CaseJSON
+	query      url.Values
+	requestID  string
+
+	// sink carries merged stage records to the handler's loop; closed by
+	// the closer goroutine once every worker has exited.
+	sink chan pathnoise.StageRecord
+
+	mu      sync.Mutex
+	seen    map[pathnoise.StageKey]bool      // stage-record dedupe
+	reports map[string]*pathnoise.PathReport // path -> first real outcome
+	resumed int                              // stages adopted from replica journals
+
+	wg sync.WaitGroup
+}
+
+func (g *Gateway) newPathRun(ctx context.Context, cancel context.CancelFunc, file workload.FileJSON, query url.Values, requestID string) *pathRun {
+	byName := make(map[string]workload.CaseJSON, len(file.Cases))
+	for _, c := range file.Cases {
+		byName[c.Name] = c
+	}
+	return &pathRun{
+		g:          g,
+		ctx:        ctx,
+		cancel:     cancel,
+		start:      time.Now(),
+		tech:       file.Technology,
+		caseByName: byName,
+		query:      query,
+		requestID:  requestID,
+		sink:       make(chan pathnoise.StageRecord, 64),
+		seen:       map[pathnoise.StageKey]bool{},
+		reports:    map[string]*pathnoise.PathReport{},
+	}
+}
+
+// scatter shards the paths over the healthy replicas and spawns one
+// worker per shard plus the sink closer.
+func (r *pathRun) scatter(paths []workload.PathJSON) error {
+	names := r.g.set.healthyNames()
+	if len(names) == 0 {
+		return errNoReplicas
+	}
+	for name, shard := range shardPaths(paths, names) {
+		r.spawn(name, shard, 0)
+	}
+	//lint:ignore noiselint/goleak joins r.wg, whose workers all exit once r.ctx dies; the close unblocks the merge loop
+	go func() {
+		r.wg.Wait()
+		close(r.sink)
+	}()
+	return nil
+}
+
+func (r *pathRun) spawn(replica string, paths []workload.PathJSON, attempt int) {
+	r.wg.Add(1)
+	//lint:ignore noiselint/goleak runShard defers wg.Done and every blocking path inside it selects on r.ctx; the closer joins the wg
+	go r.runShard(replica, paths, attempt)
+}
+
+// runShard drives one path shard against one replica, then re-shards
+// the paths that did not reach a real outcome.
+func (r *pathRun) runShard(replica string, paths []workload.PathJSON, attempt int) {
+	defer r.wg.Done()
+	leftover, avoid := r.streamShard(replica, paths)
+	leftover = r.unfinished(leftover)
+	if len(leftover) == 0 || r.ctx.Err() != nil {
+		return
+	}
+	if attempt >= r.g.cfg.MaxReshards {
+		r.g.cfg.Logf("noisegw: %d paths exhausted their %d reshard hops", len(leftover), r.g.cfg.MaxReshards)
+		return
+	}
+	targets := r.g.set.healthyNames()
+	if avoid {
+		targets = r.g.set.healthyExcept(replica)
+	}
+	if len(targets) == 0 {
+		r.g.cfg.Logf("noisegw: %d paths unassigned: no healthy replicas to reshard onto", len(leftover))
+		return
+	}
+	r.g.reg.Counter(mGwReshards).Inc()
+	r.g.cfg.Logf("noisegw: resharding %d paths from %s over %d replicas (hop %d)",
+		len(leftover), replica, len(targets), attempt+1)
+	for name, shard := range shardPaths(leftover, targets) {
+		r.spawn(name, shard, attempt+1)
+	}
+}
+
+// streamShard runs one shard sub-request, absorbing shed responses with
+// the same capped jittered backoff the net dispatcher uses.
+func (r *pathRun) streamShard(replica string, paths []workload.PathJSON) (leftover []workload.PathJSON, avoid bool) {
+	body, err := pathShardBody(r.tech, paths, r.caseByName)
+	if err != nil {
+		r.g.cfg.Logf("noisegw: path shard body: %v", err)
+		return paths, true
+	}
+	sheds := 0
+	for {
+		outcome, retryAfter := r.streamOnce(replica, paths, body)
+		switch outcome {
+		case streamDone:
+			r.g.set.clearStrikes(replica)
+			return paths, false // canceled paths remain for the caller to reshard
+		case streamShed:
+			sheds++
+			if sheds > r.g.cfg.ShedRetries {
+				return paths, true
+			}
+			if !r.sleepShed(sheds, retryAfter) {
+				return nil, false
+			}
+		case streamFailed:
+			r.g.set.strike(replica)
+			return paths, true
+		default: // streamCtxDone
+			return nil, false
+		}
+	}
+}
+
+// sleepShed mirrors run.sleepShed for the path dispatcher.
+func (r *pathRun) sleepShed(sheds int, retryAfter time.Duration) bool {
+	nr := run{g: r.g, ctx: r.ctx}
+	return nr.sleepShed(sheds, retryAfter)
+}
+
+// pathStreamEvent is one parsed element of a path shard stream.
+type pathStreamEvent struct {
+	rec     pathnoise.StageRecord
+	summary *noised.PathSummary
+	err     error
+}
+
+// streamOnce opens one analyze-path sub-request and consumes its
+// stream, merging stage records as they arrive and adopting the path
+// reports from the terminal summary. The stall watchdog mirrors the net
+// dispatcher's; paths are not hedged — a duplicated path re-runs every
+// stage, which the stage-record dedupe would mask but the fleet would
+// still pay for.
+func (r *pathRun) streamOnce(replica string, paths []workload.PathJSON, body []byte) (streamOutcome, time.Duration) {
+	subctx, subcancel := context.WithCancel(r.ctx)
+	defer subcancel()
+	shardStart := time.Now()
+
+	u := replica + "/v1/analyze-path"
+	if q := r.subQuery(paths); q != "" {
+		u += "?" + q
+	}
+	req, err := http.NewRequestWithContext(subctx, http.MethodPost, u, bytes.NewReader(body))
+	if err != nil {
+		return streamFailed, 0
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.g.client.Do(req)
+	if err != nil {
+		if r.ctx.Err() != nil {
+			return streamCtxDone, 0
+		}
+		return streamFailed, 0
+	}
+	defer resp.Body.Close()
+	switch resp.StatusCode {
+	case http.StatusOK:
+	case http.StatusServiceUnavailable, http.StatusTooManyRequests:
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 512))
+		r.g.reg.Counter(mGwShardShed).Inc()
+		return streamShed, parseRetryAfter(resp.Header.Get("Retry-After"))
+	default:
+		r.g.cfg.Logf("noisegw: replica %s answered %s to analyze-path", replica, resp.Status)
+		return streamFailed, 0
+	}
+	r.g.reg.Counter(mGwShardStreams).Inc()
+
+	events := make(chan pathStreamEvent)
+	// Bounded by subctx like the net reader: every send selects on it.
+	go readPathShardStream(subctx, resp.Body, events)
+
+	stall := time.NewTimer(r.g.cfg.StallTimeout)
+	defer stall.Stop()
+	for {
+		select {
+		case ev, ok := <-events:
+			if !ok || ev.err != nil {
+				r.g.reg.Counter(mGwShardTorn).Inc()
+				return streamFailed, 0
+			}
+			if !stall.Stop() {
+				select {
+				case <-stall.C:
+				default:
+				}
+			}
+			stall.Reset(r.g.cfg.StallTimeout)
+			switch {
+			case ev.summary != nil:
+				r.adoptReports(ev.summary)
+				r.g.reg.Histogram(mGwShardLatency).Observe(time.Since(shardStart))
+				return streamDone, 0
+			case ev.rec.Path != "":
+				r.mergeStage(ev.rec)
+			}
+		case <-stall.C:
+			r.g.reg.Counter(mGwShardStalled).Inc()
+			r.g.cfg.Logf("noisegw: replica %s path stream stalled past %v", replica, r.g.cfg.StallTimeout)
+			return streamFailed, 0
+		case <-r.ctx.Done():
+			return streamCtxDone, 0
+		}
+	}
+}
+
+// readPathShardStream parses the replica's NDJSON analyze-path stream
+// into events, bounded by ctx.
+func readPathShardStream(ctx context.Context, body io.Reader, events chan<- pathStreamEvent) {
+	defer close(events)
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 256*1024), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var sl noised.PathStreamLine
+		if err := json.Unmarshal(line, &sl); err != nil {
+			select {
+			case events <- pathStreamEvent{err: fmt.Errorf("noisegw: malformed path stream line: %w", err)}:
+			case <-ctx.Done():
+			}
+			return
+		}
+		ev := pathStreamEvent{rec: sl.StageRecord, summary: sl.Summary}
+		select {
+		case events <- ev:
+		case <-ctx.Done():
+			return
+		}
+		if sl.Summary != nil {
+			return
+		}
+	}
+	if err := sc.Err(); err != nil {
+		select {
+		case events <- pathStreamEvent{err: err}:
+		case <-ctx.Done():
+		}
+	}
+}
+
+// mergeStage forwards one stage record to the client, deduplicating by
+// (path, stage, iter): replays from replica-side journal resume after a
+// shed retry present the same key and drop.
+func (r *pathRun) mergeStage(rec pathnoise.StageRecord) {
+	r.mu.Lock()
+	if r.seen[rec.Key()] {
+		r.mu.Unlock()
+		r.g.reg.Counter(mGwStagesDuplicate).Inc()
+		return
+	}
+	r.seen[rec.Key()] = true
+	r.mu.Unlock()
+	r.g.reg.Counter(mGwStagesMerged).Inc()
+	select {
+	case r.sink <- rec:
+	case <-r.ctx.Done():
+	}
+}
+
+// adoptReports takes a sub-summary's path reports: the first real
+// outcome per path wins. Canceled reports never finalize a path — the
+// replica was cut off mid-path and journaled nothing, so the reshard
+// completes it instead.
+func (r *pathRun) adoptReports(sum *noised.PathSummary) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.resumed += sum.StagesResumed
+	for _, rep := range sum.Reports {
+		if rep == nil || rep.Class == "canceled" {
+			continue
+		}
+		if r.reports[rep.Name] == nil {
+			r.reports[rep.Name] = rep
+			r.g.reg.Counter(mGwPathsMerged).Inc()
+		}
+	}
+}
+
+// unfinished filters paths down to those without an adopted report.
+func (r *pathRun) unfinished(paths []workload.PathJSON) []workload.PathJSON {
+	if len(paths) == 0 {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var out []workload.PathJSON
+	for _, p := range paths {
+		if r.reports[p.Name] == nil {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// report returns the adopted report for a path, nil when none finished.
+func (r *pathRun) report(name string) *pathnoise.PathReport {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.reports[name]
+}
+
+func (r *pathRun) stagesResumed() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.resumed
+}
+
+// subQuery renders one path shard's query string.
+func (r *pathRun) subQuery(paths []workload.PathJSON) string {
+	q := url.Values{}
+	for k, vs := range r.query {
+		q[k] = vs
+	}
+	if id := r.subRequestID(paths); id != "" {
+		q.Set("request_id", id)
+	}
+	return q.Encode()
+}
+
+// subRequestID derives a stable per-shard journal identity from the
+// client's request_id and the shard's path names — the "-p" family,
+// disjoint from the net dispatcher's "-s" shard IDs.
+func (r *pathRun) subRequestID(paths []workload.PathJSON) string {
+	if r.requestID == "" {
+		return ""
+	}
+	h := fnv.New64a()
+	for _, p := range paths {
+		h.Write([]byte(p.Name))
+		h.Write([]byte{0})
+	}
+	return fmt.Sprintf("%s-p%08x", r.requestID, h.Sum64()&0xffffffff)
+}
+
+// pathShardBody serializes one path shard: the shard's path definitions
+// plus exactly the stage cases they reference, in path order.
+func pathShardBody(tech string, paths []workload.PathJSON, byName map[string]workload.CaseJSON) ([]byte, error) {
+	f := workload.FileJSON{Technology: tech, Paths: paths}
+	added := map[string]bool{}
+	for _, p := range paths {
+		for _, stage := range p.Stages {
+			if added[stage] {
+				continue
+			}
+			c, ok := byName[stage]
+			if !ok {
+				return nil, noiseerr.Invalidf("noisegw: path %s references unknown case %q", p.Name, stage)
+			}
+			f.Cases = append(f.Cases, c)
+			added[stage] = true
+		}
+	}
+	return json.Marshal(f)
+}
+
+// pathStreamWriter mirrors the noised analyze-path response encodings.
+type pathStreamWriter interface {
+	record(rec pathnoise.StageRecord) error
+	heartbeat() error
+	summary(sum *noised.PathSummary) error
+}
+
+type ndjsonPathStream struct{ enc *json.Encoder }
+
+func (s ndjsonPathStream) record(rec pathnoise.StageRecord) error { return s.enc.Encode(rec) }
+func (s ndjsonPathStream) heartbeat() error {
+	return s.enc.Encode(noised.PathStreamLine{Heartbeat: true})
+}
+func (s ndjsonPathStream) summary(sum *noised.PathSummary) error {
+	return s.enc.Encode(noised.PathStreamLine{Summary: sum})
+}
+
+// colblobPathStream re-encodes merged stage records as FramePathStage
+// frames. Stage frames are self-contained, so re-encoding is purely a
+// normalization (the client sees one coherent stream).
+type colblobPathStream struct {
+	w   io.Writer
+	sw  pathnoise.StageWriter
+	buf []byte
+}
+
+func newColblobPathStream(w io.Writer) *colblobPathStream {
+	return &colblobPathStream{w: w, sw: pathnoise.BinaryStages.NewWriter(w)}
+}
+
+func (s *colblobPathStream) record(rec pathnoise.StageRecord) error {
+	return s.sw.WriteStage(rec)
+}
+
+func (s *colblobPathStream) heartbeat() error {
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameHeartbeat, nil)
+	_, err := s.w.Write(s.buf)
+	return err
+}
+
+func (s *colblobPathStream) summary(sum *noised.PathSummary) error {
+	payload, err := json.Marshal(sum)
+	if err != nil {
+		return err
+	}
+	s.buf = colblob.AppendFrame(s.buf[:0], colblob.FrameSummary, payload)
+	_, err = s.w.Write(s.buf)
+	return err
+}
+
+func negotiatePathStream(r *http.Request, w http.ResponseWriter) (pathStreamWriter, string) {
+	if strings.Contains(r.Header.Get("Accept"), clarinet.ContentTypeColblob) {
+		return newColblobPathStream(w), clarinet.ContentTypeColblob
+	}
+	return ndjsonPathStream{enc: json.NewEncoder(w)}, clarinet.ContentTypeNDJSON
+}
+
+// parseAnalyzePathOptions extends the forwarded options with the
+// path-mode knobs.
+func (g *Gateway) parseAnalyzePathOptions(r *http.Request) (analyzeOptions, error) {
+	opt, err := g.parseAnalyzeOptions(r)
+	if err != nil {
+		return opt, err
+	}
+	q := r.URL.Query()
+	if v := q.Get("path_iterations"); v != "" {
+		if n, err := strconv.Atoi(v); err != nil || n < 1 {
+			return opt, noiseerr.Invalidf("noisegw: bad path_iterations %q", v)
+		}
+		opt.forward.Set("path_iterations", v)
+	}
+	if v := q.Get("path_timeout"); v != "" {
+		if d, err := time.ParseDuration(v); err != nil || d < 0 {
+			return opt, noiseerr.Invalidf("noisegw: bad path_timeout %q", v)
+		}
+		opt.forward.Set("path_timeout", v)
+	}
+	return opt, nil
+}
+
+// handleAnalyzePath is POST /v1/analyze-path: validation, admission,
+// the whole-path scatter, and the merge loop.
+func (g *Gateway) handleAnalyzePath(w http.ResponseWriter, r *http.Request) {
+	g.reg.Counter(mGwRequests).Inc()
+	if g.adm.draining() {
+		g.reg.Counter(mGwRejectedDraining).Inc()
+		g.unavailable(w, "draining")
+		return
+	}
+	opt, err := g.parseAnalyzePathOptions(r)
+	if err != nil {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	r.Body = http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	var file workload.FileJSON
+	if err := json.NewDecoder(r.Body).Decode(&file); err != nil {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		http.Error(w, fmt.Sprintf("noisegw: decode: %v", err), http.StatusBadRequest)
+		return
+	}
+	if err := validatePathFile(file, g.cfg.MaxNets); err != nil {
+		g.reg.Counter(mGwRejectedValidation).Inc()
+		status := http.StatusBadRequest
+		if len(file.Cases) > g.cfg.MaxNets {
+			status = http.StatusRequestEntityTooLarge
+		}
+		http.Error(w, err.Error(), status)
+		return
+	}
+
+	switch err := g.adm.acquire(r.Context()); err {
+	case nil:
+		defer g.adm.release()
+	case errQueueFull, errDraining:
+		g.reg.Counter(mGwRejectedQueue).Inc()
+		g.unavailable(w, err.Error())
+		return
+	default:
+		return // the client went away while queued
+	}
+
+	ctx := r.Context()
+	var cancel context.CancelFunc
+	if opt.timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, opt.timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	defer cancel()
+
+	run := g.newPathRun(ctx, cancel, file, opt.forward, opt.requestID)
+	if err := run.scatter(file.Paths); err != nil {
+		g.reg.Counter(mGwRejectedNoReplicas).Inc()
+		g.unavailable(w, err.Error())
+		return
+	}
+
+	stream, contentType := negotiatePathStream(r, w)
+	w.Header().Set("Content-Type", contentType)
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set(noised.InstanceHeader, g.instance)
+	if opt.requestID != "" {
+		w.Header().Set("X-Request-ID", opt.requestID)
+	}
+	w.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(w)
+	rc.Flush()
+
+	sum := noised.PathSummary{RequestID: opt.requestID, Paths: len(file.Paths)}
+	writeOK := true
+	var hbC <-chan time.Time
+	var hb *time.Ticker
+	if g.cfg.Heartbeat > 0 {
+		hb = time.NewTicker(g.cfg.Heartbeat)
+		defer hb.Stop()
+		hbC = hb.C
+	}
+merge:
+	for {
+		select {
+		case rec, ok := <-run.sink:
+			if !ok {
+				break merge
+			}
+			if !writeOK {
+				continue // drain the merge after a broken pipe
+			}
+			if err := stream.record(rec); err != nil {
+				writeOK = false
+				cancel()
+				continue
+			}
+			rc.Flush()
+			if hb != nil {
+				hb.Reset(g.cfg.Heartbeat)
+			}
+		case <-hbC:
+			if !writeOK {
+				continue
+			}
+			if err := stream.heartbeat(); err != nil {
+				writeOK = false
+				cancel()
+				continue
+			}
+			rc.Flush()
+		}
+	}
+	if !writeOK {
+		return
+	}
+	// Every worker has exited: paths without an adopted report are
+	// definitively unfinished. The summary carries the reports in the
+	// client's path order, the same order pathnoise.Assemble uses.
+	for _, pj := range file.Paths {
+		rep := run.report(pj.Name)
+		if rep == nil {
+			g.reg.Counter(mGwPathsUnassigned).Inc()
+			rep = unfinishedPathReport(pj.Name, ctx)
+		}
+		switch {
+		case rep.Class == "canceled":
+			sum.Canceled++
+		case rep.Failed():
+			sum.Failed++
+		default:
+			sum.OK++
+		}
+		sum.Reports = append(sum.Reports, rep)
+	}
+	sum.StagesResumed = run.stagesResumed()
+	sum.ElapsedMS = time.Since(run.start).Milliseconds()
+	sum.Deadline = ctx.Err() == context.DeadlineExceeded
+	sum.Draining = g.adm.draining()
+	if err := stream.summary(&sum); err == nil {
+		rc.Flush()
+	}
+}
+
+// validatePathFile checks the structural invariants the gateway can
+// enforce without a device library: unique case and path names, every
+// stage resolvable, a non-empty path set, and the net cap.
+func validatePathFile(file workload.FileJSON, maxNets int) error {
+	if len(file.Paths) == 0 {
+		return noiseerr.Invalidf("noisegw: case set defines no paths")
+	}
+	if len(file.Cases) > maxNets {
+		return noiseerr.Invalidf("noisegw: %d stage cases exceeds the limit %d", len(file.Cases), maxNets)
+	}
+	cases := make(map[string]bool, len(file.Cases))
+	for _, c := range file.Cases {
+		if c.Name == "" || cases[c.Name] {
+			return noiseerr.Invalidf("noisegw: missing or duplicate net name %q", c.Name)
+		}
+		cases[c.Name] = true
+	}
+	paths := make(map[string]bool, len(file.Paths))
+	for _, p := range file.Paths {
+		if p.Name == "" || paths[p.Name] {
+			return noiseerr.Invalidf("noisegw: missing or duplicate path name %q", p.Name)
+		}
+		paths[p.Name] = true
+		if len(p.Stages) == 0 {
+			return noiseerr.Invalidf("noisegw: path %s has no stages", p.Name)
+		}
+		for _, stage := range p.Stages {
+			if !cases[stage] {
+				return noiseerr.Invalidf("noisegw: path %s references unknown case %q", p.Name, stage)
+			}
+		}
+	}
+	return nil
+}
+
+// unfinishedPathReport renders the terminal report of a path no replica
+// completed: canceled when the run was cut short, a reshard-budget
+// failure otherwise.
+func unfinishedPathReport(name string, ctx context.Context) *pathnoise.PathReport {
+	rep := &pathnoise.PathReport{Name: name}
+	if ctx.Err() != nil {
+		rep.Class = "canceled"
+		rep.Error = fmt.Sprintf("noisegw: run canceled before path completed: %v", ctx.Err())
+	} else {
+		rep.Class = noiseerr.ClassName(noiseerr.ErrInternal) // "internal"
+		rep.Error = "noisegw: reshard budget exhausted with no healthy replica finishing the path"
+	}
+	return rep
+}

@@ -1,0 +1,18 @@
+package pathnoise
+
+// Metric-name constant table (enforced by noiselint/metricflow). Path
+// runs layer these on top of the per-net nets.* counters the underlying
+// clarinet tool already emits.
+const (
+	// Counters.
+	mPathsAnalyzed = "paths.analyzed" // paths that ran to a terminal record
+	mPathsFailed   = "paths.failed"   // paths whose terminal record is an error
+	mPathsCanceled = "paths.canceled" // paths abandoned by the caller's context
+	mStagesRun     = "paths.stages.run"
+	mStagesResumed = "paths.stages.resumed" // stage executions satisfied from a prior journal
+	mPathIters     = "paths.iterations"     // window-fixpoint passes completed
+
+	// Timers.
+	mPathAnalyze  = "path.analyze" // whole-path wall time
+	mStageAnalyze = "path.stage"   // one stage execution (both chains)
+)

@@ -1,0 +1,178 @@
+package pathnoise
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/resilience"
+)
+
+// Report assembly is a pure function of (path set, stage records), so
+// every consumer — the CLI after a live run, the CLI after a journal
+// resume, the noised server, noiseblob over a journal file — derives
+// byte-identical report JSON from the same records. Nothing here looks
+// at wall clocks or map iteration order.
+
+// StageLine is one stage's row in a path report: the scalar result
+// without the waveform series (those stay in the journal records).
+type StageLine struct {
+	Net     string `json:"net"`
+	Quality string `json:"quality,omitempty"`
+	StageResult
+}
+
+// PathReport is the end-to-end outcome of one path.
+type PathReport struct {
+	Name string `json:"name"`
+	// Quality is the path's resilience rung: the worst rung any stage
+	// of the reported pass needed.
+	Quality string `json:"quality,omitempty"`
+	// Iterations counts completed window-fixpoint passes.
+	Iterations int         `json:"iterations"`
+	Stages     []StageLine `json:"stages,omitempty"`
+
+	// End-to-end figures, from the final stage of the last complete
+	// pass. PathDelayNoise = NoisyArrival - QuietArrival is the true
+	// path-level 50%->50% delay noise; SumStageNoise is the sum of
+	// per-stage worst-case delay noise — the figure per-stage analysis
+	// would report, kept for the pessimism/optimism comparison.
+	QuietArrival   float64 `json:"quietArrival"`
+	NoisyArrival   float64 `json:"noisyArrival"`
+	PathDelayNoise float64 `json:"pathDelayNoise"`
+	SumStageNoise  float64 `json:"sumStageNoise"`
+
+	Class string `json:"class,omitempty"`
+	Error string `json:"error,omitempty"`
+}
+
+// Failed reports whether the path reached no complete pass.
+func (r *PathReport) Failed() bool { return r.Error != "" }
+
+// Assemble builds path reports from journal records, in path-set
+// order. For each path it reports the last complete fixpoint pass; a
+// path with no complete pass reports its terminal error record.
+func Assemble(paths []*Path, recs map[StageKey]StageRecord) []*PathReport {
+	out := make([]*PathReport, len(paths))
+	for i, p := range paths {
+		out[i] = assemblePath(p, recs)
+	}
+	return out
+}
+
+func assemblePath(p *Path, recs map[StageKey]StageRecord) *PathReport {
+	rep := &PathReport{Name: p.Name}
+	// Find the last pass every stage completed.
+	last := -1
+	maxIter := -1
+	for iter := 0; ; iter++ {
+		complete := true
+		any := false
+		for s := range p.Stages {
+			rec, ok := recs[StageKey{Path: p.Name, Stage: s, Iter: iter}]
+			if ok {
+				any = true
+			}
+			if !ok || rec.Result == nil {
+				complete = false
+			}
+		}
+		if !any {
+			break
+		}
+		maxIter = iter
+		if complete {
+			last = iter
+		}
+	}
+	if last >= 0 {
+		rep.Iterations = last + 1
+		quality := resilience.QualityExact
+		for s := range p.Stages {
+			rec := recs[StageKey{Path: p.Name, Stage: s, Iter: last}]
+			rep.Stages = append(rep.Stages, StageLine{Net: rec.Net, Quality: rec.Quality, StageResult: *rec.Result})
+			rep.SumStageNoise += rec.Result.StageNoise
+			quality = worseQuality(quality, resilience.QualityFromString(rec.Quality))
+		}
+		final := rep.Stages[len(rep.Stages)-1]
+		rep.Quality = quality.String()
+		rep.QuietArrival = final.QuietArr
+		rep.NoisyArrival = final.NoisyArr
+		rep.PathDelayNoise = final.Cumulative
+		return rep
+	}
+	// No complete pass: surface the terminal error record (the latest
+	// one, in case a resumed run failed differently).
+	rep.Iterations = maxIter + 1
+	for iter := maxIter; iter >= 0; iter-- {
+		for s := len(p.Stages) - 1; s >= 0; s-- {
+			rec, ok := recs[StageKey{Path: p.Name, Stage: s, Iter: iter}]
+			if ok && rec.Error != "" {
+				rep.Error, rep.Class, rep.Quality = rec.Error, rec.Class, rec.Quality
+				return rep
+			}
+		}
+	}
+	rep.Error = fmt.Sprintf("pathnoise: path %s has no terminal record (run did not finish)", p.Name)
+	return rep
+}
+
+// assembleStates builds the reports Run returns, reusing the journal
+// assembly over each path's in-memory records so a live run and a
+// journal replay produce identical reports. A path canceled before any
+// record surfaces its scheduler error.
+func assembleStates(states []*pathState) []*PathReport {
+	out := make([]*PathReport, len(states))
+	for i, ps := range states {
+		recs := make(map[StageKey]StageRecord, len(ps.records))
+		for _, rec := range ps.records {
+			recs[rec.Key()] = rec
+		}
+		rep := assemblePath(ps.path, recs)
+		if rep.Failed() && len(ps.records) == 0 && ps.err != nil {
+			rep.Error = ps.err.Error()
+			rep.Class = ""
+			if ps.canceled {
+				rep.Class = "canceled"
+			}
+		}
+		out[i] = rep
+	}
+	return out
+}
+
+// MarshalReport renders reports as canonical indented JSON — the byte
+// format the CLI report file and the server's path summary share.
+func MarshalReport(reports []*PathReport) ([]byte, error) {
+	b, err := json.MarshalIndent(reports, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(b, '\n'), nil
+}
+
+// WriteReport renders a human-readable per-path table: one header line
+// per path and one row per stage with the incremental/cumulative delay
+// noise decomposition.
+func WriteReport(w io.Writer, reports []*PathReport) error {
+	for _, rep := range reports {
+		if rep.Failed() {
+			if _, err := fmt.Fprintf(w, "path %-16s FAILED [%s] %s\n", rep.Name, rep.Class, rep.Error); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := fmt.Fprintf(w, "path %-16s stages=%d iters=%d quality=%s  path-noise=%.4gps (sum-of-stages=%.4gps)\n",
+			rep.Name, len(rep.Stages), rep.Iterations, rep.Quality,
+			rep.PathDelayNoise*1e12, rep.SumStageNoise*1e12); err != nil {
+			return err
+		}
+		for k, st := range rep.Stages {
+			if _, err := fmt.Fprintf(w, "  [%d] %-14s stage-noise=%8.4gps  incr=%8.4gps  cum=%8.4gps  arr=%.4gps\n",
+				k, st.Net, st.StageNoise*1e12, st.Incremental*1e12, st.Cumulative*1e12, st.NoisyArr*1e12); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -35,6 +35,9 @@ type CaseJSON struct {
 type FileJSON struct {
 	Technology string     `json:"technology"`
 	Cases      []CaseJSON `json:"cases"`
+	// Paths optionally chains cases into multi-stage fabrics (see
+	// PathJSON; stage entries name cases in Cases).
+	Paths []PathJSON `json:"paths,omitempty"`
 }
 
 // FromCase converts an in-memory case to its serialized form.

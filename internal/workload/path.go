@@ -1,0 +1,165 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/delaynoise"
+	"repro/internal/device"
+	"repro/internal/noiseerr"
+	"repro/internal/pathgraph"
+)
+
+// Path workloads: multi-stage fabrics where stage k's receiver cell is
+// stage k+1's victim driver, each stage a coupled cluster of its own.
+// The generator draws every stage from the same random regime as the
+// per-net population but chains the boundaries so the result satisfies
+// pathnoise's Validate invariants: cell identity across the boundary
+// and transition directions that follow through the chain.
+
+// PathJSON is the serialized form of one path: an ordered list of case
+// names from the same file's Cases section.
+type PathJSON struct {
+	Name   string   `json:"name"`
+	Stages []string `json:"stages"`
+}
+
+// NextPath generates one chained path of the given stage count. The
+// returned case names are "<name>.s<k>"; the cases are freshly drawn
+// (they do not alias the per-net population).
+func (g *Generator) NextPath(name string, stages int) ([]string, []*delaynoise.Case, *pathgraph.Path, error) {
+	if stages < 1 {
+		return nil, nil, nil, noiseerr.Invalidf("workload: path %s: need at least one stage", name)
+	}
+	p := g.Profile
+	victimCell, err := g.pick(p.VictimCells)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	victimRising := g.rng.Intn(2) == 0
+
+	names := make([]string, 0, stages)
+	cases := make([]*delaynoise.Case, 0, stages)
+	path := &pathgraph.Path{Name: name}
+	for k := 0; k < stages; k++ {
+		// The last stage terminates in an ordinary receiver; interior
+		// stages terminate in the next stage's victim driver.
+		var receiver *device.Cell
+		if k == stages-1 {
+			receiver, err = g.pick(p.ReceiverCells)
+		} else {
+			receiver, err = g.pick(p.VictimCells)
+		}
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		caseName := fmt.Sprintf("%s.s%d", name, k)
+		c, err := g.nextCase(caseName, victimCell, victimRising, receiver)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		names = append(names, caseName)
+		cases = append(cases, c)
+		path.Stages = append(path.Stages, pathgraph.Stage{Net: caseName, Case: c})
+		// Chain the boundary: the next victim is this receiver, driven
+		// by the edge it hands over.
+		handRising := receiver.OutputRisingFor(victimRising)
+		victimCell = receiver
+		victimRising = victimCell.OutputRisingFor(handRising)
+	}
+	if err := path.Validate(); err != nil {
+		return nil, nil, nil, err
+	}
+	return names, cases, path, nil
+}
+
+// PathPopulation generates n chained paths of the given stage count.
+// Paths are named "p<i>"; all names, cases, and paths are returned in
+// generation order.
+func (g *Generator) PathPopulation(n, stages int) ([]string, []*delaynoise.Case, []*pathgraph.Path, error) {
+	var names []string
+	var cases []*delaynoise.Case
+	var paths []*pathgraph.Path
+	for i := 0; i < n; i++ {
+		ns, cs, p, err := g.NextPath(fmt.Sprintf("p%d", i), stages)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		names = append(names, ns...)
+		cases = append(cases, cs...)
+		paths = append(paths, p)
+	}
+	return names, cases, paths, nil
+}
+
+// SavePaths writes a case file that also carries path definitions.
+func SavePaths(w io.Writer, techName string, names []string, cases []*delaynoise.Case, paths []*pathgraph.Path) error {
+	if len(names) != len(cases) {
+		return noiseerr.Invalidf("workload: %d names for %d cases", len(names), len(cases))
+	}
+	f := FileJSON{Technology: techName}
+	for i, c := range cases {
+		f.Cases = append(f.Cases, FromCase(names[i], c))
+	}
+	for _, p := range paths {
+		pj := PathJSON{Name: p.Name}
+		for _, st := range p.Stages {
+			pj.Stages = append(pj.Stages, st.Net)
+		}
+		f.Paths = append(f.Paths, pj)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(f)
+}
+
+// ResolvePaths binds a file's path definitions to its resolved cases
+// and validates the chaining invariants.
+func ResolvePaths(pjs []PathJSON, names []string, cases []*delaynoise.Case) ([]*pathgraph.Path, error) {
+	byName := make(map[string]*delaynoise.Case, len(names))
+	for i, n := range names {
+		byName[n] = cases[i]
+	}
+	paths := make([]*pathgraph.Path, 0, len(pjs))
+	for _, pj := range pjs {
+		p := &pathgraph.Path{Name: pj.Name}
+		for _, stage := range pj.Stages {
+			c, ok := byName[stage]
+			if !ok {
+				return nil, noiseerr.Invalidf("workload: path %s references unknown case %q", pj.Name, stage)
+			}
+			p.Stages = append(p.Stages, pathgraph.Stage{Net: stage, Case: c})
+		}
+		paths = append(paths, p)
+	}
+	if err := pathgraph.ValidatePaths(paths); err != nil {
+		return nil, err
+	}
+	return paths, nil
+}
+
+// LoadPaths parses a case file and resolves both its cases and its
+// path definitions against the library. Files without a paths section
+// return an empty path set.
+func LoadPaths(r io.Reader, lib *device.Library) ([]string, []*delaynoise.Case, []*pathgraph.Path, error) {
+	var f FileJSON
+	if err := json.NewDecoder(r).Decode(&f); err != nil {
+		return nil, nil, nil, fmt.Errorf("workload: decode: %w", err)
+	}
+	var names []string
+	var cases []*delaynoise.Case
+	for _, cj := range f.Cases {
+		c, err := cj.ToCase(lib)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		names = append(names, cj.Name)
+		cases = append(cases, c)
+	}
+	paths, err := ResolvePaths(f.Paths, names, cases)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	return names, cases, paths, nil
+}

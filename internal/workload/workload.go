@@ -96,11 +96,28 @@ func (g *Generator) pick(names []string) (*device.Cell, error) {
 // stream supplies the parameters).
 func (g *Generator) Next(i int) (*delaynoise.Case, error) {
 	p := g.Profile
+	victimCell, err := g.pick(p.VictimCells)
+	if err != nil {
+		return nil, err
+	}
+	receiver, err := g.pick(p.ReceiverCells)
+	if err != nil {
+		return nil, err
+	}
+	victimRising := g.rng.Intn(2) == 0
+	return g.nextCase(fmt.Sprintf("n%d", i), victimCell, victimRising, receiver)
+}
+
+// nextCase draws one random cluster around the given drivers (the
+// shared body of Next and NextPath; prefix names the interconnect
+// lines).
+func (g *Generator) nextCase(prefix string, victimCell *device.Cell, victimRising bool, receiver *device.Cell) (*delaynoise.Case, error) {
+	p := g.Profile
 	segs := g.intBetween(p.SegmentsMin, p.SegmentsMax)
 	vC := g.uniform(p.VictimCMin, p.VictimCMax)
 	spec := rcnet.CoupledSpec{
 		Victim: rcnet.LineSpec{
-			Name:     fmt.Sprintf("n%d.v", i),
+			Name:     prefix + ".v",
 			Segments: segs,
 			RTotal:   g.uniform(p.VictimRMin, p.VictimRMax),
 			CGround:  vC,
@@ -117,7 +134,7 @@ func (g *Generator) Next(i int) (*delaynoise.Case, error) {
 		}
 		spec.Aggressors = append(spec.Aggressors, rcnet.AggressorSpec{
 			Line: rcnet.LineSpec{
-				Name:     fmt.Sprintf("n%d.a%d", i, k),
+				Name:     fmt.Sprintf("%s.a%d", prefix, k),
 				Segments: segs,
 				RTotal:   g.uniform(p.VictimRMin, p.VictimRMax) * 0.8,
 				CGround:  g.uniform(p.VictimCMin, p.VictimCMax) * 0.8,
@@ -129,15 +146,6 @@ func (g *Generator) Next(i int) (*delaynoise.Case, error) {
 	}
 	net := rcnet.Build(spec)
 
-	victimCell, err := g.pick(p.VictimCells)
-	if err != nil {
-		return nil, err
-	}
-	receiver, err := g.pick(p.ReceiverCells)
-	if err != nil {
-		return nil, err
-	}
-	victimRising := g.rng.Intn(2) == 0
 	const victimStart = 200e-12
 	c := &delaynoise.Case{
 		Net: net,
